@@ -1,0 +1,56 @@
+// llva-as assembles LLVA textual assembly (.llva) into virtual object
+// code (.bc).
+//
+// Usage: llva-as [-o out.bc] input.llva
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"llva/internal/asm"
+	"llva/internal/core"
+	"llva/internal/obj"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: input with .bc)")
+	noVerify := flag.Bool("noverify", false, "skip the IR verifier")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: llva-as [-o out.bc] input.llva")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := asm.Parse(strings.TrimSuffix(in, ".llva"), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if !*noVerify {
+		if err := core.Verify(m); err != nil {
+			fatal(err)
+		}
+	}
+	data, err := obj.Encode(m)
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".llva") + ".bc"
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llva-as:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,188 @@
+// llva-bench regenerates the paper's Table 2 ("Metrics demonstrating code
+// size and low-level nature of the V-ISA") over the workload suite:
+//
+//	program, LOC, native size, LLVA size, #LLVA instructions,
+//	#vx86 instructions + ratio, #vsparc instructions + ratio,
+//	JIT translate time, run time, translate/run ratio.
+//
+// Like the paper, native code size is measured on the SPARC-flavoured
+// target, the translate time is the whole-program JIT compile time for
+// the x86-flavoured target, and the run time is the program's execution
+// (here: on the simulated vx86 processor; both virtual seconds at 1 GHz
+// and host wall clock are reported, the ratio uses wall clock for both
+// sides).
+//
+// Usage: llva-bench [-workload NAME] [-O0] [-md]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/machine"
+	"llva/internal/mem"
+	"llva/internal/obj"
+	"llva/internal/rt"
+	"llva/internal/target"
+	"llva/internal/workloads"
+)
+
+// Row is one Table 2 line.
+type Row struct {
+	Name        string
+	PaperName   string
+	LOC         int
+	NativeKB    float64 // vsparc native size
+	LLVAKB      float64
+	NumLLVA     int
+	NumX86      int
+	RatioX86    float64
+	NumSparc    int
+	RatioSparc  float64
+	TranslateS  float64 // vx86 whole-program JIT, host seconds
+	RunVirtualS float64 // vx86 cycles at 1 GHz
+	RunWallS    float64 // host wall clock of the simulated run
+	Ratio       float64 // TranslateS / RunWallS
+}
+
+// Measure computes one row.
+func Measure(w *workloads.Workload, optimize bool) (*Row, error) {
+	var m *core.Module
+	var err error
+	if optimize {
+		m, err = w.CompileOptimized()
+	} else {
+		m, err = w.Compile()
+	}
+	if err != nil {
+		return nil, err
+	}
+	row := &Row{Name: w.Name, PaperName: w.PaperName, LOC: w.LOC()}
+
+	// Virtual object code size (paper column 4).
+	enc, err := obj.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	row.LLVAKB = float64(len(enc)) / 1024
+
+	for _, f := range m.Functions {
+		row.NumLLVA += f.NumInstructions()
+	}
+
+	// vsparc: native size (paper column 3) and expansion (columns 8-9).
+	trS, err := codegen.New(target.VSPARC, m)
+	if err != nil {
+		return nil, err
+	}
+	objS, err := trS.TranslateModule()
+	if err != nil {
+		return nil, err
+	}
+	row.NativeKB = float64(objS.CodeSize()) / 1024
+	row.NumSparc = objS.NumInstrs()
+	row.RatioSparc = float64(row.NumSparc) / float64(row.NumLLVA)
+
+	// vx86: expansion (columns 5-7) and JIT translate time (column 10),
+	// compiling the entire program like the paper's JIT measurement.
+	trX, err := codegen.New(target.VX86, m)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	objX, err := trX.TranslateModule()
+	if err != nil {
+		return nil, err
+	}
+	row.TranslateS = time.Since(start).Seconds()
+	row.NumX86 = objX.NumInstrs()
+	row.RatioX86 = float64(row.NumX86) / float64(row.NumLLVA)
+
+	// Run time (column 11) on the simulated vx86 processor.
+	env := rt.NewEnv(mem.New(0, true), io.Discard)
+	mc, err := machine.New(target.VX86, m, env)
+	if err != nil {
+		return nil, err
+	}
+	if err := mc.LoadObject(objX); err != nil {
+		return nil, err
+	}
+	wall := time.Now()
+	if _, err := mc.Run("main"); err != nil {
+		if _, isExit := err.(*rt.ExitError); !isExit {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+	}
+	row.RunWallS = time.Since(wall).Seconds()
+	row.RunVirtualS = float64(mc.Stats.Cycles) / 1e9
+	if row.RunWallS > 0 {
+		row.Ratio = row.TranslateS / row.RunWallS
+	}
+	return row, nil
+}
+
+func main() {
+	one := flag.String("workload", "", "measure a single workload")
+	noOpt := flag.Bool("O0", false, "skip the link-time O2 pipeline")
+	md := flag.Bool("md", false, "emit a Markdown table")
+	flag.Parse()
+
+	suite := workloads.All()
+	if *one != "" {
+		w := workloads.ByName(*one)
+		if w == nil {
+			fmt.Fprintf(os.Stderr, "llva-bench: unknown workload %q\n", *one)
+			os.Exit(2)
+		}
+		suite = []*workloads.Workload{w}
+	}
+
+	var rows []*Row
+	for _, w := range suite {
+		row, err := Measure(w, !*noOpt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llva-bench: %v\n", err)
+			os.Exit(1)
+		}
+		rows = append(rows, row)
+	}
+
+	if *md {
+		fmt.Println("| Program | LOC | Native KB | LLVA KB | #LLVA | #vx86 | Ratio | #vsparc | Ratio | Translate (s) | Run (s, virtual) | Tr/Run |")
+		fmt.Println("|---|---|---|---|---|---|---|---|---|---|---|---|")
+		for _, r := range rows {
+			fmt.Printf("| %s | %d | %.1f | %.1f | %d | %d | %.2f | %d | %.2f | %.4f | %.4f | %.3f |\n",
+				r.PaperName, r.LOC, r.NativeKB, r.LLVAKB, r.NumLLVA,
+				r.NumX86, r.RatioX86, r.NumSparc, r.RatioSparc,
+				r.TranslateS, r.RunVirtualS, r.Ratio)
+		}
+		return
+	}
+
+	fmt.Printf("%-18s %5s %9s %8s %7s %7s %6s %8s %6s %10s %10s %7s\n",
+		"Program", "LOC", "NativeKB", "LLVAKB", "#LLVA", "#vx86", "ratio",
+		"#vsparc", "ratio", "Transl(s)", "Run(s)", "Tr/Run")
+	var sumRX, sumRS float64
+	for _, r := range rows {
+		fmt.Printf("%-18s %5d %9.1f %8.1f %7d %7d %6.2f %8d %6.2f %10.4f %10.4f %7.3f\n",
+			r.PaperName, r.LOC, r.NativeKB, r.LLVAKB, r.NumLLVA,
+			r.NumX86, r.RatioX86, r.NumSparc, r.RatioSparc,
+			r.TranslateS, r.RunVirtualS, r.Ratio)
+		sumRX += r.RatioX86
+		sumRS += r.RatioSparc
+	}
+	n := float64(len(rows))
+	fmt.Printf("\nmean expansion: vx86 %.2f, vsparc %.2f (paper: ~2-3 x86, ~2.5-4 SPARC)\n",
+		sumRX/n, sumRS/n)
+	var nat, llva float64
+	for _, r := range rows {
+		nat += r.NativeKB
+		llva += r.LLVAKB
+	}
+	fmt.Printf("aggregate native/LLVA size ratio: %.2fx (paper: 1.3-2x for large programs)\n", nat/llva)
+}

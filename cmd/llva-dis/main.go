@@ -1,0 +1,45 @@
+// llva-dis disassembles virtual object code (.bc) back to LLVA assembly.
+//
+// Usage: llva-dis [-o out.llva] input.bc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"llva/internal/asm"
+	"llva/internal/obj"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: llva-dis [-o out.llva] input.bc")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := obj.Decode(data)
+	if err != nil {
+		fatal(err)
+	}
+	text := asm.Print(m)
+	if *out == "" || *out == "-" {
+		fmt.Print(text)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(text), 0o644); err != nil {
+		fatal(err)
+	}
+	_ = strings.TrimSuffix
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llva-dis:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// llva-opt runs optimization passes over virtual object code.
+//
+// Usage: llva-opt [-passes mem2reg,dce | -O2] [-stats] [-o out.bc] input.bc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"llva/internal/core"
+	"llva/internal/obj"
+	"llva/internal/passes"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: overwrite input)")
+	passList := flag.String("passes", "", "comma-separated pass list")
+	o2 := flag.Bool("O2", false, "run the full link-time pipeline")
+	stats := flag.Bool("stats", false, "print optimization statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: llva-opt [-O2|-passes p1,p2] [-stats] [-o out.bc] input.bc")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := obj.Decode(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	s := passes.NewStats()
+	switch {
+	case *o2:
+		if _, err := passes.O2().Run(m, s); err != nil {
+			fatal(err)
+		}
+	case *passList != "":
+		var pipe passes.Pipeline
+		for _, name := range strings.Split(*passList, ",") {
+			p, ok := passes.ByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown pass %q", name))
+			}
+			pipe.Passes = append(pipe.Passes, p)
+		}
+		if _, err := pipe.Run(m, s); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("nothing to do: pass -O2 or -passes"))
+	}
+	if err := core.Verify(m); err != nil {
+		fatal(fmt.Errorf("IR fails verification after passes: %w", err))
+	}
+	if *stats {
+		fmt.Fprint(os.Stderr, s)
+	}
+
+	enc, err := obj.Encode(m)
+	if err != nil {
+		fatal(err)
+	}
+	dst := *out
+	if dst == "" {
+		dst = flag.Arg(0)
+	}
+	if err := os.WriteFile(dst, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llva-opt:", err)
+	os.Exit(1)
+}

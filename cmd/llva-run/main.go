@@ -1,0 +1,135 @@
+// llva-run is the LLEE front door: it loads an LLVA executable, uses a
+// cached translation if the storage API has one (validating its stamp),
+// JIT-translates on demand otherwise, executes %main on the simulated
+// processor, and writes new translations back to the cache.
+//
+// Usage: llva-run [-target vx86|vsparc] [-cache DIR] [-interp] [-stats] prog.bc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"llva/internal/interp"
+	"llva/internal/llee"
+	"llva/internal/obj"
+	"llva/internal/rt"
+	"llva/internal/target"
+)
+
+func main() {
+	tgt := flag.String("target", "vsparc", "target I-ISA: vx86 or vsparc")
+	cacheDir := flag.String("cache", "", "offline translation cache directory (storage API)")
+	useInterp := flag.Bool("interp", false, "run on the reference interpreter instead")
+	stats := flag.Bool("stats", false, "print execution statistics to stderr")
+	offline := flag.Bool("translate-only", false, "offline-translate into the cache, do not execute")
+	profile := flag.Bool("profile", false, "gather and store a profile after the run (needs -cache)")
+	idleOpt := flag.Bool("idle-optimize", false, "idle-time PGO: re-layout from the stored profile and retranslate into the cache")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: llva-run [-target T] [-cache DIR] [-interp] prog.bc")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	m, err := obj.Decode(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *useInterp {
+		ip, err := interp.New(m, os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		start := time.Now()
+		code, err := ip.RunMain()
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "interp: %d instructions in %v\n",
+				ip.Stats.Instructions, time.Since(start))
+		}
+		os.Exit(code)
+	}
+
+	var d *target.Desc
+	switch *tgt {
+	case "vx86":
+		d = target.VX86
+	case "vsparc":
+		d = target.VSPARC
+	default:
+		fatal(fmt.Errorf("unknown target %q", *tgt))
+	}
+
+	var opts []llee.Option
+	if *cacheDir != "" {
+		st, err := llee.NewDirStorage(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, llee.WithStorage(st))
+	}
+	mg, err := llee.NewManager(m, d, os.Stdout, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if *offline {
+		if err := mg.TranslateOffline(); err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "offline: translated %d functions in %v\n",
+				mg.Stats.Translations, time.Duration(mg.Stats.TranslateNS))
+		}
+		return
+	}
+	if *idleOpt {
+		ts, err := mg.IdleTimeOptimize()
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "idle-time: %d traces, %.0f%% coverage, %d functions retranslated\n",
+				ts.Traces, ts.Coverage*100, mg.Stats.Translations)
+		}
+		return
+	}
+	start := time.Now()
+	v, err := mg.Run("main")
+	code := int(int32(v))
+	if err != nil {
+		if ee, ok := err.(*rt.ExitError); ok {
+			code = ee.Code
+		} else {
+			fatal(err)
+		}
+	}
+	if *profile {
+		if perr := mg.GatherProfile("main"); perr != nil {
+			fatal(perr)
+		}
+	}
+	if *stats {
+		mc := mg.Machine()
+		fmt.Fprintf(os.Stderr,
+			"target=%s cacheHit=%v translated=%d translateTime=%v\n"+
+				"instrs=%d cycles=%d calls=%d externs=%d wall=%v\n",
+			d.Name, mg.Stats.CacheHit, mg.Stats.Translations,
+			time.Duration(mg.Stats.TranslateNS),
+			mc.Stats.Instrs, mc.Stats.Cycles, mc.Stats.Calls,
+			mc.Stats.ExternCalls, time.Since(start))
+	}
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llva-run:", err)
+	os.Exit(1)
+}

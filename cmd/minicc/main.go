@@ -1,0 +1,78 @@
+// minicc compiles MiniC source (the C subset front-end) to LLVA virtual
+// object code or assembly.
+//
+// Usage: minicc [-o out.bc] [-S] [-O] input.c
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"llva/internal/asm"
+	"llva/internal/core"
+	"llva/internal/minic"
+	"llva/internal/obj"
+	"llva/internal/passes"
+)
+
+func main() {
+	out := flag.String("o", "", "output file")
+	emitAsm := flag.Bool("S", false, "emit LLVA assembly instead of object code")
+	optimize := flag.Bool("O", false, "run the O2 optimization pipeline")
+	stats := flag.Bool("stats", false, "print optimization statistics to stderr")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: minicc [-o out.bc] [-S] [-O] input.c")
+		os.Exit(2)
+	}
+	in := flag.Arg(0)
+	src, err := os.ReadFile(in)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := minic.Compile(strings.TrimSuffix(in, ".c"), string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		fatal(fmt.Errorf("internal error: generated IR fails verification: %w", err))
+	}
+	if *optimize {
+		s, err := passes.Optimize(m)
+		if err != nil {
+			fatal(err)
+		}
+		if *stats {
+			fmt.Fprint(os.Stderr, s)
+		}
+	}
+	dst := *out
+	if *emitAsm {
+		text := asm.Print(m)
+		if dst == "" || dst == "-" {
+			fmt.Print(text)
+			return
+		}
+		if err := os.WriteFile(dst, []byte(text), 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	data, err := obj.Encode(m)
+	if err != nil {
+		fatal(err)
+	}
+	if dst == "" {
+		dst = strings.TrimSuffix(in, ".c") + ".bc"
+	}
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "minicc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module llva
+
+go 1.22

@@ -1,0 +1,233 @@
+// Package analysis provides the program analyses that the LLVA
+// representation is designed to make easy (paper, Sections 3.1 and 5.1):
+// the explicit CFG yields dominator trees, dominance frontiers and loop
+// nests directly; the SSA form yields sparse def-use information; and the
+// type information supports alias analysis and call-graph construction
+// that are "impractical for machine code".
+package analysis
+
+import (
+	"llva/internal/core"
+)
+
+// CFG caches the control-flow graph of one function: block indices,
+// successor and predecessor lists.
+type CFG struct {
+	F      *core.Function
+	Blocks []*core.BasicBlock
+	Index  map[*core.BasicBlock]int
+	Succs  [][]int
+	Preds  [][]int
+	// Reachable[i] reports whether block i is reachable from entry.
+	Reachable []bool
+}
+
+// NewCFG builds the CFG of f.
+func NewCFG(f *core.Function) *CFG {
+	n := len(f.Blocks)
+	c := &CFG{
+		F:         f,
+		Blocks:    f.Blocks,
+		Index:     make(map[*core.BasicBlock]int, n),
+		Succs:     make([][]int, n),
+		Preds:     make([][]int, n),
+		Reachable: make([]bool, n),
+	}
+	for i, bb := range f.Blocks {
+		c.Index[bb] = i
+	}
+	for i, bb := range f.Blocks {
+		for _, s := range bb.Successors() {
+			si := c.Index[s]
+			c.Succs[i] = append(c.Succs[i], si)
+			c.Preds[si] = append(c.Preds[si], i)
+		}
+	}
+	// DFS reachability from entry.
+	var stack []int
+	if n > 0 {
+		stack = append(stack, 0)
+		c.Reachable[0] = true
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range c.Succs[b] {
+			if !c.Reachable[s] {
+				c.Reachable[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return c
+}
+
+// PostOrder returns the blocks of the CFG in post-order (reachable blocks
+// only).
+func (c *CFG) PostOrder() []int {
+	seen := make([]bool, len(c.Blocks))
+	var order []int
+	var visit func(int)
+	visit = func(b int) {
+		seen[b] = true
+		for _, s := range c.Succs[b] {
+			if !seen[s] {
+				visit(s)
+			}
+		}
+		order = append(order, b)
+	}
+	if len(c.Blocks) > 0 {
+		visit(0)
+	}
+	return order
+}
+
+// DomTree is the dominator tree of a function, built with the
+// Cooper-Harvey-Kennedy iterative algorithm.
+type DomTree struct {
+	CFG *CFG
+	// IDom[i] is the immediate dominator block index of block i
+	// (IDom[0] == 0; unreachable blocks have IDom -1).
+	IDom []int
+	// Children[i] lists the blocks immediately dominated by i.
+	Children [][]int
+	// pre/post numbering for O(1) dominance queries
+	pre, post []int
+}
+
+// NewDomTree computes the dominator tree of f.
+func NewDomTree(f *core.Function) *DomTree {
+	return NewDomTreeCFG(NewCFG(f))
+}
+
+// NewDomTreeCFG computes the dominator tree over an existing CFG.
+func NewDomTreeCFG(c *CFG) *DomTree {
+	n := len(c.Blocks)
+	dt := &DomTree{CFG: c, IDom: make([]int, n)}
+	for i := range dt.IDom {
+		dt.IDom[i] = -1
+	}
+	if n == 0 {
+		return dt
+	}
+
+	post := c.PostOrder()
+	// rpoNum[b] = position of b in reverse post-order
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range post {
+		rpoNum[b] = len(post) - 1 - i
+	}
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = dt.IDom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = dt.IDom[b]
+			}
+		}
+		return a
+	}
+
+	dt.IDom[0] = 0
+	changed := true
+	for changed {
+		changed = false
+		// reverse post-order, skipping entry
+		for i := len(post) - 2; i >= 0; i-- {
+			b := post[i]
+			newIdom := -1
+			for _, p := range c.Preds[b] {
+				if !c.Reachable[p] || dt.IDom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != -1 && dt.IDom[b] != newIdom {
+				dt.IDom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	dt.Children = make([][]int, n)
+	for b := 1; b < n; b++ {
+		if dt.IDom[b] >= 0 {
+			dt.Children[dt.IDom[b]] = append(dt.Children[dt.IDom[b]], b)
+		}
+	}
+
+	// pre/post numbering for dominance queries
+	dt.pre = make([]int, n)
+	dt.post = make([]int, n)
+	clock := 0
+	var dfs func(int)
+	dfs = func(b int) {
+		clock++
+		dt.pre[b] = clock
+		for _, ch := range dt.Children[b] {
+			dfs(ch)
+		}
+		clock++
+		dt.post[b] = clock
+	}
+	dfs(0)
+	return dt
+}
+
+// Dominates reports whether block a dominates block b (by index).
+func (dt *DomTree) Dominates(a, b int) bool {
+	if dt.IDom[b] == -1 && b != 0 {
+		return true // unreachable blocks are vacuously dominated
+	}
+	return dt.pre[a] <= dt.pre[b] && dt.post[b] <= dt.post[a]
+}
+
+// DominatesBlock is Dominates on *BasicBlock values.
+func (dt *DomTree) DominatesBlock(a, b *core.BasicBlock) bool {
+	return dt.Dominates(dt.CFG.Index[a], dt.CFG.Index[b])
+}
+
+// Frontiers computes the dominance frontier of every block (Cytron et
+// al.), the key structure for SSA phi placement.
+func (dt *DomTree) Frontiers() [][]int {
+	c := dt.CFG
+	n := len(c.Blocks)
+	df := make([][]int, n)
+	inDF := make([]map[int]bool, n)
+	for i := range inDF {
+		inDF[i] = make(map[int]bool)
+	}
+	for b := 0; b < n; b++ {
+		if !c.Reachable[b] || len(c.Preds[b]) < 2 {
+			continue
+		}
+		for _, p := range c.Preds[b] {
+			if !c.Reachable[p] {
+				continue
+			}
+			runner := p
+			for runner != dt.IDom[b] {
+				if !inDF[runner][b] {
+					inDF[runner][b] = true
+					df[runner] = append(df[runner], b)
+				}
+				next := dt.IDom[runner]
+				if next == runner {
+					break
+				}
+				runner = next
+			}
+		}
+	}
+	return df
+}

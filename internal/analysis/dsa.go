@@ -1,0 +1,309 @@
+package analysis
+
+import (
+	"sort"
+
+	"llva/internal/core"
+)
+
+// Data Structure Analysis (DSA-lite). The paper (Section 5.1) highlights
+// Data Structure Analysis — a pointer analysis that "is able to identify
+// information about logical data structures (e.g., an entire list,
+// hashtable, or graph), including disjoint instances of such structures"
+// — as the kind of interprocedural technique the LLVA representation
+// makes possible. This implementation is a unification-based
+// (Steensgaard-style), field-insensitive, context-insensitive variant:
+// every memory object (alloca, global, heap allocation site) becomes a
+// node; pointer flow unifies nodes; the surviving equivalence classes are
+// the disjoint data structure instances. Automatic Pool Allocation
+// (passes.PoolAllocate) consumes the heap nodes.
+
+// DSNode is one memory-object equivalence class.
+type DSNode struct {
+	id int
+
+	// Allocation sites merged into this node.
+	Allocas   []*core.Instruction    // stack objects
+	Globals   []*core.GlobalVariable // global objects
+	HeapSites []*core.Instruction    // malloc/calloc call sites
+
+	// StoredTypes collects the pointee types observed flowing into the
+	// node (the "internal static structure" of the instance).
+	StoredTypes map[*core.Type]bool
+
+	// Escapes marks nodes reachable from globals, call arguments to
+	// externals, or return values that leave the module.
+	GlobalEscape bool
+
+	pointee *cell // the single outgoing points-to edge (unification)
+}
+
+// ID returns a stable identifier for the node.
+func (n *DSNode) ID() int { return n.id }
+
+// HasHeap reports whether the node includes heap allocation sites.
+func (n *DSNode) HasHeap() bool { return len(n.HeapSites) > 0 }
+
+// cell is a union-find cell that may point to a DSNode.
+type cell struct {
+	parent *cell
+	node   *DSNode
+}
+
+func (c *cell) find() *cell {
+	for c.parent != nil {
+		if c.parent.parent != nil {
+			c.parent = c.parent.parent // path halving
+		}
+		c = c.parent
+	}
+	return c
+}
+
+// DSA is the analysis result.
+type DSA struct {
+	M     *core.Module
+	cells map[core.Value]*cell
+	nodes []*DSNode
+	next  int
+	dirty bool
+}
+
+// NewDSA runs the analysis over the module.
+func NewDSA(m *core.Module) *DSA {
+	d := &DSA{M: m, cells: make(map[core.Value]*cell)}
+	d.run()
+	return d
+}
+
+func (d *DSA) newNode() *DSNode {
+	n := &DSNode{id: d.next, StoredTypes: make(map[*core.Type]bool)}
+	d.next++
+	d.nodes = append(d.nodes, n)
+	return n
+}
+
+// cellOf returns the union-find cell of a pointer-typed value.
+func (d *DSA) cellOf(v core.Value) *cell {
+	if c, ok := d.cells[v]; ok {
+		return c.find()
+	}
+	c := &cell{}
+	d.cells[v] = c
+	return c
+}
+
+// unify merges two cells (and, recursively, the nodes they denote).
+func (d *DSA) unify(a, b *cell) *cell {
+	a, b = a.find(), b.find()
+	if a == b {
+		return a
+	}
+	d.dirty = true
+	b.parent = a
+	if b.node != nil {
+		if a.node == nil {
+			a.node = b.node
+		} else {
+			d.mergeNodes(a.node, b.node)
+		}
+	}
+	return a
+}
+
+func (d *DSA) mergeNodes(into, from *DSNode) {
+	if into == from {
+		return
+	}
+	into.Allocas = append(into.Allocas, from.Allocas...)
+	into.Globals = append(into.Globals, from.Globals...)
+	into.HeapSites = append(into.HeapSites, from.HeapSites...)
+	for t := range from.StoredTypes {
+		into.StoredTypes[t] = true
+	}
+	into.GlobalEscape = into.GlobalEscape || from.GlobalEscape
+	from.id = -1 // dead
+	if from.pointee != nil {
+		if into.pointee == nil {
+			into.pointee = from.pointee
+		} else {
+			d.unify(into.pointee, from.pointee)
+		}
+	}
+}
+
+// nodeFor materializes (or retrieves) the object node a cell points to.
+func (d *DSA) nodeFor(c *cell) *DSNode {
+	c = c.find()
+	if c.node == nil {
+		c.node = d.newNode()
+	}
+	return c.node
+}
+
+// pointeeCell returns the cell reached by dereferencing c's node.
+func (d *DSA) pointeeCell(c *cell) *cell {
+	n := d.nodeFor(c)
+	if n.pointee == nil {
+		n.pointee = &cell{}
+	}
+	return n.pointee.find()
+}
+
+func isPtr(v core.Value) bool { return v.Type().Kind() == core.PointerKind }
+
+// heapFn reports whether f is a heap allocator in the runtime library.
+func heapFn(f *core.Function) bool {
+	return f != nil && f.IsDeclaration() &&
+		(f.Name() == "malloc" || f.Name() == "calloc")
+}
+
+func (d *DSA) run() {
+	m := d.M
+
+	// Globals are object nodes, pre-marked escaping (visible module-wide).
+	for _, g := range m.Globals {
+		n := d.nodeFor(d.cellOf(g))
+		n.Globals = append(n.Globals, g)
+		n.GlobalEscape = true
+	}
+
+	// Iterate the constraint generation to a fixpoint: unification of
+	// call targets can reveal new flows.
+	for {
+		d.dirty = false
+		before := len(d.cells)
+		for _, f := range m.Functions {
+			for _, bb := range f.Blocks {
+				for _, in := range bb.Instructions() {
+					d.constraints(f, in)
+				}
+			}
+		}
+		if !d.dirty && len(d.cells) == before {
+			return
+		}
+	}
+}
+
+func (d *DSA) constraints(f *core.Function, in *core.Instruction) {
+	switch in.Op() {
+	case core.OpAlloca:
+		n := d.nodeFor(d.cellOf(in))
+		if len(n.Allocas) == 0 || n.Allocas[len(n.Allocas)-1] != in {
+			if !containsInstr(n.Allocas, in) {
+				n.Allocas = append(n.Allocas, in)
+				n.StoredTypes[in.Allocated] = true
+			}
+		}
+	case core.OpGetElementPtr:
+		// Field-insensitive: the derived pointer shares the base's cell.
+		d.unify(d.cellOf(in), d.cellOf(in.Operand(0)))
+	case core.OpCast:
+		if isPtr(in) && isPtr(in.Operand(0)) {
+			d.unify(d.cellOf(in), d.cellOf(in.Operand(0)))
+		}
+	case core.OpPhi:
+		if isPtr(in) {
+			for _, op := range in.Operands() {
+				d.unify(d.cellOf(in), d.cellOf(op))
+			}
+		}
+	case core.OpLoad:
+		if isPtr(in) {
+			d.unify(d.cellOf(in), d.pointeeCell(d.cellOf(in.Operand(0))))
+		}
+	case core.OpStore:
+		if isPtr(in.Operand(0)) {
+			d.unify(d.cellOf(in.Operand(0)),
+				d.pointeeCell(d.cellOf(in.Operand(1))))
+		}
+	case core.OpCall, core.OpInvoke:
+		callee := in.CalledFunction()
+		if heapFn(callee) {
+			n := d.nodeFor(d.cellOf(in))
+			if !containsInstr(n.HeapSites, in) {
+				n.HeapSites = append(n.HeapSites, in)
+			}
+			return
+		}
+		if callee != nil && !callee.IsDeclaration() {
+			// Direct call: unify pointer arguments with parameters and
+			// the result with the callee's returned pointers.
+			for i, a := range in.CallArgs() {
+				if i < len(callee.Params) && isPtr(a) {
+					d.unify(d.cellOf(a), d.cellOf(callee.Params[i]))
+				}
+			}
+			if isPtr(in) {
+				for _, bb := range callee.Blocks {
+					t := bb.Terminator()
+					if t != nil && t.Op() == core.OpRet && t.NumOperands() == 1 && isPtr(t.Operand(0)) {
+						d.unify(d.cellOf(in), d.cellOf(t.Operand(0)))
+					}
+				}
+			}
+			return
+		}
+		// External or indirect call: pointer arguments escape.
+		for _, a := range in.CallArgs() {
+			if isPtr(a) {
+				d.nodeFor(d.cellOf(a)).GlobalEscape = true
+			}
+		}
+		if isPtr(in) {
+			d.nodeFor(d.cellOf(in)).GlobalEscape = true
+		}
+	}
+}
+
+func containsInstr(xs []*core.Instruction, in *core.Instruction) bool {
+	for _, x := range xs {
+		if x == in {
+			return true
+		}
+	}
+	return false
+}
+
+// NodeOf returns the data-structure node a pointer value refers to, or
+// nil if the value never acquired one.
+func (d *DSA) NodeOf(v core.Value) *DSNode {
+	c, ok := d.cells[v]
+	if !ok {
+		return nil
+	}
+	return c.find().node
+}
+
+// Structures returns the live nodes — the disjoint data structure
+// instances — ordered by id.
+func (d *DSA) Structures() []*DSNode {
+	var out []*DSNode
+	for _, n := range d.nodes {
+		if n.id >= 0 && (len(n.Allocas)+len(n.Globals)+len(n.HeapSites) > 0) {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+// HeapStructures returns the disjoint heap-allocated structure instances
+// (the pool-allocation candidates).
+func (d *DSA) HeapStructures() []*DSNode {
+	var out []*DSNode
+	for _, n := range d.Structures() {
+		if n.HasHeap() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SameStructure reports whether two pointers provably refer to the same
+// data structure instance.
+func (d *DSA) SameStructure(a, b core.Value) bool {
+	na, nb := d.NodeOf(a), d.NodeOf(b)
+	return na != nil && na == nb
+}

@@ -1,0 +1,108 @@
+package analysis
+
+import "llva/internal/core"
+
+// Liveness computes per-block live-in/live-out sets over SSA values
+// (instructions and arguments). The register allocators consume it.
+type Liveness struct {
+	CFG *CFG
+	// LiveIn[b] / LiveOut[b] are the values live at block entry/exit.
+	LiveIn, LiveOut []map[core.Value]bool
+}
+
+// trackable reports whether v occupies a virtual register.
+func trackable(v core.Value) bool {
+	switch v.(type) {
+	case *core.Instruction, *core.Argument:
+		return true
+	}
+	return false
+}
+
+// NewLiveness runs the classic backward dataflow over the CFG. Phi
+// semantics: a phi's operands are live out of the corresponding
+// predecessor, not live into the phi's block.
+func NewLiveness(c *CFG) *Liveness {
+	n := len(c.Blocks)
+	lv := &Liveness{CFG: c, LiveIn: make([]map[core.Value]bool, n), LiveOut: make([]map[core.Value]bool, n)}
+	for i := range lv.LiveIn {
+		lv.LiveIn[i] = make(map[core.Value]bool)
+		lv.LiveOut[i] = make(map[core.Value]bool)
+	}
+
+	// use[b]: values used in b before any (re)definition in b.
+	// def[b]: values defined in b.
+	use := make([]map[core.Value]bool, n)
+	def := make([]map[core.Value]bool, n)
+	// phiUses[p][v]: v used by a phi along edge from predecessor p.
+	phiUses := make([]map[core.Value]bool, n)
+	for i := range use {
+		use[i] = make(map[core.Value]bool)
+		def[i] = make(map[core.Value]bool)
+		phiUses[i] = make(map[core.Value]bool)
+	}
+
+	for bi, bb := range c.Blocks {
+		for _, in := range bb.Instructions() {
+			if in.Op() == core.OpPhi {
+				def[bi][in] = true
+				for i, v := range in.Operands() {
+					if trackable(v) {
+						pi := c.Index[in.Block(i)]
+						phiUses[pi][v] = true
+					}
+				}
+				continue
+			}
+			for _, v := range in.Operands() {
+				if trackable(v) && !def[bi][v] {
+					use[bi][v] = true
+				}
+			}
+			if in.HasResult() {
+				def[bi][in] = true
+			}
+		}
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for bi := n - 1; bi >= 0; bi-- {
+			if !c.Reachable[bi] {
+				continue
+			}
+			out := lv.LiveOut[bi]
+			for _, s := range c.Succs[bi] {
+				for v := range lv.LiveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			// Values used by phis in successors along this edge are live
+			// out of this block.
+			for v := range phiUses[bi] {
+				if !out[v] {
+					out[v] = true
+					changed = true
+				}
+			}
+			in := lv.LiveIn[bi]
+			for v := range use[bi] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !def[bi][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}

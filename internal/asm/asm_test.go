@@ -1,0 +1,98 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"llva/internal/core"
+)
+
+// figure2 is the paper's Figure 2(b): the Sum3rdChildren function over a
+// recursive QuadTree structure.
+const figure2 = `
+; C and LLVA code for a function (paper, Figure 2)
+target endian = little
+target pointersize = 64
+
+%struct.QuadTree = type { double, [4 x %struct.QuadTree*] }
+
+void %Sum3rdChildren(%struct.QuadTree* %T, double* %Result) {
+entry:
+    %V = alloca double                       ;; %V is type 'double*'
+    %tmp.0 = seteq %struct.QuadTree* %T, null
+    br bool %tmp.0, label %endif, label %else
+
+else:
+    %tmp.1 = getelementptr %struct.QuadTree* %T, long 0, ubyte 1, long 3
+    %Child3 = load %struct.QuadTree** %tmp.1
+    call void %Sum3rdChildren(%struct.QuadTree* %Child3, double* %V)
+    %tmp.2 = load double* %V
+    %tmp.3 = getelementptr %struct.QuadTree* %T, long 0, ubyte 0
+    %tmp.4 = load double* %tmp.3
+    %Ret.0 = add double %tmp.2, %tmp.4
+    br label %endif
+
+endif:
+    %Ret.1 = phi double [ %Ret.0, %else ], [ 0.0, %entry ]
+    store double %Ret.1, double* %Result
+    ret void
+}
+`
+
+func TestParseFigure2(t *testing.T) {
+	m, err := Parse("figure2", figure2)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	f := m.Function("Sum3rdChildren")
+	if f == nil {
+		t.Fatal("function Sum3rdChildren not found")
+	}
+	if got := len(f.Blocks); got != 3 {
+		t.Fatalf("got %d blocks, want 3", got)
+	}
+	if got := f.NumInstructions(); got != 14 {
+		t.Fatalf("got %d instructions, want 14", got)
+	}
+	// Figure 2 commentary: with 64-bit pointers the offset of
+	// T[0].Children[3] is 32 bytes.
+	gep := f.Block("else").Instructions()[0]
+	if gep.Op() != core.OpGetElementPtr {
+		t.Fatalf("first else instruction is %s, want getelementptr", gep.Op())
+	}
+	var indices []*core.Constant
+	for _, op := range gep.Operands()[1:] {
+		indices = append(indices, op.(*core.Constant))
+	}
+	qt := m.Types().NamedTypes()["struct.QuadTree"]
+	off, _ := m.Layout().GEPOffset(qt, indices)
+	if off != 32 {
+		t.Errorf("GEP offset = %d with 64-bit pointers, want 32 (paper, Section 3.1)", off)
+	}
+	off32, _ := core.Layout{PointerSize: 4}.GEPOffset(qt, indices)
+	if off32 != 20 {
+		t.Errorf("GEP offset = %d with 32-bit pointers, want 20 (paper, Section 3.1)", off32)
+	}
+}
+
+func TestRoundTripFigure2(t *testing.T) {
+	m, err := Parse("figure2", figure2)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	text1 := Print(m)
+	m2, err := Parse("figure2-reprint", text1)
+	if err != nil {
+		t.Fatalf("reparse printed module: %v\n--- printed ---\n%s", err, text1)
+	}
+	if err := core.Verify(m2); err != nil {
+		t.Fatalf("Verify reparsed: %v", err)
+	}
+	text2 := Print(m2)
+	if text1 != strings.Replace(text2, `"figure2-reprint"`, `"figure2"`, 1) {
+		t.Errorf("print->parse->print not stable:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}

@@ -1,0 +1,108 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseErrors checks that malformed assembly is rejected with a
+// positioned error rather than accepted or panicking.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string // substring the error must contain ("" = any error)
+	}{
+		{"empty-percent", "% = type int", ""},
+		{"bad-opcode", "int %f() {\nentry:\n %x = frobnicate int 1, 2\n ret int %x\n}", "unknown opcode"},
+		{"type-mismatch", "int %f(long %x) {\nentry:\n %y = add int %x, 1\n ret int %y\n}", "type"},
+		{"undefined-value", "int %f() {\nentry:\n ret int %nosuch\n}", "undefined"},
+		{"undefined-label", "int %f() {\nentry:\n br label %nowhere\n}", "never defined"},
+		{"duplicate-value", "int %f() {\nentry:\n %x = add int 1, 2\n %x = add int 3, 4\n ret int %x\n}", "defined twice"},
+		{"duplicate-label", "int %f() {\nentry:\n br label %entry\nentry:\n ret int 0\n}", "twice"},
+		{"instr-before-label", "int %f() {\n %x = add int 1, 2\nentry:\n ret int %x\n}", "before any label"},
+		{"bad-pointersize", "target pointersize = 48", "32 or 64"},
+		{"bad-endian", "target endian = middle", "little or big"},
+		{"unterminated-fn", "int %f() {\nentry:\n ret int 0\n", "end of input"},
+		{"call-ret-mismatch", `
+declare long %g()
+int %f() {
+entry:
+    %x = call int %g()
+    ret int %x
+}`, "returns"},
+		{"dup-type", "%t = type { int }\n%t = type { long }", "twice"},
+		{"bad-array-const", "%g = global [2 x int] [ int 1 ]", "2"},
+		{"string-too-long", "%g = global [2 x ubyte] \"much too long\"", "type"},
+		{"gep-struct-dynamic", `
+%s = type { int, int }
+int %f(%s* %p, long %i) {
+entry:
+    %q = getelementptr %s* %p, long 0, long %i
+    %v = load int* %q
+    ret int %v
+}`, "constant"},
+		{"unwind-with-operand", "void %f() {\nentry:\n unwind int 1\n}", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse("bad", tc.src)
+			if err == nil {
+				t.Fatalf("accepted malformed input:\n%s", tc.src)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestParserRecoversPositions checks errors carry line numbers.
+func TestParserRecoversPositions(t *testing.T) {
+	src := "int %f() {\nentry:\n ret long 0\n}"
+	_, err := Parse("pos", src)
+	if err == nil {
+		t.Fatal("accepted return type mismatch")
+	}
+	if !strings.Contains(err.Error(), "line ") {
+		t.Errorf("error lacks a line number: %v", err)
+	}
+}
+
+// TestCommentsAndWhitespace checks lexical trivia is handled.
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := `
+; leading comment
+int %f() {    ; trailing comment
+entry:        ;; double comment
+    ; a full-line comment
+    ret int 42
+}
+`
+	m, err := Parse("c", src)
+	if err != nil {
+		t.Fatalf("comments broke the parser: %v", err)
+	}
+	if m.Function("f") == nil {
+		t.Fatal("function lost")
+	}
+}
+
+// TestQuotedIdentifiers checks %"name with spaces" forms.
+func TestQuotedIdentifiers(t *testing.T) {
+	src := `
+%"strange name" = global int 7
+int %f() {
+entry:
+    %v = load int* %"strange name"
+    ret int %v
+}
+`
+	m, err := Parse("q", src)
+	if err != nil {
+		t.Fatalf("quoted identifier rejected: %v", err)
+	}
+	if m.Global("strange name") == nil {
+		t.Fatal("quoted global not registered")
+	}
+}

@@ -1,0 +1,241 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF      tokKind = iota
+	tokIdent            // bare word: keywords, type names, opcodes
+	tokLocal            // %name
+	tokInt              // integer literal (possibly signed)
+	tokFloat            // floating literal
+	tokAttr             // !word (instruction attribute)
+	tokPunct            // single punctuation: = , ( ) [ ] { } * : ;
+	tokEllipsis         // ...
+	tokArrow            // -> (reserved)
+	tokString           // "..." quoted string
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokLocal:
+		return "%" + t.text
+	case tokAttr:
+		return "!" + t.text
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	}
+	return t.text
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || c == '.' ||
+		c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentChar(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token, skipping whitespace and ;-comments.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == ';':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return l.lexToken()
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+}
+
+func (l *lexer) lexToken() (token, error) {
+	start := l.pos
+	line := l.line
+	c := l.src[l.pos]
+	switch {
+	case c == '%':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '"' {
+			s, err := l.lexString()
+			if err != nil {
+				return token{}, err
+			}
+			return token{kind: tokLocal, text: s, line: line}, nil
+		}
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == start+1 {
+			return token{}, fmt.Errorf("line %d: empty %% identifier", line)
+		}
+		return token{kind: tokLocal, text: l.src[start+1 : l.pos], line: line}, nil
+	case c == '!':
+		l.pos++
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		return token{kind: tokAttr, text: l.src[start+1 : l.pos], line: line}, nil
+	case c == '"':
+		s, err := l.lexString()
+		if err != nil {
+			return token{}, err
+		}
+		return token{kind: tokString, text: s, line: line}, nil
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentChar(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		if word == "." {
+			return token{}, fmt.Errorf("line %d: stray '.'", line)
+		}
+		return token{kind: tokIdent, text: word, line: line}, nil
+	case isDigit(c) || c == '-' || c == '+':
+		return l.lexNumber()
+	default:
+		switch c {
+		case '=', ',', '(', ')', '[', ']', '{', '}', '*', ':':
+			l.pos++
+			return token{kind: tokPunct, text: string(c), line: line}, nil
+		}
+		return token{}, fmt.Errorf("line %d: unexpected character %q", line, string(c))
+	}
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	line := l.line
+	if l.src[l.pos] == '-' || l.src[l.pos] == '+' {
+		l.pos++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		// could be "..." following a sign? Not valid; fallthrough to error.
+		return token{}, fmt.Errorf("line %d: malformed number", line)
+	}
+	isFloat := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isDigit(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' {
+			// Distinguish "1." from "..." (ellipsis never follows digits here).
+			isFloat = true
+			l.pos++
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			isFloat = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '-' || l.src[l.pos] == '+') {
+				l.pos++
+			}
+			continue
+		}
+		if c == 'x' && l.pos == start+1 && l.src[start] == '0' {
+			// hex literal
+			l.pos++
+			for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+				l.pos++
+			}
+			return token{kind: tokInt, text: l.src[start:l.pos], line: line}, nil
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if strings.HasSuffix(text, "Inf") || strings.HasSuffix(text, "NaN") {
+		isFloat = true
+	}
+	// Accept "-Inf" / "Inf" / "NaN" spellings emitted by the printer.
+	if text == "-" || text == "+" {
+		rest := l.src[l.pos:]
+		for _, word := range []string{"Inf"} {
+			if strings.HasPrefix(rest, word) {
+				l.pos += len(word)
+				return token{kind: tokFloat, text: text + word, line: line}, nil
+			}
+		}
+		return token{}, fmt.Errorf("line %d: malformed number %q", line, text)
+	}
+	kind := tokInt
+	if isFloat {
+		kind = tokFloat
+	}
+	return token{kind: kind, text: text, line: line}, nil
+}
+
+func isHex(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func (l *lexer) lexString() (string, error) {
+	line := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			return b.String(), nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case '0':
+				b.WriteByte(0)
+			default:
+				return "", fmt.Errorf("line %d: bad escape \\%c", line, l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		if c == '\n' {
+			return "", fmt.Errorf("line %d: unterminated string", line)
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return "", fmt.Errorf("line %d: unterminated string", line)
+}

@@ -1,0 +1,732 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"llva/internal/core"
+)
+
+// Parse reads LLVA assembly and returns the module it describes. name is
+// used as the module name and in error messages.
+func Parse(name, src string) (*core.Module, error) {
+	p := &parser{lex: newLexer(src), m: core.NewModule(name)}
+	p.ctx = p.m.Types()
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.parseModule(); err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return p.m, nil
+}
+
+type globalFixup struct {
+	c    *core.Constant
+	name string
+	line int
+}
+
+type parser struct {
+	lex  *lexer
+	tok  token
+	peek *token
+	m    *core.Module
+	ctx  *core.TypeContext
+
+	fixups []globalFixup
+	// pendingType carries a pre-parsed base type when module-level
+	// disambiguation (named-struct-returning function vs. named entity)
+	// has already consumed the type token.
+	pendingType *core.Type
+	// fnRefs holds placeholders for globals/functions referenced inside
+	// bodies before their module-level declaration appears; they resolve
+	// after the whole module is parsed.
+	fnRefs map[*core.Placeholder]int // placeholder -> line
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peekTok() (token, error) {
+	if p.peek == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.tok.kind != tokPunct || p.tok.text != s {
+		return p.errf("expected %q, got %s", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) expectIdent(s string) error {
+	if p.tok.kind != tokIdent || p.tok.text != s {
+		return p.errf("expected %q, got %s", s, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.tok.kind == tokPunct && p.tok.text == s
+}
+
+func (p *parser) isIdent(s string) bool {
+	return p.tok.kind == tokIdent && p.tok.text == s
+}
+
+// ---------------------------------------------------------------- module
+
+func (p *parser) parseModule() error {
+	for p.tok.kind != tokEOF {
+		switch {
+		case p.isIdent("target"):
+			if err := p.parseTarget(); err != nil {
+				return err
+			}
+		case p.isIdent("declare"):
+			if err := p.parseDeclare(); err != nil {
+				return err
+			}
+		case p.isIdent("internal"):
+			if err := p.advance(); err != nil {
+				return err
+			}
+			if err := p.parseFunctionDef(true); err != nil {
+				return err
+			}
+		case p.tok.kind == tokLocal:
+			// "%name = ..." declares a type/global; "%name* %fn(...)"
+			// begins a function definition returning a named-struct
+			// pointer.
+			nxt, err := p.peekTok()
+			if err != nil {
+				return err
+			}
+			if nxt.kind == tokPunct && nxt.text == "=" {
+				if err := p.parseNamedEntity(); err != nil {
+					return err
+				}
+			} else {
+				p.pendingType = p.ctx.NamedStruct(p.tok.text)
+				if err := p.advance(); err != nil {
+					return err
+				}
+				if err := p.parseFunctionDef(false); err != nil {
+					return err
+				}
+			}
+		case p.tok.kind == tokIdent:
+			// A function definition starting with its return type.
+			if err := p.parseFunctionDef(false); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected %s at module level", p.tok)
+		}
+	}
+	return p.resolveFixups()
+}
+
+func (p *parser) parseTarget() error {
+	if err := p.advance(); err != nil { // "target"
+		return err
+	}
+	if p.tok.kind != tokIdent {
+		return p.errf("expected target property name")
+	}
+	prop := p.tok.text
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	switch prop {
+	case "endian":
+		switch {
+		case p.isIdent("little"):
+			p.m.LittleEndian = true
+		case p.isIdent("big"):
+			p.m.LittleEndian = false
+		default:
+			return p.errf("endian must be little or big")
+		}
+		return p.advance()
+	case "pointersize":
+		if p.tok.kind != tokInt {
+			return p.errf("pointersize must be an integer")
+		}
+		bits, err := strconv.Atoi(p.tok.text)
+		if err != nil || bits != 32 && bits != 64 {
+			return p.errf("pointersize must be 32 or 64")
+		}
+		p.m.PointerSize = bits / 8
+		return p.advance()
+	}
+	return p.errf("unknown target property %q", prop)
+}
+
+// parseNamedEntity handles "%name = type|global|constant|external ...".
+func (p *parser) parseNamedEntity() error {
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return err
+	}
+	if err := p.expectPunct("="); err != nil {
+		return err
+	}
+	switch {
+	case p.isIdent("type"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.isIdent("opaque") {
+			p.ctx.NamedStruct(name) // created opaque; body never set
+			return p.advance()
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		named := p.ctx.NamedStruct(name)
+		if named.Opaque() && t.Kind() == core.StructKind {
+			p.ctx.SetBody(named, t.Fields()...)
+			return nil
+		}
+		if t.Kind() != core.StructKind {
+			return p.errf("named types must be structure types, got %s", t)
+		}
+		return p.errf("type %%%s defined twice", name)
+	case p.isIdent("external"):
+		if err := p.advance(); err != nil {
+			return err
+		}
+		isConst := p.isIdent("constant")
+		if !isConst && !p.isIdent("global") {
+			return p.errf("expected global or constant after external")
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		p.m.NewGlobal(name, t, nil, isConst)
+		return nil
+	case p.isIdent("global"), p.isIdent("constant"):
+		isConst := p.isIdent("constant")
+		if err := p.advance(); err != nil {
+			return err
+		}
+		t, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		init, err := p.parseConstant(t)
+		if err != nil {
+			return err
+		}
+		p.m.NewGlobal(name, t, init, isConst)
+		return nil
+	}
+	return p.errf("expected type, global, constant or external after %%%s =", name)
+}
+
+func (p *parser) parseDeclare() error {
+	if err := p.advance(); err != nil { // "declare"
+		return err
+	}
+	ret, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	if p.tok.kind != tokLocal {
+		return p.errf("expected function name")
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return err
+	}
+	params, _, variadic, err := p.parseParamList(false)
+	if err != nil {
+		return err
+	}
+	sig := p.ctx.Function(ret, params, variadic)
+	if f := p.m.Function(name); f != nil {
+		if f.Signature() != sig {
+			return p.errf("conflicting declaration of %%%s", name)
+		}
+		return nil
+	}
+	p.m.NewFunction(name, sig)
+	return nil
+}
+
+// parseParamList parses "( type [name], ..., [...] )". When named is true,
+// parameter names are required and returned.
+func (p *parser) parseParamList(named bool) (types []*core.Type, names []string, variadic bool, err error) {
+	if err = p.expectPunct("("); err != nil {
+		return
+	}
+	for !p.isPunct(")") {
+		if len(types) > 0 || variadic {
+			if err = p.expectPunct(","); err != nil {
+				return
+			}
+		}
+		if p.tok.kind == tokEllipsis || p.isIdent("...") {
+			variadic = true
+			if err = p.advance(); err != nil {
+				return
+			}
+			continue
+		}
+		// The lexer has no ellipsis token for "..." since '.' is an ident
+		// char; it lexes as ident "...".
+		var t *core.Type
+		t, err = p.parseType()
+		if err != nil {
+			return
+		}
+		types = append(types, t)
+		if p.tok.kind == tokLocal {
+			names = append(names, p.tok.text)
+			if err = p.advance(); err != nil {
+				return
+			}
+		} else if named {
+			err = p.errf("expected parameter name")
+			return
+		} else {
+			names = append(names, "")
+		}
+	}
+	err = p.expectPunct(")")
+	return
+}
+
+func (p *parser) parseFunctionDef(internal bool) error {
+	ret, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	if p.tok.kind != tokLocal {
+		return p.errf("expected function name, got %s", p.tok)
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return err
+	}
+	params, names, variadic, err := p.parseParamList(true)
+	if err != nil {
+		return err
+	}
+	sig := p.ctx.Function(ret, params, variadic)
+	f := p.m.Function(name)
+	if f != nil {
+		if f.Signature() != sig || !f.IsDeclaration() {
+			return p.errf("function %%%s redefined", name)
+		}
+	} else {
+		f = p.m.NewFunction(name, sig)
+	}
+	f.Internal = internal
+	for i, n := range names {
+		if n != "" {
+			f.Params[i].SetName(n)
+		}
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return err
+	}
+	return p.parseBody(f)
+}
+
+// ------------------------------------------------------------------ types
+
+func (p *parser) parseType() (*core.Type, error) {
+	base, err := p.parseBaseType()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseTypeSuffix(base)
+}
+
+func (p *parser) parseTypeSuffix(t *core.Type) (*core.Type, error) {
+	for {
+		switch {
+		case p.isPunct("*"):
+			t = p.ctx.Pointer(t)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case p.isPunct("("):
+			// function type: t is the return type
+			params, _, variadic, err := p.parseParamList(false)
+			if err != nil {
+				return nil, err
+			}
+			t = p.ctx.Function(t, params, variadic)
+		default:
+			return t, nil
+		}
+	}
+}
+
+var primTypes = map[string]core.Kind{
+	"void": core.VoidKind, "bool": core.BoolKind,
+	"ubyte": core.UByteKind, "sbyte": core.SByteKind,
+	"ushort": core.UShortKind, "short": core.ShortKind,
+	"uint": core.UIntKind, "int": core.IntKind,
+	"ulong": core.ULongKind, "long": core.LongKind,
+	"float": core.FloatKind, "double": core.DoubleKind,
+	"label": core.LabelKind,
+}
+
+func (p *parser) parseBaseType() (*core.Type, error) {
+	if p.pendingType != nil {
+		t := p.pendingType
+		p.pendingType = nil
+		return t, nil
+	}
+	switch {
+	case p.tok.kind == tokIdent:
+		if k, ok := primTypes[p.tok.text]; ok {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return p.ctx.Primitive(k), nil
+		}
+		return nil, p.errf("expected type, got %s", p.tok)
+	case p.tok.kind == tokLocal:
+		t := p.ctx.NamedStruct(p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case p.isPunct("["):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokInt {
+			return nil, p.errf("expected array length")
+		}
+		n, err := strconv.Atoi(p.tok.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad array length %q", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectIdent("x"); err != nil {
+			return nil, err
+		}
+		elem, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		return p.ctx.Array(n, elem), nil
+	case p.isPunct("{"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var fields []*core.Type
+		for !p.isPunct("}") {
+			if len(fields) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			f, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			fields = append(fields, f)
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		return p.ctx.Struct(fields...), nil
+	}
+	return nil, p.errf("expected type, got %s", p.tok)
+}
+
+// -------------------------------------------------------------- constants
+
+func (p *parser) parseIntText(t *core.Type, text string) (*core.Constant, error) {
+	if strings.HasPrefix(text, "0x") || strings.HasPrefix(text, "-0x") {
+		neg := strings.HasPrefix(text, "-")
+		hex := strings.TrimPrefix(strings.TrimPrefix(text, "-"), "0x")
+		u, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			return nil, p.errf("bad hex literal %q", text)
+		}
+		if neg {
+			return core.NewInt(t, -int64(u)), nil
+		}
+		return core.NewUint(t, u), nil
+	}
+	if strings.HasPrefix(text, "-") {
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", text)
+		}
+		return core.NewInt(t, v), nil
+	}
+	u, err := strconv.ParseUint(text, 10, 64)
+	if err != nil {
+		return nil, p.errf("bad integer literal %q", text)
+	}
+	return core.NewUint(t, u), nil
+}
+
+// parseConstant parses a constant of the expected type t.
+func (p *parser) parseConstant(t *core.Type) (*core.Constant, error) {
+	line := p.tok.line
+	switch {
+	case p.tok.kind == tokInt:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch {
+		case t.IsInteger():
+			return p.parseIntText(t, text)
+		case t.IsFloat():
+			v, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return nil, p.errf("bad float literal %q", text)
+			}
+			return core.NewFloat(t, v), nil
+		}
+		return nil, p.errf("integer literal for non-numeric type %s", t)
+	case p.tok.kind == tokFloat:
+		text := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !t.IsFloat() {
+			return nil, p.errf("float literal for non-float type %s", t)
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			// Accept Inf spellings.
+			switch text {
+			case "Inf", "+Inf":
+				v = inf(1)
+			case "-Inf":
+				v = inf(-1)
+			case "NaN":
+				v = nan()
+			default:
+				return nil, p.errf("bad float literal %q", text)
+			}
+		}
+		return core.NewFloat(t, v), nil
+	case p.isIdent("true"), p.isIdent("false"):
+		v := p.isIdent("true")
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if t.Kind() != core.BoolKind {
+			return nil, p.errf("boolean literal for type %s", t)
+		}
+		return core.NewBool(t, v), nil
+	case p.isIdent("null"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if t.Kind() != core.PointerKind {
+			return nil, p.errf("null literal for non-pointer type %s", t)
+		}
+		return core.NewNull(t), nil
+	case p.isIdent("undef"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return core.NewUndef(t), nil
+	case p.isIdent("zeroinitializer"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return core.NewZero(t), nil
+	case p.tok.kind == tokString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		c := core.NewString(p.ctx, s)
+		if c.Type() != t {
+			return nil, p.errf("string constant has type %s, want %s", c.Type(), t)
+		}
+		return c, nil
+	case p.isPunct("["):
+		if t.Kind() != core.ArrayKind {
+			return nil, p.errf("array constant for non-array type %s", t)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var elems []*core.Constant
+		for !p.isPunct("]") {
+			if len(elems) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			et, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if et != t.Elem() {
+				return nil, p.errf("array element type %s, want %s", et, t.Elem())
+			}
+			e, err := p.parseConstant(et)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		if err := p.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		if len(elems) != t.Len() {
+			return nil, p.errf("array constant has %d elements, want %d", len(elems), t.Len())
+		}
+		return core.NewArray(t, elems), nil
+	case p.isPunct("{"):
+		if t.Kind() != core.StructKind {
+			return nil, p.errf("struct constant for non-struct type %s", t)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var elems []*core.Constant
+		for !p.isPunct("}") {
+			if len(elems) > 0 {
+				if err := p.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			i := len(elems)
+			if i >= len(t.Fields()) {
+				return nil, p.errf("too many fields in struct constant")
+			}
+			ft, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if ft != t.Fields()[i] {
+				return nil, p.errf("struct field %d type %s, want %s", i, ft, t.Fields()[i])
+			}
+			e, err := p.parseConstant(ft)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+		}
+		if err := p.expectPunct("}"); err != nil {
+			return nil, err
+		}
+		if len(elems) != len(t.Fields()) {
+			return nil, p.errf("struct constant has %d fields, want %d", len(elems), len(t.Fields()))
+		}
+		return core.NewStruct(t, elems), nil
+	case p.tok.kind == tokLocal:
+		// Address of a global or function; may be a forward reference,
+		// resolved after the whole module is parsed.
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if t.Kind() != core.PointerKind {
+			return nil, p.errf("global reference for non-pointer type %s", t)
+		}
+		if g := p.m.Global(name); g != nil {
+			c := core.NewGlobalRef(g)
+			if c.Type() != t {
+				return nil, p.errf("global %%%s has type %s, want %s", name, c.Type(), t)
+			}
+			return c, nil
+		}
+		if f := p.m.Function(name); f != nil {
+			c := core.NewGlobalRef(f)
+			if c.Type() != t {
+				return nil, p.errf("function %%%s has type %s, want %s", name, c.Type(), t)
+			}
+			return c, nil
+		}
+		// Forward reference: create an unresolved ConstGlobal and fix it
+		// up at end of module.
+		c := core.NewUnresolvedGlobalRef(t, name)
+		p.fixups = append(p.fixups, globalFixup{c: c, name: name, line: line})
+		return c, nil
+	}
+	return nil, p.errf("expected constant, got %s", p.tok)
+}
+
+func (p *parser) resolveFixups() error {
+	for ph, line := range p.fnRefs {
+		var ref core.Value
+		if g := p.m.Global(ph.Name()); g != nil {
+			ref = g
+		} else if f := p.m.Function(ph.Name()); f != nil {
+			ref = f
+		} else {
+			return fmt.Errorf("line %d: undefined value %%%s", line, ph.Name())
+		}
+		if ref.Type() != ph.Type() {
+			return fmt.Errorf("line %d: %%%s has type %s, used with type %s",
+				line, ph.Name(), ref.Type(), ph.Type())
+		}
+		core.ReplaceAllUsesWith(ph, ref)
+	}
+	p.fnRefs = nil
+	for _, fx := range p.fixups {
+		var ref core.Value
+		if g := p.m.Global(fx.name); g != nil {
+			ref = g
+		} else if f := p.m.Function(fx.name); f != nil {
+			ref = f
+		} else {
+			return fmt.Errorf("line %d: undefined global %%%s in initializer", fx.line, fx.name)
+		}
+		if err := fx.c.Resolve(ref); err != nil {
+			return fmt.Errorf("line %d: %w", fx.line, err)
+		}
+	}
+	p.fixups = nil
+	return nil
+}
+
+func inf(sign int) float64 { return math.Inf(sign) }
+
+func nan() float64 { return math.NaN() }

@@ -1,0 +1,659 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+
+	"llva/internal/core"
+)
+
+// bodyParser parses one function body. Forward references to values are
+// represented by core.Placeholder and patched when the definition is seen;
+// forward-referenced blocks are created immediately and ordered by
+// definition at the end.
+type bodyParser struct {
+	*parser
+	f            *core.Function
+	bld          *core.Builder
+	locals       map[string]core.Value
+	placeholders map[string]*core.Placeholder
+	blocks       map[string]*core.BasicBlock
+	defined      []*core.BasicBlock
+}
+
+func (p *parser) parseBody(f *core.Function) (err error) {
+	bp := &bodyParser{
+		parser:       p,
+		f:            f,
+		bld:          core.NewBuilder(f),
+		locals:       make(map[string]core.Value),
+		placeholders: make(map[string]*core.Placeholder),
+		blocks:       make(map[string]*core.BasicBlock),
+	}
+	for _, a := range f.Params {
+		bp.locals[a.Name()] = a
+	}
+	// The builder panics on type errors; surface them as parse errors.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("line %d: %v", p.tok.line, r)
+		}
+	}()
+	return bp.run()
+}
+
+func (bp *bodyParser) run() error {
+	for {
+		switch {
+		case bp.isPunct("}"):
+			if err := bp.advance(); err != nil {
+				return err
+			}
+			return bp.finish()
+		case bp.tok.kind == tokEOF:
+			return bp.errf("unexpected end of input in function %%%s", bp.f.Name())
+		default:
+			// A label is a name followed by ':'.
+			if bp.tok.kind == tokIdent || bp.tok.kind == tokInt {
+				if nxt, err := bp.peekTok(); err != nil {
+					return err
+				} else if nxt.kind == tokPunct && nxt.text == ":" {
+					name := bp.tok.text
+					if err := bp.advance(); err != nil {
+						return err
+					}
+					if err := bp.advance(); err != nil { // ':'
+						return err
+					}
+					if err := bp.defineBlock(name); err != nil {
+						return err
+					}
+					continue
+				}
+			}
+			if bp.bld.Block() == nil {
+				return bp.errf("instruction before any label in %%%s", bp.f.Name())
+			}
+			if err := bp.parseInstruction(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+func (bp *bodyParser) getBlock(name string) *core.BasicBlock {
+	if bb, ok := bp.blocks[name]; ok {
+		return bb
+	}
+	bb := bp.f.NewBlock(name)
+	bp.blocks[name] = bb
+	return bb
+}
+
+func (bp *bodyParser) defineBlock(name string) error {
+	bb := bp.getBlock(name)
+	for _, d := range bp.defined {
+		if d == bb {
+			return bp.errf("label %%%s defined twice", name)
+		}
+	}
+	bp.defined = append(bp.defined, bb)
+	bp.bld.SetBlock(bb)
+	return nil
+}
+
+func (bp *bodyParser) finish() error {
+	// Unresolved names may be functions or globals declared later in the
+	// module; defer them to module-level resolution. (A truly undefined
+	// local is indistinguishable here and reported then.)
+	for _, ph := range bp.placeholders {
+		if bp.fnRefs == nil {
+			bp.fnRefs = make(map[*core.Placeholder]int)
+		}
+		bp.fnRefs[ph] = bp.tok.line
+	}
+	if len(bp.defined) != len(bp.f.Blocks) {
+		for name, bb := range bp.blocks {
+			if bb.Len() == 0 {
+				return fmt.Errorf("function %%%s: label %%%s referenced but never defined",
+					bp.f.Name(), name)
+			}
+		}
+	}
+	// Restore definition order (forward references may have appended
+	// blocks out of order).
+	bp.f.Blocks = bp.f.Blocks[:0]
+	bp.f.Blocks = append(bp.f.Blocks, bp.defined...)
+	return nil
+}
+
+// resolve returns the value with the given name and expected type,
+// creating a placeholder for forward references.
+func (bp *bodyParser) resolve(name string, t *core.Type) (core.Value, error) {
+	if v, ok := bp.locals[name]; ok {
+		if v.Type() != t {
+			return nil, bp.errf("%%%s has type %s, expected %s", name, v.Type(), t)
+		}
+		return v, nil
+	}
+	if g := bp.m.Global(name); g != nil {
+		if g.Type() != t {
+			return nil, bp.errf("global %%%s has type %s, expected %s", name, g.Type(), t)
+		}
+		return g, nil
+	}
+	if f := bp.m.Function(name); f != nil {
+		if f.Type() != t {
+			return nil, bp.errf("function %%%s has type %s, expected %s", name, f.Type(), t)
+		}
+		return f, nil
+	}
+	if ph, ok := bp.placeholders[name]; ok {
+		if ph.Type() != t {
+			return nil, bp.errf("%%%s used with conflicting types %s and %s", name, ph.Type(), t)
+		}
+		return ph, nil
+	}
+	ph := core.NewPlaceholder(t, name)
+	bp.placeholders[name] = ph
+	return ph, nil
+}
+
+// define registers a newly-created value, patching any forward references.
+func (bp *bodyParser) define(name string, v core.Value) error {
+	if name == "" {
+		return nil
+	}
+	if _, dup := bp.locals[name]; dup {
+		return bp.errf("value %%%s defined twice", name)
+	}
+	if ph, ok := bp.placeholders[name]; ok {
+		if ph.Type() != v.Type() {
+			return bp.errf("%%%s defined with type %s but used with type %s",
+				name, v.Type(), ph.Type())
+		}
+		core.ReplaceAllUsesWith(ph, v)
+		delete(bp.placeholders, name)
+	}
+	bp.locals[name] = v
+	return nil
+}
+
+// parseValue parses an operand of the expected type: a %name or a scalar
+// literal.
+func (bp *bodyParser) parseValue(t *core.Type) (core.Value, error) {
+	if bp.tok.kind == tokLocal {
+		name := bp.tok.text
+		if err := bp.advance(); err != nil {
+			return nil, err
+		}
+		return bp.resolve(name, t)
+	}
+	return bp.parseConstant(t)
+}
+
+// parseTypedValue parses "<type> <value>" and returns both.
+func (bp *bodyParser) parseTypedValue() (*core.Type, core.Value, error) {
+	t, err := bp.parseType()
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err := bp.parseValue(t)
+	return t, v, err
+}
+
+func (bp *bodyParser) parseLabel() (*core.BasicBlock, error) {
+	if err := bp.expectIdent("label"); err != nil {
+		return nil, err
+	}
+	if bp.tok.kind != tokLocal && bp.tok.kind != tokInt && bp.tok.kind != tokIdent {
+		return nil, bp.errf("expected label name, got %s", bp.tok)
+	}
+	name := bp.tok.text
+	if err := bp.advance(); err != nil {
+		return nil, err
+	}
+	return bp.getBlock(name), nil
+}
+
+func (bp *bodyParser) parseInstruction() error {
+	resultName := ""
+	if bp.tok.kind == tokLocal {
+		resultName = bp.tok.text
+		if err := bp.advance(); err != nil {
+			return err
+		}
+		if err := bp.expectPunct("="); err != nil {
+			return err
+		}
+	}
+	if bp.tok.kind != tokIdent {
+		return bp.errf("expected opcode, got %s", bp.tok)
+	}
+	opName := bp.tok.text
+	op, ok := core.OpcodeByName[opName]
+	if !ok {
+		return bp.errf("unknown opcode %q", opName)
+	}
+	if err := bp.advance(); err != nil {
+		return err
+	}
+
+	in, err := bp.parseOperands(op, resultName)
+	if err != nil {
+		return err
+	}
+	if in != nil && resultName != "" {
+		if !in.HasResult() {
+			return bp.errf("%s produces no result", op)
+		}
+		if err := bp.define(resultName, in); err != nil {
+			return err
+		}
+	}
+	// Optional exception attribute suffix.
+	if bp.tok.kind == tokAttr {
+		switch bp.tok.text {
+		case "exc":
+			in.ExceptionsEnabled = true
+		case "noexc":
+			in.ExceptionsEnabled = false
+		default:
+			return bp.errf("unknown attribute !%s", bp.tok.text)
+		}
+		if err := bp.advance(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (bp *bodyParser) parseOperands(op core.Opcode, name string) (*core.Instruction, error) {
+	b := bp.bld
+	switch {
+	case op == core.OpShl || op == core.OpShr:
+		t, x, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		_ = t
+		if err := bp.expectPunct(","); err != nil {
+			return nil, err
+		}
+		_, amt, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		if op == core.OpShl {
+			return b.Shl(x, amt, name), nil
+		}
+		return b.Shr(x, amt, name), nil
+
+	case op.IsBinary():
+		t, x, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		if err := bp.expectPunct(","); err != nil {
+			return nil, err
+		}
+		y, err := bp.parseValue(t)
+		if err != nil {
+			return nil, err
+		}
+		switch op {
+		case core.OpAdd:
+			return b.Add(x, y, name), nil
+		case core.OpSub:
+			return b.Sub(x, y, name), nil
+		case core.OpMul:
+			return b.Mul(x, y, name), nil
+		case core.OpDiv:
+			return b.Div(x, y, name), nil
+		case core.OpRem:
+			return b.Rem(x, y, name), nil
+		case core.OpAnd:
+			return b.And(x, y, name), nil
+		case core.OpOr:
+			return b.Or(x, y, name), nil
+		case core.OpXor:
+			return b.Xor(x, y, name), nil
+		case core.OpSetEQ:
+			return b.SetEQ(x, y, name), nil
+		case core.OpSetNE:
+			return b.SetNE(x, y, name), nil
+		case core.OpSetLT:
+			return b.SetLT(x, y, name), nil
+		case core.OpSetGT:
+			return b.SetGT(x, y, name), nil
+		case core.OpSetLE:
+			return b.SetLE(x, y, name), nil
+		case core.OpSetGE:
+			return b.SetGE(x, y, name), nil
+		}
+		return nil, bp.errf("unhandled binary op %s", op)
+
+	case op == core.OpRet:
+		rt := bp.f.Signature().Ret()
+		if bp.isIdent("void") {
+			if rt.Kind() != core.VoidKind {
+				return nil, bp.errf("ret void in function returning %s", rt)
+			}
+			if err := bp.advance(); err != nil {
+				return nil, err
+			}
+			return b.RetVoid(), nil
+		}
+		t, v, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		if t != rt {
+			return nil, bp.errf("ret %s in function returning %s", t, rt)
+		}
+		return b.Ret(v), nil
+
+	case op == core.OpBr:
+		if bp.isIdent("label") {
+			bb, err := bp.parseLabel()
+			if err != nil {
+				return nil, err
+			}
+			return b.Br(bb), nil
+		}
+		_, cond, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		if err := bp.expectPunct(","); err != nil {
+			return nil, err
+		}
+		tb, err := bp.parseLabel()
+		if err != nil {
+			return nil, err
+		}
+		if err := bp.expectPunct(","); err != nil {
+			return nil, err
+		}
+		fb, err := bp.parseLabel()
+		if err != nil {
+			return nil, err
+		}
+		return b.CondBr(cond, tb, fb), nil
+
+	case op == core.OpMbr:
+		t, v, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		if err := bp.expectPunct(","); err != nil {
+			return nil, err
+		}
+		def, err := bp.parseLabel()
+		if err != nil {
+			return nil, err
+		}
+		if err := bp.expectPunct("["); err != nil {
+			return nil, err
+		}
+		var cases []int64
+		var targets []*core.BasicBlock
+		for !bp.isPunct("]") {
+			if len(cases) > 0 {
+				if err := bp.expectPunct(","); err != nil {
+					return nil, err
+				}
+			}
+			ct, err := bp.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if ct != t {
+				return nil, bp.errf("mbr case type %s, want %s", ct, t)
+			}
+			if bp.tok.kind != tokInt {
+				return nil, bp.errf("mbr case must be an integer constant")
+			}
+			cv, err := strconv.ParseInt(bp.tok.text, 0, 64)
+			if err != nil {
+				return nil, bp.errf("bad case value %q", bp.tok.text)
+			}
+			if err := bp.advance(); err != nil {
+				return nil, err
+			}
+			if err := bp.expectPunct(","); err != nil {
+				return nil, err
+			}
+			tb, err := bp.parseLabel()
+			if err != nil {
+				return nil, err
+			}
+			cases = append(cases, cv)
+			targets = append(targets, tb)
+		}
+		if err := bp.expectPunct("]"); err != nil {
+			return nil, err
+		}
+		return b.Mbr(v, def, cases, targets), nil
+
+	case op == core.OpCall || op == core.OpInvoke:
+		return bp.parseCall(op, name)
+
+	case op == core.OpUnwind:
+		return b.Unwind(), nil
+
+	case op == core.OpLoad:
+		_, ptr, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		return b.Load(ptr, name), nil
+
+	case op == core.OpStore:
+		_, v, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		if err := bp.expectPunct(","); err != nil {
+			return nil, err
+		}
+		_, ptr, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		return b.Store(v, ptr), nil
+
+	case op == core.OpGetElementPtr:
+		_, ptr, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		var indices []core.Value
+		for bp.isPunct(",") {
+			if err := bp.advance(); err != nil {
+				return nil, err
+			}
+			_, idx, err := bp.parseTypedValue()
+			if err != nil {
+				return nil, err
+			}
+			indices = append(indices, idx)
+		}
+		return b.GEP(ptr, indices, name), nil
+
+	case op == core.OpAlloca:
+		t, err := bp.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if bp.isPunct(",") {
+			if err := bp.advance(); err != nil {
+				return nil, err
+			}
+			_, count, err := bp.parseTypedValue()
+			if err != nil {
+				return nil, err
+			}
+			return b.AllocaN(t, count, name), nil
+		}
+		return b.Alloca(t, name), nil
+
+	case op == core.OpCast:
+		_, v, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		if err := bp.expectIdent("to"); err != nil {
+			return nil, err
+		}
+		to, err := bp.parseType()
+		if err != nil {
+			return nil, err
+		}
+		return b.Cast(v, to, name), nil
+
+	case op == core.OpPhi:
+		t, err := bp.parseType()
+		if err != nil {
+			return nil, err
+		}
+		phi := b.Phi(t, name)
+		first := true
+		for first || bp.isPunct(",") {
+			if !first {
+				if err := bp.advance(); err != nil {
+					return nil, err
+				}
+			}
+			first = false
+			if err := bp.expectPunct("["); err != nil {
+				return nil, err
+			}
+			v, err := bp.parseValue(t)
+			if err != nil {
+				return nil, err
+			}
+			if err := bp.expectPunct(","); err != nil {
+				return nil, err
+			}
+			if bp.tok.kind != tokLocal && bp.tok.kind != tokInt {
+				return nil, bp.errf("expected predecessor label, got %s", bp.tok)
+			}
+			bb := bp.getBlock(bp.tok.text)
+			if err := bp.advance(); err != nil {
+				return nil, err
+			}
+			if err := bp.expectPunct("]"); err != nil {
+				return nil, err
+			}
+			phi.AddPhiIncoming(v, bb)
+		}
+		return phi, nil
+	}
+	return nil, bp.errf("unhandled opcode %s", op)
+}
+
+// parseCall parses call and invoke. The callee type may be written either
+// as just the return type (signature inferred from the callee symbol or
+// the argument list) or as a full pointer-to-function type (required for
+// indirect calls to variadic functions).
+func (bp *bodyParser) parseCall(op core.Opcode, name string) (*core.Instruction, error) {
+	t, err := bp.parseType()
+	if err != nil {
+		return nil, err
+	}
+	var sig *core.Type
+	retTy := t
+	if t.Kind() == core.PointerKind && t.Elem().Kind() == core.FunctionKind {
+		sig = t.Elem()
+		retTy = sig.Ret()
+	}
+	if bp.tok.kind != tokLocal {
+		return nil, bp.errf("expected callee, got %s", bp.tok)
+	}
+	calleeName := bp.tok.text
+	if err := bp.advance(); err != nil {
+		return nil, err
+	}
+	if err := bp.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var args []core.Value
+	for !bp.isPunct(")") {
+		if len(args) > 0 {
+			if err := bp.expectPunct(","); err != nil {
+				return nil, err
+			}
+		}
+		_, v, err := bp.parseTypedValue()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, v)
+	}
+	if err := bp.expectPunct(")"); err != nil {
+		return nil, err
+	}
+
+	var callee core.Value
+	if sig != nil {
+		callee, err = bp.resolve(calleeName, bp.ctx.Pointer(sig))
+	} else {
+		// Known symbol: use its type; unknown: infer a non-variadic
+		// signature from the argument list.
+		callee = bp.lookup(calleeName)
+		if callee == nil {
+			argTypes := make([]*core.Type, len(args))
+			for i, a := range args {
+				argTypes[i] = a.Type()
+			}
+			inferred := bp.ctx.Function(retTy, argTypes, false)
+			callee, err = bp.resolve(calleeName, bp.ctx.Pointer(inferred))
+		} else {
+			ct := callee.Type()
+			if ct.Kind() != core.PointerKind || ct.Elem().Kind() != core.FunctionKind {
+				return nil, bp.errf("%%%s is not callable (type %s)", calleeName, ct)
+			}
+			if ct.Elem().Ret() != retTy {
+				return nil, bp.errf("call returns %s but %%%s returns %s",
+					retTy, calleeName, ct.Elem().Ret())
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if op == core.OpCall {
+		return bp.bld.Call(callee, args, name), nil
+	}
+	if err := bp.expectIdent("to"); err != nil {
+		return nil, err
+	}
+	normal, err := bp.parseLabel()
+	if err != nil {
+		return nil, err
+	}
+	if err := bp.expectIdent("unwind"); err != nil {
+		return nil, err
+	}
+	uw, err := bp.parseLabel()
+	if err != nil {
+		return nil, err
+	}
+	return bp.bld.Invoke(callee, args, normal, uw, name), nil
+}
+
+// lookup finds a value by name without creating placeholders.
+func (bp *bodyParser) lookup(name string) core.Value {
+	if v, ok := bp.locals[name]; ok {
+		return v
+	}
+	if g := bp.m.Global(name); g != nil {
+		return g
+	}
+	if f := bp.m.Function(name); f != nil {
+		return f
+	}
+	return nil
+}

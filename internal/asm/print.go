@@ -1,0 +1,132 @@
+// Package asm implements the textual form of LLVA virtual object code: a
+// printer that renders core.Module values as LLVA assembly (the syntax of
+// the paper's Figure 2) and a parser that reads it back. Printing then
+// parsing any verified module yields an identical module.
+package asm
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"llva/internal/core"
+)
+
+// Print renders the module as LLVA assembly.
+func Print(m *core.Module) string {
+	var b strings.Builder
+	Fprint(&b, m)
+	return b.String()
+}
+
+// Fprint renders the module as LLVA assembly to w.
+func Fprint(w io.Writer, m *core.Module) {
+	fmt.Fprintf(w, "; module %q\n", m.Name)
+	endian := "little"
+	if !m.LittleEndian {
+		endian = "big"
+	}
+	fmt.Fprintf(w, "target endian = %s\n", endian)
+	fmt.Fprintf(w, "target pointersize = %d\n", m.PointerSize*8)
+
+	// Named types, sorted for deterministic output.
+	names := make([]string, 0, len(m.Types().NamedTypes()))
+	for n := range m.Types().NamedTypes() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintln(w)
+	}
+	for _, n := range names {
+		t := m.Types().NamedTypes()[n]
+		fmt.Fprintf(w, "%%%s = type %s\n", n, t.Definition())
+	}
+
+	if len(m.Globals) > 0 {
+		fmt.Fprintln(w)
+	}
+	for _, g := range m.Globals {
+		kw := "global"
+		if g.IsConst {
+			kw = "constant"
+		}
+		if g.Init == nil {
+			fmt.Fprintf(w, "%%%s = external %s %s\n", g.Name(), kw, g.ValueType())
+		} else {
+			fmt.Fprintf(w, "%%%s = %s %s %s\n", g.Name(), kw, g.ValueType(), g.Init.Ident())
+		}
+	}
+
+	// Declarations print before definitions so that references to
+	// external functions are always resolvable on a linear parse.
+	for _, f := range m.Functions {
+		if f.IsDeclaration() {
+			fmt.Fprintln(w)
+			printFunction(w, f)
+		}
+	}
+	for _, f := range m.Functions {
+		if !f.IsDeclaration() {
+			fmt.Fprintln(w)
+			printFunction(w, f)
+		}
+	}
+}
+
+// PrintFunction renders a single function as LLVA assembly.
+func PrintFunction(f *core.Function) string {
+	var b strings.Builder
+	printFunction(&b, f)
+	return b.String()
+}
+
+func printFunction(w io.Writer, f *core.Function) {
+	sig := f.Signature()
+	if f.IsDeclaration() {
+		fmt.Fprintf(w, "declare %s %%%s(", sig.Ret(), f.Name())
+		for i, p := range sig.Params() {
+			if i > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprint(w, p)
+		}
+		if sig.Variadic() {
+			if len(sig.Params()) > 0 {
+				fmt.Fprint(w, ", ")
+			}
+			fmt.Fprint(w, "...")
+		}
+		fmt.Fprintln(w, ")")
+		return
+	}
+	f.AssignNames()
+	if f.Internal {
+		fmt.Fprint(w, "internal ")
+	}
+	fmt.Fprintf(w, "%s %%%s(", sig.Ret(), f.Name())
+	for i, p := range f.Params {
+		if i > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprintf(w, "%s %%%s", p.Type(), p.Name())
+	}
+	if sig.Variadic() {
+		if len(f.Params) > 0 {
+			fmt.Fprint(w, ", ")
+		}
+		fmt.Fprint(w, "...")
+	}
+	fmt.Fprintln(w, ") {")
+	for i, bb := range f.Blocks {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%s:\n", bb.Name())
+		for _, in := range bb.Instructions() {
+			fmt.Fprintf(w, "    %s\n", in)
+		}
+	}
+	fmt.Fprintln(w, "}")
+}

@@ -1,0 +1,227 @@
+// Package codegen is the LLVA translator back-end: it compiles virtual
+// object code to native code for a target I-ISA (paper, Figure 1). It
+// performs instruction selection with simple pattern fusion (combining
+// multiple LLVA instructions into complex I-ISA instructions where the
+// target allows: getelementptr into addressing modes, comparisons into
+// compare-and-branch), phi elimination, frame lowering (preallocating all
+// fixed-size allocas in the stack frame, Section 3.2), calling-convention
+// lowering, and register allocation.
+//
+// Two allocators mirror the paper's back-ends: a naive spill-everything
+// allocator ("the x86 back-end performs virtually no optimization and very
+// simple register allocation resulting in significant spill code") and a
+// linear-scan allocator used for vsparc ("the Sparc back-end produces
+// higher quality code").
+//
+// The translator runs in offline mode (whole module) or JIT mode (one
+// function at a time, on demand) — both produce identical code.
+package codegen
+
+import (
+	"fmt"
+
+	"llva/internal/core"
+	"llva/internal/target"
+)
+
+// NativeFunc is the translated native code of one function.
+type NativeFunc struct {
+	Name string
+	Code []byte
+	// Relocs hold symbol references to resolve at load time; offsets are
+	// relative to Code.
+	Relocs []target.Reloc
+	// NumInstrs is the machine instruction count (the Table 2 metric).
+	NumInstrs int
+	// NumLLVA is the source LLVA instruction count.
+	NumLLVA int
+}
+
+// NativeObject is the translation of a module for one target.
+type NativeObject struct {
+	TargetName string
+	Module     string
+	Funcs      []*NativeFunc
+	byName     map[string]*NativeFunc
+}
+
+// Func returns the named translated function, or nil.
+func (o *NativeObject) Func(name string) *NativeFunc {
+	return o.byName[name]
+}
+
+// Add appends a translated function.
+func (o *NativeObject) Add(f *NativeFunc) {
+	if o.byName == nil {
+		o.byName = make(map[string]*NativeFunc)
+	}
+	o.Funcs = append(o.Funcs, f)
+	o.byName[f.Name] = f
+}
+
+// CodeSize returns the total native code size in bytes.
+func (o *NativeObject) CodeSize() int {
+	n := 0
+	for _, f := range o.Funcs {
+		n += len(f.Code)
+	}
+	return n
+}
+
+// NumInstrs returns the total machine instruction count.
+func (o *NativeObject) NumInstrs() int {
+	n := 0
+	for _, f := range o.Funcs {
+		n += f.NumInstrs
+	}
+	return n
+}
+
+// Translator compiles a module's functions for one target.
+type Translator struct {
+	desc *target.Desc
+	m    *core.Module
+	lay  core.Layout
+}
+
+// New creates a translator for module m targeting desc. The simulated
+// processors are 64-bit little-endian; modules with other configurations
+// are rejected, exactly as a real translator would refuse object code
+// whose configuration flags do not match the implementation (Section 3.2).
+func New(desc *target.Desc, m *core.Module) (*Translator, error) {
+	if m.PointerSize != 8 {
+		return nil, fmt.Errorf("codegen: %s implements 64-bit pointers; module %q requires %d-bit",
+			desc.Name, m.Name, m.PointerSize*8)
+	}
+	if !m.LittleEndian {
+		return nil, fmt.Errorf("codegen: %s is little-endian; module %q is big-endian",
+			desc.Name, m.Name)
+	}
+	return &Translator{desc: desc, m: m, lay: m.Layout()}, nil
+}
+
+// Target returns the target description.
+func (t *Translator) Target() *target.Desc { return t.desc }
+
+// TranslateModule compiles every defined function (offline mode).
+func (t *Translator) TranslateModule() (*NativeObject, error) {
+	obj := &NativeObject{TargetName: t.desc.Name, Module: t.m.Name}
+	for _, f := range t.m.Functions {
+		if f.IsDeclaration() {
+			continue
+		}
+		nf, err := t.TranslateFunction(f)
+		if err != nil {
+			return nil, err
+		}
+		obj.Add(nf)
+	}
+	return obj, nil
+}
+
+// TranslateFunction compiles a single function (JIT mode unit).
+func (t *Translator) TranslateFunction(f *core.Function) (nf *NativeFunc, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("codegen: %%%s: %v", f.Name(), r)
+		}
+	}()
+	sel := newSelector(t, f)
+	sel.run()
+
+	// Register allocation: linear scan where the target has registers to
+	// spare, spill-everything otherwise. Functions containing invoke fall
+	// back to spill-everything even on vsparc, because the unwinder
+	// restores SP/FP but not callee-saved registers (DESIGN.md).
+	if t.desc.StackArgs || sel.hasInvoke {
+		allocSpill(sel)
+	} else {
+		allocLinear(sel)
+	}
+
+	addFrame(sel)
+	elideFallthroughs(sel)
+	code, relocs := layout(sel)
+	return &NativeFunc{
+		Name:      f.Name(),
+		Code:      code,
+		Relocs:    relocs,
+		NumInstrs: len(sel.code),
+		NumLLVA:   f.NumInstructions(),
+	}, nil
+}
+
+// elideFallthroughs removes an unconditional jump whose target is the
+// block that immediately follows it in layout order. Taken branches cost
+// an extra cycle on the simulated processor, so block placement — and in
+// particular trace-driven relayout (Section 4.2) — directly affects the
+// measured cycle counts.
+func elideFallthroughs(s *selector) {
+	var out []target.MInstr
+	newStart := make([]int, len(s.blockStart))
+	bi := 0
+	for i := range s.code {
+		for bi < len(s.blockStart) && s.blockStart[bi] == i {
+			newStart[bi] = len(out)
+			bi++
+		}
+		in := s.code[i]
+		if in.Op == target.MJmp {
+			// Block index of the next instruction boundary.
+			for nb := 0; nb < len(s.blockStart); nb++ {
+				if s.blockStart[nb] == i+1 && int32(nb) == in.Target {
+					goto skip
+				}
+			}
+		}
+		out = append(out, in)
+	skip:
+	}
+	for bi < len(s.blockStart) {
+		newStart[bi] = len(out)
+		bi++
+	}
+	s.code = out
+	s.blockStart = newStart
+}
+
+// layout assigns byte offsets, resolves PC-relative branch targets and
+// encodes the final bytes.
+func layout(s *selector) ([]byte, []target.Reloc) {
+	d := s.desc
+	// Pass 1: measure offsets.
+	offs := make([]int, len(s.code)+1)
+	var probe []byte
+	for i := range s.code {
+		probe = probe[:0]
+		b, _ := d.Encode(&s.code[i], probe)
+		offs[i+1] = offs[i] + len(b)
+	}
+	// Block index -> byte offset of its first instruction.
+	blockOff := make([]int, len(s.blockStart))
+	for b, idx := range s.blockStart {
+		blockOff[b] = offs[idx]
+	}
+	// Pass 2: rewrite branch targets PC-relative and encode.
+	var code []byte
+	var relocs []target.Reloc
+	for i := range s.code {
+		in := s.code[i]
+		switch in.Op {
+		case target.MJmp, target.MJcc, target.MInvokePush:
+			delta := blockOff[in.Target] - offs[i]
+			in.Target = int32(delta / d.RelBranchScale)
+		}
+		start := len(code)
+		var rl []target.Reloc
+		code, rl = d.Encode(&in, code)
+		for _, r := range rl {
+			r.Offset += uint32(start)
+			relocs = append(relocs, r)
+		}
+		if len(code)-start != offs[i+1]-offs[i] {
+			panic(fmt.Sprintf("layout: instruction %d changed size during encoding", i))
+		}
+	}
+	return code, relocs
+}

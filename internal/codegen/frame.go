@@ -1,0 +1,111 @@
+package codegen
+
+import (
+	"llva/internal/target"
+)
+
+// addFrame prepends the prologue and appends the epilogue once the final
+// frame size is known (allocas were preallocated during selection; spill
+// slots were added by the register allocator).
+func addFrame(s *selector) {
+	d := s.desc
+	if d.StackArgs {
+		addFrameVX86(s)
+	} else {
+		addFrameVSPARC(s)
+	}
+}
+
+func addFrameVX86(s *selector) {
+	d := s.desc
+	frame := int64(s.allocaBytes + s.spillBytes)
+	frame = (frame + 15) &^ 15
+
+	prologue := []target.MInstr{
+		{Op: target.MPush, Rs1: d.FP},
+		{Op: target.MMovRR, Rd: d.FP, Rs1: d.SP},
+	}
+	if frame > 0 {
+		prologue = append(prologue, target.MInstr{Op: target.MAdjSP, Imm: -frame})
+	}
+	epilogue := []target.MInstr{
+		{Op: target.MMovRR, Rd: d.SP, Rs1: d.FP},
+		{Op: target.MPop, Rd: d.FP},
+		{Op: target.MRet},
+	}
+	s.code = append(prologue, s.code...)
+	for i := range s.blockStart {
+		s.blockStart[i] += len(prologue)
+	}
+	// blockStart's final entry is the epilogue label, pointing at the
+	// first epilogue instruction.
+	s.code = append(s.code, epilogue...)
+}
+
+func addFrameVSPARC(s *selector) {
+	d := s.desc
+	frame := int64(s.saveArea) + int64(s.allocaBytes) + int64(s.spillBytes) +
+		int64(8*s.maxStackArgs)
+	frame = (frame + 15) &^ 15
+
+	oldFPTmp := d.Scratch[1] // r12: free at function entry and exit
+
+	var prologue []target.MInstr
+	prologue = append(prologue, target.MInstr{Op: target.MMovRR, Rd: oldFPTmp, Rs1: d.FP})
+	prologue = append(prologue, target.MInstr{Op: target.MAdjSP, Imm: -frame})
+	// FP <- SP + frame (the caller's SP)
+	prologue = append(prologue, synthImmInto(target.Reg(31), frame, d)...)
+	prologue = append(prologue, target.MInstr{Op: target.MALU, Alu: target.AAdd,
+		Rd: d.FP, Rs1: d.SP, Rs2: 31, Size: 8})
+	// frameAccess emits a save-area access, synthesizing the address via
+	// the assembler temporary when the displacement exceeds disp9 range
+	// (save slots can reach -288 with many callee-saved registers).
+	frameAccess := func(list []target.MInstr, op target.MOp, r target.Reg, disp int32) []target.MInstr {
+		if disp >= -256 && disp <= 255 {
+			mi := target.MInstr{Op: op, Base: d.FP, Index: target.NoReg,
+				Disp: disp, Size: 8, FP: r.IsFP()}
+			if op == target.MLoad {
+				mi.Rd = r
+			} else {
+				mi.Rs1 = r
+			}
+			return append(list, mi)
+		}
+		list = append(list, synthImmInto(target.Reg(31), int64(disp), d)...)
+		list = append(list, target.MInstr{Op: target.MALU, Alu: target.AAdd,
+			Rd: 31, Rs1: d.FP, Rs2: 31, Size: 8})
+		mi := target.MInstr{Op: op, Base: 31, Index: target.NoReg, Size: 8, FP: r.IsFP()}
+		if op == target.MLoad {
+			mi.Rd = r
+		} else {
+			mi.Rs1 = r
+		}
+		return append(list, mi)
+	}
+
+	// Save return address and the caller's FP at the top of the frame.
+	prologue = frameAccess(prologue, target.MStore, target.Reg(3), -8) // RA
+	prologue = frameAccess(prologue, target.MStore, oldFPTmp, -16)
+	// Callee-saved registers actually used by this function.
+	for i, r := range s.savedRegs {
+		prologue = frameAccess(prologue, target.MStore, r, int32(-24-8*i))
+	}
+
+	var epilogue []target.MInstr
+	for i, r := range s.savedRegs {
+		epilogue = frameAccess(epilogue, target.MLoad, r, int32(-24-8*i))
+	}
+	epilogue = frameAccess(epilogue, target.MLoad, target.Reg(3), -8)
+	epilogue = frameAccess(epilogue, target.MLoad, oldFPTmp, -16)
+	epilogue = append(epilogue,
+		target.MInstr{Op: target.MMovRR, Rd: d.SP, Rs1: d.FP},
+		target.MInstr{Op: target.MMovRR, Rd: d.FP, Rs1: oldFPTmp},
+		target.MInstr{Op: target.MRet},
+	)
+
+	s.code = append(prologue, s.code...)
+	for i := range s.blockStart {
+		s.blockStart[i] += len(prologue)
+	}
+	s.code = append(s.code, epilogue...)
+}

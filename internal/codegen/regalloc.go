@@ -1,0 +1,572 @@
+package codegen
+
+import (
+	"fmt"
+	"sort"
+
+	"llva/internal/target"
+)
+
+// instrDefs returns the register defined by the instruction (or NoReg),
+// and instrUses appends the registers it reads.
+func instrDef(m *target.MInstr) target.Reg {
+	switch m.Op {
+	case target.MMovRR, target.MLoad, target.MLea, target.MSetCC,
+		target.MPop, target.MCvt, target.MALU:
+		return m.Rd
+	case target.MMovRI:
+		return m.Rd
+	}
+	return target.NoReg
+}
+
+func instrUses(m *target.MInstr, out []target.Reg) []target.Reg {
+	add := func(r target.Reg) {
+		if r != target.NoReg {
+			out = append(out, r)
+		}
+	}
+	switch m.Op {
+	case target.MMovRR, target.MCvt, target.MPush, target.MCallInd:
+		add(m.Rs1)
+	case target.MMovRI:
+		if m.HasImm { // vsparc "or" form reads its destination
+			add(m.Rd)
+		}
+	case target.MALU:
+		add(m.Rs1)
+		if !m.HasImm {
+			add(m.Rs2)
+		}
+		if m.HasMem {
+			add(m.Base)
+			add(m.Index)
+		}
+	case target.MCmp, target.MSetCC:
+		add(m.Rs1)
+		add(m.Rs2)
+	case target.MJcc:
+		add(m.Rs1)
+	case target.MLoad, target.MLea:
+		add(m.Base)
+		add(m.Index)
+	case target.MStore:
+		add(m.Rs1)
+		add(m.Base)
+		add(m.Index)
+	}
+	return out
+}
+
+// replaceRegs rewrites every register field through fn.
+func replaceRegs(m *target.MInstr, fn func(target.Reg) target.Reg) {
+	m.Rd = fn(m.Rd)
+	m.Rs1 = fn(m.Rs1)
+	m.Rs2 = fn(m.Rs2)
+	m.Base = fn(m.Base)
+	m.Index = fn(m.Index)
+}
+
+// slotDisp computes the FP-relative displacement of spill slot i.
+func (s *selector) slotDisp(slot int32) int32 {
+	return -(s.saveArea + s.allocaBytes + 8*(slot+1))
+}
+
+// allocSpill is the naive spill-everything allocator: every virtual
+// register lives in a stack slot; each instruction loads its operands
+// into scratch registers and stores its result back. This reproduces the
+// paper's minimal-effort x86 back-end ("significant spill code").
+func allocSpill(s *selector) {
+	slotOf := make(map[target.Reg]int32)
+	slot := func(v target.Reg) int32 {
+		if sl, ok := slotOf[v]; ok {
+			return sl
+		}
+		sl := int32(len(slotOf))
+		slotOf[v] = sl
+		return sl
+	}
+	// Pre-assign slots in first-appearance order for determinism.
+	var uses []target.Reg
+	for i := range s.code {
+		uses = instrUses(&s.code[i], uses[:0])
+		for _, r := range uses {
+			if r.IsVirtual() {
+				slot(r)
+			}
+		}
+		if d := instrDef(&s.code[i]); d.IsVirtual() {
+			slot(d)
+		}
+	}
+	s.spillBytes = int32(len(slotOf)) * 8
+	rewriteWithSlots(s, slotOf, nil)
+}
+
+// rewriteWithSlots rewrites the code: virtual registers in slotOf load
+// from / store to their frame slot through scratch registers; virtual
+// registers in assigned map to their physical register.
+func rewriteWithSlots(s *selector, slotOf map[target.Reg]int32, assigned map[target.Reg]target.Reg) {
+	d := s.desc
+	var out []target.MInstr
+	newBlockStart := make([]int, len(s.blockStart))
+	bi := 0
+	var usesBuf []target.Reg
+
+	emitFrame := func(op target.MOp, reg target.Reg, disp int32, fp bool) {
+		// Spill slots always hold the full canonical 64-bit value.
+		if d.WordSize == 4 && (disp < -256 || disp > 255) {
+			at := target.Reg(31)
+			out = append(out, synthImmInto(at, int64(disp), d)...)
+			out = append(out, target.MInstr{Op: target.MALU, Alu: target.AAdd,
+				Rd: at, Rs1: d.FP, Rs2: at, Size: 8})
+			mi := target.MInstr{Op: op, Base: at, Index: target.NoReg, Size: 8, FP: fp}
+			if op == target.MLoad {
+				mi.Rd = reg
+			} else {
+				mi.Rs1 = reg
+			}
+			out = append(out, mi)
+			return
+		}
+		mi := target.MInstr{Op: op, Base: d.FP, Index: target.NoReg,
+			Disp: disp, Size: 8, FP: fp}
+		if op == target.MLoad {
+			mi.Rd = reg
+		} else {
+			mi.Rs1 = reg
+		}
+		out = append(out, mi)
+	}
+
+	// One-instruction forwarding window: the most recent definition stays
+	// valid in its scratch register until a block boundary or a clobber,
+	// so chained operations skip one reload ("the last value is still in
+	// AX" — the extent of cleverness a naive translator affords).
+	lastV, lastR := target.NoReg, target.NoReg
+
+	for i := range s.code {
+		atBoundary := false
+		for bi < len(s.blockStart) && s.blockStart[bi] == i {
+			newBlockStart[bi] = len(out)
+			bi++
+			atBoundary = true
+		}
+		if atBoundary {
+			lastV, lastR = target.NoReg, target.NoReg
+		}
+		in := s.code[i] // copy
+
+		// Spill-path peepholes (vx86 CISC shapes):
+		// 1. A register-register move between two spilled values is a
+		//    load + store, not load + mov + store.
+		if in.Op == target.MMovRR && in.Rd.IsVirtual() && in.Rs1.IsVirtual() {
+			_, dSp := slotOf[in.Rd]
+			_, sSp := slotOf[in.Rs1]
+			_, dAs := assigned[in.Rd]
+			_, sAs := assigned[in.Rs1]
+			if dSp && sSp && !dAs && !sAs {
+				sc := d.Scratch[0]
+				if s.isFPReg(in.Rs1) {
+					sc = d.FPScratch[0]
+				}
+				emitFrame(target.MLoad, sc, s.slotDisp(slotOf[in.Rs1]), s.isFPReg(in.Rs1))
+				emitFrame(target.MStore, sc, s.slotDisp(slotOf[in.Rd]), s.isFPReg(in.Rd))
+				// The copy clobbered a scratch register; the moved value
+				// now lives there, so it becomes the forwarding window.
+				lastV, lastR = in.Rd, sc
+				continue
+			}
+		}
+		// 2. A spilled right ALU operand folds into a memory operand
+		//    (vx86 "add reg, [slot]"), except float32 whose in-register
+		//    canonical form differs from its memory image.
+		if in.Op == target.MALU && d.MemOperands && !in.HasImm && !in.HasMem &&
+			in.Rs2.IsVirtual() && !(in.FP && in.Size == 4) {
+			if sl, sp := slotOf[in.Rs2]; sp {
+				if _, as := assigned[in.Rs2]; !as {
+					in.HasMem = true
+					in.Base = d.FP
+					in.Index = target.NoReg
+					in.Disp = s.slotDisp(sl)
+					in.Rs2 = target.NoReg
+				}
+			}
+		}
+
+		// Physical registers already present must not be chosen as
+		// scratch for this instruction.
+		busy := map[target.Reg]bool{}
+		usesBuf = instrUses(&in, usesBuf[:0])
+		for _, r := range usesBuf {
+			if !r.IsVirtual() {
+				busy[r] = true
+			}
+		}
+		if dd := instrDef(&in); dd != target.NoReg && !dd.IsVirtual() {
+			busy[dd] = true
+		}
+
+		scratchMap := map[target.Reg]target.Reg{}
+		forwarded := false
+		if lastV != target.NoReg {
+			usesLast := false
+			for _, r := range usesBuf {
+				if r == lastV {
+					usesLast = true
+					break
+				}
+			}
+			if usesLast {
+				scratchMap[lastV] = lastR
+				busy[lastR] = true
+				forwarded = true
+			}
+		}
+		intNext, fpNext := 0, 0
+		scratchFor := func(v target.Reg) target.Reg {
+			if r, ok := scratchMap[v]; ok {
+				return r
+			}
+			var pool [3]target.Reg
+			var idx *int
+			if s.isFPReg(v) {
+				pool = d.FPScratch
+				idx = &fpNext
+			} else {
+				pool = d.Scratch
+				idx = &intNext
+			}
+			for *idx < len(pool) && busy[pool[*idx]] {
+				*idx++
+			}
+			if *idx >= len(pool) {
+				panic(fmt.Sprintf("codegen: out of scratch registers for %s", in.String()))
+			}
+			r := pool[*idx]
+			*idx++
+			scratchMap[v] = r
+			return r
+		}
+
+		mapReg := func(v target.Reg) target.Reg {
+			if !v.IsVirtual() {
+				return v
+			}
+			if p, ok := assigned[v]; ok {
+				return p
+			}
+			return scratchFor(v)
+		}
+
+		// Load spilled sources (the forwarded value needs no reload).
+		loaded := map[target.Reg]bool{}
+		if forwarded {
+			loaded[lastV] = true
+		}
+		for _, r := range usesBuf {
+			if !r.IsVirtual() || loaded[r] {
+				continue
+			}
+			if sl, spilled := slotOf[r]; spilled {
+				loaded[r] = true
+				emitFrame(target.MLoad, mapReg(r), s.slotDisp(sl), s.isFPReg(r))
+			}
+		}
+		def := instrDef(&in)
+		replaceRegs(&in, mapReg)
+		out = append(out, in)
+		// Store a spilled definition.
+		if def.IsVirtual() {
+			if sl, spilled := slotOf[def]; spilled {
+				emitFrame(target.MStore, mapReg(def), s.slotDisp(sl), s.isFPReg(def))
+			}
+		}
+
+		// Update the forwarding window.
+		switch in.Op {
+		case target.MCall, target.MCallInd, target.MCallExt, target.MRet,
+			target.MUnwind, target.MInvokePush:
+			// calls and unwinds clobber scratch registers
+			lastV, lastR = target.NoReg, target.NoReg
+		default:
+			// a reused scratch register invalidates the old forwarding
+			if lastR != target.NoReg {
+				for v, r := range scratchMap {
+					if r == lastR && v != lastV {
+						lastV, lastR = target.NoReg, target.NoReg
+						break
+					}
+				}
+			}
+			if def.IsVirtual() {
+				if _, sp := slotOf[def]; sp {
+					lastV, lastR = def, scratchMap[def]
+				}
+			} else if def != target.NoReg {
+				// a physical definition may have clobbered the window
+				if def == lastR {
+					lastV, lastR = target.NoReg, target.NoReg
+				}
+			}
+		}
+	}
+	for bi < len(s.blockStart) {
+		newBlockStart[bi] = len(out)
+		bi++
+	}
+	s.code = out
+	s.blockStart = newBlockStart
+}
+
+// synthImmInto builds the movi sequence for an immediate outside the
+// rewriting context (mirrors selector.synthImm).
+func synthImmInto(reg target.Reg, v int64, d *target.Desc) []target.MInstr {
+	if d.WordSize != 4 {
+		return []target.MInstr{{Op: target.MMovRI, Rd: reg, Imm: v}}
+	}
+	if v >= -32768 && v <= 32767 {
+		return []target.MInstr{{Op: target.MMovRI, Rd: reg, Imm: v & 0xffff}}
+	}
+	var out []target.MInstr
+	top := 3
+	for top > 0 && uint16(uint64(v)>>(16*top)) == 0 {
+		top--
+	}
+	first := top - 1
+	if uint16(uint64(v)>>(16*top))&0x8000 != 0 && top < 3 && uint64(v)>>(16*(top+1)) == 0 {
+		out = append(out, target.MInstr{Op: target.MMovRI, Rd: reg, Imm: 0, Scale: uint8(top + 1)})
+		first = top
+	} else {
+		out = append(out, target.MInstr{Op: target.MMovRI, Rd: reg,
+			Imm: int64(uint16(uint64(v) >> (16 * top))), Scale: uint8(top)})
+	}
+	for c := first; c >= 0; c-- {
+		chunk := int64(uint16(uint64(v) >> (16 * c)))
+		if chunk == 0 {
+			continue
+		}
+		out = append(out, target.MInstr{Op: target.MMovRI, Rd: reg, Imm: chunk,
+			Scale: uint8(c), HasImm: true})
+	}
+	return out
+}
+
+// interval is a live range for linear scan.
+type interval struct {
+	v          target.Reg
+	start, end int
+	fp         bool
+}
+
+// allocLinear is the linear-scan register allocator used by the vsparc
+// back-end ("the Sparc back-end produces higher quality code"). All
+// allocatable registers are callee-saved, so values live across calls
+// need no special handling; the prologue saves exactly the registers the
+// function uses.
+func allocLinear(s *selector) {
+	n := len(s.code)
+	// Block structure for liveness.
+	nb := len(s.blockStart) - 1 // last entry is the (empty) epilogue label
+	blockOf := make([]int, n)
+	for b := 0; b < nb; b++ {
+		end := n
+		if b+1 < len(s.blockStart) {
+			end = s.blockStart[b+1]
+		}
+		for i := s.blockStart[b]; i < end && i < n; i++ {
+			blockOf[i] = b
+		}
+	}
+	succs := make([][]int, nb+1)
+	for i := range s.code {
+		m := &s.code[i]
+		switch m.Op {
+		case target.MJmp, target.MJcc, target.MInvokePush:
+			b := blockOf[i]
+			succs[b] = append(succs[b], int(m.Target))
+		}
+	}
+
+	// Per-block use/def over virtual registers.
+	useB := make([]map[target.Reg]bool, nb+1)
+	defB := make([]map[target.Reg]bool, nb+1)
+	for b := 0; b <= nb; b++ {
+		useB[b] = map[target.Reg]bool{}
+		defB[b] = map[target.Reg]bool{}
+	}
+	var ub []target.Reg
+	for b := 0; b < nb; b++ {
+		end := n
+		if b+1 < len(s.blockStart) {
+			end = s.blockStart[b+1]
+		}
+		for i := s.blockStart[b]; i < end; i++ {
+			ub = instrUses(&s.code[i], ub[:0])
+			for _, r := range ub {
+				if r.IsVirtual() && !defB[b][r] {
+					useB[b][r] = true
+				}
+			}
+			if d := instrDef(&s.code[i]); d.IsVirtual() {
+				defB[b][d] = true
+			}
+		}
+	}
+	liveIn := make([]map[target.Reg]bool, nb+1)
+	liveOut := make([]map[target.Reg]bool, nb+1)
+	for b := range liveIn {
+		liveIn[b] = map[target.Reg]bool{}
+		liveOut[b] = map[target.Reg]bool{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for b := nb - 1; b >= 0; b-- {
+			for _, sc := range succs[b] {
+				if sc > nb {
+					continue
+				}
+				for v := range liveIn[sc] {
+					if !liveOut[b][v] {
+						liveOut[b][v] = true
+						changed = true
+					}
+				}
+			}
+			for v := range useB[b] {
+				if !liveIn[b][v] {
+					liveIn[b][v] = true
+					changed = true
+				}
+			}
+			for v := range liveOut[b] {
+				if !defB[b][v] && !liveIn[b][v] {
+					liveIn[b][v] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Intervals: conservative [min, max] positions.
+	ivals := map[target.Reg]*interval{}
+	touch := func(v target.Reg, pos int) {
+		if !v.IsVirtual() {
+			return
+		}
+		iv, ok := ivals[v]
+		if !ok {
+			ivals[v] = &interval{v: v, start: pos, end: pos, fp: s.isFPReg(v)}
+			return
+		}
+		if pos < iv.start {
+			iv.start = pos
+		}
+		if pos > iv.end {
+			iv.end = pos
+		}
+	}
+	for b := 0; b < nb; b++ {
+		end := n
+		if b+1 < len(s.blockStart) {
+			end = s.blockStart[b+1]
+		}
+		for v := range liveIn[b] {
+			touch(v, s.blockStart[b])
+		}
+		for v := range liveOut[b] {
+			touch(v, end-1)
+		}
+		for i := s.blockStart[b]; i < end; i++ {
+			ub = instrUses(&s.code[i], ub[:0])
+			for _, r := range ub {
+				touch(r, i)
+			}
+			if d := instrDef(&s.code[i]); d != target.NoReg {
+				touch(d, i)
+			}
+		}
+	}
+
+	sorted := make([]*interval, 0, len(ivals))
+	for _, iv := range ivals {
+		sorted = append(sorted, iv)
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].start != sorted[j].start {
+			return sorted[i].start < sorted[j].start
+		}
+		return sorted[i].v < sorted[j].v
+	})
+
+	assigned := map[target.Reg]target.Reg{}
+	slotOf := map[target.Reg]int32{}
+	freeInt := append([]target.Reg(nil), s.desc.Allocatable...)
+	freeFP := append([]target.Reg(nil), s.desc.FPAllocatable...)
+	type activeEntry struct {
+		iv  *interval
+		reg target.Reg
+	}
+	var active []activeEntry
+
+	expire := func(pos int) {
+		keep := active[:0]
+		for _, a := range active {
+			if a.iv.end < pos {
+				if a.reg.IsFP() {
+					freeFP = append(freeFP, a.reg)
+				} else {
+					freeInt = append(freeInt, a.reg)
+				}
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		active = keep
+	}
+
+	usedSet := map[target.Reg]bool{}
+	for _, iv := range sorted {
+		expire(iv.start)
+		var free *[]target.Reg
+		if iv.fp {
+			free = &freeFP
+		} else {
+			free = &freeInt
+		}
+		if len(*free) > 0 {
+			reg := (*free)[0]
+			*free = (*free)[1:]
+			assigned[iv.v] = reg
+			usedSet[reg] = true
+			active = append(active, activeEntry{iv: iv, reg: reg})
+			continue
+		}
+		// Spill the interval ending furthest (current or an active one of
+		// the same class).
+		victim := -1
+		for ai, a := range active {
+			if a.reg.IsFP() == iv.fp && a.iv.end > iv.end {
+				if victim == -1 || a.iv.end > active[victim].iv.end {
+					victim = ai
+				}
+			}
+		}
+		if victim >= 0 {
+			a := active[victim]
+			slotOf[a.iv.v] = int32(len(slotOf))
+			delete(assigned, a.iv.v)
+			assigned[iv.v] = a.reg
+			active[victim] = activeEntry{iv: iv, reg: a.reg}
+		} else {
+			slotOf[iv.v] = int32(len(slotOf))
+		}
+	}
+
+	s.spillBytes = int32(len(slotOf)) * 8
+	for r := range usedSet {
+		s.savedRegs = append(s.savedRegs, r)
+	}
+	sort.Slice(s.savedRegs, func(i, j int) bool { return s.savedRegs[i] < s.savedRegs[j] })
+	rewriteWithSlots(s, slotOf, assigned)
+}

@@ -1,0 +1,573 @@
+package codegen
+
+import (
+	"fmt"
+	"math"
+
+	"llva/internal/core"
+	"llva/internal/target"
+)
+
+// selector lowers one function's LLVA instructions to machine IR over an
+// infinite virtual register file; register allocation then maps virtual
+// registers onto the target.
+type selector struct {
+	t    *Translator
+	desc *target.Desc
+	f    *core.Function
+	lay  core.Layout
+
+	code       []target.MInstr
+	blocks     []*core.BasicBlock
+	blockIdx   map[*core.BasicBlock]int
+	blockStart []int // block index -> first instruction index (epilogue last)
+
+	vreg  map[core.Value]target.Reg
+	vFP   []bool // virtual register class, indexed by vreg - VRegBase
+	nextV target.Reg
+
+	phiCarrier map[*core.Instruction]target.Reg
+	fusedCmp   map[*core.Instruction]bool
+
+	// frame state
+	allocaOff    map[*core.Instruction]int32 // positive offset below FP
+	saveArea     int32                       // reserved register-save area below FP (vsparc)
+	allocaBytes  int32
+	spillBytes   int32 // set by the register allocator
+	savedRegs    []target.Reg
+	hasCalls     bool
+	hasInvoke    bool
+	maxStackArgs int
+}
+
+func newSelector(t *Translator, f *core.Function) *selector {
+	s := &selector{
+		t:          t,
+		desc:       t.desc,
+		f:          f,
+		lay:        t.lay,
+		blockIdx:   make(map[*core.BasicBlock]int),
+		vreg:       make(map[core.Value]target.Reg),
+		nextV:      target.VRegBase,
+		phiCarrier: make(map[*core.Instruction]target.Reg),
+		fusedCmp:   make(map[*core.Instruction]bool),
+		allocaOff:  make(map[*core.Instruction]int32),
+	}
+	if !t.desc.StackArgs {
+		// vsparc: fixed register-save area at the top of the frame:
+		// return address, caller's FP, and up to 33 callee-saved slots
+		// (17 integer + 15 FP allocatable registers).
+		s.saveArea = 280
+	}
+	return s
+}
+
+func (s *selector) newVReg(fp bool) target.Reg {
+	r := s.nextV
+	s.nextV++
+	s.vFP = append(s.vFP, fp)
+	return r
+}
+
+func (s *selector) isFPReg(r target.Reg) bool {
+	if r.IsVirtual() {
+		return s.vFP[r-target.VRegBase]
+	}
+	return r.IsFP()
+}
+
+func isFPType(t *core.Type) bool { return t.IsFloat() }
+
+func (s *selector) emit(m target.MInstr) int {
+	s.code = append(s.code, m)
+	return len(s.code) - 1
+}
+
+// emitALU emits rd <- rs1 op rs2. The machine IR is uniformly
+// three-address; on vx86 the spill rewriter legalizes it into two-address
+// form with memory operands.
+func (s *selector) emitALU(alu target.ALUOp, rd, rs1, rs2 target.Reg,
+	size uint8, signed, fp bool) {
+	s.emit(target.MInstr{Op: target.MALU, Alu: alu, Rd: rd, Rs1: rs1,
+		Rs2: rs2, Size: size, Signed: signed, FP: fp})
+}
+
+// sizeOf returns the memory width of a first-class type.
+func (s *selector) sizeOf(t *core.Type) uint8 {
+	return uint8(s.lay.Size(t))
+}
+
+func (s *selector) run() {
+	f := s.f
+	s.blocks = f.Blocks
+	for i, bb := range f.Blocks {
+		s.blockIdx[bb] = i
+	}
+	// Pre-assign virtual registers to every parameter and result-bearing
+	// instruction, so cross-block uses resolve regardless of layout order.
+	for _, p := range f.Params {
+		s.vreg[p] = s.newVReg(isFPType(p.Type()))
+	}
+	for _, bb := range f.Blocks {
+		for _, in := range bb.Instructions() {
+			if in.HasResult() {
+				s.vreg[in] = s.newVReg(isFPType(in.Type()))
+			}
+			if in.Op() == core.OpPhi {
+				s.phiCarrier[in] = s.newVReg(isFPType(in.Type()))
+			}
+			if in.Op() == core.OpCall || in.Op() == core.OpInvoke {
+				s.hasCalls = true
+			}
+			if in.Op() == core.OpInvoke {
+				s.hasInvoke = true
+			}
+		}
+	}
+	// Preallocate all fixed-size allocas in the frame (Section 3.2).
+	for _, bb := range f.Blocks {
+		for _, in := range bb.Instructions() {
+			if in.Op() == core.OpAlloca && in.NumOperands() == 0 {
+				size := int32(s.lay.Size(in.Allocated))
+				align := int32(s.lay.Align(in.Allocated))
+				s.allocaBytes = (s.allocaBytes + size + align - 1) &^ (align - 1)
+				if s.allocaBytes%8 != 0 {
+					s.allocaBytes = (s.allocaBytes + 7) &^ 7
+				}
+				s.allocaOff[in] = s.saveArea + s.allocaBytes
+			}
+		}
+	}
+	// Identify comparisons fusable into compare-and-branch (vx86).
+	if s.desc.HasFlags {
+		for _, bb := range f.Blocks {
+			term := bb.Terminator()
+			if term == nil || term.Op() != core.OpBr || term.NumBlocks() != 2 {
+				continue
+			}
+			cmp, ok := term.Operand(0).(*core.Instruction)
+			if ok && cmp.Op().IsComparison() && cmp.Parent() == bb && cmp.NumUses() == 1 {
+				s.fusedCmp[cmp] = true
+			}
+		}
+	}
+
+	s.blockStart = make([]int, len(f.Blocks)+1)
+	for bi, bb := range f.Blocks {
+		s.blockStart[bi] = len(s.code)
+		if bi == 0 {
+			s.emitParamMoves()
+		}
+		// Phi headers: copy carriers into phi registers.
+		for _, phi := range bb.Phis() {
+			s.emit(target.MInstr{Op: target.MMovRR, Rd: s.vreg[phi],
+				Rs1: s.phiCarrier[phi], FP: isFPType(phi.Type())})
+		}
+		for _, in := range bb.Instructions() {
+			s.selectInstr(bb, in)
+		}
+	}
+	s.blockStart[len(f.Blocks)] = len(s.code) // epilogue label
+}
+
+// emitParamMoves copies incoming arguments into their virtual registers.
+func (s *selector) emitParamMoves() {
+	d := s.desc
+	if d.StackArgs {
+		// vx86: args at [FP + 16 + 8i] (saved FP and return address below).
+		for i, p := range s.f.Params {
+			s.emit(target.MInstr{Op: target.MLoad, Rd: s.vreg[p], Base: d.FP,
+				Index: target.NoReg, Disp: int32(16 + 8*i), Size: 8,
+				FP: isFPType(p.Type())})
+		}
+		return
+	}
+	intIdx, fpIdx, stackIdx := 0, 0, 0
+	for _, p := range s.f.Params {
+		if isFPType(p.Type()) {
+			if fpIdx < len(d.FPArgRegs) {
+				s.emit(target.MInstr{Op: target.MMovRR, Rd: s.vreg[p],
+					Rs1: d.FPArgRegs[fpIdx], FP: true})
+				fpIdx++
+				continue
+			}
+		} else {
+			if intIdx < len(d.ArgRegs) {
+				s.emit(target.MInstr{Op: target.MMovRR, Rd: s.vreg[p],
+					Rs1: d.ArgRegs[intIdx]})
+				intIdx++
+				continue
+			}
+		}
+		// overflow argument on the stack at [FP + 8k]
+		s.emitFrameAccess(target.MLoad, s.vreg[p], d.FP, int32(8*stackIdx),
+			8, false, isFPType(p.Type()))
+		stackIdx++
+	}
+}
+
+// emitFrameAccess emits a frame-relative load/store, synthesizing the
+// address through the scratch register when the displacement exceeds the
+// target's range (vsparc disp9).
+func (s *selector) emitFrameAccess(op target.MOp, reg, base target.Reg,
+	disp int32, size uint8, signed, fp bool) {
+	d := s.desc
+	if d.WordSize == 4 && (disp < -256 || disp > 255) {
+		at := target.Reg(31) // vsparc assembler temporary
+		s.synthImm(at, int64(disp))
+		s.emit(target.MInstr{Op: target.MALU, Alu: target.AAdd, Rd: at,
+			Rs1: base, Rs2: at, Size: 8})
+		base, disp = at, 0
+	}
+	mi := target.MInstr{Op: op, Base: base, Index: target.NoReg, Disp: disp,
+		Size: size, Signed: signed, FP: fp}
+	if op == target.MLoad {
+		mi.Rd = reg
+	} else {
+		mi.Rs1 = reg
+	}
+	s.emit(mi)
+}
+
+// synthImm materializes a 64-bit immediate into reg. On vx86 this is one
+// movi with an imm64; on vsparc it is a SPARC-style sethi/or chain of
+// 16-bit pieces (1-4 instructions).
+func (s *selector) synthImm(reg target.Reg, v int64) {
+	if s.desc.WordSize != 4 {
+		s.emit(target.MInstr{Op: target.MMovRI, Rd: reg, Imm: v})
+		return
+	}
+	// vsparc: find the highest 16-bit chunk; set it (sign-extended),
+	// then or in lower chunks.
+	if v >= -32768 && v <= 32767 {
+		s.emit(target.MInstr{Op: target.MMovRI, Rd: reg, Imm: v & 0xffff})
+		return
+	}
+	top := 3
+	for top > 0 && uint16(uint64(v)>>(16*top)) == 0 {
+		top--
+	}
+	// If the top chunk would sign-extend garbage into higher chunks, we
+	// must start one chunk higher with an explicit zero set.
+	first := top - 1
+	if uint16(uint64(v)>>(16*top))&0x8000 != 0 && top < 3 &&
+		uint64(v)>>(16*(top+1)) == 0 {
+		// The top chunk's sign bit would smear into higher chunks; set a
+		// zero chunk above it and or in everything from top down.
+		s.emit(target.MInstr{Op: target.MMovRI, Rd: reg, Imm: 0, Scale: uint8(top + 1)})
+		first = top
+	} else {
+		s.emit(target.MInstr{Op: target.MMovRI, Rd: reg,
+			Imm: int64(uint16(uint64(v) >> (16 * top))), Scale: uint8(top)})
+	}
+	for c := first; c >= 0; c-- {
+		chunk := int64(uint16(uint64(v) >> (16 * c)))
+		if chunk == 0 {
+			continue
+		}
+		s.emit(target.MInstr{Op: target.MMovRI, Rd: reg, Imm: chunk,
+			Scale: uint8(c), HasImm: true}) // HasImm = "or" form
+	}
+}
+
+// synthSym materializes the address of a symbol.
+func (s *selector) synthSym(reg target.Reg, sym string) {
+	if s.desc.WordSize != 4 {
+		s.emit(target.MInstr{Op: target.MMovRI, Rd: reg, Sym: sym})
+		return
+	}
+	// hi16 (Scale=1 marks the hi relocation), then or lo16.
+	s.emit(target.MInstr{Op: target.MMovRI, Rd: reg, Sym: sym, Scale: 1})
+	s.emit(target.MInstr{Op: target.MMovRI, Rd: reg, Sym: sym, HasImm: true})
+}
+
+// canonConst computes the canonical 64-bit register image of a scalar
+// constant (same convention as the reference interpreter).
+func canonConst(c *core.Constant) int64 {
+	switch c.CK {
+	case core.ConstInt:
+		return c.Int64() // sign-extended for signed, small for unsigned
+	case core.ConstBool:
+		return int64(c.I & 1)
+	case core.ConstFloat:
+		f := c.F
+		if c.Type().Kind() == core.FloatKind {
+			f = float64(float32(f))
+		}
+		return int64(math.Float64bits(f))
+	case core.ConstNull, core.ConstZero, core.ConstUndef:
+		return 0
+	}
+	panic("codegen: non-scalar constant operand " + c.Ident())
+}
+
+// val returns a register holding the canonical value of v, materializing
+// constants and symbol addresses as needed.
+func (s *selector) val(v core.Value) target.Reg {
+	switch x := v.(type) {
+	case *core.Argument, *core.Instruction:
+		r, ok := s.vreg[v]
+		if !ok {
+			panic(fmt.Sprintf("codegen: no register for %s", v.Ident()))
+		}
+		return r
+	case *core.Constant:
+		if x.CK == core.ConstGlobal {
+			r := s.newVReg(false)
+			s.synthSym(r, x.Ref.Name())
+			return r
+		}
+		if x.Type().IsFloat() {
+			ir := s.newVReg(false)
+			s.synthImm(ir, canonConst(x))
+			fr := s.newVReg(true)
+			s.emit(target.MInstr{Op: target.MCvt, Cvt: target.CvtBits,
+				Rd: fr, Rs1: ir, FP: true, Size: 8})
+			return fr
+		}
+		// Unsigned constants must materialize zero-extended.
+		imm := canonConst(x)
+		if x.CK == core.ConstInt && !x.Type().IsSigned() {
+			imm = int64(x.I)
+		}
+		r := s.newVReg(false)
+		s.synthImm(r, imm)
+		return r
+	case *core.GlobalVariable:
+		r := s.newVReg(false)
+		s.synthSym(r, x.Name())
+		return r
+	case *core.Function:
+		r := s.newVReg(false)
+		s.synthSym(r, x.Name())
+		return r
+	}
+	panic(fmt.Sprintf("codegen: bad operand %T", v))
+}
+
+func (s *selector) selectInstr(bb *core.BasicBlock, in *core.Instruction) {
+	op := in.Op()
+	switch {
+	case op == core.OpPhi:
+		return // handled at block header / predecessor tails
+	case op == core.OpShl || op == core.OpShr:
+		s.selBinary(in)
+	case op.IsComparison():
+		if s.fusedCmp[in] {
+			return // folded into the branch
+		}
+		s.selCompare(in)
+	case op.IsBinary():
+		s.selBinary(in)
+	default:
+		switch op {
+		case core.OpRet:
+			s.selRet(in)
+		case core.OpBr:
+			s.selBr(bb, in)
+		case core.OpMbr:
+			s.selMbr(bb, in)
+		case core.OpLoad:
+			s.selLoad(in)
+		case core.OpStore:
+			s.selStore(in)
+		case core.OpGetElementPtr:
+			// Multi-use or non-fused GEPs compute an address value.
+			if !s.gepFoldable(in) {
+				s.computeGEP(in)
+			}
+		case core.OpAlloca:
+			s.selAlloca(in)
+		case core.OpCast:
+			s.selCast(in)
+		case core.OpCall:
+			s.selCall(bb, in, nil, nil)
+		case core.OpInvoke:
+			s.selInvoke(bb, in)
+		case core.OpUnwind:
+			s.emit(target.MInstr{Op: target.MUnwind})
+		default:
+			panic("codegen: unhandled opcode " + op.String())
+		}
+	}
+}
+
+// emitPhiMoves writes phi carriers for the edge bb -> succ. It must run in
+// the predecessor before its terminator's branch to succ.
+func (s *selector) emitPhiMoves(bb, succ *core.BasicBlock) {
+	for _, phi := range succ.Phis() {
+		v := phi.PhiIncomingFor(bb)
+		src := s.val(v)
+		s.emit(target.MInstr{Op: target.MMovRR, Rd: s.phiCarrier[phi],
+			Rs1: src, FP: isFPType(phi.Type())})
+	}
+}
+
+func aluOpFor(op core.Opcode) target.ALUOp {
+	switch op {
+	case core.OpAdd:
+		return target.AAdd
+	case core.OpSub:
+		return target.ASub
+	case core.OpMul:
+		return target.AMul
+	case core.OpDiv:
+		return target.ADiv
+	case core.OpRem:
+		return target.ARem
+	case core.OpAnd:
+		return target.AAnd
+	case core.OpOr:
+		return target.AOr
+	case core.OpXor:
+		return target.AXor
+	case core.OpShl:
+		return target.AShl
+	case core.OpShr:
+		return target.AShr
+	}
+	panic("codegen: not an ALU op: " + op.String())
+}
+
+func (s *selector) selBinary(in *core.Instruction) {
+	t := in.Type()
+	fp := isFPType(t)
+	rd := s.vreg[in]
+	x := s.val(in.Operand(0))
+	alu := aluOpFor(in.Op())
+	size := s.sizeOf(t)
+	if t.Kind() == core.BoolKind {
+		size = 1
+	}
+	noTrap := (in.Op() == core.OpDiv || in.Op() == core.OpRem) && !in.ExceptionsEnabled
+	// Constant right operands embed as immediates where the target's
+	// encoding allows (vx86 imm32), avoiding a materialization.
+	if c, ok := in.Operand(1).(*core.Constant); ok && !fp && s.desc.MaxImm > 0 &&
+		c.CK == core.ConstInt && in.Op() != core.OpShl && in.Op() != core.OpShr {
+		imm := canonConst(c)
+		if !c.Type().IsSigned() {
+			imm = int64(c.I)
+		}
+		if imm >= -s.desc.MaxImm-1 && imm <= s.desc.MaxImm {
+			s.emit(target.MInstr{Op: target.MALU, Alu: alu, Rd: rd, Rs1: x,
+				HasImm: true, Imm: imm, Size: size, Signed: t.IsSigned(),
+				FP: false, NoTrap: noTrap})
+			return
+		}
+	}
+	y := s.val(in.Operand(1))
+	s.emit(target.MInstr{Op: target.MALU, Alu: alu, Rd: rd, Rs1: x, Rs2: y,
+		Size: size, Signed: t.IsSigned(), FP: fp, NoTrap: noTrap})
+}
+
+func condFor(op core.Opcode) target.Cond {
+	switch op {
+	case core.OpSetEQ:
+		return target.CondEQ
+	case core.OpSetNE:
+		return target.CondNE
+	case core.OpSetLT:
+		return target.CondLT
+	case core.OpSetGT:
+		return target.CondGT
+	case core.OpSetLE:
+		return target.CondLE
+	default:
+		return target.CondGE
+	}
+}
+
+func (s *selector) selCompare(in *core.Instruction) {
+	ot := in.Operand(0).Type()
+	fp := isFPType(ot)
+	x := s.val(in.Operand(0))
+	y := s.val(in.Operand(1))
+	rd := s.vreg[in]
+	if s.desc.HasFlags {
+		s.emit(target.MInstr{Op: target.MCmp, Rs1: x, Rs2: y, Signed: ot.IsSigned(), FP: fp})
+		s.emit(target.MInstr{Op: target.MSetCC, Cnd: condFor(in.Op()), Rd: rd})
+		return
+	}
+	s.emit(target.MInstr{Op: target.MSetCC, Cnd: condFor(in.Op()), Rd: rd,
+		Rs1: x, Rs2: y, Signed: ot.IsSigned(), FP: fp})
+}
+
+func (s *selector) selRet(in *core.Instruction) {
+	if in.NumOperands() == 1 {
+		v := s.val(in.Operand(0))
+		if isFPType(in.Operand(0).Type()) {
+			s.emit(target.MInstr{Op: target.MMovRR, Rd: s.desc.FPRetReg, Rs1: v, FP: true})
+		} else {
+			s.emit(target.MInstr{Op: target.MMovRR, Rd: s.desc.RetReg, Rs1: v})
+		}
+	}
+	s.emit(target.MInstr{Op: target.MJmp, Target: int32(len(s.blocks))}) // epilogue
+}
+
+func (s *selector) selBr(bb *core.BasicBlock, in *core.Instruction) {
+	if in.NumBlocks() == 1 {
+		s.emitPhiMoves(bb, in.Block(0))
+		s.emit(target.MInstr{Op: target.MJmp, Target: int32(s.blockIdx[in.Block(0)])})
+		return
+	}
+	// Phi moves for both targets happen before the branch; carriers are
+	// per-phi so writing both edges' carriers is harmless only when the
+	// edges lead to different blocks. The same block reached on both
+	// edges with different phi values cannot be expressed in LLVA (one
+	// incoming per predecessor), so this is safe.
+	s.emitPhiMoves(bb, in.Block(0))
+	if in.Block(1) != in.Block(0) {
+		s.emitPhiMoves(bb, in.Block(1))
+	}
+	tTrue := int32(s.blockIdx[in.Block(0)])
+	tFalse := int32(s.blockIdx[in.Block(1)])
+	cond := in.Operand(0)
+
+	if ci, ok := cond.(*core.Instruction); ok && s.fusedCmp[ci] {
+		// compare-and-branch fusion (vx86)
+		ot := ci.Operand(0).Type()
+		x := s.val(ci.Operand(0))
+		y := s.val(ci.Operand(1))
+		s.emit(target.MInstr{Op: target.MCmp, Rs1: x, Rs2: y,
+			Signed: ot.IsSigned(), FP: isFPType(ot)})
+		s.emit(target.MInstr{Op: target.MJcc, Cnd: condFor(ci.Op()), Target: tTrue})
+		s.emit(target.MInstr{Op: target.MJmp, Target: tFalse})
+		return
+	}
+	c := s.val(cond)
+	if s.desc.HasFlags {
+		s.emit(target.MInstr{Op: target.MCmp, Rs1: c, Rs2: target.NoReg, HasImm: true, Imm: 0})
+		s.emit(target.MInstr{Op: target.MJcc, Cnd: target.CondNE, Target: tTrue})
+	} else {
+		s.emit(target.MInstr{Op: target.MJcc, Cnd: target.CondNE, Rs1: c, Target: tTrue})
+	}
+	s.emit(target.MInstr{Op: target.MJmp, Target: tFalse})
+}
+
+func (s *selector) selMbr(bb *core.BasicBlock, in *core.Instruction) {
+	// Phi moves for every distinct successor.
+	seen := map[*core.BasicBlock]bool{}
+	for _, succ := range in.Blocks() {
+		if !seen[succ] {
+			seen[succ] = true
+			s.emitPhiMoves(bb, succ)
+		}
+	}
+	v := s.val(in.Operand(0))
+	for i, cv := range in.Cases {
+		tgt := int32(s.blockIdx[in.Block(i+1)])
+		if s.desc.HasFlags {
+			s.emit(target.MInstr{Op: target.MCmp, Rs1: v, Rs2: target.NoReg,
+				HasImm: true, Imm: cv, Signed: true})
+			s.emit(target.MInstr{Op: target.MJcc, Cnd: target.CondEQ, Target: tgt})
+		} else {
+			cr := s.newVReg(false)
+			s.synthImm(cr, cv)
+			tr := s.newVReg(false)
+			s.emit(target.MInstr{Op: target.MSetCC, Cnd: target.CondEQ,
+				Rd: tr, Rs1: v, Rs2: cr, Signed: true})
+			s.emit(target.MInstr{Op: target.MJcc, Cnd: target.CondNE, Rs1: tr, Target: tgt})
+		}
+	}
+	s.emit(target.MInstr{Op: target.MJmp, Target: int32(s.blockIdx[in.Block(0)])})
+}

@@ -1,0 +1,136 @@
+package core
+
+// Layout computes the memory layout (sizes, alignments, field offsets) of
+// LLVA types for a particular implementation configuration. The only
+// implementation parameter the V-ISA exposes is the pointer size (paper,
+// Section 3.2); all other types have predefined sizes.
+type Layout struct {
+	// PointerSize is the pointer width in bytes (4 or 8).
+	PointerSize int
+}
+
+// Size returns the in-memory size of t in bytes.
+func (l Layout) Size(t *Type) int64 {
+	switch t.Kind() {
+	case BoolKind, UByteKind, SByteKind:
+		return 1
+	case UShortKind, ShortKind:
+		return 2
+	case UIntKind, IntKind, FloatKind:
+		return 4
+	case ULongKind, LongKind, DoubleKind:
+		return 8
+	case PointerKind:
+		return int64(l.PointerSize)
+	case ArrayKind:
+		return int64(t.Len()) * l.Size(t.Elem())
+	case StructKind:
+		size := int64(0)
+		for _, f := range t.Fields() {
+			size = align(size, l.Align(f)) + l.Size(f)
+		}
+		return align(size, l.Align(t))
+	}
+	panic("core: Size of unsized type " + t.String())
+}
+
+// Align returns the natural alignment of t in bytes.
+func (l Layout) Align(t *Type) int64 {
+	switch t.Kind() {
+	case BoolKind, UByteKind, SByteKind:
+		return 1
+	case UShortKind, ShortKind:
+		return 2
+	case UIntKind, IntKind, FloatKind:
+		return 4
+	case ULongKind, LongKind, DoubleKind:
+		return 8
+	case PointerKind:
+		return int64(l.PointerSize)
+	case ArrayKind:
+		return l.Align(t.Elem())
+	case StructKind:
+		a := int64(1)
+		for _, f := range t.Fields() {
+			if fa := l.Align(f); fa > a {
+				a = fa
+			}
+		}
+		return a
+	}
+	panic("core: Align of unsized type " + t.String())
+}
+
+// FieldOffset returns the byte offset of struct field i within t.
+func (l Layout) FieldOffset(t *Type, i int) int64 {
+	if t.Kind() != StructKind {
+		panic("core: FieldOffset on non-struct " + t.String())
+	}
+	off := int64(0)
+	for j, f := range t.Fields() {
+		off = align(off, l.Align(f))
+		if j == i {
+			return off
+		}
+		off += l.Size(f)
+	}
+	panic("core: FieldOffset index out of range")
+}
+
+func align(off, a int64) int64 {
+	if a <= 1 {
+		return off
+	}
+	return (off + a - 1) &^ (a - 1)
+}
+
+// GEPOffset computes the constant byte offset of a getelementptr whose
+// indices are all constants. base is the pointer operand's pointee type.
+// It returns the offset and the resulting element type.
+func (l Layout) GEPOffset(base *Type, indices []*Constant) (int64, *Type) {
+	off := indices[0].Int64() * l.Size(base)
+	cur := base
+	for _, idx := range indices[1:] {
+		switch cur.Kind() {
+		case StructKind:
+			fi := int(idx.Int64())
+			off += l.FieldOffset(cur, fi)
+			cur = cur.Fields()[fi]
+		case ArrayKind:
+			cur = cur.Elem()
+			off += idx.Int64() * l.Size(cur)
+		default:
+			panic("core: GEP steps into non-aggregate " + cur.String())
+		}
+	}
+	return off, cur
+}
+
+// GEPResultType computes the pointee type a getelementptr produces given
+// the pointer operand's pointee type and the index operand types/values.
+// Struct indices must be constants; array/pointer steps may be dynamic.
+func GEPResultType(base *Type, indices []Value) (*Type, error) {
+	cur := base
+	for i, idx := range indices {
+		if i == 0 {
+			continue // first index steps over the pointer itself
+		}
+		switch cur.Kind() {
+		case StructKind:
+			c, ok := idx.(*Constant)
+			if !ok || c.CK != ConstInt {
+				return nil, errf("getelementptr struct index %d must be a constant integer", i)
+			}
+			fi := int(c.Int64())
+			if fi < 0 || fi >= len(cur.Fields()) {
+				return nil, errf("getelementptr struct index %d out of range for %s", fi, cur)
+			}
+			cur = cur.Fields()[fi]
+		case ArrayKind:
+			cur = cur.Elem()
+		default:
+			return nil, errf("getelementptr index %d steps into non-aggregate %s", i, cur)
+		}
+	}
+	return cur, nil
+}

@@ -1,0 +1,167 @@
+// Package image builds the static data segment of an LLVA program: it
+// assigns addresses to global variables and encodes their initializers as
+// raw bytes for the configured pointer size and endianness. Both the
+// reference interpreter and the native-code loader use it, so globals have
+// the same layout on every execution engine.
+package image
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"llva/internal/core"
+)
+
+// FuncFixup records a location in the data segment that must receive the
+// address of a function once code has been placed.
+type FuncFixup struct {
+	Offset uint64 // byte offset within Data
+	Name   string // function name
+}
+
+// Data is the encoded static data segment of a module.
+type Data struct {
+	Base       uint64
+	Bytes      []byte
+	GlobalAddr map[string]uint64
+	FuncFixups []FuncFixup
+}
+
+// Build lays out and encodes all globals of m starting at base.
+func Build(m *core.Module, base uint64) (*Data, error) {
+	lay := m.Layout()
+	d := &Data{Base: base, GlobalAddr: make(map[string]uint64)}
+
+	// Pass 1: assign addresses.
+	off := uint64(0)
+	for _, g := range m.Globals {
+		a := uint64(lay.Align(g.ValueType()))
+		off = (off + a - 1) &^ (a - 1)
+		d.GlobalAddr[g.Name()] = base + off
+		off += uint64(lay.Size(g.ValueType()))
+	}
+	d.Bytes = make([]byte, off)
+
+	// Pass 2: encode initializers.
+	enc := &encoder{m: m, lay: lay, d: d}
+	for _, g := range m.Globals {
+		if g.Init == nil {
+			continue // external: left zeroed
+		}
+		at := d.GlobalAddr[g.Name()] - base
+		if err := enc.constant(g.Init, at); err != nil {
+			return nil, fmt.Errorf("image: global %%%s: %w", g.Name(), err)
+		}
+	}
+	return d, nil
+}
+
+type encoder struct {
+	m   *core.Module
+	lay core.Layout
+	d   *Data
+}
+
+func (e *encoder) putInt(off uint64, size int, v uint64) {
+	b := e.d.Bytes[off : off+uint64(size)]
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		if e.m.LittleEndian {
+			binary.LittleEndian.PutUint16(b, uint16(v))
+		} else {
+			binary.BigEndian.PutUint16(b, uint16(v))
+		}
+	case 4:
+		if e.m.LittleEndian {
+			binary.LittleEndian.PutUint32(b, uint32(v))
+		} else {
+			binary.BigEndian.PutUint32(b, uint32(v))
+		}
+	case 8:
+		if e.m.LittleEndian {
+			binary.LittleEndian.PutUint64(b, v)
+		} else {
+			binary.BigEndian.PutUint64(b, v)
+		}
+	}
+}
+
+func (e *encoder) constant(c *core.Constant, off uint64) error {
+	t := c.Type()
+	switch c.CK {
+	case core.ConstZero, core.ConstUndef:
+		return nil // already zero
+	case core.ConstInt, core.ConstBool:
+		e.putInt(off, int(e.lay.Size(t)), c.I)
+		return nil
+	case core.ConstFloat:
+		if t.Kind() == core.FloatKind {
+			e.putInt(off, 4, uint64(math.Float32bits(float32(c.F))))
+		} else {
+			e.putInt(off, 8, math.Float64bits(c.F))
+		}
+		return nil
+	case core.ConstNull:
+		return nil
+	case core.ConstGlobal:
+		switch ref := c.Ref.(type) {
+		case *core.GlobalVariable:
+			addr, ok := e.d.GlobalAddr[ref.Name()]
+			if !ok {
+				return fmt.Errorf("reference to unknown global %%%s", ref.Name())
+			}
+			e.putInt(off, e.m.PointerSize, addr)
+			return nil
+		case *core.Function:
+			e.d.FuncFixups = append(e.d.FuncFixups, FuncFixup{Offset: off, Name: ref.Name()})
+			return nil
+		}
+		return fmt.Errorf("unresolved global reference")
+	case core.ConstArray:
+		esz := uint64(e.lay.Size(t.Elem()))
+		for i, el := range c.Elems {
+			if err := e.constant(el, off+uint64(i)*esz); err != nil {
+				return err
+			}
+		}
+		return nil
+	case core.ConstStruct:
+		for i, el := range c.Elems {
+			fo := uint64(e.lay.FieldOffset(t, i))
+			if err := e.constant(el, off+fo); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unencodable constant kind %d", c.CK)
+}
+
+// PatchFuncAddrs resolves all function fixups using the supplied address
+// map, writing pointer-size values with the module's endianness.
+func (d *Data) PatchFuncAddrs(m *core.Module, addrOf func(name string) (uint64, bool)) error {
+	for _, fx := range d.FuncFixups {
+		addr, ok := addrOf(fx.Name)
+		if !ok {
+			return fmt.Errorf("image: no address for function %%%s", fx.Name)
+		}
+		b := d.Bytes[fx.Offset : fx.Offset+uint64(m.PointerSize)]
+		if m.PointerSize == 4 {
+			if m.LittleEndian {
+				binary.LittleEndian.PutUint32(b, uint32(addr))
+			} else {
+				binary.BigEndian.PutUint32(b, uint32(addr))
+			}
+		} else {
+			if m.LittleEndian {
+				binary.LittleEndian.PutUint64(b, addr)
+			} else {
+				binary.BigEndian.PutUint64(b, addr)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,124 @@
+package image
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"llva/internal/asm"
+	"llva/internal/core"
+)
+
+const src = `
+target endian = little
+target pointersize = 64
+
+%counter = global long 42
+%pair = global { int, double } { int 7, double 1.5 }
+%arr = constant [3 x short] [ short 1, short -2, short 3 ]
+%msg = constant [3 x ubyte] "ab"
+%ptr = global long* %counter
+%fptab = global [2 x void ()*] [ void ()* %f, void ()* %g ]
+%ext = external global int
+
+void %f() {
+entry:
+    ret void
+}
+void %g() {
+entry:
+    ret void
+}
+`
+
+func build(t *testing.T) (*core.Module, *Data) {
+	t.Helper()
+	m, err := asm.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Build(m, 0x1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, d
+}
+
+func TestScalarEncoding(t *testing.T) {
+	_, d := build(t)
+	off := d.GlobalAddr["counter"] - d.Base
+	if got := binary.LittleEndian.Uint64(d.Bytes[off:]); got != 42 {
+		t.Errorf("counter = %d, want 42", got)
+	}
+}
+
+func TestStructEncoding(t *testing.T) {
+	_, d := build(t)
+	off := d.GlobalAddr["pair"] - d.Base
+	if got := binary.LittleEndian.Uint32(d.Bytes[off:]); got != 7 {
+		t.Errorf("pair.0 = %d, want 7", got)
+	}
+	// double at offset 8 (alignment padding after the int)
+	bits := binary.LittleEndian.Uint64(d.Bytes[off+8:])
+	if bits != 0x3FF8000000000000 { // 1.5
+		t.Errorf("pair.1 bits = %#x", bits)
+	}
+}
+
+func TestArrayAndStringEncoding(t *testing.T) {
+	_, d := build(t)
+	off := d.GlobalAddr["arr"] - d.Base
+	if int16(binary.LittleEndian.Uint16(d.Bytes[off+2:])) != -2 {
+		t.Error("negative short element wrong")
+	}
+	soff := d.GlobalAddr["msg"] - d.Base
+	if string(d.Bytes[soff:soff+2]) != "ab" || d.Bytes[soff+2] != 0 {
+		t.Errorf("string bytes = % x", d.Bytes[soff:soff+3])
+	}
+}
+
+func TestGlobalToGlobalPointer(t *testing.T) {
+	_, d := build(t)
+	off := d.GlobalAddr["ptr"] - d.Base
+	got := binary.LittleEndian.Uint64(d.Bytes[off:])
+	if got != d.GlobalAddr["counter"] {
+		t.Errorf("ptr = %#x, want address of counter %#x", got, d.GlobalAddr["counter"])
+	}
+}
+
+func TestFunctionFixups(t *testing.T) {
+	m, d := build(t)
+	if len(d.FuncFixups) != 2 {
+		t.Fatalf("%d function fixups, want 2", len(d.FuncFixups))
+	}
+	addrs := map[string]uint64{"f": 0xAAAA0, "g": 0xBBBB0}
+	if err := d.PatchFuncAddrs(m, func(name string) (uint64, bool) {
+		a, ok := addrs[name]
+		return a, ok
+	}); err != nil {
+		t.Fatal(err)
+	}
+	off := d.GlobalAddr["fptab"] - d.Base
+	if got := binary.LittleEndian.Uint64(d.Bytes[off:]); got != 0xAAAA0 {
+		t.Errorf("fptab[0] = %#x", got)
+	}
+	if got := binary.LittleEndian.Uint64(d.Bytes[off+8:]); got != 0xBBBB0 {
+		t.Errorf("fptab[1] = %#x", got)
+	}
+}
+
+func TestAlignmentOfGlobals(t *testing.T) {
+	_, d := build(t)
+	if d.GlobalAddr["counter"]%8 != 0 {
+		t.Error("long global not 8-aligned")
+	}
+	if d.GlobalAddr["pair"]%8 != 0 {
+		t.Error("struct with double not 8-aligned")
+	}
+	// external globals get zeroed space
+	if _, ok := d.GlobalAddr["ext"]; !ok {
+		t.Error("external global has no address")
+	}
+}

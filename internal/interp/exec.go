@@ -1,0 +1,508 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"llva/internal/core"
+	"llva/internal/mem"
+)
+
+// canon truncates a raw 64-bit word to the width of type t and re-extends
+// it to the canonical in-register form: sign-extended for signed integer
+// types, zero-extended otherwise.
+func canon(t *core.Type, v uint64) uint64 {
+	switch t.Kind() {
+	case core.BoolKind:
+		return v & 1
+	case core.UByteKind:
+		return uint64(uint8(v))
+	case core.SByteKind:
+		return uint64(int64(int8(v)))
+	case core.UShortKind:
+		return uint64(uint16(v))
+	case core.ShortKind:
+		return uint64(int64(int16(v)))
+	case core.UIntKind:
+		return uint64(uint32(v))
+	case core.IntKind:
+		return uint64(int64(int32(v)))
+	case core.FloatKind:
+		// Canonical float form: the float64 bits of the float32 value.
+		return math.Float64bits(float64(float32(math.Float64frombits(v))))
+	}
+	return v
+}
+
+// constBits converts a scalar constant to its canonical word.
+func (ip *Interp) constBits(c *core.Constant) (uint64, *trap) {
+	switch c.CK {
+	case core.ConstInt, core.ConstBool:
+		return canon(c.Type(), c.I), nil
+	case core.ConstFloat:
+		return canon(c.Type(), math.Float64bits(c.F)), nil
+	case core.ConstNull, core.ConstZero, core.ConstUndef:
+		return 0, nil
+	case core.ConstGlobal:
+		switch ref := c.Ref.(type) {
+		case *core.GlobalVariable:
+			return ip.data.GlobalAddr[ref.Name()], nil
+		case *core.Function:
+			return ip.funcAddr[ref.Name()], nil
+		}
+	}
+	return 0, &trap{kind: trapFatal, err: fmt.Errorf("interp: non-scalar constant operand %s", c.Ident())}
+}
+
+func (ip *Interp) operand(fr *frame, v core.Value) (uint64, *trap) {
+	switch x := v.(type) {
+	case *core.Constant:
+		return ip.constBits(x)
+	case *core.GlobalVariable:
+		return ip.data.GlobalAddr[x.Name()], nil
+	case *core.Function:
+		return ip.funcAddr[x.Name()], nil
+	case *core.Argument, *core.Instruction:
+		w, ok := fr.vals[v]
+		if !ok {
+			return 0, &trap{kind: trapFatal,
+				err: fmt.Errorf("interp: use of undefined value %s in %%%s", v.Ident(), fr.fn.Name())}
+		}
+		return w, nil
+	}
+	return 0, &trap{kind: trapFatal, err: fmt.Errorf("interp: bad operand %T", v)}
+}
+
+func (ip *Interp) execInstr(fr *frame, in *core.Instruction) (uint64, *trap) {
+	op := in.Op()
+	switch {
+	case op == core.OpShl || op == core.OpShr:
+		x, tr := ip.operand(fr, in.Operand(0))
+		if tr != nil {
+			return 0, tr
+		}
+		amt, tr := ip.operand(fr, in.Operand(1))
+		if tr != nil {
+			return 0, tr
+		}
+		return ip.shift(op, in.Type(), x, amt), nil
+	case op.IsBinary():
+		x, tr := ip.operand(fr, in.Operand(0))
+		if tr != nil {
+			return 0, tr
+		}
+		y, tr := ip.operand(fr, in.Operand(1))
+		if tr != nil {
+			return 0, tr
+		}
+		return ip.binary(in, op, in.Operand(0).Type(), x, y)
+	}
+	switch op {
+	case core.OpLoad:
+		addr, tr := ip.operand(fr, in.Operand(0))
+		if tr != nil {
+			return 0, tr
+		}
+		return ip.load(in, in.Type(), addr)
+	case core.OpStore:
+		v, tr := ip.operand(fr, in.Operand(0))
+		if tr != nil {
+			return 0, tr
+		}
+		addr, tr := ip.operand(fr, in.Operand(1))
+		if tr != nil {
+			return 0, tr
+		}
+		return 0, ip.store(in, in.Operand(0).Type(), addr, v)
+	case core.OpGetElementPtr:
+		return ip.gep(fr, in)
+	case core.OpAlloca:
+		count := uint64(1)
+		if in.NumOperands() == 1 {
+			c, tr := ip.operand(fr, in.Operand(0))
+			if tr != nil {
+				return 0, tr
+			}
+			count = c
+		}
+		size := uint64(ip.lay.Size(in.Allocated)) * count
+		addr, err := ip.mem.PushStack(size)
+		if err != nil {
+			return 0, ip.deliver(TrapMemoryFault, err)
+		}
+		// Zero the stack allocation for deterministic behaviour across
+		// engines.
+		b, _ := ip.mem.Bytes(addr, size)
+		clear(b)
+		return addr, nil
+	case core.OpCast:
+		x, tr := ip.operand(fr, in.Operand(0))
+		if tr != nil {
+			return 0, tr
+		}
+		return castBits(in.Operand(0).Type(), in.Type(), x), nil
+	case core.OpCall:
+		v, _, tr := ip.execCall(fr, in)
+		return v, tr
+	}
+	return 0, &trap{kind: trapFatal, err: fmt.Errorf("interp: unexpected opcode %s", op)}
+}
+
+func (ip *Interp) execTerminator(fr *frame, in *core.Instruction) (uint64, *core.BasicBlock, *trap) {
+	switch in.Op() {
+	case core.OpRet:
+		if in.NumOperands() == 0 {
+			return 0, nil, nil
+		}
+		v, tr := ip.operand(fr, in.Operand(0))
+		return v, nil, tr
+	case core.OpBr:
+		if in.NumBlocks() == 1 {
+			return 0, in.Block(0), nil
+		}
+		c, tr := ip.operand(fr, in.Operand(0))
+		if tr != nil {
+			return 0, nil, tr
+		}
+		if c&1 != 0 {
+			return 0, in.Block(0), nil
+		}
+		return 0, in.Block(1), nil
+	case core.OpMbr:
+		v, tr := ip.operand(fr, in.Operand(0))
+		if tr != nil {
+			return 0, nil, tr
+		}
+		sv := int64(v)
+		for i, cv := range in.Cases {
+			if cv == sv {
+				return 0, in.Block(i + 1), nil
+			}
+		}
+		return 0, in.Block(0), nil
+	case core.OpInvoke:
+		v, unwound, tr := ip.execCall(fr, in)
+		if tr != nil {
+			return 0, nil, tr
+		}
+		if unwound {
+			return 0, in.Block(1), nil
+		}
+		if in.HasResult() {
+			fr.vals[in] = v
+		}
+		return 0, in.Block(0), nil
+	case core.OpUnwind:
+		return 0, nil, &trap{kind: trapUnwind}
+	}
+	return 0, nil, &trap{kind: trapFatal, err: fmt.Errorf("interp: bad terminator %s", in.Op())}
+}
+
+// execCall evaluates a call or invoke. For invoke, a trapUnwind from the
+// callee is caught here and reported via the unwound flag.
+func (ip *Interp) execCall(fr *frame, in *core.Instruction) (uint64, bool, *trap) {
+	cv, tr := ip.operand(fr, in.Callee())
+	if tr != nil {
+		return 0, false, tr
+	}
+	callee, ok := ip.addrFunc[cv]
+	if !ok {
+		return 0, false, ip.deliver(TrapMemoryFault,
+			fmt.Errorf("indirect call through non-function address 0x%x", cv))
+	}
+	args := make([]uint64, 0, in.NumOperands()-1)
+	for _, a := range in.CallArgs() {
+		w, tr := ip.operand(fr, a)
+		if tr != nil {
+			return 0, false, tr
+		}
+		args = append(args, w)
+	}
+	v, tr := ip.call(callee, args)
+	if tr != nil && tr.kind == trapUnwind && in.Op() == core.OpInvoke {
+		return 0, true, nil
+	}
+	return v, false, tr
+}
+
+func (ip *Interp) load(in *core.Instruction, t *core.Type, addr uint64) (uint64, *trap) {
+	size := int(ip.lay.Size(t))
+	v, err := ip.mem.Load(addr, size)
+	if err != nil {
+		if !in.ExceptionsEnabled {
+			ip.ignored()
+			return 0, nil
+		}
+		return 0, ip.deliver(TrapMemoryFault, err)
+	}
+	if t.IsFloat() {
+		if t.Kind() == core.FloatKind {
+			return math.Float64bits(float64(math.Float32frombits(uint32(v)))), nil
+		}
+		return v, nil
+	}
+	return canon(t, v), nil
+}
+
+func (ip *Interp) store(in *core.Instruction, t *core.Type, addr, v uint64) *trap {
+	size := int(ip.lay.Size(t))
+	w := v
+	if t.Kind() == core.FloatKind {
+		w = uint64(math.Float32bits(float32(math.Float64frombits(v))))
+	}
+	if err := ip.mem.Store(addr, size, w); err != nil {
+		if !in.ExceptionsEnabled {
+			ip.ignored()
+			return nil
+		}
+		return ip.deliver(TrapMemoryFault, err)
+	}
+	return nil
+}
+
+func (ip *Interp) gep(fr *frame, in *core.Instruction) (uint64, *trap) {
+	base, tr := ip.operand(fr, in.Operand(0))
+	if tr != nil {
+		return 0, tr
+	}
+	cur := in.Operand(0).Type().Elem()
+	addr := base
+	for i, idxOp := range in.Operands()[1:] {
+		idx, tr := ip.operand(fr, idxOp)
+		if tr != nil {
+			return 0, tr
+		}
+		sidx := int64(idx)
+		if i == 0 {
+			addr += uint64(sidx * ip.lay.Size(cur))
+			continue
+		}
+		switch cur.Kind() {
+		case core.StructKind:
+			fi := int(sidx)
+			addr += uint64(ip.lay.FieldOffset(cur, fi))
+			cur = cur.Fields()[fi]
+		case core.ArrayKind:
+			cur = cur.Elem()
+			addr += uint64(sidx * ip.lay.Size(cur))
+		default:
+			return 0, &trap{kind: trapFatal, err: fmt.Errorf("interp: GEP into %s", cur)}
+		}
+	}
+	return addr, nil
+}
+
+func (ip *Interp) shift(op core.Opcode, t *core.Type, x, amt uint64) uint64 {
+	bits := uint64(8 * ip.lay.Size(t))
+	s := amt & 0xff
+	if s >= bits {
+		if op == core.OpShr && t.IsSigned() && int64(x) < 0 {
+			return canon(t, ^uint64(0))
+		}
+		return 0
+	}
+	switch op {
+	case core.OpShl:
+		return canon(t, x<<s)
+	default: // OpShr: arithmetic for signed, logical for unsigned
+		if t.IsSigned() {
+			return canon(t, uint64(int64(x)>>s))
+		}
+		// operate on the truncated unsigned value
+		return canon(t, truncTo(t, x)>>s)
+	}
+}
+
+func truncTo(t *core.Type, v uint64) uint64 {
+	switch t.Kind() {
+	case core.UByteKind, core.SByteKind:
+		return v & 0xff
+	case core.UShortKind, core.ShortKind:
+		return v & 0xffff
+	case core.UIntKind, core.IntKind:
+		return v & 0xffffffff
+	case core.BoolKind:
+		return v & 1
+	}
+	return v
+}
+
+func (ip *Interp) binary(in *core.Instruction, op core.Opcode, t *core.Type, x, y uint64) (uint64, *trap) {
+	if t.IsFloat() {
+		return floatBinary(op, t, x, y), nil
+	}
+	// Pointers and booleans only support comparisons (and bool bitwise).
+	if op.IsComparison() {
+		var eq, lt bool
+		if t.IsSigned() {
+			eq, lt = int64(x) == int64(y), int64(x) < int64(y)
+		} else {
+			a, b := truncTo(t, x), truncTo(t, y)
+			if t.Kind() == core.PointerKind {
+				a, b = x, y
+			}
+			eq, lt = a == b, a < b
+		}
+		return cmpBits(op, eq, lt), nil
+	}
+	switch op {
+	case core.OpAdd:
+		return canon(t, x+y), nil
+	case core.OpSub:
+		return canon(t, x-y), nil
+	case core.OpMul:
+		return canon(t, x*y), nil
+	case core.OpDiv, core.OpRem:
+		if truncTo(t, y) == 0 {
+			if !in.ExceptionsEnabled {
+				ip.ignored()
+				return 0, nil
+			}
+			return 0, ip.deliver(TrapDivByZero, fmt.Errorf("%s by zero", op))
+		}
+		if t.IsSigned() {
+			a, b := int64(x), int64(y)
+			if a == math.MinInt64 && b == -1 {
+				if !in.ExceptionsEnabled {
+					ip.ignored()
+					return 0, nil
+				}
+				return 0, ip.deliver(TrapDivByZero, fmt.Errorf("%s overflow", op))
+			}
+			if op == core.OpDiv {
+				return canon(t, uint64(a/b)), nil
+			}
+			return canon(t, uint64(a%b)), nil
+		}
+		a, b := truncTo(t, x), truncTo(t, y)
+		if op == core.OpDiv {
+			return canon(t, a/b), nil
+		}
+		return canon(t, a%b), nil
+	case core.OpAnd:
+		return canon(t, x&y), nil
+	case core.OpOr:
+		return canon(t, x|y), nil
+	case core.OpXor:
+		return canon(t, x^y), nil
+	}
+	return 0, &trap{kind: trapFatal, err: fmt.Errorf("interp: bad binary op %s on %s", op, t)}
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// cmpBits maps (eq, lt) flags through the comparison opcode.
+func cmpBits(op core.Opcode, eq, lt bool) uint64 {
+	var r bool
+	switch op {
+	case core.OpSetEQ:
+		r = eq
+	case core.OpSetNE:
+		r = !eq
+	case core.OpSetLT:
+		r = lt
+	case core.OpSetGE:
+		r = !lt
+	case core.OpSetGT:
+		r = !lt && !eq
+	case core.OpSetLE:
+		r = lt || eq
+	}
+	return uint64(boolToInt(r))
+}
+
+func floatBinary(op core.Opcode, t *core.Type, x, y uint64) uint64 {
+	a, b := math.Float64frombits(x), math.Float64frombits(y)
+	var r float64
+	switch op {
+	case core.OpAdd:
+		r = a + b
+	case core.OpSub:
+		r = a - b
+	case core.OpMul:
+		r = a * b
+	case core.OpDiv:
+		r = a / b
+	case core.OpRem:
+		r = math.Mod(a, b)
+	case core.OpSetEQ:
+		return uint64(boolToInt(a == b))
+	case core.OpSetNE:
+		return uint64(boolToInt(a != b))
+	case core.OpSetLT:
+		return uint64(boolToInt(a < b))
+	case core.OpSetGT:
+		return uint64(boolToInt(a > b))
+	case core.OpSetLE:
+		return uint64(boolToInt(a <= b))
+	case core.OpSetGE:
+		return uint64(boolToInt(a >= b))
+	}
+	return canon(t, math.Float64bits(r))
+}
+
+// castBits implements the cast instruction on canonical words.
+func castBits(from, to *core.Type, v uint64) uint64 {
+	switch {
+	case from == to:
+		return v
+	case from.IsFloat():
+		f := math.Float64frombits(v)
+		switch {
+		case to.IsFloat():
+			return canon(to, v)
+		case to.Kind() == core.BoolKind:
+			return uint64(boolToInt(f != 0))
+		case to.IsInteger():
+			if math.IsNaN(f) {
+				return 0
+			}
+			if to.IsSigned() || f < 0 {
+				return canon(to, uint64(int64(clampF(f))))
+			}
+			return canon(to, uint64(clampFU(f)))
+		}
+		return 0
+	case to.IsFloat():
+		// integer/bool/pointer to float
+		if from.IsSigned() {
+			return canon(to, math.Float64bits(float64(int64(v))))
+		}
+		return canon(to, math.Float64bits(float64(truncTo(from, v))))
+	default:
+		// int/bool/pointer to int/bool/pointer: the canonical form
+		// already carries the source's extension; re-canonicalize at the
+		// destination width.
+		if to.Kind() == core.BoolKind {
+			return uint64(boolToInt(truncTo(from, v) != 0))
+		}
+		return canon(to, v)
+	}
+}
+
+func clampF(f float64) float64 {
+	if f > math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if f < math.MinInt64 {
+		return math.MinInt64
+	}
+	return f
+}
+
+func clampFU(f float64) uint64 {
+	if f >= math.MaxUint64 {
+		return math.MaxUint64
+	}
+	if f < 0 {
+		return 0
+	}
+	return uint64(f)
+}
+
+var _ = mem.NullGuard

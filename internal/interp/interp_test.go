@@ -1,0 +1,413 @@
+package interp
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"llva/internal/asm"
+	"llva/internal/core"
+	"llva/internal/rt"
+)
+
+func mustParse(t *testing.T, src string) *core.Module {
+	t.Helper()
+	m, err := asm.Parse("test", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return m
+}
+
+func run(t *testing.T, src, fn string, args ...uint64) (uint64, string) {
+	t.Helper()
+	m := mustParse(t, src)
+	var out strings.Builder
+	ip, err := New(m, &out)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	v, err := ip.Run(fn, args...)
+	if err != nil {
+		t.Fatalf("Run(%s): %v\noutput: %s", fn, err, out.String())
+	}
+	return v, out.String()
+}
+
+func TestFactorialRecursive(t *testing.T) {
+	src := `
+int %fact(int %n) {
+entry:
+    %isbase = setle int %n, 1
+    br bool %isbase, label %base, label %rec
+base:
+    ret int 1
+rec:
+    %n1 = sub int %n, 1
+    %f = call int %fact(int %n1)
+    %r = mul int %n, %f
+    ret int %r
+}
+`
+	v, _ := run(t, src, "fact", 10)
+	if int32(v) != 3628800 {
+		t.Errorf("fact(10) = %d, want 3628800", int32(v))
+	}
+}
+
+func TestLoopWithPhi(t *testing.T) {
+	src := `
+long %sumto(long %n) {
+entry:
+    br label %loop
+loop:
+    %i = phi long [ 0, %entry ], [ %i.next, %loop ]
+    %sum = phi long [ 0, %entry ], [ %sum.next, %loop ]
+    %sum.next = add long %sum, %i
+    %i.next = add long %i, 1
+    %done = setgt long %i.next, %n
+    br bool %done, label %exit, label %loop
+exit:
+    ret long %sum.next
+}
+`
+	v, _ := run(t, src, "sumto", 100)
+	if int64(v) != 5050 {
+		t.Errorf("sumto(100) = %d, want 5050", int64(v))
+	}
+}
+
+func TestGlobalsAndMemory(t *testing.T) {
+	src := `
+%counter = global long 41
+%msg = constant [6 x ubyte] "hello"
+
+declare void %print_str(sbyte* %s)
+
+long %bump() {
+entry:
+    %v = load long* %counter
+    %v1 = add long %v, 1
+    store long %v1, long* %counter
+    %p = getelementptr [6 x ubyte]* %msg, long 0, long 0
+    %p8 = cast ubyte* %p to sbyte*
+    call void %print_str(sbyte* %p8)
+    ret long %v1
+}
+`
+	v, out := run(t, src, "bump")
+	if int64(v) != 42 {
+		t.Errorf("bump() = %d, want 42", int64(v))
+	}
+	if out != "hello" {
+		t.Errorf("output = %q, want %q", out, "hello")
+	}
+}
+
+func TestHeapAllocation(t *testing.T) {
+	src := `
+declare sbyte* %malloc(ulong %n)
+declare void %free(sbyte* %p)
+
+long %sumarray(long %n) {
+entry:
+    %bytes = mul long %n, 8
+    %ub = cast long %bytes to ulong
+    %raw = call sbyte* %malloc(ulong %ub)
+    %arr = cast sbyte* %raw to long*
+    br label %fill
+fill:
+    %i = phi long [ 0, %entry ], [ %i2, %fill ]
+    %slot = getelementptr long* %arr, long %i
+    store long %i, long* %slot
+    %i2 = add long %i, 1
+    %more = setlt long %i2, %n
+    br bool %more, label %fill, label %sum
+sum:
+    %j = phi long [ 0, %fill ], [ %j2, %sum ]
+    %acc = phi long [ 0, %fill ], [ %acc2, %sum ]
+    %slot2 = getelementptr long* %arr, long %j
+    %v = load long* %slot2
+    %acc2 = add long %acc, %v
+    %j2 = add long %j, 1
+    %more2 = setlt long %j2, %n
+    br bool %more2, label %sum, label %done
+done:
+    call void %free(sbyte* %raw)
+    ret long %acc2
+}
+`
+	v, _ := run(t, src, "sumarray", 100)
+	if int64(v) != 4950 {
+		t.Errorf("sumarray(100) = %d, want 4950", int64(v))
+	}
+}
+
+func TestInvokeUnwind(t *testing.T) {
+	src := `
+void %thrower(int %x) {
+entry:
+    %bad = setgt int %x, 10
+    br bool %bad, label %throw, label %ok
+throw:
+    unwind
+ok:
+    ret void
+}
+
+int %catcher(int %x) {
+entry:
+    invoke void %thrower(int %x) to label %normal unwind label %handler
+normal:
+    ret int 0
+handler:
+    ret int 1
+}
+`
+	v, _ := run(t, src, "catcher", 5)
+	if v != 0 {
+		t.Errorf("catcher(5) = %d, want 0 (normal path)", v)
+	}
+	v, _ = run(t, src, "catcher", 20)
+	if v != 1 {
+		t.Errorf("catcher(20) = %d, want 1 (unwind path)", v)
+	}
+}
+
+func TestUnwindCrossesFrames(t *testing.T) {
+	src := `
+void %inner() {
+entry:
+    unwind
+}
+void %middle() {
+entry:
+    call void %inner()
+    ret void
+}
+int %outer() {
+entry:
+    invoke void %middle() to label %n unwind label %h
+n:
+    ret int 0
+h:
+    ret int 7
+}
+`
+	v, _ := run(t, src, "outer")
+	if v != 7 {
+		t.Errorf("outer() = %d, want 7: unwind must cross plain call frames", v)
+	}
+}
+
+func TestExceptionsDisabledDivide(t *testing.T) {
+	// div has ExceptionsEnabled true by default; !noexc suppresses the
+	// trap and yields 0 (paper, Section 3.3).
+	src := `
+int %f(int %x) {
+entry:
+    %q = div int %x, 0 !noexc
+    ret int %q
+}
+`
+	v, _ := run(t, src, "f", 100)
+	if v != 0 {
+		t.Errorf("suppressed div-by-zero = %d, want 0", v)
+	}
+}
+
+func TestExceptionsEnabledDivideTraps(t *testing.T) {
+	src := `
+int %f(int %x) {
+entry:
+    %q = div int %x, 0
+    ret int %q
+}
+`
+	m := mustParse(t, src)
+	var out strings.Builder
+	ip, err := New(m, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ip.Run("f", 100)
+	te, ok := err.(*TrapError)
+	if !ok {
+		t.Fatalf("err = %v, want TrapError", err)
+	}
+	if te.Num != TrapDivByZero {
+		t.Errorf("trap num = %d, want %d", te.Num, TrapDivByZero)
+	}
+}
+
+func TestNullLoadTraps(t *testing.T) {
+	src := `
+int %f() {
+entry:
+    %p = cast long 0 to int*
+    %v = load int* %p
+    ret int %v
+}
+`
+	m := mustParse(t, src)
+	var out strings.Builder
+	ip, err := New(m, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ip.Run("f")
+	if te, ok := err.(*TrapError); !ok || te.Num != TrapMemoryFault {
+		t.Fatalf("err = %v, want memory-fault TrapError", err)
+	}
+}
+
+func TestSMCReplaceAffectsNextInvocation(t *testing.T) {
+	src := `
+declare void %llva.smc.replace(sbyte* %target, sbyte* %source)
+
+int %v1() {
+entry:
+    ret int 1
+}
+int %v2() {
+entry:
+    ret int 2
+}
+int %driver() {
+entry:
+    %a = call int %v1()
+    %t = cast int ()* %v1 to sbyte*
+    %s = cast int ()* %v2 to sbyte*
+    call void %llva.smc.replace(sbyte* %t, sbyte* %s)
+    %b = call int %v1()
+    %c = mul int %a, 10
+    %r = add int %c, %b
+    ret int %r
+}
+`
+	v, _ := run(t, src, "driver")
+	if int32(v) != 12 {
+		t.Errorf("driver() = %d, want 12 (1 before replace, 2 after)", int32(v))
+	}
+}
+
+func TestMbr(t *testing.T) {
+	src := `
+int %classify(int %x) {
+entry:
+    mbr int %x, label %other [ int 0, label %zero, int 1, label %one, int 2, label %two ]
+zero:
+    ret int 100
+one:
+    ret int 200
+two:
+    ret int 300
+other:
+    ret int 999
+}
+`
+	cases := map[uint64]int32{0: 100, 1: 200, 2: 300, 7: 999}
+	for in, want := range cases {
+		v, _ := run(t, src, "classify", in)
+		if int32(v) != want {
+			t.Errorf("classify(%d) = %d, want %d", in, int32(v), want)
+		}
+	}
+}
+
+func TestFloatArithmetic(t *testing.T) {
+	src := `
+double %hyp2(double %a, double %b) {
+entry:
+    %aa = mul double %a, %a
+    %bb = mul double %b, %b
+    %s = add double %aa, %bb
+    ret double %s
+}
+`
+	m := mustParse(t, src)
+	var out strings.Builder
+	ip, err := New(m, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ip.Run("hyp2", f64bits(3), f64bits(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f64frombits(v); got != 25 {
+		t.Errorf("hyp2(3,4) = %v, want 25", got)
+	}
+}
+
+func TestTrapHandlerInvoked(t *testing.T) {
+	src := `
+declare void %llva.trap.register(uint %num, sbyte* %handler)
+declare void %print_str(sbyte* %s)
+
+%msg = constant [9 x ubyte] "handled!"
+
+void %handler(uint %num, sbyte* %info) {
+entry:
+    %p = getelementptr [9 x ubyte]* %msg, long 0, long 0
+    %p8 = cast ubyte* %p to sbyte*
+    call void %print_str(sbyte* %p8)
+    ret void
+}
+
+int %main() {
+entry:
+    %h = cast void (uint, sbyte*)* %handler to sbyte*
+    call void %llva.trap.register(uint 2, sbyte* %h)
+    %q = div int 1, 0
+    ret int %q
+}
+`
+	m := mustParse(t, src)
+	var out strings.Builder
+	ip, err := New(m, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = ip.Run("main")
+	if _, ok := err.(*TrapError); !ok {
+		t.Fatalf("err = %v, want TrapError after handler returns", err)
+	}
+	if out.String() != "handled!" {
+		t.Errorf("handler output = %q, want %q", out.String(), "handled!")
+	}
+}
+
+func TestExitExternal(t *testing.T) {
+	src := `
+declare void %exit(long %code)
+int %main() {
+entry:
+    call void %exit(long 42)
+    ret int 0
+}
+`
+	m := mustParse(t, src)
+	var out strings.Builder
+	ip, err := New(m, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := ip.RunMain()
+	if err != nil {
+		t.Fatalf("RunMain: %v", err)
+	}
+	if code != 42 {
+		t.Errorf("exit code = %d, want 42", code)
+	}
+	_ = rt.Signatures()
+}
+
+func f64bits(f float64) uint64 { return math.Float64bits(f) }
+
+func f64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// tiny wrappers keep the test file free of a math import alias clash

@@ -1,0 +1,128 @@
+package llee
+
+import (
+	"strings"
+	"testing"
+
+	"llva/internal/minic"
+	"llva/internal/target"
+)
+
+const hotProg = `
+static int classify(int n) {
+	if (n % 7 == 0) return 3;      /* cold */
+	if (n % 2 == 0) return 1;      /* warm */
+	return 2;                       /* hot-ish */
+}
+int main() {
+	int i, acc = 0;
+	for (i = 0; i < 3000; i++) acc += classify(i);
+	print_int(acc); print_nl();
+	return 0;
+}
+`
+
+// TestIdleTimePGO drives the paper's Section 4.2 loop: run + profile,
+// idle-time reoptimize into the cache, then a warm run executes the
+// trace-optimized translation with no online translation at all.
+func TestIdleTimePGO(t *testing.T) {
+	st := NewMemStorage()
+
+	// Session 1: normal run, then profile gathering (transparent to the
+	// user in the paper; explicit here).
+	m1, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out1 strings.Builder
+	mg1, err := NewManager(m1, target.VSPARC, &out1, WithStorage(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg1.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg1.GatherProfile("main"); err != nil {
+		t.Fatal(err)
+	}
+	baseCycles := mg1.Machine().Stats.Cycles
+
+	// Idle time: reoptimize with the stored profile.
+	m2, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg2, err := NewManager(m2, target.VSPARC, &strings.Builder{}, WithStorage(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := mg2.IdleTimeOptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Traces == 0 {
+		t.Error("idle-time optimization formed no traces")
+	}
+
+	// Session 2: the user runs again — pure cache hit on optimized code,
+	// identical output, and no regression in simulated cycles.
+	m3, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out3 strings.Builder
+	mg3, err := NewManager(m3, target.VSPARC, &out3, WithStorage(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg3.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if !mg3.Stats.CacheHit {
+		t.Error("post-idle-time run missed the cache")
+	}
+	if mg3.Stats.Translations != 0 {
+		t.Errorf("post-idle-time run translated %d functions online", mg3.Stats.Translations)
+	}
+	if out3.String() != out1.String() {
+		t.Errorf("optimized output differs: %q vs %q", out3.String(), out1.String())
+	}
+	optCycles := mg3.Machine().Stats.Cycles
+	if optCycles > baseCycles+baseCycles/50 {
+		t.Errorf("idle-time optimization regressed cycles: %d -> %d", baseCycles, optCycles)
+	}
+	t.Logf("cycles: %d -> %d; traces=%d coverage=%.0f%%",
+		baseCycles, optCycles, stats.Traces, stats.Coverage*100)
+}
+
+// TestIdleTimeWithoutProfile falls back to a plain offline translation.
+func TestIdleTimeWithoutProfile(t *testing.T) {
+	st := NewMemStorage()
+	m, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := NewManager(m, target.VX86, &strings.Builder{}, WithStorage(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := mg.IdleTimeOptimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Traces != 0 {
+		t.Error("traces formed with no profile")
+	}
+	// And the translation landed in the cache.
+	m2, _ := minic.Compile("hot.c", hotProg)
+	mg2, err := NewManager(m2, target.VX86, &strings.Builder{}, WithStorage(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg2.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if !mg2.Stats.CacheHit {
+		t.Error("offline translation did not populate the cache")
+	}
+}

@@ -1,0 +1,301 @@
+package llee
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/machine"
+	"llva/internal/mem"
+	"llva/internal/obj"
+	"llva/internal/rt"
+	"llva/internal/target"
+)
+
+// Manager is one LLEE instance managing the execution of one LLVA program
+// on one simulated processor. It implements the paper's translation
+// strategy: look for a cached translation, validate its stamp, load and
+// relocate it, and fall back to the JIT compiler on the entry function
+// when any condition fails; newly translated code is written back to the
+// offline cache when the storage API is available (Section 4.1).
+type Manager struct {
+	Module *core.Module
+	desc   *target.Desc
+
+	storage Storage // nil: no OS storage API registered
+	tr      *codegen.Translator
+	env     *rt.Env
+	mc      *machine.Machine
+
+	objStamp string
+	// redirect implements llva.smc.replace: function -> replacement body.
+	redirect map[string]string
+	// translated accumulates this session's JIT output for write-back.
+	translated map[string]*codegen.NativeFunc
+	// storageAPIAddr records the address registered via
+	// llva.storage.register (exposed to trap handlers/tools).
+	storageAPIAddr uint64
+
+	// Stats describes what the execution manager did.
+	Stats struct {
+		CacheHit      bool
+		CacheMisses   int
+		Translations  int
+		TranslateNS   int64
+		Invalidations int
+	}
+}
+
+// Option configures a Manager.
+type Option func(*config)
+
+type config struct {
+	storage Storage
+	memSize uint64
+}
+
+// WithStorage registers the OS storage API implementation. Without it
+// the manager always translates online, exactly like DAISY and Crusoe
+// (paper, Section 4.1).
+func WithStorage(s Storage) Option { return func(c *config) { c.storage = s } }
+
+// WithMemSize sets the simulated machine's address-space size.
+func WithMemSize(n uint64) Option { return func(c *config) { c.memSize = n } }
+
+// NewManager creates an execution manager for module m on target d,
+// writing program output to out.
+func NewManager(m *core.Module, d *target.Desc, out io.Writer, opts ...Option) (*Manager, error) {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	tr, err := codegen.New(d, m)
+	if err != nil {
+		return nil, err
+	}
+	env := rt.NewEnv(mem.New(cfg.memSize, m.LittleEndian), out)
+	mc, err := machine.New(d, m, env)
+	if err != nil {
+		return nil, err
+	}
+	// The module stamp ties cached translations to this exact virtual
+	// object code.
+	enc, err := obj.Encode(m)
+	if err != nil {
+		return nil, err
+	}
+	mg := &Manager{
+		Module:     m,
+		desc:       d,
+		storage:    cfg.storage,
+		tr:         tr,
+		env:        env,
+		mc:         mc,
+		objStamp:   Stamp(enc),
+		redirect:   make(map[string]string),
+		translated: make(map[string]*codegen.NativeFunc),
+	}
+	mc.OnJIT = mg.onJIT
+	mc.OnIntrinsic = mg.onIntrinsic
+	return mg, nil
+}
+
+// Machine exposes the underlying simulated processor (for statistics).
+func (mg *Manager) Machine() *machine.Machine { return mg.mc }
+
+// Env exposes the runtime environment.
+func (mg *Manager) Env() *rt.Env { return mg.env }
+
+func (mg *Manager) cacheKey() string {
+	return "native:" + mg.Module.Name + ":" + mg.desc.Name
+}
+
+// cachedObject is the gob-serialized cache payload.
+type cachedObject struct {
+	TargetName string
+	Module     string
+	Funcs      []*codegen.NativeFunc
+}
+
+// Run executes the entry function: cached translation when valid,
+// JIT-on-demand otherwise, with write-back of new translations.
+func (mg *Manager) Run(entry string, args ...uint64) (uint64, error) {
+	loaded := false
+	if mg.storage != nil {
+		if obj, ok, err := mg.readCache(); err != nil {
+			return 0, err
+		} else if ok {
+			if err := mg.mc.LoadObject(obj); err != nil {
+				return 0, err
+			}
+			mg.Stats.CacheHit = true
+			loaded = true
+		} else {
+			mg.Stats.CacheMisses++
+		}
+	}
+	if !loaded {
+		// Online translation: every call goes through a stub so SMC
+		// invalidation can take effect between invocations.
+		mg.mc.CallsViaStubs(true)
+		if err := mg.prepareJIT(); err != nil {
+			return 0, err
+		}
+	}
+	v, err := mg.mc.Run(entry, args...)
+	if werr := mg.writeBack(); werr != nil && err == nil {
+		err = werr
+	}
+	return v, err
+}
+
+// prepareJIT resolves data-segment function pointers to stubs.
+func (mg *Manager) prepareJIT() error {
+	return mg.mc.PrepareLazy()
+}
+
+// TranslateOffline compiles the whole module and stores it in the cache
+// without executing anything — the paper's "initiating execution ... but
+// flagging it for translation and not actual execution" during OS idle
+// time.
+func (mg *Manager) TranslateOffline() error {
+	if mg.storage == nil {
+		return fmt.Errorf("llee: offline translation requires the storage API")
+	}
+	start := time.Now()
+	nobj, err := mg.tr.TranslateModule()
+	if err != nil {
+		return err
+	}
+	mg.Stats.TranslateNS += time.Since(start).Nanoseconds()
+	mg.Stats.Translations += len(nobj.Funcs)
+	return mg.writeCache(nobj.Funcs)
+}
+
+func (mg *Manager) readCache() (*codegen.NativeObject, bool, error) {
+	data, stamp, ok, err := mg.storage.Read(mg.cacheKey())
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if stamp != mg.objStamp {
+		// Out-of-date translation: ignore it (the paper's timestamp
+		// check failing).
+		return nil, false, nil
+	}
+	var co cachedObject
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&co); err != nil {
+		return nil, false, fmt.Errorf("llee: corrupt cached translation: %w", err)
+	}
+	nobj := &codegen.NativeObject{TargetName: co.TargetName, Module: co.Module}
+	for _, f := range co.Funcs {
+		nobj.Add(f)
+	}
+	return nobj, true, nil
+}
+
+func (mg *Manager) writeCache(funcs []*codegen.NativeFunc) error {
+	var buf bytes.Buffer
+	co := cachedObject{TargetName: mg.desc.Name, Module: mg.Module.Name, Funcs: funcs}
+	if err := gob.NewEncoder(&buf).Encode(&co); err != nil {
+		return err
+	}
+	return mg.storage.Write(mg.cacheKey(), mg.objStamp, buf.Bytes())
+}
+
+// writeBack stores this session's JIT output (merged with any previously
+// cached functions) when storage is available and something new exists.
+func (mg *Manager) writeBack() error {
+	if mg.storage == nil || len(mg.translated) == 0 {
+		return nil
+	}
+	merged := make(map[string]*codegen.NativeFunc)
+	if old, ok, err := mg.readCache(); err == nil && ok {
+		for _, f := range old.Funcs {
+			merged[f.Name] = f
+		}
+	}
+	for n, f := range mg.translated {
+		merged[n] = f
+	}
+	funcs := make([]*codegen.NativeFunc, 0, len(merged))
+	for _, f := range mg.Module.Functions {
+		if nf, ok := merged[f.Name()]; ok {
+			funcs = append(funcs, nf)
+		}
+	}
+	return mg.writeCache(funcs)
+}
+
+// onJIT translates one function on demand (honoring SMC redirects) and
+// installs its code.
+func (mg *Manager) onJIT(name string) (uint64, error) {
+	body := name
+	if r, ok := mg.redirect[name]; ok {
+		body = r
+	}
+	f := mg.Module.Function(body)
+	if f == nil || f.IsDeclaration() {
+		return 0, fmt.Errorf("llee: no body for %%%s", body)
+	}
+	start := time.Now()
+	nf, err := mg.tr.TranslateFunction(f)
+	if err != nil {
+		return 0, err
+	}
+	mg.Stats.TranslateNS += time.Since(start).Nanoseconds()
+	mg.Stats.Translations++
+	nf.Name = name // install the (possibly replacement) body under the callee's name
+	addr, err := mg.mc.InstallCode(nf)
+	if err != nil {
+		return 0, err
+	}
+	if body == name {
+		mg.translated[name] = nf
+	}
+	return addr, nil
+}
+
+// onIntrinsic handles the intrinsics the machine delegates to the
+// execution manager: self-modifying code and the storage API registration.
+func (mg *Manager) onIntrinsic(name string, args []uint64) (uint64, error) {
+	switch name {
+	case "llva.smc.replace":
+		if len(args) < 2 {
+			return 0, fmt.Errorf("llva.smc.replace: missing arguments")
+		}
+		tgt, ok1 := mg.mc.NameAt(args[0])
+		src, ok2 := mg.mc.NameAt(args[1])
+		if !ok1 || !ok2 {
+			return 0, fmt.Errorf("llva.smc.replace: arguments are not functions")
+		}
+		ft, fs := mg.Module.Function(tgt), mg.Module.Function(src)
+		if ft == nil || fs == nil || ft.Signature() != fs.Signature() {
+			return 0, fmt.Errorf("llva.smc.replace: signature mismatch %%%s vs %%%s", tgt, src)
+		}
+		mg.redirect[tgt] = src
+		mg.Stats.Invalidations++
+		// Mark the generated code invalid; regenerated on next invocation
+		// (paper, Section 3.4).
+		return 0, mg.mc.InvalidateFunction(tgt)
+	case "llva.storage.register":
+		if len(args) > 0 {
+			mg.storageAPIAddr = args[0]
+		}
+		return 0, nil
+	case "llva.storage.get":
+		return mg.storageAPIAddr, nil
+	case "llva.trap.register":
+		// Recorded only: machine-level trap vectoring is outside the
+		// simulated processor's scope (the interpreter implements full
+		// handler dispatch).
+		return 0, nil
+	}
+	return 0, fmt.Errorf("llee: unhandled intrinsic %%%s", name)
+}
+
+// StorageAPIAddr reports the address registered via llva.storage.register.
+func (mg *Manager) StorageAPIAddr() uint64 { return mg.storageAPIAddr }

@@ -1,0 +1,164 @@
+// Package llee is the Low-Level Execution Environment: the transparent
+// execution manager of the paper's Section 4.1 and Figure 3. It
+// orchestrates translation — "offline translation when possible, online
+// translation whenever necessary" — through an OS-independent storage API
+// that an operating system MAY implement: caching of translated native
+// code and profile information is strictly optional and the system
+// operates correctly in its absence.
+package llee
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Storage is the V-ABI storage API (paper, Section 4.1): create, delete
+// and query offline caches; read and write vectors of bytes tagged by a
+// unique string name; and validate entries against a stamp recorded when
+// they were written (the paper's timestamp check — content stamps keep
+// the implementation hermetic and deterministic).
+type Storage interface {
+	// Write stores data under key with the given validation stamp.
+	Write(key string, stamp string, data []byte) error
+	// Read returns the data and stamp stored under key.
+	Read(key string) (data []byte, stamp string, ok bool, err error)
+	// Delete removes an entry (no-op when absent).
+	Delete(key string) error
+	// Keys lists stored keys (for cache inspection tools).
+	Keys() ([]string, error)
+}
+
+// Stamp computes the validation stamp of a blob (used to tie cached
+// translations to the exact virtual object code they were derived from).
+func Stamp(data []byte) string {
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:8])
+}
+
+// MemStorage is an in-memory Storage, the default for tests and for
+// systems whose OS has not registered a persistent implementation.
+type MemStorage struct {
+	mu sync.Mutex
+	m  map[string]memEntry
+}
+
+type memEntry struct {
+	stamp string
+	data  []byte
+}
+
+// NewMemStorage creates an empty in-memory store.
+func NewMemStorage() *MemStorage {
+	return &MemStorage{m: make(map[string]memEntry)}
+}
+
+// Write implements Storage.
+func (s *MemStorage) Write(key, stamp string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = memEntry{stamp: stamp, data: append([]byte(nil), data...)}
+	return nil
+}
+
+// Read implements Storage.
+func (s *MemStorage) Read(key string) ([]byte, string, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		return nil, "", false, nil
+	}
+	return append([]byte(nil), e.data...), e.stamp, true, nil
+}
+
+// Delete implements Storage.
+func (s *MemStorage) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+	return nil
+}
+
+// Keys implements Storage.
+func (s *MemStorage) Keys() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.m))
+	for k := range s.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// DirStorage persists cache entries as files in a directory — the role
+// played by the user-level disk cache in the paper's prototype.
+type DirStorage struct {
+	Dir string
+}
+
+// NewDirStorage creates the directory if needed.
+func NewDirStorage(dir string) (*DirStorage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStorage{Dir: dir}, nil
+}
+
+func (s *DirStorage) path(key string) string {
+	safe := strings.NewReplacer("/", "_", ":", "_", " ", "_").Replace(key)
+	return filepath.Join(s.Dir, safe+".llvacache")
+}
+
+// Write implements Storage: the stamp occupies the first line.
+func (s *DirStorage) Write(key, stamp string, data []byte) error {
+	blob := append([]byte(stamp+"\n"), data...)
+	return os.WriteFile(s.path(key), blob, 0o644)
+}
+
+// Read implements Storage.
+func (s *DirStorage) Read(key string) ([]byte, string, bool, error) {
+	blob, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, "", false, nil
+	}
+	if err != nil {
+		return nil, "", false, err
+	}
+	i := strings.IndexByte(string(blob), '\n')
+	if i < 0 {
+		return nil, "", false, fmt.Errorf("llee: corrupt cache entry %q", key)
+	}
+	return blob[i+1:], string(blob[:i]), true, nil
+}
+
+// Delete implements Storage.
+func (s *DirStorage) Delete(key string) error {
+	err := os.Remove(s.path(key))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+// Keys implements Storage.
+func (s *DirStorage) Keys() ([]string, error) {
+	ents, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".llvacache") {
+			out = append(out, strings.TrimSuffix(e.Name(), ".llvacache"))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

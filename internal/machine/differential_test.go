@@ -1,0 +1,187 @@
+package machine
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/interp"
+	"llva/internal/mem"
+	"llva/internal/rt"
+	"llva/internal/target"
+)
+
+// genFunc builds a random but well-formed LLVA function over mixed integer
+// widths, with arithmetic, comparisons, casts, shifts, selects (via
+// branches and phis) and memory traffic through an alloca — then the
+// differential test checks the interpreter and both simulated processors
+// compute the same result. All potentially-trapping operations carry
+// !noexc so random operands cannot abort execution.
+func genFunc(r *rand.Rand, m *core.Module, name string) *core.Function {
+	ctx := m.Types()
+	intTypes := []*core.Type{ctx.SByte(), ctx.UByte(), ctx.Short(),
+		ctx.UShort(), ctx.Int(), ctx.UInt(), ctx.Long(), ctx.ULong()}
+
+	long := ctx.Long()
+	f := m.NewFunction(name, ctx.Function(long, []*core.Type{long, long}, false))
+	b := core.NewBuilder(f)
+	entry := f.NewBlock("entry")
+	b.SetBlock(entry)
+
+	slot := b.Alloca(long, "slot")
+	b.Store(f.Params[0], slot)
+
+	// A pool of same-type value pairs to draw operands from.
+	vals := map[*core.Type][]core.Value{
+		long: {f.Params[0], f.Params[1], core.NewInt(long, int64(r.Uint64()))},
+	}
+	pick := func(t *core.Type) core.Value {
+		vs := vals[t]
+		if len(vs) == 0 {
+			c := core.NewUint(t, r.Uint64())
+			vals[t] = append(vals[t], c)
+			return c
+		}
+		return vs[r.Intn(len(vs))]
+	}
+	add := func(t *core.Type, v core.Value) { vals[t] = append(vals[t], v) }
+
+	dbl := ctx.Double()
+	flt := ctx.Float()
+	vals[dbl] = []core.Value{b.Cast(f.Params[0], dbl, "")}
+
+	n := 8 + r.Intn(24)
+	for i := 0; i < n; i++ {
+		t := intTypes[r.Intn(len(intTypes))]
+		switch r.Intn(9) {
+		case 0, 1: // binary arithmetic
+			ops := []func(x, y core.Value, n string) *core.Instruction{
+				b.Add, b.Sub, b.Mul, b.And, b.Or, b.Xor,
+			}
+			v := ops[r.Intn(len(ops))](pick(t), pick(t), "")
+			add(t, v)
+		case 2: // division (suppressed exceptions: random divisors may be 0)
+			v := b.Div(pick(t), pick(t), "")
+			v.ExceptionsEnabled = false
+			add(t, v)
+			w := b.Rem(pick(t), pick(t), "")
+			w.ExceptionsEnabled = false
+			add(t, w)
+		case 3: // shift
+			amt := core.NewUint(m.Types().UByte(), uint64(r.Intn(80)))
+			if r.Intn(2) == 0 {
+				add(t, b.Shl(pick(t), amt, ""))
+			} else {
+				add(t, b.Shr(pick(t), amt, ""))
+			}
+		case 4: // cast between random integer widths
+			from := intTypes[r.Intn(len(intTypes))]
+			add(t, b.Cast(pick(from), t, ""))
+		case 5: // comparison folded back into an integer
+			c := b.SetLT(pick(t), pick(t), "")
+			add(t, b.Cast(c, t, ""))
+		case 6: // memory round trip through the alloca
+			v := b.Cast(pick(t), long, "")
+			b.Store(v, slot)
+			add(long, b.Load(slot, ""))
+		case 7: // floating point: arithmetic, compares, width changes
+			ops := []func(x, y core.Value, n string) *core.Instruction{
+				b.Add, b.Sub, b.Mul,
+			}
+			v := ops[r.Intn(len(ops))](pick(dbl), pick(dbl), "")
+			add(dbl, v)
+			if r.Intn(2) == 0 {
+				narrow := b.Cast(pick(dbl), flt, "")
+				add(dbl, b.Cast(narrow, dbl, ""))
+			}
+			c := b.SetLE(pick(dbl), pick(dbl), "")
+			add(t, b.Cast(c, t, ""))
+		case 8: // int <-> float crossings (clamped by cast semantics)
+			add(dbl, b.Cast(pick(t), dbl, ""))
+			back := b.Cast(pick(dbl), ctx.Int(), "")
+			add(ctx.Int(), back)
+		}
+	}
+
+	// A diamond with a phi to exercise control flow + phi moves.
+	cond := b.SetGT(pick(long), pick(long), "")
+	tb := f.NewBlock("t")
+	fb := f.NewBlock("f")
+	jb := f.NewBlock("j")
+	b.CondBr(cond, tb, fb)
+	b.SetBlock(tb)
+	tv := b.Add(pick(long), pick(long), "")
+	b.Br(jb)
+	b.SetBlock(fb)
+	fv := b.Xor(pick(long), pick(long), "")
+	b.Br(jb)
+	b.SetBlock(jb)
+	phi := b.Phi(long, "")
+	phi.AddPhiIncoming(tv, tb)
+	phi.AddPhiIncoming(fv, fb)
+
+	// Mix every live long value into the result.
+	acc := core.Value(phi)
+	for _, v := range vals[long] {
+		acc = b.Add(acc, v, "")
+		acc = b.Xor(acc, core.NewUint(long, 0x9E3779B97F4A7C15), "")
+	}
+	b.Ret(acc)
+	return f
+}
+
+func TestRandomArithmeticDifferential(t *testing.T) {
+	const rounds = 150
+	root := rand.New(rand.NewSource(20260705))
+	for round := 0; round < rounds; round++ {
+		seed := root.Int63()
+		r := rand.New(rand.NewSource(seed))
+		m := core.NewModule(fmt.Sprintf("fuzz%d", round))
+		genFunc(r, m, "f")
+		if err := core.Verify(m); err != nil {
+			t.Fatalf("seed %d: generated invalid IR: %v", seed, err)
+		}
+
+		a1 := r.Uint64()
+		a2 := r.Uint64()
+
+		ip, err := interp.New(m, &strings.Builder{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		want, err := ip.Run("f", a1, a2)
+		if err != nil {
+			t.Fatalf("seed %d: interp: %v", seed, err)
+		}
+
+		for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+			tr, err := codegen.New(d, m)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			obj, err := tr.TranslateModule()
+			if err != nil {
+				t.Fatalf("seed %d: translate %s: %v", seed, d.Name, err)
+			}
+			env := rt.NewEnv(mem.New(0, true), &strings.Builder{})
+			mc, err := New(d, m, env)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := mc.LoadObject(obj); err != nil {
+				t.Fatalf("seed %d: load %s: %v", seed, d.Name, err)
+			}
+			got, err := mc.Run("f", a1, a2)
+			if err != nil {
+				t.Fatalf("seed %d: run %s: %v", seed, d.Name, err)
+			}
+			if got != want {
+				t.Fatalf("seed %d: %s = %#x, interp = %#x\nargs: %#x %#x",
+					seed, d.Name, got, want, a1, a2)
+			}
+		}
+	}
+}

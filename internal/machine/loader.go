@@ -1,0 +1,414 @@
+// Package machine implements the simulated hardware processor that
+// executes translated native code — the substitute for the paper's SPARC
+// V9 and IA-32 silicon (DESIGN.md, substitution table). It fetches and
+// decodes encoded instructions from its flat memory, maintains integer
+// and floating-point register files, counts instructions and cycles, and
+// provides the loader/relocation machinery the execution manager (LLEE)
+// uses, including lazy-JIT stubs for translate-on-demand.
+package machine
+
+import (
+	"fmt"
+
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/image"
+	"llva/internal/mem"
+	"llva/internal/rt"
+	"llva/internal/target"
+)
+
+// CodeReserve is the size of the machine's code segment: translated code
+// is installed inside [codeBase, codeBase+CodeReserve) and the heap
+// starts above it, so translating a function mid-execution (lazy JIT,
+// SMC retranslation) never collides with live heap data.
+const CodeReserve = 8 << 20
+
+// JITExtern is the reserved external "function" used by lazy translation
+// stubs: calling it asks the execution manager to translate the function
+// whose index is in the first scratch register, and control transfers to
+// the returned code address.
+const JITExtern = "llva.jit"
+
+// Machine is one simulated processor instance.
+type Machine struct {
+	desc *target.Desc
+	mem  *mem.Memory
+	env  *rt.Env
+
+	ireg [64]uint64
+	freg [64]uint64
+	pc   uint64
+
+	flagEQ, flagLT bool
+
+	icache map[uint64]decoded
+
+	codeBase, codeEnd, codeLimit uint64
+
+	funcAddr map[string]uint64
+	addrFunc map[uint64]string
+
+	externs   []string
+	externIdx map[string]int
+
+	invokeStack []invokeFrame
+
+	privileged bool
+
+	// OnJIT is invoked when a lazy stub is hit; it must install the
+	// function's code (via InstallCode) and return its entry address.
+	OnJIT func(name string) (uint64, error)
+	// OnIntrinsic handles llva.* intrinsic calls not implemented by the
+	// machine itself (smc, storage). args are raw words.
+	OnIntrinsic func(name string, args []uint64) (uint64, error)
+
+	// Stats accumulates execution counters.
+	Stats struct {
+		Instrs, Cycles uint64
+		Calls          uint64
+		ExternCalls    uint64
+		JITRequests    uint64
+		ICacheFills    uint64
+	}
+
+	// MaxInstrs bounds execution (0 = 2 billion).
+	MaxInstrs uint64
+
+	haltAddr uint64
+
+	// loader state
+	module        *core.Module
+	dataImage     *image.Data
+	globals       map[string]uint64
+	stubNames     []string
+	stubAddr      []uint64
+	callsViaStubs bool
+}
+
+type decoded struct {
+	in target.MInstr
+	n  int
+}
+
+type invokeFrame struct {
+	handler uint64
+	ireg    [64]uint64
+	freg    [64]uint64
+}
+
+// New creates a machine for the given target over fresh memory, loading
+// the module's static data segment.
+func New(d *target.Desc, m *core.Module, env *rt.Env) (*Machine, error) {
+	mc := &Machine{
+		desc:       d,
+		mem:        env.Mem,
+		env:        env,
+		icache:     make(map[uint64]decoded),
+		funcAddr:   make(map[string]uint64),
+		addrFunc:   make(map[uint64]string),
+		externIdx:  make(map[string]int),
+		privileged: true,
+		MaxInstrs:  2_000_000_000,
+	}
+	data, err := image.Build(m, mem.NullGuard)
+	if err != nil {
+		return nil, err
+	}
+	if err := mc.mem.WriteBytes(data.Base, data.Bytes); err != nil {
+		return nil, fmt.Errorf("machine: data segment does not fit: %w", err)
+	}
+	mc.codeBase = (data.Base + uint64(len(data.Bytes)) + 15) &^ 15
+	mc.codeEnd = mc.codeBase
+	mc.codeLimit = mc.codeBase + CodeReserve
+	if mc.codeLimit > mc.mem.Size()/2 {
+		mc.codeLimit = mc.mem.Size() / 2
+	}
+	mc.mem.SetHeapStart(mc.codeLimit)
+	mc.globals = data.GlobalAddr
+	mc.dataImage = data
+	mc.module = m
+	return mc, nil
+}
+
+// Env returns the runtime environment.
+func (mc *Machine) Env() *rt.Env { return mc.env }
+
+// Desc returns the target description.
+func (mc *Machine) Desc() *target.Desc { return mc.desc }
+
+// FuncAddr returns the code address of a function, if loaded or stubbed.
+func (mc *Machine) FuncAddr(name string) (uint64, bool) {
+	a, ok := mc.funcAddr[name]
+	return a, ok
+}
+
+// NameAt returns the function bound at a code address, if any.
+func (mc *Machine) NameAt(addr uint64) (string, bool) {
+	n, ok := mc.addrFunc[addr]
+	return n, ok
+}
+
+// CallsViaStubs forces direct-call relocations to resolve to the callee's
+// lazy stub instead of its code address, so every call re-checks the
+// current binding. The execution manager enables it in JIT mode: it is
+// what makes self-modifying-code invalidation (Section 3.4) take effect
+// on the very next invocation.
+func (mc *Machine) CallsViaStubs(on bool) { mc.callsViaStubs = on }
+
+// stubFor returns (creating if necessary) the lazy stub of a function.
+func (mc *Machine) stubFor(name string) (uint64, error) {
+	for id, n := range mc.stubNames {
+		if n == name {
+			return mc.stubAddr[id], nil
+		}
+	}
+	// makeStub binds funcAddr to the stub only when the name is unbound;
+	// preserve an existing binding.
+	old, hadOld := mc.funcAddr[name]
+	addr, err := mc.makeStub(name)
+	if err != nil {
+		return 0, err
+	}
+	if hadOld {
+		mc.bind(name, old)
+	}
+	return addr, nil
+}
+
+// InvalidateFunction discards the current translation binding of a
+// function: the next call through its stub re-enters the JIT. This is the
+// machine half of llva.smc.replace.
+func (mc *Machine) InvalidateFunction(name string) error {
+	stub, err := mc.stubFor(name)
+	if err != nil {
+		return err
+	}
+	mc.bind(name, stub)
+	return nil
+}
+
+// externIndex interns an external function name.
+func (mc *Machine) externIndex(sym string) int {
+	if i, ok := mc.externIdx[sym]; ok {
+		return i
+	}
+	i := len(mc.externs)
+	mc.externs = append(mc.externs, sym)
+	mc.externIdx[sym] = i
+	return i
+}
+
+// InstallCode places a translated function into code memory, resolving
+// its relocations, and binds its name to the new address. Re-installing a
+// name rebinds it (used by SMC invalidation and lazy JIT).
+func (mc *Machine) InstallCode(nf *codegen.NativeFunc) (uint64, error) {
+	// Reserve this function's address range up front: resolving its
+	// relocations may itself emit stubs, which must land after it.
+	addr := (mc.codeEnd + 15) &^ 15
+	if addr+uint64(len(nf.Code)) > mc.codeLimit {
+		return 0, fmt.Errorf("machine: code segment exhausted loading %s", nf.Name)
+	}
+	mc.codeEnd = addr + uint64(len(nf.Code))
+	// Bind early so self-recursive calls resolve to this function.
+	mc.bind(nf.Name, addr)
+	code := append([]byte(nil), nf.Code...)
+	for _, rl := range nf.Relocs {
+		val, err := mc.resolveSym(rl)
+		if err != nil {
+			return 0, fmt.Errorf("machine: %s: %w", nf.Name, err)
+		}
+		mc.desc.Patch(code, rl.Offset, rl.Kind, val)
+	}
+	if err := mc.mem.WriteBytes(addr, code); err != nil {
+		return 0, fmt.Errorf("machine: code segment overflow loading %s", nf.Name)
+	}
+	// Invalidate stale decoded instructions in the installed range.
+	for a := addr; a < mc.codeEnd; a++ {
+		delete(mc.icache, a)
+	}
+	return addr, nil
+}
+
+// bind makes addr the current code address of name. Older addresses (the
+// stub, or superseded translations) keep their reverse mapping: code at
+// those addresses still belongs to the function, and function-pointer
+// values already in data may reference them.
+func (mc *Machine) bind(name string, addr uint64) {
+	mc.funcAddr[name] = addr
+	mc.addrFunc[addr] = name
+}
+
+// resolveSym resolves a relocation symbol: defined/stubbed functions to
+// their code address, globals to their data address, externs to their
+// extern-table index.
+func (mc *Machine) resolveSym(rl target.Reloc) (uint64, error) {
+	if rl.Kind == target.RelocExt {
+		return uint64(mc.externIndex(rl.Sym)), nil
+	}
+	if rl.Kind == target.RelocCall && mc.callsViaStubs {
+		if f := mc.module.Function(rl.Sym); f != nil && !f.IsDeclaration() {
+			return mc.stubFor(rl.Sym)
+		}
+	}
+	if a, ok := mc.funcAddr[rl.Sym]; ok {
+		return a, nil
+	}
+	if a, ok := mc.globals[rl.Sym]; ok {
+		return a, nil
+	}
+	// Function not yet loaded: create a lazy JIT stub for it.
+	if mc.module.Function(rl.Sym) != nil {
+		return mc.makeStub(rl.Sym)
+	}
+	return 0, fmt.Errorf("unresolved symbol %%%s", rl.Sym)
+}
+
+// makeStub emits a lazy translation stub: when executed, it traps to the
+// execution manager (via the reserved JIT extern), which translates the
+// function and transfers control to the fresh code. Function indices ride
+// in the first scratch register so the original call's arguments stay
+// undisturbed.
+func (mc *Machine) makeStub(name string) (uint64, error) {
+	id := len(mc.stubNames)
+	mc.stubNames = append(mc.stubNames, name)
+	var code []byte
+	instrs := synthStub(mc.desc, int64(id))
+	for i := range instrs {
+		start := uint32(len(code))
+		var rl []target.Reloc
+		code, rl = mc.desc.Encode(&instrs[i], code)
+		for _, r := range rl {
+			mc.desc.Patch(code, start+r.Offset, r.Kind, uint64(mc.externIndex(JITExtern)))
+		}
+	}
+	addr := (mc.codeEnd + 15) &^ 15
+	if addr+uint64(len(code)) > mc.codeLimit {
+		return 0, fmt.Errorf("machine: code segment exhausted")
+	}
+	if err := mc.mem.WriteBytes(addr, code); err != nil {
+		return 0, err
+	}
+	mc.codeEnd = addr + uint64(len(code))
+	mc.stubAddr = append(mc.stubAddr, addr)
+	// The stub is the function's address until real code is installed;
+	// the JIT rebinds but existing callers keep jumping through the stub,
+	// so the stub learns the real address on first use (the machine's
+	// JIT extern handler re-reads funcAddr each time).
+	mc.funcAddr[name] = addr
+	mc.addrFunc[addr] = name
+	return addr, nil
+}
+
+// synthStub builds the stub's MIR.
+func synthStub(d *target.Desc, id int64) []target.MInstr {
+	out := []target.MInstr{}
+	out = append(out, synthImmIntoMachine(d.Scratch[0], id, d)...)
+	out = append(out, target.MInstr{Op: target.MCallExt, Sym: JITExtern})
+	return out
+}
+
+// synthImmIntoMachine mirrors codegen's immediate synthesis (stub ids are
+// small, one instruction on either target).
+func synthImmIntoMachine(reg target.Reg, v int64, d *target.Desc) []target.MInstr {
+	if d.WordSize == 4 && (v < -32768 || v > 32767) {
+		panic("machine: stub id out of range")
+	}
+	if d.WordSize == 4 {
+		return []target.MInstr{{Op: target.MMovRI, Rd: reg, Imm: v & 0xffff}}
+	}
+	return []target.MInstr{{Op: target.MMovRI, Rd: reg, Imm: v}}
+}
+
+// LoadObject installs every function of a native object (offline mode).
+func (mc *Machine) LoadObject(obj *codegen.NativeObject) error {
+	if obj.TargetName != mc.desc.Name {
+		return fmt.Errorf("machine: object targets %s, machine is %s",
+			obj.TargetName, mc.desc.Name)
+	}
+	// Two passes so direct calls resolve without stubs: first bind
+	// addresses by laying out, then install with relocation.
+	for _, nf := range obj.Funcs {
+		if _, err := mc.InstallCode(nf); err != nil {
+			return err
+		}
+	}
+	// Re-install to fix forward references that became stubs: simpler and
+	// rare — instead, pre-binding avoids it; see installAll.
+	return mc.patchDataFuncAddrs()
+}
+
+// patchDataFuncAddrs resolves function-address fixups in the data image
+// (function-pointer tables in globals).
+func (mc *Machine) patchDataFuncAddrs() error {
+	if mc.dataImage == nil {
+		return nil
+	}
+	err := mc.dataImage.PatchFuncAddrs(mc.module, func(name string) (uint64, bool) {
+		if a, ok := mc.funcAddr[name]; ok {
+			return a, true
+		}
+		// Declarations and not-yet-loaded functions get stubs.
+		if f := mc.module.Function(name); f != nil {
+			if f.IsDeclaration() {
+				a, e := mc.makeExternThunk(name)
+				if e != nil {
+					return 0, false
+				}
+				return a, true
+			}
+			a, e := mc.makeStub(name)
+			if e != nil {
+				return 0, false
+			}
+			return a, true
+		}
+		return 0, false
+	})
+	if err != nil {
+		return err
+	}
+	return mc.mem.WriteBytes(mc.dataImage.Base, mc.dataImage.Bytes)
+}
+
+// makeExternThunk emits real code for taking the address of an external
+// (native) function: a CallExt followed by a return, so indirect calls to
+// it behave like calls to a native library function.
+func (mc *Machine) makeExternThunk(name string) (uint64, error) {
+	if a, ok := mc.funcAddr[name]; ok {
+		return a, nil
+	}
+	f := mc.module.Function(name)
+	nargs := 0
+	if f != nil {
+		nargs = len(f.Signature().Params())
+	}
+	instrs := []target.MInstr{
+		{Op: target.MCallExt, Sym: name, NArgs: uint8(nargs)},
+		{Op: target.MRet},
+	}
+	var code []byte
+	for i := range instrs {
+		start := uint32(len(code))
+		var rl []target.Reloc
+		code, rl = mc.desc.Encode(&instrs[i], code)
+		for _, r := range rl {
+			mc.desc.Patch(code, start+r.Offset, r.Kind, uint64(mc.externIndex(name)))
+		}
+	}
+	addr := (mc.codeEnd + 15) &^ 15
+	if addr+uint64(len(code)) > mc.codeLimit {
+		return 0, fmt.Errorf("machine: code segment exhausted")
+	}
+	if err := mc.mem.WriteBytes(addr, code); err != nil {
+		return 0, err
+	}
+	mc.codeEnd = addr + uint64(len(code))
+	mc.bind(name, addr)
+	return addr, nil
+}
+
+// PrepareLazy resolves data-segment function pointers (to lazy stubs for
+// code not yet installed) so a program can start executing in JIT mode
+// before anything has been translated.
+func (mc *Machine) PrepareLazy() error { return mc.patchDataFuncAddrs() }

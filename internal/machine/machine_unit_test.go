@@ -1,0 +1,166 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"llva/internal/asm"
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/mem"
+	"llva/internal/rt"
+	"llva/internal/target"
+)
+
+func loadProgram(t *testing.T, src string, d *target.Desc) (*Machine, *strings.Builder) {
+	t.Helper()
+	m, err := asm.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := codegen.New(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := tr.TranslateModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	env := rt.NewEnv(mem.New(0, true), &out)
+	mc, err := New(d, m, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.LoadObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	return mc, &out
+}
+
+func TestInstructionLimit(t *testing.T) {
+	src := `
+void %spin() {
+entry:
+    br label %loop
+loop:
+    br label %loop
+}
+`
+	mc, _ := loadProgram(t, src, target.VX86)
+	mc.MaxInstrs = 10_000
+	_, err := mc.Run("spin")
+	if err == nil || !strings.Contains(err.Error(), "instruction limit") {
+		t.Errorf("runaway loop not stopped: %v", err)
+	}
+	if mc.Stats.Instrs < 10_000 {
+		t.Errorf("stopped after only %d instructions", mc.Stats.Instrs)
+	}
+}
+
+func TestICache(t *testing.T) {
+	src := `
+long %f(long %n) {
+entry:
+    br label %loop
+loop:
+    %i = phi long [ 0, %entry ], [ %i2, %loop ]
+    %i2 = add long %i, 1
+    %done = setge long %i2, %n
+    br bool %done, label %exit, label %loop
+exit:
+    ret long %i2
+}
+`
+	mc, _ := loadProgram(t, src, target.VSPARC)
+	if _, err := mc.Run("f", 1000); err != nil {
+		t.Fatal(err)
+	}
+	// The loop executes thousands of instructions but decodes each PC
+	// once: fills must be far below executed count.
+	if mc.Stats.ICacheFills >= mc.Stats.Instrs/10 {
+		t.Errorf("icache ineffective: %d fills for %d instructions",
+			mc.Stats.ICacheFills, mc.Stats.Instrs)
+	}
+}
+
+func TestFPResult(t *testing.T) {
+	src := `
+double %h(double %x) {
+entry:
+    %y = mul double %x, %x
+    ret double %y
+}
+`
+	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+		mc, _ := loadProgram(t, src, d)
+		if _, err := mc.Run("h", math.Float64bits(1.5)); err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if got := math.Float64frombits(mc.FPResult()); got != 2.25 {
+			t.Errorf("%s: h(1.5) = %v, want 2.25", d.Name, got)
+		}
+	}
+}
+
+func TestDivByZeroTrapsOnMachine(t *testing.T) {
+	src := `
+long %f(long %a, long %b) {
+entry:
+    %q = div long %a, %b
+    ret long %q
+}
+`
+	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+		mc, _ := loadProgram(t, src, d)
+		_, err := mc.Run("f", 10, 0)
+		te, ok := err.(*TrapError)
+		if !ok || te.Num != TrapDivByZero {
+			t.Errorf("%s: err = %v, want div-by-zero trap", d.Name, err)
+		}
+	}
+}
+
+func TestNullDerefTrapsOnMachine(t *testing.T) {
+	src := `
+long %f(long* %p) {
+entry:
+    %v = load long* %p
+    ret long %v
+}
+`
+	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+		mc, _ := loadProgram(t, src, d)
+		_, err := mc.Run("f", 0)
+		te, ok := err.(*TrapError)
+		if !ok || te.Num != TrapMemoryFault {
+			t.Errorf("%s: err = %v, want memory-fault trap", d.Name, err)
+		}
+	}
+}
+
+func TestPrivilegedIntrinsicOnMachine(t *testing.T) {
+	src := `
+declare void %llva.priv.set(bool %p)
+declare bool %llva.priv.get()
+int %main() {
+entry:
+    call void %llva.priv.set(bool false)
+    %p = call bool %llva.priv.get()
+    %pi = cast bool %p to int
+    ;; this must trap: we are unprivileged now
+    call void %llva.priv.set(bool true)
+    ret int %pi
+}
+`
+	mc, _ := loadProgram(t, src, target.VX86)
+	_, err := mc.Run("main")
+	te, ok := err.(*TrapError)
+	if !ok || te.Num != TrapPrivilege {
+		t.Errorf("err = %v, want privilege trap", err)
+	}
+}

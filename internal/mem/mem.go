@@ -1,0 +1,295 @@
+// Package mem provides the flat, byte-addressable memory used by both the
+// LLVA reference interpreter and the simulated hardware processor. Memory
+// is partitioned into a null-guard page, a static data segment, a code
+// segment, a heap growing upward and a stack growing downward — matching
+// the paper's model in which memory is partitioned into stack, heap and
+// global memory and all memory is explicitly allocated.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Fault describes a memory access violation (the LLVA memory exception).
+type Fault struct {
+	Addr uint64
+	Size int
+	Op   string // "load", "store", "exec", "alloc"
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("memory fault: %s of %d byte(s) at 0x%x", f.Op, f.Size, f.Addr)
+}
+
+// Layout constants for the default address space.
+const (
+	// NullGuard is the size of the unmapped page at address zero; any
+	// access below this address faults, implementing null-pointer
+	// detection.
+	NullGuard = 0x1000
+	// DefaultSize is the default address-space size (64 MiB).
+	DefaultSize = 64 << 20
+)
+
+// Memory is a flat address space with a bump-pointer heap and free lists.
+type Memory struct {
+	data   []byte
+	little bool
+
+	heapStart uint64
+	brk       uint64
+	stackTop  uint64
+	sp        uint64
+
+	// free lists per size class (power-of-two classes up to 1 MiB)
+	free map[int][]uint64
+	// sizes of live heap blocks, for free()
+	blockSize map[uint64]uint64
+}
+
+// New creates a memory of the given size (0 means DefaultSize) with the
+// given byte order. The heap initially starts right after the null guard;
+// call SetHeapStart after loading static segments.
+func New(size uint64, littleEndian bool) *Memory {
+	if size == 0 {
+		size = DefaultSize
+	}
+	m := &Memory{
+		data:      make([]byte, size),
+		little:    littleEndian,
+		heapStart: NullGuard,
+		brk:       NullGuard,
+		stackTop:  size,
+		sp:        size,
+		free:      make(map[int][]uint64),
+		blockSize: make(map[uint64]uint64),
+	}
+	return m
+}
+
+// Size returns the total address-space size.
+func (m *Memory) Size() uint64 { return uint64(len(m.data)) }
+
+// LittleEndian reports the configured byte order.
+func (m *Memory) LittleEndian() bool { return m.little }
+
+// SetHeapStart moves the heap break above the static segments. It must be
+// called before any allocation.
+func (m *Memory) SetHeapStart(addr uint64) {
+	addr = (addr + 15) &^ 15
+	m.heapStart = addr
+	m.brk = addr
+}
+
+// HeapUsed returns the number of heap bytes ever allocated.
+func (m *Memory) HeapUsed() uint64 { return m.brk - m.heapStart }
+
+// SP returns the current stack pointer.
+func (m *Memory) SP() uint64 { return m.sp }
+
+// SetSP sets the stack pointer (used by call frames). It faults if the
+// stack would collide with the heap.
+func (m *Memory) SetSP(sp uint64) error {
+	if sp > m.stackTop || sp < m.brk+NullGuard {
+		return &Fault{Addr: sp, Size: 0, Op: "alloc"}
+	}
+	m.sp = sp
+	return nil
+}
+
+// PushStack allocates n bytes on the stack (16-byte aligned) and returns
+// the new stack pointer, which is also the address of the allocation.
+func (m *Memory) PushStack(n uint64) (uint64, error) {
+	sp := (m.sp - n) &^ 15
+	if err := m.SetSP(sp); err != nil {
+		return 0, err
+	}
+	return sp, nil
+}
+
+func (m *Memory) check(addr uint64, size int, op string) error {
+	if addr < NullGuard || addr+uint64(size) > uint64(len(m.data)) || addr+uint64(size) < addr {
+		return &Fault{Addr: addr, Size: size, Op: op}
+	}
+	return nil
+}
+
+// Load reads size (1, 2, 4 or 8) bytes at addr as an unsigned integer.
+func (m *Memory) Load(addr uint64, size int) (uint64, error) {
+	if err := m.check(addr, size, "load"); err != nil {
+		return 0, err
+	}
+	b := m.data[addr : addr+uint64(size)]
+	switch size {
+	case 1:
+		return uint64(b[0]), nil
+	case 2:
+		if m.little {
+			return uint64(binary.LittleEndian.Uint16(b)), nil
+		}
+		return uint64(binary.BigEndian.Uint16(b)), nil
+	case 4:
+		if m.little {
+			return uint64(binary.LittleEndian.Uint32(b)), nil
+		}
+		return uint64(binary.BigEndian.Uint32(b)), nil
+	case 8:
+		if m.little {
+			return binary.LittleEndian.Uint64(b), nil
+		}
+		return binary.BigEndian.Uint64(b), nil
+	}
+	return 0, &Fault{Addr: addr, Size: size, Op: "load"}
+}
+
+// Store writes size (1, 2, 4 or 8) bytes at addr.
+func (m *Memory) Store(addr uint64, size int, v uint64) error {
+	if err := m.check(addr, size, "store"); err != nil {
+		return err
+	}
+	b := m.data[addr : addr+uint64(size)]
+	switch size {
+	case 1:
+		b[0] = byte(v)
+	case 2:
+		if m.little {
+			binary.LittleEndian.PutUint16(b, uint16(v))
+		} else {
+			binary.BigEndian.PutUint16(b, uint16(v))
+		}
+	case 4:
+		if m.little {
+			binary.LittleEndian.PutUint32(b, uint32(v))
+		} else {
+			binary.BigEndian.PutUint32(b, uint32(v))
+		}
+	case 8:
+		if m.little {
+			binary.LittleEndian.PutUint64(b, v)
+		} else {
+			binary.BigEndian.PutUint64(b, v)
+		}
+	default:
+		return &Fault{Addr: addr, Size: size, Op: "store"}
+	}
+	return nil
+}
+
+// LoadFloat reads a float (size 4) or double (size 8) at addr.
+func (m *Memory) LoadFloat(addr uint64, size int) (float64, error) {
+	v, err := m.Load(addr, size)
+	if err != nil {
+		return 0, err
+	}
+	if size == 4 {
+		return float64(math.Float32frombits(uint32(v))), nil
+	}
+	return math.Float64frombits(v), nil
+}
+
+// StoreFloat writes a float (size 4) or double (size 8) at addr.
+func (m *Memory) StoreFloat(addr uint64, size int, v float64) error {
+	if size == 4 {
+		return m.Store(addr, 4, uint64(math.Float32bits(float32(v))))
+	}
+	return m.Store(addr, 8, math.Float64bits(v))
+}
+
+// Bytes returns a direct view of n bytes at addr for bulk access.
+func (m *Memory) Bytes(addr, n uint64) ([]byte, error) {
+	if err := m.check(addr, int(n), "load"); err != nil {
+		return nil, err
+	}
+	return m.data[addr : addr+n], nil
+}
+
+// WriteBytes copies b into memory at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) error {
+	if err := m.check(addr, len(b), "store"); err != nil {
+		return err
+	}
+	copy(m.data[addr:], b)
+	return nil
+}
+
+// CString reads a NUL-terminated string at addr (capped at 1 MiB).
+func (m *Memory) CString(addr uint64) (string, error) {
+	const limit = 1 << 20
+	if err := m.check(addr, 1, "load"); err != nil {
+		return "", err
+	}
+	end := addr
+	max := addr + limit
+	if max > uint64(len(m.data)) {
+		max = uint64(len(m.data))
+	}
+	for end < max && m.data[end] != 0 {
+		end++
+	}
+	return string(m.data[addr:end]), nil
+}
+
+// sizeClass returns the power-of-two size class index for n, or -1 for
+// huge blocks.
+func sizeClass(n uint64) int {
+	if n > 1<<20 {
+		return -1
+	}
+	c := 0
+	s := uint64(16)
+	for s < n {
+		s <<= 1
+		c++
+	}
+	return c
+}
+
+func classSize(c int) uint64 { return 16 << uint(c) }
+
+// Alloc allocates n bytes of heap memory (16-byte aligned, zeroed) and
+// returns its address. Allocation of 0 bytes returns a unique non-null
+// address.
+func (m *Memory) Alloc(n uint64) (uint64, error) {
+	if n == 0 {
+		n = 1
+	}
+	if c := sizeClass(n); c >= 0 {
+		if lst := m.free[c]; len(lst) > 0 {
+			addr := lst[len(lst)-1]
+			m.free[c] = lst[:len(lst)-1]
+			sz := classSize(c)
+			clear(m.data[addr : addr+sz])
+			m.blockSize[addr] = sz
+			return addr, nil
+		}
+		n = classSize(c)
+	} else {
+		n = (n + 15) &^ 15
+	}
+	addr := m.brk
+	if addr+n > m.sp-NullGuard {
+		return 0, &Fault{Addr: addr, Size: int(n), Op: "alloc"}
+	}
+	m.brk = addr + n
+	m.blockSize[addr] = n
+	return addr, nil
+}
+
+// Free releases a heap block previously returned by Alloc. Freeing null is
+// a no-op; freeing an unknown address faults.
+func (m *Memory) Free(addr uint64) error {
+	if addr == 0 {
+		return nil
+	}
+	sz, ok := m.blockSize[addr]
+	if !ok {
+		return &Fault{Addr: addr, Size: 0, Op: "alloc"}
+	}
+	delete(m.blockSize, addr)
+	if c := sizeClass(sz); c >= 0 && classSize(c) == sz {
+		m.free[c] = append(m.free[c], addr)
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := New(1<<20, true)
+	fn := func(off uint16, v uint64, szSel uint8) bool {
+		size := 1 << (szSel % 4) // 1,2,4,8
+		addr := uint64(NullGuard) + uint64(off)
+		if err := m.Store(addr, size, v); err != nil {
+			return false
+		}
+		got, err := m.Load(addr, size)
+		if err != nil {
+			return false
+		}
+		mask := ^uint64(0)
+		if size < 8 {
+			mask = 1<<(8*uint(size)) - 1
+		}
+		return got == v&mask
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEndianness(t *testing.T) {
+	le := New(1<<16, true)
+	be := New(1<<16, false)
+	addr := uint64(NullGuard)
+	le.Store(addr, 4, 0x11223344)
+	be.Store(addr, 4, 0x11223344)
+	lb, _ := le.Bytes(addr, 4)
+	bb, _ := be.Bytes(addr, 4)
+	if lb[0] != 0x44 || lb[3] != 0x11 {
+		t.Errorf("little-endian bytes: % x", lb)
+	}
+	if bb[0] != 0x11 || bb[3] != 0x44 {
+		t.Errorf("big-endian bytes: % x", bb)
+	}
+}
+
+func TestNullGuardFaults(t *testing.T) {
+	m := New(1<<16, true)
+	if _, err := m.Load(0, 8); err == nil {
+		t.Error("null load did not fault")
+	}
+	if _, err := m.Load(NullGuard-1, 1); err == nil {
+		t.Error("guard-page load did not fault")
+	}
+	if err := m.Store(8, 4, 1); err == nil {
+		t.Error("null store did not fault")
+	}
+	if _, err := m.Load(m.Size()-4, 8); err == nil {
+		t.Error("out-of-bounds load did not fault")
+	}
+	// overflow wrap
+	if _, err := m.Load(^uint64(0)-2, 8); err == nil {
+		t.Error("wrapping load did not fault")
+	}
+}
+
+func TestAllocatorReuseAndZeroing(t *testing.T) {
+	m := New(1<<20, true)
+	m.SetHeapStart(NullGuard + 64)
+	a, err := m.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a%16 != 0 {
+		t.Errorf("allocation not 16-aligned: %#x", a)
+	}
+	m.Store(a, 8, 0xDEAD)
+	if err := m.Free(a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Alloc(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != a {
+		t.Errorf("freed block not reused: %#x vs %#x", b, a)
+	}
+	if v, _ := m.Load(b, 8); v != 0 {
+		t.Errorf("reused block not zeroed: %#x", v)
+	}
+	// double free faults
+	m.Free(b)
+	if err := m.Free(b); err == nil {
+		t.Error("double free did not fault")
+	}
+	// free(null) is a no-op
+	if err := m.Free(0); err != nil {
+		t.Error("free(0) must be a no-op")
+	}
+}
+
+func TestStackAllocation(t *testing.T) {
+	m := New(1<<20, true)
+	sp0 := m.SP()
+	a, err := m.PushStack(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a >= sp0 || a%16 != 0 {
+		t.Errorf("stack allocation at %#x (sp was %#x)", a, sp0)
+	}
+	if err := m.SetSP(sp0); err != nil {
+		t.Fatal(err)
+	}
+	// stack overflow into the heap region faults
+	if err := m.SetSP(100); err == nil {
+		t.Error("stack collision did not fault")
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	m := New(1<<16, true)
+	addr := uint64(NullGuard)
+	if err := m.StoreFloat(addr, 8, 3.25); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.LoadFloat(addr, 8); v != 3.25 {
+		t.Errorf("double round trip = %v", v)
+	}
+	if err := m.StoreFloat(addr, 4, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := m.LoadFloat(addr, 4); v != 1.5 {
+		t.Errorf("float round trip = %v", v)
+	}
+}
+
+func TestCString(t *testing.T) {
+	m := New(1<<16, true)
+	addr := uint64(NullGuard)
+	m.WriteBytes(addr, []byte("hello\x00world"))
+	s, err := m.CString(addr)
+	if err != nil || s != "hello" {
+		t.Errorf("CString = %q, %v", s, err)
+	}
+}

@@ -1,0 +1,217 @@
+package minic
+
+import "llva/internal/core"
+
+// The AST. Types are resolved to core (LLVA) types during parsing, since
+// MiniC's type system is a direct image of LLVA's: char = sbyte,
+// unsigned char = ubyte, and so on.
+
+// node carries a source line for error messages.
+type node struct{ Line int }
+
+// ---- expressions ----
+
+type expr interface{ exprNode() }
+
+type intLit struct {
+	node
+	Val uint64
+	Ty  *core.Type
+}
+
+type floatLit struct {
+	node
+	Val float64
+	Ty  *core.Type
+}
+
+type strLit struct {
+	node
+	Val string
+}
+
+type identExpr struct {
+	node
+	Name string
+}
+
+type unaryExpr struct {
+	node
+	Op string // - ! ~ * & ++ -- (pre)
+	X  expr
+}
+
+type postfixExpr struct {
+	node
+	Op string // ++ --
+	X  expr
+}
+
+type binaryExpr struct {
+	node
+	Op   string
+	X, Y expr
+}
+
+type assignExpr struct {
+	node
+	Op   string // = += -= ...
+	L, R expr
+}
+
+type condExpr struct {
+	node
+	Cond, Then, Else expr
+}
+
+type callExpr struct {
+	node
+	Fn   expr
+	Args []expr
+}
+
+type indexExpr struct {
+	node
+	X, Idx expr
+}
+
+type memberExpr struct {
+	node
+	X     expr
+	Name  string
+	Arrow bool // p->f vs s.f
+}
+
+type castExpr struct {
+	node
+	Ty *core.Type
+	X  expr
+}
+
+type sizeofExpr struct {
+	node
+	Ty *core.Type
+}
+
+// initList is a brace-enclosed initializer for global arrays/structs.
+type initList struct {
+	node
+	Elems []expr
+}
+
+func (*intLit) exprNode()      {}
+func (*floatLit) exprNode()    {}
+func (*strLit) exprNode()      {}
+func (*identExpr) exprNode()   {}
+func (*unaryExpr) exprNode()   {}
+func (*postfixExpr) exprNode() {}
+func (*binaryExpr) exprNode()  {}
+func (*assignExpr) exprNode()  {}
+func (*condExpr) exprNode()    {}
+func (*callExpr) exprNode()    {}
+func (*indexExpr) exprNode()   {}
+func (*memberExpr) exprNode()  {}
+func (*castExpr) exprNode()    {}
+func (*sizeofExpr) exprNode()  {}
+func (*initList) exprNode()    {}
+
+// ---- statements ----
+
+type stmt interface{ stmtNode() }
+
+type declStmt struct {
+	node
+	Name string
+	Ty   *core.Type
+	Init expr // may be nil
+}
+
+type exprStmt struct {
+	node
+	X expr
+}
+
+type blockStmt struct {
+	node
+	List []stmt
+	// NoScope marks synthetic groups (multi-declarator statements) that
+	// must not open a new lexical scope.
+	NoScope bool
+}
+
+type ifStmt struct {
+	node
+	Cond       expr
+	Then, Else stmt // Else may be nil
+}
+
+type whileStmt struct {
+	node
+	Cond expr
+	Body stmt
+	Do   bool // do-while
+}
+
+type forStmt struct {
+	node
+	Init stmt // may be nil (declStmt or exprStmt)
+	Cond expr // may be nil
+	Post expr // may be nil
+	Body stmt
+}
+
+type returnStmt struct {
+	node
+	X expr // may be nil
+}
+
+type breakStmt struct{ node }
+type continueStmt struct{ node }
+
+type switchStmt struct {
+	node
+	X       expr
+	Cases   []switchCase
+	Default []stmt // nil if absent
+}
+
+type switchCase struct {
+	Val  int64
+	Body []stmt
+}
+
+func (*declStmt) stmtNode()     {}
+func (*exprStmt) stmtNode()     {}
+func (*blockStmt) stmtNode()    {}
+func (*ifStmt) stmtNode()       {}
+func (*whileStmt) stmtNode()    {}
+func (*forStmt) stmtNode()      {}
+func (*returnStmt) stmtNode()   {}
+func (*breakStmt) stmtNode()    {}
+func (*continueStmt) stmtNode() {}
+func (*switchStmt) stmtNode()   {}
+
+// ---- top level ----
+
+type param struct {
+	Name string
+	Ty   *core.Type
+}
+
+type funcDecl struct {
+	node
+	Name   string
+	Ret    *core.Type
+	Params []param
+	Body   *blockStmt // nil for extern declarations
+	Static bool
+}
+
+type globalDecl struct {
+	node
+	Name   string
+	Ty     *core.Type
+	Init   expr // constant expression or nil
+	Extern bool
+	Const  bool
+}

@@ -1,0 +1,88 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompileErrors checks MiniC rejects malformed programs with a
+// positioned diagnostic.
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"undefined-var", "int main() { return x; }", "undefined"},
+		{"undefined-fn", "int main() { return nope(1); }", "undefined function"},
+		{"redeclared", "int main() { int a = 1; int a = 2; return a; }", "redeclared"},
+		{"bad-call-arity", `
+int f(int a, int b) { return a + b; }
+int main() { return f(1); }`, "argument"},
+		{"return-value-from-void", "void f() { return 3; }\nint main(){ f(); return 0; }", "void"},
+		{"missing-return-value", "int f() { return; }\nint main(){ return f(); }", "without value"},
+		{"break-outside-loop", "int main() { break; return 0; }", "break"},
+		{"continue-outside-loop", "int main() { continue; return 0; }", "continue"},
+		{"bad-member", `
+struct P { int x; };
+int main() { struct P p; p.x = 1; return p.y; }`, "no field"},
+		{"member-of-nonstruct", "int main() { int a = 1; return a.x; }", "non-struct"},
+		{"deref-nonpointer", "int main() { int a = 1; return *a; }", "non-pointer"},
+		{"index-nonarray", "int main() { int a = 1; return a[0]; }", "index"},
+		{"assign-to-rvalue", "int main() { 3 = 4; return 0; }", "lvalue"},
+		{"unterminated-block", "int main() { return 0;", "end of file"},
+		{"unknown-type", "foo main() { return 0; }", "expected type"},
+		{"struct-redefined", `
+struct S { int a; };
+struct S { int b; };
+int main() { return 0; }`, "redefined"},
+		{"conflicting-proto", `
+int f(int a);
+long f(int a) { return 1; }
+int main() { return 0; }`, "conflicting"},
+		{"struct-by-value-param", `
+struct S { int a; };
+int f(struct S s) { return s.a; }
+int main() { return 0; }`, "pointer instead"},
+		{"local-array-no-len", "int main() { int a[]; return 0; }", "length"},
+		{"switch-on-pointer", `
+int main() {
+	int x = 1;
+	int *p = &x;
+	switch (p) { case 0: return 1; default: return 0; }
+}`, "integer"},
+		{"non-constant-case", `
+int main() {
+	int x = 1;
+	switch (x) { case x: return 1; default: return 0; }
+}`, "constant"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Compile("bad.c", tc.src)
+			if err == nil {
+				t.Fatalf("accepted malformed program:\n%s", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err.Error(), tc.want)
+			}
+			if !strings.Contains(err.Error(), "bad.c:") {
+				t.Errorf("error %q lacks a file:line position", err.Error())
+			}
+		})
+	}
+}
+
+// TestLexErrors covers malformed tokens.
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{
+		"int main() { char c = 'ab'; return 0; }",
+		"int main() { char *s = \"unterminated; return 0; }",
+		"int main() { return 1 @ 2; }",
+		"/* unterminated comment",
+	} {
+		if _, err := Compile("bad.c", src); err == nil {
+			t.Errorf("accepted: %s", src)
+		}
+	}
+}

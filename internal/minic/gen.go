@@ -1,0 +1,375 @@
+package minic
+
+import (
+	"fmt"
+
+	"llva/internal/core"
+)
+
+// Compile compiles a MiniC translation unit to an LLVA module.
+func Compile(name, src string) (*core.Module, error) {
+	m := core.NewModule(name)
+	p, err := newParser(name, src, m.Types())
+	if err != nil {
+		return nil, err
+	}
+	u, err := p.parseUnit()
+	if err != nil {
+		return nil, err
+	}
+	g := &genCtx{
+		m:      m,
+		ctx:    m.Types(),
+		u:      u,
+		fields: u.fieldNames,
+		file:   name,
+	}
+	if err := g.run(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// genError carries a positioned compile error through builder panics.
+type genError struct{ err error }
+
+type genCtx struct {
+	m      *core.Module
+	ctx    *core.TypeContext
+	u      *unit
+	fields map[*core.Type][]string
+	file   string
+
+	strCount int
+}
+
+func (g *genCtx) errf(line int, format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", g.file, line, fmt.Sprintf(format, args...))
+}
+
+// fail aborts generation with a positioned error (recovered in run).
+func (g *genCtx) fail(line int, format string, args ...any) {
+	panic(genError{g.errf(line, format, args...)})
+}
+
+func (g *genCtx) run() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ge, ok := r.(genError); ok {
+				err = ge.err
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	// Built-in runtime functions become declarations on first use; user
+	// extern declarations and function definitions are declared up front
+	// so mutual recursion and use-before-definition work.
+	for _, fd := range g.u.funcs {
+		g.declareFunc(fd)
+	}
+	for _, gd := range g.u.globals {
+		g.defineGlobal(gd)
+	}
+	for _, fd := range g.u.funcs {
+		if fd.Body != nil {
+			g.genFunc(fd)
+		}
+	}
+	return nil
+}
+
+func (g *genCtx) declareFunc(fd *funcDecl) {
+	ptypes := make([]*core.Type, len(fd.Params))
+	for i, pa := range fd.Params {
+		ptypes[i] = pa.Ty
+		if !pa.Ty.IsFirstClass() {
+			g.fail(fd.Line, "parameter %d of %s has non-scalar type %s (pass a pointer instead)",
+				i, fd.Name, pa.Ty)
+		}
+	}
+	if fd.Ret.Kind() != core.VoidKind && !fd.Ret.IsFirstClass() {
+		g.fail(fd.Line, "function %s returns non-scalar type %s", fd.Name, fd.Ret)
+	}
+	sig := g.ctx.Function(fd.Ret, ptypes, false)
+	if f := g.m.Function(fd.Name); f != nil {
+		if f.Signature() != sig {
+			g.fail(fd.Line, "conflicting declarations of %s", fd.Name)
+		}
+		return
+	}
+	f := g.m.NewFunction(fd.Name, sig)
+	f.Internal = fd.Static
+	for i, pa := range fd.Params {
+		if pa.Name != "" {
+			f.Params[i].SetName(pa.Name)
+		}
+	}
+}
+
+// builtins maps runtime library functions to their LLVA signatures,
+// declared on first use.
+func (g *genCtx) builtinSig(name string) *core.Type {
+	c := g.ctx
+	sp := c.Pointer(c.SByte())
+	sig := func(ret *core.Type, params ...*core.Type) *core.Type {
+		return c.Function(ret, params, false)
+	}
+	switch name {
+	case "print_int":
+		return sig(c.Void(), c.Long())
+	case "print_uint":
+		return sig(c.Void(), c.ULong())
+	case "print_char":
+		return sig(c.Void(), c.Long())
+	case "print_str":
+		return sig(c.Void(), sp)
+	case "print_float":
+		return sig(c.Void(), c.Double())
+	case "print_nl":
+		return sig(c.Void())
+	case "malloc":
+		return sig(sp, c.ULong())
+	case "calloc":
+		return sig(sp, c.ULong(), c.ULong())
+	case "free":
+		return sig(c.Void(), sp)
+	case "memcpy":
+		return sig(c.Void(), sp, sp, c.ULong())
+	case "memset":
+		return sig(c.Void(), sp, c.Long(), c.ULong())
+	case "strlen":
+		return sig(c.ULong(), sp)
+	case "strcmp":
+		return sig(c.Long(), sp, sp)
+	case "exit":
+		return sig(c.Void(), c.Long())
+	case "abort":
+		return sig(c.Void())
+	case "clock":
+		return sig(c.ULong())
+	case "srand":
+		return sig(c.Void(), c.ULong())
+	case "rand":
+		return sig(c.ULong())
+	case "sqrt", "fabs", "exp", "log", "sin", "cos":
+		return sig(c.Double(), c.Double())
+	case "pow":
+		return sig(c.Double(), c.Double(), c.Double())
+	}
+	return nil
+}
+
+func (g *genCtx) lookupFunc(name string, line int) *core.Function {
+	if f := g.m.Function(name); f != nil {
+		return f
+	}
+	if sig := g.builtinSig(name); sig != nil {
+		return g.m.NewFunction(name, sig)
+	}
+	return nil
+}
+
+func (g *genCtx) defineGlobal(gd *globalDecl) {
+	ty := gd.Ty
+	var init *core.Constant
+	if gd.Init != nil {
+		// Inferred-length arrays: fix the length from the initializer.
+		if ty.Kind() == core.ArrayKind && ty.Len() == 0 {
+			switch iv := gd.Init.(type) {
+			case *strLit:
+				ty = g.ctx.Array(len(iv.Val)+1, ty.Elem())
+			case *initList:
+				ty = g.ctx.Array(len(iv.Elems), ty.Elem())
+			}
+		}
+		init = g.constInit(gd.Init, ty)
+	} else if !gd.Extern {
+		init = core.NewZero(ty)
+	}
+	if g.m.Global(gd.Name) != nil {
+		g.fail(gd.Line, "global %s redefined", gd.Name)
+	}
+	g.m.NewGlobal(gd.Name, ty, init, gd.Const)
+}
+
+// constInit evaluates a global initializer expression to a constant of the
+// target type.
+func (g *genCtx) constInit(e expr, ty *core.Type) *core.Constant {
+	switch x := e.(type) {
+	case *intLit:
+		return g.convConst(core.NewUint(x.Ty, x.Val), ty, x.Line)
+	case *floatLit:
+		if !ty.IsFloat() {
+			g.fail(x.Line, "float initializer for %s", ty)
+		}
+		return core.NewFloat(ty, x.Val)
+	case *strLit:
+		if ty.Kind() == core.ArrayKind &&
+			(ty.Elem().Kind() == core.SByteKind || ty.Elem().Kind() == core.UByteKind) {
+			return g.stringConst(x.Val, ty)
+		}
+		if ty.Kind() == core.PointerKind && ty.Elem().Kind() == core.SByteKind {
+			gv := g.internString(x.Val)
+			// A pointer global initialized to a string would need a
+			// constant GEP; MiniC requires array-typed string globals.
+			_ = gv
+			g.fail(x.Line, "char* globals cannot be initialized with string literals; use char name[]")
+		}
+		g.fail(x.Line, "string initializer for %s", ty)
+	case *unaryExpr:
+		if x.Op == "-" {
+			c := g.constInit(x.X, ty)
+			if c.CK == core.ConstInt {
+				return core.NewInt(ty, -c.Int64())
+			}
+			if c.CK == core.ConstFloat {
+				return core.NewFloat(ty, -c.F)
+			}
+		}
+		if x.Op == "&" {
+			if id, ok := x.X.(*identExpr); ok {
+				if gv := g.m.Global(id.Name); gv != nil {
+					c := core.NewGlobalRef(gv)
+					if c.Type() != ty {
+						g.fail(x.Line, "initializer &%s has type %s, want %s", id.Name, c.Type(), ty)
+					}
+					return c
+				}
+			}
+		}
+		g.fail(x.Line, "initializer is not constant")
+	case *identExpr:
+		// function reference in a function-pointer table
+		if f := g.lookupFunc(x.Name, x.Line); f != nil {
+			c := core.NewGlobalRef(f)
+			if c.Type() != ty {
+				g.fail(x.Line, "initializer %s has type %s, want %s", x.Name, c.Type(), ty)
+			}
+			return c
+		}
+		g.fail(x.Line, "initializer is not constant: %s", x.Name)
+	case *sizeofExpr:
+		return g.convConst(core.NewUint(g.ctx.Long(),
+			uint64(g.m.Layout().Size(x.Ty))), ty, x.Line)
+	case *initList:
+		switch ty.Kind() {
+		case core.ArrayKind:
+			if len(x.Elems) > ty.Len() {
+				g.fail(x.Line, "too many initializers for %s", ty)
+			}
+			elems := make([]*core.Constant, ty.Len())
+			for i := range elems {
+				if i < len(x.Elems) {
+					elems[i] = g.constInit(x.Elems[i], ty.Elem())
+				} else {
+					elems[i] = core.NewZero(ty.Elem())
+				}
+			}
+			return core.NewArray(ty, elems)
+		case core.StructKind:
+			if len(x.Elems) > len(ty.Fields()) {
+				g.fail(x.Line, "too many initializers for %s", ty)
+			}
+			elems := make([]*core.Constant, len(ty.Fields()))
+			for i := range elems {
+				if i < len(x.Elems) {
+					elems[i] = g.constInit(x.Elems[i], ty.Fields()[i])
+				} else {
+					elems[i] = core.NewZero(ty.Fields()[i])
+				}
+			}
+			return core.NewStruct(ty, elems)
+		}
+		g.fail(x.Line, "brace initializer for scalar type %s", ty)
+	case *binaryExpr:
+		// constant folding of integer expressions
+		a := g.constInit(x.X, ty)
+		b := g.constInit(x.Y, ty)
+		if op, ok := core.OpcodeByName[map[string]string{
+			"+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+			"&": "and", "|": "or", "^": "xor"}[x.Op]]; ok {
+			if c := core.FoldBinary(g.ctx, op, a, b); c != nil {
+				return c
+			}
+		}
+		g.fail(x.Line, "initializer is not constant")
+	case *castExpr:
+		c := g.constInit(x.X, x.Ty)
+		return g.convConst(c, ty, x.Line)
+	}
+	g.fail(lineOf(e), "initializer is not constant")
+	return nil
+}
+
+func (g *genCtx) convConst(c *core.Constant, ty *core.Type, line int) *core.Constant {
+	if c.Type() == ty {
+		return c
+	}
+	if out := core.FoldCast(c, ty); out != nil {
+		return out
+	}
+	g.fail(line, "cannot convert constant %s to %s", c, ty)
+	return nil
+}
+
+// stringConst encodes a string literal as an [N x sbyte/ubyte] constant,
+// NUL-padded to the array length.
+func (g *genCtx) stringConst(s string, ty *core.Type) *core.Constant {
+	n := ty.Len()
+	elems := make([]*core.Constant, n)
+	for i := 0; i < n; i++ {
+		var b byte
+		if i < len(s) {
+			b = s[i]
+		}
+		elems[i] = core.NewUint(ty.Elem(), uint64(b))
+	}
+	return core.NewArray(ty, elems)
+}
+
+// internString creates (or reuses) an anonymous global for a string
+// literal and returns the global. Literal type is [len+1 x sbyte].
+func (g *genCtx) internString(s string) *core.GlobalVariable {
+	name := fmt.Sprintf(".str%d", g.strCount)
+	g.strCount++
+	ty := g.ctx.Array(len(s)+1, g.ctx.SByte())
+	return g.m.NewGlobal(name, ty, g.stringConst(s, ty), true)
+}
+
+func lineOf(e expr) int {
+	switch x := e.(type) {
+	case *intLit:
+		return x.Line
+	case *floatLit:
+		return x.Line
+	case *strLit:
+		return x.Line
+	case *identExpr:
+		return x.Line
+	case *unaryExpr:
+		return x.Line
+	case *postfixExpr:
+		return x.Line
+	case *binaryExpr:
+		return x.Line
+	case *assignExpr:
+		return x.Line
+	case *condExpr:
+		return x.Line
+	case *callExpr:
+		return x.Line
+	case *indexExpr:
+		return x.Line
+	case *memberExpr:
+		return x.Line
+	case *castExpr:
+		return x.Line
+	case *sizeofExpr:
+		return x.Line
+	case *initList:
+		return x.Line
+	}
+	return 0
+}

@@ -1,0 +1,568 @@
+package minic
+
+import (
+	"llva/internal/core"
+)
+
+// ------------------------------------------------------------ conversions
+
+// rank orders numeric types for the usual arithmetic conversions.
+func rank(t *core.Type) int {
+	switch t.Kind() {
+	case core.DoubleKind:
+		return 10
+	case core.FloatKind:
+		return 9
+	case core.ULongKind:
+		return 8
+	case core.LongKind:
+		return 7
+	case core.UIntKind:
+		return 6
+	case core.IntKind:
+		return 5
+	case core.UShortKind:
+		return 4
+	case core.ShortKind:
+		return 3
+	case core.UByteKind:
+		return 2
+	case core.SByteKind:
+		return 1
+	case core.BoolKind:
+		return 0
+	}
+	return -1
+}
+
+// commonType implements C's usual arithmetic conversions (simplified):
+// both operands convert to the higher-ranked type, with everything below
+// int promoted to int first.
+func (fg *fgen) commonType(a, b *core.Type) *core.Type {
+	ra, rb := rank(a), rank(b)
+	hi := a
+	if rb > ra {
+		hi = b
+	}
+	if rank(hi) < 5 { // integer promotion
+		return fg.g.ctx.Int()
+	}
+	return hi
+}
+
+// convert coerces v to type to, inserting a cast when needed.
+func (fg *fgen) convert(v core.Value, to *core.Type, line int) core.Value {
+	from := v.Type()
+	if from == to {
+		return v
+	}
+	if c, ok := v.(*core.Constant); ok {
+		if folded := core.FoldCast(c, to); folded != nil {
+			return folded
+		}
+	}
+	if err := core.CheckCast(from, to); err != nil {
+		fg.g.fail(line, "cannot convert %s to %s", from, to)
+	}
+	return fg.b.Cast(v, to, "")
+}
+
+// genCond evaluates e as a branch condition (bool). Non-bool scalars
+// compare against zero, as in C.
+func (fg *fgen) genCond(e expr) core.Value {
+	v := fg.genExpr(e)
+	t := v.Type()
+	if t.Kind() == core.BoolKind {
+		return v
+	}
+	line := lineOf(e)
+	switch {
+	case t.IsInteger():
+		return fg.b.SetNE(v, core.NewUint(t, 0), "")
+	case t.IsFloat():
+		return fg.b.SetNE(v, core.NewFloat(t, 0), "")
+	case t.Kind() == core.PointerKind:
+		return fg.b.SetNE(v, core.NewNull(t), "")
+	}
+	fg.g.fail(line, "expression of type %s is not a condition", t)
+	return nil
+}
+
+// ------------------------------------------------------------------ exprs
+
+// genExpr evaluates e as an rvalue.
+func (fg *fgen) genExpr(e expr) core.Value {
+	switch x := e.(type) {
+	case *intLit:
+		return core.NewUint(x.Ty, x.Val)
+	case *floatLit:
+		return core.NewFloat(x.Ty, x.Val)
+	case *strLit:
+		gv := fg.g.internString(x.Val)
+		zero := core.NewUint(fg.g.ctx.Long(), 0)
+		return fg.b.GEP(gv, []core.Value{zero, zero}, "")
+	case *identExpr:
+		return fg.genIdent(x)
+	case *unaryExpr:
+		return fg.genUnary(x)
+	case *postfixExpr:
+		return fg.genIncDec(x.X, x.Op, true, x.Line)
+	case *binaryExpr:
+		return fg.genBinary(x)
+	case *assignExpr:
+		return fg.genAssign(x)
+	case *condExpr:
+		return fg.genCondExpr(x)
+	case *callExpr:
+		return fg.genCall(x)
+	case *indexExpr, *memberExpr:
+		addr, ty := fg.genAddr(e)
+		if ty.Kind() == core.ArrayKind {
+			return fg.decay(addr, ty)
+		}
+		return fg.b.Load(addr, "")
+	case *castExpr:
+		v := fg.genExpr(x.X)
+		return fg.convert(v, x.Ty, x.Line)
+	case *sizeofExpr:
+		return core.NewUint(fg.g.ctx.Long(), uint64(fg.g.m.Layout().Size(x.Ty)))
+	}
+	fg.g.fail(lineOf(e), "unhandled expression %T", e)
+	return nil
+}
+
+// decay converts an array address to a pointer to its first element.
+func (fg *fgen) decay(addr core.Value, arrTy *core.Type) core.Value {
+	zero := core.NewUint(fg.g.ctx.Long(), 0)
+	return fg.b.GEP(addr, []core.Value{zero, zero}, "")
+}
+
+func (fg *fgen) genIdent(x *identExpr) core.Value {
+	if l, ok := fg.lookup(x.Name); ok {
+		if l.ty.Kind() == core.ArrayKind {
+			return fg.decay(l.addr, l.ty)
+		}
+		return fg.b.Load(l.addr, x.Name+".val")
+	}
+	if gv := fg.g.m.Global(x.Name); gv != nil {
+		if gv.ValueType().Kind() == core.ArrayKind {
+			return fg.decay(gv, gv.ValueType())
+		}
+		return fg.b.Load(gv, x.Name+".val")
+	}
+	if f := fg.g.lookupFunc(x.Name, x.Line); f != nil {
+		return f
+	}
+	fg.g.fail(x.Line, "undefined identifier %s", x.Name)
+	return nil
+}
+
+// genAddr evaluates e as an lvalue, returning (address, pointee type).
+func (fg *fgen) genAddr(e expr) (core.Value, *core.Type) {
+	switch x := e.(type) {
+	case *identExpr:
+		if l, ok := fg.lookup(x.Name); ok {
+			return l.addr, l.ty
+		}
+		if gv := fg.g.m.Global(x.Name); gv != nil {
+			return gv, gv.ValueType()
+		}
+		fg.g.fail(x.Line, "undefined identifier %s", x.Name)
+	case *unaryExpr:
+		if x.Op == "*" {
+			p := fg.genExpr(x.X)
+			if p.Type().Kind() != core.PointerKind {
+				fg.g.fail(x.Line, "dereference of non-pointer %s", p.Type())
+			}
+			return p, p.Type().Elem()
+		}
+	case *indexExpr:
+		return fg.genIndexAddr(x)
+	case *memberExpr:
+		return fg.genMemberAddr(x)
+	case *castExpr:
+		// (T*)p used as an lvalue target — rare but allowed via *cast
+		fg.g.fail(x.Line, "cast expression is not an lvalue")
+	}
+	fg.g.fail(lineOf(e), "expression is not an lvalue")
+	return nil, nil
+}
+
+func (fg *fgen) genIndexAddr(x *indexExpr) (core.Value, *core.Type) {
+	idx := fg.genExpr(x.Idx)
+	idx = fg.convert(idx, fg.g.ctx.Long(), x.Line)
+	// Array lvalue: index through [0, i]; pointer rvalue: index through [i].
+	switch base := x.X.(type) {
+	case *identExpr, *indexExpr, *memberExpr:
+		// Try the lvalue path first so multi-dimensional arrays index in
+		// place rather than through a decayed copy.
+		addr, ty := fg.genAddr(base)
+		if ty.Kind() == core.ArrayKind {
+			zero := core.NewUint(fg.g.ctx.Long(), 0)
+			p := fg.b.GEP(addr, []core.Value{zero, idx}, "")
+			return p, ty.Elem()
+		}
+		if ty.Kind() == core.PointerKind {
+			ptr := fg.b.Load(addr, "")
+			p := fg.b.GEP(ptr, []core.Value{idx}, "")
+			return p, ty.Elem()
+		}
+		fg.g.fail(x.Line, "cannot index %s", ty)
+	default:
+		ptr := fg.genExpr(x.X)
+		if ptr.Type().Kind() != core.PointerKind {
+			fg.g.fail(x.Line, "cannot index %s", ptr.Type())
+		}
+		p := fg.b.GEP(ptr, []core.Value{idx}, "")
+		return p, ptr.Type().Elem()
+	}
+	return nil, nil
+}
+
+func (fg *fgen) genMemberAddr(x *memberExpr) (core.Value, *core.Type) {
+	var base core.Value
+	var sty *core.Type
+	if x.Arrow {
+		base = fg.genExpr(x.X)
+		if base.Type().Kind() != core.PointerKind {
+			fg.g.fail(x.Line, "-> on non-pointer %s", base.Type())
+		}
+		sty = base.Type().Elem()
+	} else {
+		var t *core.Type
+		base, t = fg.genAddr(x.X)
+		sty = t
+	}
+	if sty.Kind() != core.StructKind {
+		fg.g.fail(x.Line, "member access on non-struct %s", sty)
+	}
+	names := fg.g.fields[sty]
+	fi := -1
+	for i, n := range names {
+		if n == x.Name {
+			fi = i
+			break
+		}
+	}
+	if fi < 0 {
+		fg.g.fail(x.Line, "%s has no field %s", sty, x.Name)
+	}
+	zero := core.NewUint(fg.g.ctx.Long(), 0)
+	idx := core.NewUint(fg.g.ctx.UByte(), uint64(fi))
+	p := fg.b.GEP(base, []core.Value{zero, idx}, "")
+	return p, sty.Fields()[fi]
+}
+
+func (fg *fgen) genUnary(x *unaryExpr) core.Value {
+	switch x.Op {
+	case "-":
+		v := fg.genExpr(x.X)
+		t := v.Type()
+		if rank(t) < 5 && t.IsInteger() || t.Kind() == core.BoolKind {
+			v = fg.convert(v, fg.g.ctx.Int(), x.Line)
+			t = v.Type()
+		}
+		if t.IsFloat() {
+			return fg.b.Sub(core.NewFloat(t, 0), v, "")
+		}
+		return fg.b.Sub(core.NewUint(t, 0), v, "")
+	case "~":
+		v := fg.genExpr(x.X)
+		t := v.Type()
+		if !t.IsInteger() {
+			fg.g.fail(x.Line, "~ on non-integer %s", t)
+		}
+		return fg.b.Xor(v, core.NewInt(t, -1), "")
+	case "!":
+		c := fg.genCond(x.X)
+		return fg.b.Xor(c, core.NewBool(fg.g.ctx.Bool(), true), "")
+	case "*":
+		p := fg.genExpr(x.X)
+		if p.Type().Kind() != core.PointerKind {
+			fg.g.fail(x.Line, "dereference of non-pointer %s", p.Type())
+		}
+		elem := p.Type().Elem()
+		if elem.Kind() == core.ArrayKind {
+			return fg.decay(p, elem)
+		}
+		return fg.b.Load(p, "")
+	case "&":
+		addr, ty := fg.genAddr(x.X)
+		_ = ty
+		return addr
+	case "++", "--":
+		return fg.genIncDec(x.X, x.Op, false, x.Line)
+	}
+	fg.g.fail(x.Line, "unhandled unary %s", x.Op)
+	return nil
+}
+
+// genIncDec implements ++/-- (pre and post) for integers, floats and
+// pointers.
+func (fg *fgen) genIncDec(target expr, op string, post bool, line int) core.Value {
+	addr, ty := fg.genAddr(target)
+	old := fg.b.Load(addr, "")
+	var next core.Value
+	switch {
+	case ty.IsInteger():
+		one := core.NewUint(ty, 1)
+		if op == "++" {
+			next = fg.b.Add(old, one, "")
+		} else {
+			next = fg.b.Sub(old, one, "")
+		}
+	case ty.IsFloat():
+		one := core.NewFloat(ty, 1)
+		if op == "++" {
+			next = fg.b.Add(old, one, "")
+		} else {
+			next = fg.b.Sub(old, one, "")
+		}
+	case ty.Kind() == core.PointerKind:
+		step := int64(1)
+		if op == "--" {
+			step = -1
+		}
+		next = fg.b.GEP(old, []core.Value{core.NewInt(fg.g.ctx.Long(), step)}, "")
+	default:
+		fg.g.fail(line, "%s on type %s", op, ty)
+	}
+	fg.b.Store(next, addr)
+	if post {
+		return old
+	}
+	return next
+}
+
+func (fg *fgen) genBinary(x *binaryExpr) core.Value {
+	switch x.Op {
+	case "&&", "||":
+		return fg.genShortCircuit(x)
+	}
+	a := fg.genExpr(x.X)
+	b := fg.genExpr(x.Y)
+	return fg.genBinOp(x.Op, a, b, x.Line)
+}
+
+func (fg *fgen) genBinOp(op string, a, b core.Value, line int) core.Value {
+	at, bt := a.Type(), b.Type()
+
+	// pointer arithmetic
+	if at.Kind() == core.PointerKind || bt.Kind() == core.PointerKind {
+		switch op {
+		case "+":
+			if at.Kind() == core.PointerKind && bt.IsInteger() {
+				return fg.b.GEP(a, []core.Value{fg.convert(b, fg.g.ctx.Long(), line)}, "")
+			}
+			if bt.Kind() == core.PointerKind && at.IsInteger() {
+				return fg.b.GEP(b, []core.Value{fg.convert(a, fg.g.ctx.Long(), line)}, "")
+			}
+		case "-":
+			if at.Kind() == core.PointerKind && bt.IsInteger() {
+				i := fg.convert(b, fg.g.ctx.Long(), line)
+				neg := fg.b.Sub(core.NewUint(fg.g.ctx.Long(), 0), i, "")
+				return fg.b.GEP(a, []core.Value{neg}, "")
+			}
+			if at.Kind() == core.PointerKind && bt.Kind() == core.PointerKind {
+				if at != bt {
+					fg.g.fail(line, "subtraction of incompatible pointers %s and %s", at, bt)
+				}
+				l := fg.g.ctx.Long()
+				ai := fg.b.Cast(a, l, "")
+				bi := fg.b.Cast(b, l, "")
+				diff := fg.b.Sub(ai, bi, "")
+				sz := fg.g.m.Layout().Size(at.Elem())
+				return fg.b.Div(diff, core.NewInt(l, sz), "")
+			}
+		case "==", "!=", "<", ">", "<=", ">=":
+			if at != bt {
+				// allow comparing any pointer against a null of another
+				// pointer type by casting
+				if at.Kind() == core.PointerKind && bt.Kind() == core.PointerKind {
+					b = fg.b.Cast(b, at, "")
+				} else if bt.IsInteger() {
+					b = fg.convert(b, fg.g.ctx.Long(), line)
+					a = fg.b.Cast(a, fg.g.ctx.Long(), "")
+				} else {
+					fg.g.fail(line, "bad pointer comparison %s vs %s", at, bt)
+				}
+			}
+			return fg.cmp(op, a, b)
+		default:
+			fg.g.fail(line, "operator %s on pointer", op)
+		}
+		fg.g.fail(line, "bad pointer arithmetic")
+	}
+
+	switch op {
+	case "<<", ">>":
+		if rank(at) < 5 {
+			a = fg.convert(a, fg.g.ctx.Int(), line)
+		}
+		amt := fg.convert(b, fg.g.ctx.UByte(), line)
+		if op == "<<" {
+			return fg.b.Shl(a, amt, "")
+		}
+		return fg.b.Shr(a, amt, "")
+	}
+
+	ct := fg.commonType(at, bt)
+	a = fg.convert(a, ct, line)
+	b = fg.convert(b, ct, line)
+	switch op {
+	case "+":
+		return fg.b.Add(a, b, "")
+	case "-":
+		return fg.b.Sub(a, b, "")
+	case "*":
+		return fg.b.Mul(a, b, "")
+	case "/":
+		return fg.b.Div(a, b, "")
+	case "%":
+		return fg.b.Rem(a, b, "")
+	case "&":
+		return fg.b.And(a, b, "")
+	case "|":
+		return fg.b.Or(a, b, "")
+	case "^":
+		return fg.b.Xor(a, b, "")
+	case "==", "!=", "<", ">", "<=", ">=":
+		return fg.cmp(op, a, b)
+	}
+	fg.g.fail(line, "unhandled operator %s", op)
+	return nil
+}
+
+func (fg *fgen) cmp(op string, a, b core.Value) core.Value {
+	switch op {
+	case "==":
+		return fg.b.SetEQ(a, b, "")
+	case "!=":
+		return fg.b.SetNE(a, b, "")
+	case "<":
+		return fg.b.SetLT(a, b, "")
+	case ">":
+		return fg.b.SetGT(a, b, "")
+	case "<=":
+		return fg.b.SetLE(a, b, "")
+	default:
+		return fg.b.SetGE(a, b, "")
+	}
+}
+
+// genShortCircuit lowers && and || with control flow and a phi.
+func (fg *fgen) genShortCircuit(x *binaryExpr) core.Value {
+	boolTy := fg.g.ctx.Bool()
+	a := fg.genCond(x.X)
+	aEnd := fg.b.Block()
+	evalB := fg.newBlock("sc.rhs")
+	joinB := fg.newBlock("sc.end")
+	if x.Op == "&&" {
+		fg.b.CondBr(a, evalB, joinB)
+	} else {
+		fg.b.CondBr(a, joinB, evalB)
+	}
+	fg.setBlock(evalB)
+	b := fg.genCond(x.Y)
+	bEnd := fg.b.Block()
+	fg.b.Br(joinB)
+	fg.setBlock(joinB)
+	phi := fg.b.Phi(boolTy, "")
+	short := core.NewBool(boolTy, x.Op == "||")
+	phi.AddPhiIncoming(short, aEnd)
+	phi.AddPhiIncoming(b, bEnd)
+	return phi
+}
+
+// genCondExpr lowers c ? a : b.
+func (fg *fgen) genCondExpr(x *condExpr) core.Value {
+	cond := fg.genCond(x.Cond)
+	thenB := fg.newBlock("sel.then")
+	elseB := fg.newBlock("sel.else")
+	joinB := fg.newBlock("sel.end")
+	fg.b.CondBr(cond, thenB, elseB)
+
+	fg.setBlock(thenB)
+	a := fg.genExpr(x.Then)
+	aBlk := fg.b.Block()
+
+	fg.setBlock(elseB)
+	b := fg.genExpr(x.Else)
+	bBlk := fg.b.Block()
+
+	var ct *core.Type
+	if a.Type() == b.Type() {
+		ct = a.Type()
+	} else if a.Type().Kind() == core.PointerKind && b.Type().Kind() == core.PointerKind {
+		ct = a.Type()
+	} else {
+		ct = fg.commonType(a.Type(), b.Type())
+	}
+	fg.setBlock(aBlk)
+	// conversions must be emitted in the respective arms, before the join
+	a2 := fg.convert(a, ct, x.Line)
+	fg.b.Br(joinB)
+	aBlk = fg.b.Block()
+
+	fg.setBlock(bBlk)
+	b2 := fg.convert(b, ct, x.Line)
+	fg.b.Br(joinB)
+	bBlk = fg.b.Block()
+
+	fg.setBlock(joinB)
+	phi := fg.b.Phi(ct, "")
+	phi.AddPhiIncoming(a2, aBlk)
+	phi.AddPhiIncoming(b2, bBlk)
+	return phi
+}
+
+func (fg *fgen) genAssign(x *assignExpr) core.Value {
+	addr, ty := fg.genAddr(x.L)
+	if !ty.IsFirstClass() {
+		fg.g.fail(x.Line, "cannot assign to value of type %s", ty)
+	}
+	var v core.Value
+	if x.Op == "=" {
+		v = fg.convert(fg.genExpr(x.R), ty, x.Line)
+	} else {
+		old := fg.b.Load(addr, "")
+		r := fg.genExpr(x.R)
+		op := x.Op[:len(x.Op)-1] // strip '='
+		v = fg.convert(fg.genBinOp(op, old, r, x.Line), ty, x.Line)
+	}
+	fg.b.Store(v, addr)
+	return v
+}
+
+func (fg *fgen) genCall(x *callExpr) core.Value {
+	var callee core.Value
+	if id, ok := x.Fn.(*identExpr); ok {
+		// Function-pointer locals shadow function names.
+		if l, found := fg.lookup(id.Name); found {
+			callee = fg.b.Load(l.addr, "")
+		} else if gv := fg.g.m.Global(id.Name); gv != nil &&
+			gv.ValueType().Kind() == core.PointerKind &&
+			gv.ValueType().Elem().Kind() == core.FunctionKind {
+			callee = fg.b.Load(gv, "")
+		} else if f := fg.g.lookupFunc(id.Name, id.Line); f != nil {
+			callee = f
+		} else {
+			fg.g.fail(x.Line, "call to undefined function %s", id.Name)
+		}
+	} else {
+		callee = fg.genExpr(x.Fn)
+	}
+	ct := callee.Type()
+	if ct.Kind() != core.PointerKind || ct.Elem().Kind() != core.FunctionKind {
+		fg.g.fail(x.Line, "called value has type %s", ct)
+	}
+	sig := ct.Elem()
+	if len(x.Args) != len(sig.Params()) {
+		fg.g.fail(x.Line, "call with %d argument(s), want %d", len(x.Args), len(sig.Params()))
+	}
+	args := make([]core.Value, len(x.Args))
+	for i, ae := range x.Args {
+		args[i] = fg.convert(fg.genExpr(ae), sig.Params()[i], x.Line)
+	}
+	return fg.b.Call(callee, args, "")
+}

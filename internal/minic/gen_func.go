@@ -1,0 +1,321 @@
+package minic
+
+import (
+	"fmt"
+
+	"llva/internal/core"
+)
+
+// local is a named slot in the current function: addr points at the
+// storage (an alloca or a global) of type ty.
+type local struct {
+	addr core.Value
+	ty   *core.Type
+}
+
+// fgen generates IR for one function. In the style of C front-ends for
+// LLVA, every local lives in an alloca and is accessed with load/store;
+// the mem2reg pass later promotes these to SSA registers (paper, Fig. 2:
+// "the translator preallocates all fixed-size alloca objects").
+type fgen struct {
+	g      *genCtx
+	f      *core.Function
+	b      *core.Builder
+	scopes []map[string]local
+	breaks []*core.BasicBlock
+	conts  []*core.BasicBlock
+
+	blockID    int
+	terminated bool
+}
+
+func (g *genCtx) genFunc(fd *funcDecl) {
+	f := g.m.Function(fd.Name)
+	fg := &fgen{g: g, f: f, b: core.NewBuilder(f)}
+	entry := f.NewBlock("entry")
+	fg.b.SetBlock(entry)
+	fg.pushScope()
+
+	// Spill parameters to allocas so they are assignable.
+	for i, pa := range fd.Params {
+		a := fg.b.Alloca(pa.Ty, pa.Name+".addr")
+		fg.b.Store(f.Params[i], a)
+		fg.declare(pa.Name, a, pa.Ty, fd.Line)
+	}
+	fg.genBlockStmt(fd.Body)
+
+	if !fg.terminated {
+		ret := f.Signature().Ret()
+		switch {
+		case ret.Kind() == core.VoidKind:
+			fg.b.RetVoid()
+		case fd.Name == "main":
+			fg.b.Ret(fg.zero(ret))
+		default:
+			// Falling off the end of a non-void function returns zero, as
+			// the workloads never rely on it this keeps IR well-formed.
+			fg.b.Ret(fg.zero(ret))
+		}
+	}
+	fg.popScope()
+}
+
+func (fg *fgen) pushScope() { fg.scopes = append(fg.scopes, make(map[string]local)) }
+func (fg *fgen) popScope()  { fg.scopes = fg.scopes[:len(fg.scopes)-1] }
+
+func (fg *fgen) declare(name string, addr core.Value, ty *core.Type, line int) {
+	s := fg.scopes[len(fg.scopes)-1]
+	if _, dup := s[name]; dup {
+		fg.g.fail(line, "%s redeclared in this scope", name)
+	}
+	s[name] = local{addr: addr, ty: ty}
+}
+
+func (fg *fgen) lookup(name string) (local, bool) {
+	for i := len(fg.scopes) - 1; i >= 0; i-- {
+		if l, ok := fg.scopes[i][name]; ok {
+			return l, true
+		}
+	}
+	return local{}, false
+}
+
+func (fg *fgen) newBlock(tag string) *core.BasicBlock {
+	fg.blockID++
+	return fg.f.NewBlock(fmt.Sprintf("%s%d", tag, fg.blockID))
+}
+
+// setBlock repositions the builder and clears the terminated flag.
+func (fg *fgen) setBlock(bb *core.BasicBlock) {
+	fg.b.SetBlock(bb)
+	fg.terminated = false
+}
+
+// branchTo emits a branch to bb unless the current block already ended.
+func (fg *fgen) branchTo(bb *core.BasicBlock) {
+	if !fg.terminated {
+		fg.b.Br(bb)
+		fg.terminated = true
+	}
+}
+
+func (fg *fgen) zero(ty *core.Type) core.Value {
+	switch {
+	case ty.IsInteger():
+		return core.NewUint(ty, 0)
+	case ty.IsFloat():
+		return core.NewFloat(ty, 0)
+	case ty.Kind() == core.BoolKind:
+		return core.NewBool(ty, false)
+	case ty.Kind() == core.PointerKind:
+		return core.NewNull(ty)
+	}
+	fg.g.fail(0, "no zero value for %s", ty)
+	return nil
+}
+
+// ------------------------------------------------------------- statements
+
+func (fg *fgen) genBlockStmt(b *blockStmt) {
+	if !b.NoScope {
+		fg.pushScope()
+		defer fg.popScope()
+	}
+	for _, s := range b.List {
+		fg.genStmt(s)
+	}
+}
+
+// startDeadBlockIfNeeded opens a fresh block for statements that follow a
+// terminator (e.g. code after return); such code is unreachable but must
+// still be well-formed.
+func (fg *fgen) startDeadBlockIfNeeded() {
+	if fg.terminated {
+		fg.setBlock(fg.newBlock("dead"))
+	}
+}
+
+func (fg *fgen) genStmt(s stmt) {
+	fg.startDeadBlockIfNeeded()
+	switch x := s.(type) {
+	case *blockStmt:
+		fg.genBlockStmt(x)
+	case *exprStmt:
+		fg.genExpr(x.X)
+	case *declStmt:
+		fg.genDecl(x)
+	case *ifStmt:
+		fg.genIf(x)
+	case *whileStmt:
+		fg.genWhile(x)
+	case *forStmt:
+		fg.genFor(x)
+	case *returnStmt:
+		fg.genReturn(x)
+	case *breakStmt:
+		if len(fg.breaks) == 0 {
+			fg.g.fail(x.Line, "break outside loop or switch")
+		}
+		fg.branchTo(fg.breaks[len(fg.breaks)-1])
+	case *continueStmt:
+		if len(fg.conts) == 0 {
+			fg.g.fail(x.Line, "continue outside loop")
+		}
+		fg.branchTo(fg.conts[len(fg.conts)-1])
+	case *switchStmt:
+		fg.genSwitch(x)
+	default:
+		fg.g.fail(0, "unhandled statement %T", s)
+	}
+}
+
+func (fg *fgen) genDecl(d *declStmt) {
+	ty := d.Ty
+	if ty.Kind() == core.ArrayKind && ty.Len() == 0 {
+		fg.g.fail(d.Line, "local array %s requires an explicit length", d.Name)
+	}
+	if !ty.IsSized() {
+		fg.g.fail(d.Line, "cannot declare local of unsized type %s", ty)
+	}
+	a := fg.b.Alloca(ty, d.Name)
+	fg.declare(d.Name, a, ty, d.Line)
+	if d.Init != nil {
+		v := fg.genExpr(d.Init)
+		fg.b.Store(fg.convert(v, ty, d.Line), a)
+	}
+}
+
+func (fg *fgen) genIf(s *ifStmt) {
+	cond := fg.genCond(s.Cond)
+	thenB := fg.newBlock("if.then")
+	joinB := fg.newBlock("if.end")
+	elseB := joinB
+	if s.Else != nil {
+		elseB = fg.newBlock("if.else")
+	}
+	fg.b.CondBr(cond, thenB, elseB)
+	fg.setBlock(thenB)
+	fg.genStmt(s.Then)
+	fg.branchTo(joinB)
+	if s.Else != nil {
+		fg.setBlock(elseB)
+		fg.genStmt(s.Else)
+		fg.branchTo(joinB)
+	}
+	fg.setBlock(joinB)
+}
+
+func (fg *fgen) genWhile(s *whileStmt) {
+	condB := fg.newBlock("while.cond")
+	bodyB := fg.newBlock("while.body")
+	endB := fg.newBlock("while.end")
+	if s.Do {
+		fg.b.Br(bodyB)
+	} else {
+		fg.b.Br(condB)
+	}
+	fg.setBlock(condB)
+	fg.b.CondBr(fg.genCond(s.Cond), bodyB, endB)
+	fg.setBlock(bodyB)
+	fg.breaks = append(fg.breaks, endB)
+	fg.conts = append(fg.conts, condB)
+	fg.genStmt(s.Body)
+	fg.breaks = fg.breaks[:len(fg.breaks)-1]
+	fg.conts = fg.conts[:len(fg.conts)-1]
+	fg.branchTo(condB)
+	fg.setBlock(endB)
+}
+
+func (fg *fgen) genFor(s *forStmt) {
+	fg.pushScope()
+	if s.Init != nil {
+		fg.genStmt(s.Init)
+	}
+	condB := fg.newBlock("for.cond")
+	bodyB := fg.newBlock("for.body")
+	postB := fg.newBlock("for.post")
+	endB := fg.newBlock("for.end")
+	fg.b.Br(condB)
+	fg.setBlock(condB)
+	if s.Cond != nil {
+		fg.b.CondBr(fg.genCond(s.Cond), bodyB, endB)
+	} else {
+		fg.b.Br(bodyB)
+	}
+	fg.setBlock(bodyB)
+	fg.breaks = append(fg.breaks, endB)
+	fg.conts = append(fg.conts, postB)
+	fg.genStmt(s.Body)
+	fg.breaks = fg.breaks[:len(fg.breaks)-1]
+	fg.conts = fg.conts[:len(fg.conts)-1]
+	fg.branchTo(postB)
+	fg.setBlock(postB)
+	if s.Post != nil {
+		fg.genExpr(s.Post)
+	}
+	fg.branchTo(condB)
+	fg.setBlock(endB)
+	fg.popScope()
+}
+
+func (fg *fgen) genReturn(s *returnStmt) {
+	ret := fg.f.Signature().Ret()
+	if s.X == nil {
+		if ret.Kind() != core.VoidKind {
+			fg.g.fail(s.Line, "return without value in non-void function")
+		}
+		fg.b.RetVoid()
+	} else {
+		if ret.Kind() == core.VoidKind {
+			fg.g.fail(s.Line, "return with value in void function")
+		}
+		v := fg.genExpr(s.X)
+		fg.b.Ret(fg.convert(v, ret, s.Line))
+	}
+	fg.terminated = true
+}
+
+// genSwitch lowers a switch to the LLVA mbr (multi-way branch)
+// instruction; case bodies never fall through (see parseSwitch).
+func (fg *fgen) genSwitch(s *switchStmt) {
+	v := fg.genExpr(s.X)
+	if !v.Type().IsInteger() {
+		fg.g.fail(s.Line, "switch requires an integer expression")
+	}
+	endB := fg.newBlock("sw.end")
+	defB := endB
+	if s.Default != nil {
+		defB = fg.newBlock("sw.default")
+	}
+	var cases []int64
+	var targets []*core.BasicBlock
+	caseBlocks := make([]*core.BasicBlock, len(s.Cases))
+	for i, c := range s.Cases {
+		caseBlocks[i] = fg.newBlock("sw.case")
+		cases = append(cases, c.Val)
+		targets = append(targets, caseBlocks[i])
+	}
+	fg.b.Mbr(v, defB, cases, targets)
+	fg.terminated = true
+	fg.breaks = append(fg.breaks, endB)
+	for i, c := range s.Cases {
+		fg.setBlock(caseBlocks[i])
+		fg.pushScope()
+		for _, st := range c.Body {
+			fg.genStmt(st)
+		}
+		fg.popScope()
+		fg.branchTo(endB)
+	}
+	if s.Default != nil {
+		fg.setBlock(defB)
+		fg.pushScope()
+		for _, st := range s.Default {
+			fg.genStmt(st)
+		}
+		fg.popScope()
+		fg.branchTo(endB)
+	}
+	fg.breaks = fg.breaks[:len(fg.breaks)-1]
+	fg.setBlock(endB)
+}

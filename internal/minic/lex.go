@@ -1,0 +1,313 @@
+// Package minic is a small C front-end for LLVA: it compiles a C subset
+// (integers, floats, pointers, arrays, structs, typedefs, the usual
+// operators and control flow) to LLVA virtual object code. It substitutes
+// for the GCC-based C front-end used in the paper, producing the same
+// style of code: locals as allocas (promoted to SSA registers by the
+// mem2reg pass), typed getelementptr for all addressing, and explicit
+// casts everywhere (LLVA has no implicit coercion).
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tkind uint8
+
+const (
+	tEOF tkind = iota
+	tIdent
+	tInt
+	tFloat
+	tChar
+	tString
+	tPunct
+	tKeyword
+)
+
+var keywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "unsigned": true, "signed": true,
+	"struct": true, "typedef": true, "extern": true, "static": true,
+	"const": true, "sizeof": true,
+	"if": true, "else": true, "while": true, "for": true, "do": true,
+	"return": true, "break": true, "continue": true,
+	"switch": true, "case": true, "default": true,
+}
+
+type tok struct {
+	kind tkind
+	text string
+	ival uint64
+	fval float64
+	line int
+}
+
+func (t tok) String() string {
+	switch t.kind {
+	case tEOF:
+		return "end of file"
+	case tString:
+		return fmt.Sprintf("%q", t.text)
+	case tChar:
+		return fmt.Sprintf("'%s'", t.text)
+	}
+	return t.text
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	file string
+}
+
+func newMLexer(file, src string) *lexer { return &lexer{src: src, line: 1, file: file} }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", l.file, l.line, fmt.Sprintf(format, args...))
+}
+
+var punct2 = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true, "&&": true, "||": true,
+	"<<": true, ">>": true, "++": true, "--": true, "->": true,
+	"+=": true, "-=": true, "*=": true, "/=": true, "%=": true,
+	"&=": true, "|=": true, "^=": true,
+}
+
+var punct3 = map[string]bool{"<<=": true, ">>=": true}
+
+func (l *lexer) next() (tok, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos+1 >= len(l.src) {
+				return tok{}, l.errf("unterminated comment")
+			}
+			l.pos += 2
+		default:
+			return l.lexOne()
+		}
+	}
+	return tok{kind: tEOF, line: l.line}, nil
+}
+
+func (l *lexer) lexOne() (tok, error) {
+	line := l.line
+	c := l.src[l.pos]
+	switch {
+	case isAlpha(c):
+		start := l.pos
+		for l.pos < len(l.src) && isAlnum(l.src[l.pos]) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		if keywords[word] {
+			return tok{kind: tKeyword, text: word, line: line}, nil
+		}
+		return tok{kind: tIdent, text: word, line: line}, nil
+	case isNum(c):
+		return l.lexNumber()
+	case c == '\'':
+		return l.lexChar()
+	case c == '"':
+		return l.lexString()
+	default:
+		// longest-match punctuation
+		if l.pos+3 <= len(l.src) && punct3[l.src[l.pos:l.pos+3]] {
+			t := tok{kind: tPunct, text: l.src[l.pos : l.pos+3], line: line}
+			l.pos += 3
+			return t, nil
+		}
+		if l.pos+2 <= len(l.src) && punct2[l.src[l.pos:l.pos+2]] {
+			t := tok{kind: tPunct, text: l.src[l.pos : l.pos+2], line: line}
+			l.pos += 2
+			return t, nil
+		}
+		if strings.ContainsRune("+-*/%<>=!&|^~(){}[];,.?:", rune(c)) {
+			l.pos++
+			return tok{kind: tPunct, text: string(c), line: line}, nil
+		}
+	}
+	return tok{}, l.errf("unexpected character %q", string(c))
+}
+
+func (l *lexer) lexNumber() (tok, error) {
+	start := l.pos
+	line := l.line
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		l.pos += 2
+		for l.pos < len(l.src) && isHexDigit(l.src[l.pos]) {
+			l.pos++
+		}
+		var v uint64
+		if _, err := fmt.Sscanf(l.src[start:l.pos], "%v", &v); err != nil {
+			if _, err2 := fmt.Sscanf(l.src[start+2:l.pos], "%x", &v); err2 != nil {
+				return tok{}, l.errf("bad hex literal %q", l.src[start:l.pos])
+			}
+		}
+		return l.intSuffix(tok{kind: tInt, text: l.src[start:l.pos], ival: v, line: line})
+	}
+	isFlt := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if isNum(c) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !isFlt {
+			isFlt = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) &&
+			(isNum(l.src[l.pos+1]) || l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+') {
+			isFlt = true
+			l.pos += 2
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	if isFlt {
+		var f float64
+		if _, err := fmt.Sscanf(text, "%g", &f); err != nil {
+			return tok{}, l.errf("bad float literal %q", text)
+		}
+		// optional f suffix
+		if l.pos < len(l.src) && (l.src[l.pos] == 'f' || l.src[l.pos] == 'F') {
+			l.pos++
+		}
+		return tok{kind: tFloat, text: text, fval: f, line: line}, nil
+	}
+	var v uint64
+	if _, err := fmt.Sscanf(text, "%d", &v); err != nil {
+		return tok{}, l.errf("bad integer literal %q", text)
+	}
+	return l.intSuffix(tok{kind: tInt, text: text, ival: v, line: line})
+}
+
+// intSuffix consumes optional u/l suffixes (recorded in text).
+func (l *lexer) intSuffix(t tok) (tok, error) {
+	for l.pos < len(l.src) {
+		switch l.src[l.pos] {
+		case 'u', 'U':
+			t.text += "u"
+			l.pos++
+		case 'l', 'L':
+			t.text += "l"
+			l.pos++
+		default:
+			return t, nil
+		}
+	}
+	return t, nil
+}
+
+func (l *lexer) lexChar() (tok, error) {
+	line := l.line
+	l.pos++
+	if l.pos >= len(l.src) {
+		return tok{}, l.errf("unterminated character literal")
+	}
+	var v byte
+	if l.src[l.pos] == '\\' {
+		l.pos++
+		if l.pos >= len(l.src) {
+			return tok{}, l.errf("unterminated character literal")
+		}
+		switch l.src[l.pos] {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		case '"':
+			v = '"'
+		default:
+			return tok{}, l.errf("bad escape \\%c", l.src[l.pos])
+		}
+		l.pos++
+	} else {
+		v = l.src[l.pos]
+		l.pos++
+	}
+	if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+		return tok{}, l.errf("unterminated character literal")
+	}
+	l.pos++
+	return tok{kind: tChar, text: string(v), ival: uint64(v), line: line}, nil
+}
+
+func (l *lexer) lexString() (tok, error) {
+	line := l.line
+	l.pos++
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			return tok{kind: tString, text: b.String(), line: line}, nil
+		}
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '0':
+				b.WriteByte(0)
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			default:
+				return tok{}, l.errf("bad escape \\%c in string", l.src[l.pos])
+			}
+			l.pos++
+			continue
+		}
+		if c == '\n' {
+			return tok{}, l.errf("unterminated string literal")
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return tok{}, l.errf("unterminated string literal")
+}
+
+func isAlpha(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+func isNum(c byte) bool   { return c >= '0' && c <= '9' }
+func isAlnum(c byte) bool { return isAlpha(c) || isNum(c) }
+func isHexDigit(c byte) bool {
+	return isNum(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}

@@ -1,0 +1,310 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"llva/internal/core"
+	"llva/internal/interp"
+)
+
+// compileRun compiles src, verifies the module, runs main on the
+// interpreter and returns (exit status, program output).
+func compileRun(t *testing.T, src string) (int, string) {
+	t.Helper()
+	m, err := Compile("test.c", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	var out strings.Builder
+	ip, err := interp.New(m, &out)
+	if err != nil {
+		t.Fatalf("interp.New: %v", err)
+	}
+	code, err := ip.RunMain()
+	if err != nil {
+		t.Fatalf("run: %v\noutput so far: %s", err, out.String())
+	}
+	return code, out.String()
+}
+
+func TestHello(t *testing.T) {
+	_, out := compileRun(t, `
+int main() {
+	print_str("hello, world");
+	print_nl();
+	return 0;
+}`)
+	if out != "hello, world\n" {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestArithmeticAndControlFlow(t *testing.T) {
+	code, out := compileRun(t, `
+int collatz_len(int n) {
+	int len = 0;
+	while (n != 1) {
+		if (n % 2 == 0) n = n / 2;
+		else n = 3 * n + 1;
+		len++;
+	}
+	return len;
+}
+int main() {
+	int i;
+	int best = 0, best_i = 0;
+	for (i = 1; i <= 50; i++) {
+		int l = collatz_len(i);
+		if (l > best) { best = l; best_i = i; }
+	}
+	print_int(best_i); print_char(' '); print_int(best); print_nl();
+	return best_i;
+}`)
+	if out != "27 111\n" || code != 27 {
+		t.Errorf("out=%q code=%d, want %q code 27", out, code, "27 111\n")
+	}
+}
+
+func TestPointersAndStructs(t *testing.T) {
+	_, out := compileRun(t, `
+struct Node {
+	int val;
+	struct Node *next;
+};
+
+int main() {
+	struct Node *head = 0;
+	int i;
+	for (i = 5; i >= 1; i--) {
+		struct Node *n = (struct Node*)malloc(sizeof(struct Node));
+		n->val = i * 10;
+		n->next = head;
+		head = n;
+	}
+	struct Node *p;
+	int sum = 0;
+	for (p = head; p != 0; p = p->next) {
+		print_int(p->val); print_char(' ');
+		sum += p->val;
+	}
+	print_int(sum); print_nl();
+	return 0;
+}`)
+	if out != "10 20 30 40 50 150\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestArrays2D(t *testing.T) {
+	_, out := compileRun(t, `
+int grid[4][4];
+int main() {
+	int i, j;
+	for (i = 0; i < 4; i++)
+		for (j = 0; j < 4; j++)
+			grid[i][j] = i * 4 + j;
+	int trace = 0;
+	for (i = 0; i < 4; i++) trace += grid[i][i];
+	print_int(trace); print_nl();
+	return 0;
+}`)
+	if out != "30\n" {
+		t.Errorf("out = %q, want 30", out)
+	}
+}
+
+func TestGlobalInitializers(t *testing.T) {
+	_, out := compileRun(t, `
+int table[5] = {2, 3, 5, 7, 11};
+char msg[] = "primes:";
+double factor = 1.5;
+
+int main() {
+	print_str(msg);
+	int i;
+	int sum = 0;
+	for (i = 0; i < 5; i++) { print_char(' '); print_int(table[i]); sum += table[i]; }
+	print_nl();
+	print_float(sum * factor); print_nl();
+	return 0;
+}`)
+	want := "primes: 2 3 5 7 11\n42.0000\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestSwitchLowersToMbr(t *testing.T) {
+	m, err := Compile("test.c", `
+int classify(int x) {
+	switch (x) {
+	case 0: return 10;
+	case 1: return 20;
+	case 5: return 30;
+	default: return -1;
+	}
+}
+int main() { return classify(5); }`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	found := false
+	for _, bb := range m.Function("classify").Blocks {
+		for _, in := range bb.Instructions() {
+			if in.Op() == core.OpMbr {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("switch did not lower to mbr")
+	}
+	code, _ := compileRun(t, `
+int classify(int x) {
+	switch (x) {
+	case 0: return 10;
+	case 1: return 20;
+	case 5: return 30;
+	default: return -1;
+	}
+}
+int main() { return classify(5) + classify(2); }`)
+	if code != 29 {
+		t.Errorf("code = %d, want 29", code)
+	}
+}
+
+func TestFunctionPointers(t *testing.T) {
+	code, _ := compileRun(t, `
+typedef int (*binop)(int, int);
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+
+int apply(binop f, int a, int b) { return f(a, b); }
+
+int main() {
+	binop ops[2];
+	ops[0] = add;
+	ops[1] = mul;
+	return apply(ops[0], 3, 4) + apply(ops[1], 3, 4);
+}`)
+	if code != 19 {
+		t.Errorf("code = %d, want 19", code)
+	}
+}
+
+func TestShortCircuitAndTernary(t *testing.T) {
+	code, _ := compileRun(t, `
+int calls = 0;
+int bump() { calls++; return 1; }
+int main() {
+	int a = 0;
+	if (a != 0 && bump()) {}
+	if (a == 0 || bump()) {}
+	int m = a > 0 ? 100 : 7;
+	return calls * 10 + m;   /* calls must be 0 */
+}`)
+	if code != 7 {
+		t.Errorf("code = %d, want 7 (short-circuit must skip bump())", code)
+	}
+}
+
+func TestStringsAndChars(t *testing.T) {
+	_, out := compileRun(t, `
+int my_strlen(char *s) {
+	int n = 0;
+	while (s[n] != '\0') n++;
+	return n;
+}
+int main() {
+	char buf[16];
+	char *src = "abcdef";
+	int i, n = my_strlen(src);
+	for (i = 0; i <= n; i++) buf[i] = src[n - 1 - i >= 0 ? n - 1 - i : n];
+	buf[n] = '\0';
+	print_str(buf); print_nl();
+	print_int(n); print_nl();
+	return 0;
+}`)
+	if out != "fedcba\n6\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFloatMath(t *testing.T) {
+	_, out := compileRun(t, `
+double dist(double x1, double y1, double x2, double y2) {
+	double dx = x2 - x1, dy = y2 - y1;
+	return sqrt(dx*dx + dy*dy);
+}
+int main() {
+	print_float(dist(0.0, 0.0, 3.0, 4.0)); print_nl();
+	float f = 0.5f;
+	double d = f + 0.25;
+	print_float(d); print_nl();
+	return 0;
+}`)
+	if out != "5.0000\n0.7500\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestRecursionMutual(t *testing.T) {
+	code, _ := compileRun(t, `
+int is_odd(int n);
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+int main() { return is_even(10) * 10 + is_odd(7); }`)
+	if code != 11 {
+		t.Errorf("code = %d, want 11", code)
+	}
+}
+
+func TestDoWhileAndCompoundAssign(t *testing.T) {
+	code, _ := compileRun(t, `
+int main() {
+	int x = 1, n = 0;
+	do { x <<= 1; n++; } while (x < 100);
+	x -= 28;  /* 128 - 28 = 100 */
+	x /= 4;   /* 25 */
+	x %= 11;  /* 3 */
+	return x * 10 + n;  /* n = 7 */
+}`)
+	if code != 37 {
+		t.Errorf("code = %d, want 37", code)
+	}
+}
+
+func TestUnsignedSemantics(t *testing.T) {
+	code, _ := compileRun(t, `
+int main() {
+	unsigned int u = 0;
+	u--;                      /* wraps to 0xFFFFFFFF */
+	unsigned int half = u / 2;  /* 0x7FFFFFFF */
+	int shifted = (int)(half >> 30);  /* 1 */
+	signed char c = (signed char)255; /* -1 */
+	return shifted * 10 + (c == -1 ? 1 : 0);
+}`)
+	if code != 11 {
+		t.Errorf("code = %d, want 11", code)
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	code, _ := compileRun(t, `
+struct Pair { int a; double b; };
+int main() {
+	/* 64-bit layout: int(4) pad(4) double(8) = 16 */
+	return (int)(sizeof(struct Pair) + sizeof(int) * 100 + sizeof(char*) * 1000);
+}`)
+	if code != 16+400+8000 {
+		t.Errorf("code = %d, want %d", code, 16+400+8000)
+	}
+}

@@ -1,0 +1,681 @@
+package minic
+
+import (
+	"fmt"
+
+	"llva/internal/core"
+)
+
+// unit is a parsed translation unit.
+type unit struct {
+	funcs   []*funcDecl
+	globals []*globalDecl
+	// fieldNames maps each struct type to its field names, for member
+	// access resolution during IR generation.
+	fieldNames map[*core.Type][]string
+}
+
+type parser struct {
+	lex  *lexer
+	tok  tok
+	peek *tok
+	ctx  *core.TypeContext
+	file string
+
+	typedefs map[string]*core.Type
+	structs  map[string]*core.Type
+	fields   map[*core.Type][]string
+
+	// pending carries a pre-parsed base type on the struct-use path
+	// (tryStructDef cannot rewind the lexer).
+	pending *core.Type
+	// lastFn carries the parameter list from a function declarator to
+	// parseTopDecl.
+	lastFn fnInfo
+}
+
+func newParser(file, src string, ctx *core.TypeContext) (*parser, error) {
+	p := &parser{
+		lex:      newMLexer(file, src),
+		ctx:      ctx,
+		file:     file,
+		typedefs: make(map[string]*core.Type),
+		structs:  make(map[string]*core.Type),
+		fields:   make(map[*core.Type][]string),
+	}
+	return p, p.advance()
+}
+
+func (p *parser) advance() error {
+	if p.peek != nil {
+		p.tok = *p.peek
+		p.peek = nil
+		return nil
+	}
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) peekTok() (tok, error) {
+	if p.peek == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return tok{}, err
+		}
+		p.peek = &t
+	}
+	return *p.peek, nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("%s:%d: %s", p.file, p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) isPunct(s string) bool { return p.tok.kind == tPunct && p.tok.text == s }
+func (p *parser) isKw(s string) bool    { return p.tok.kind == tKeyword && p.tok.text == s }
+
+func (p *parser) expect(s string) error {
+	if (p.tok.kind == tPunct || p.tok.kind == tKeyword) && p.tok.text == s {
+		return p.advance()
+	}
+	return p.errf("expected %q, got %s", s, p.tok)
+}
+
+func (p *parser) ident() (string, error) {
+	if p.tok.kind != tIdent {
+		return "", p.errf("expected identifier, got %s", p.tok)
+	}
+	n := p.tok.text
+	return n, p.advance()
+}
+
+// parseUnit parses the whole translation unit.
+func (p *parser) parseUnit() (*unit, error) {
+	u := &unit{fieldNames: p.fields}
+	for p.tok.kind != tEOF {
+		switch {
+		case p.isKw("typedef"):
+			if err := p.parseTypedef(); err != nil {
+				return nil, err
+			}
+		case p.isKw("struct"):
+			// Could be a struct definition ("struct S { ... };") or a
+			// declaration using a struct type.
+			done, err := p.tryStructDef()
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				continue
+			}
+			if err := p.parseTopDecl(u, false, false); err != nil {
+				return nil, err
+			}
+		case p.isKw("extern"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.parseTopDecl(u, true, false); err != nil {
+				return nil, err
+			}
+		case p.isKw("static"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.parseTopDecl(u, false, true); err != nil {
+				return nil, err
+			}
+		default:
+			if err := p.parseTopDecl(u, false, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return u, nil
+}
+
+func (p *parser) parseTypedef() error {
+	if err := p.advance(); err != nil { // typedef
+		return err
+	}
+	base, err := p.parseTypeBase()
+	if err != nil {
+		return err
+	}
+	ty, name, _, err := p.parseDeclarator(base)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		return p.errf("typedef requires a name")
+	}
+	p.typedefs[name] = ty
+	return p.expect(";")
+}
+
+// tryStructDef handles "struct Name { fields };" — returns true if it
+// consumed a full definition (or forward declaration).
+func (p *parser) tryStructDef() (bool, error) {
+	save := p.tok
+	nxt, err := p.peekTok()
+	if err != nil {
+		return false, err
+	}
+	if nxt.kind != tIdent {
+		return false, p.errf("expected struct name")
+	}
+	// Look two ahead: "struct Name {" is a definition; "struct Name ;" a
+	// forward declaration; otherwise it is a type use.
+	if err := p.advance(); err != nil { // now at name
+		return false, err
+	}
+	name := p.tok.text
+	if err := p.advance(); err != nil {
+		return false, err
+	}
+	switch {
+	case p.isPunct("{"):
+		if err := p.parseStructBody(name); err != nil {
+			return false, err
+		}
+		return true, p.expect(";")
+	case p.isPunct(";"):
+		p.structType(name) // forward declaration
+		return true, p.advance()
+	default:
+		// Not a definition: rewind is impossible with this lexer, so
+		// continue parsing the declaration from here with the struct type
+		// as base.
+		base := p.structType(name)
+		_ = save
+		return false, p.continueTopDeclWith(base)
+	}
+}
+
+func (p *parser) continueTopDeclWith(base *core.Type) error {
+	p.pending = base
+	return nil
+}
+
+func (p *parser) structType(name string) *core.Type {
+	if t, ok := p.structs[name]; ok {
+		return t
+	}
+	t := p.ctx.NamedStruct("struct." + name)
+	p.structs[name] = t
+	return t
+}
+
+func (p *parser) parseStructBody(name string) error {
+	t := p.structType(name)
+	if !t.Opaque() {
+		return p.errf("struct %s redefined", name)
+	}
+	if err := p.advance(); err != nil { // '{'
+		return err
+	}
+	var fieldTypes []*core.Type
+	var fieldNames []string
+	for !p.isPunct("}") {
+		base, err := p.parseTypeBase()
+		if err != nil {
+			return err
+		}
+		for {
+			ty, fname, _, err := p.parseDeclarator(base)
+			if err != nil {
+				return err
+			}
+			if fname == "" {
+				return p.errf("struct field requires a name")
+			}
+			fieldTypes = append(fieldTypes, ty)
+			fieldNames = append(fieldNames, fname)
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expect(";"); err != nil {
+			return err
+		}
+	}
+	if err := p.advance(); err != nil { // '}'
+		return err
+	}
+	p.ctx.SetBody(t, fieldTypes...)
+	p.fields[t] = fieldNames
+	return nil
+}
+
+// parseTopDecl parses a function definition/declaration or global
+// variable(s).
+func (p *parser) parseTopDecl(u *unit, isExtern, isStatic bool) error {
+	base, err := p.parseTypeBase()
+	if err != nil {
+		return err
+	}
+	ty, name, isFn, err := p.parseDeclarator(base)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		return p.errf("declaration requires a name")
+	}
+	if isFn {
+		return p.parseFuncRest(u, ty, name, isExtern, isStatic)
+	}
+	// global variable(s)
+	for {
+		g := &globalDecl{Name: name, Ty: ty, Extern: isExtern}
+		g.Line = p.tok.line
+		if p.isPunct("=") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			init, err := p.parseInitializer()
+			if err != nil {
+				return err
+			}
+			g.Init = init
+			// char s[] = "..." infers the array length in gen.
+		}
+		u.globals = append(u.globals, g)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return err
+			}
+			ty, name, isFn, err = p.parseDeclarator(base)
+			if err != nil {
+				return err
+			}
+			if isFn || name == "" {
+				return p.errf("bad declaration list")
+			}
+			continue
+		}
+		break
+	}
+	return p.expect(";")
+}
+
+// fnInfo is attached by parseDeclarator when the declarator is a function.
+type fnInfo struct {
+	params []param
+	ret    *core.Type
+}
+
+func (p *parser) parseFuncRest(u *unit, retTy *core.Type, name string, isExtern, isStatic bool) error {
+	fd := &funcDecl{Name: name, Ret: retTy, Params: p.lastFn.params, Static: isStatic}
+	fd.Line = p.tok.line
+	if p.isPunct(";") {
+		u.funcs = append(u.funcs, fd) // declaration only
+		return p.advance()
+	}
+	if isExtern {
+		return p.errf("extern function %s cannot have a body", name)
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return err
+	}
+	fd.Body = body
+	u.funcs = append(u.funcs, fd)
+	return nil
+}
+
+// ------------------------------------------------------------------ types
+
+// parseTypeBase parses the base type: primitives with signed/unsigned,
+// struct uses, typedef names, with const ignored.
+func (p *parser) parseTypeBase() (*core.Type, error) {
+	if p.pending != nil {
+		t := p.pending
+		p.pending = nil
+		return t, nil
+	}
+	for p.isKw("const") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	unsigned := false
+	signedSeen := false
+	for p.isKw("unsigned") || p.isKw("signed") {
+		unsigned = p.isKw("unsigned")
+		signedSeen = !unsigned
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+	_ = signedSeen
+	switch {
+	case p.isKw("void"):
+		if unsigned {
+			return nil, p.errf("unsigned void")
+		}
+		return p.ctx.Void(), p.advance()
+	case p.isKw("char"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if unsigned {
+			return p.ctx.UByte(), nil
+		}
+		return p.ctx.SByte(), nil
+	case p.isKw("short"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if unsigned {
+			return p.ctx.UShort(), nil
+		}
+		return p.ctx.Short(), nil
+	case p.isKw("int"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if unsigned {
+			return p.ctx.UInt(), nil
+		}
+		return p.ctx.Int(), nil
+	case p.isKw("long"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isKw("long") { // long long == long
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if p.isKw("int") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		if unsigned {
+			return p.ctx.ULong(), nil
+		}
+		return p.ctx.Long(), nil
+	case p.isKw("float"):
+		return p.ctx.Float(), p.advance()
+	case p.isKw("double"):
+		return p.ctx.Double(), p.advance()
+	case p.isKw("struct"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return p.structType(name), nil
+	case unsigned:
+		// bare "unsigned" means unsigned int
+		return p.ctx.UInt(), nil
+	case p.tok.kind == tIdent:
+		if t, ok := p.typedefs[p.tok.text]; ok {
+			return t, p.advance()
+		}
+	}
+	return nil, p.errf("expected type, got %s", p.tok)
+}
+
+// isTypeStart reports whether the current token begins a type.
+func (p *parser) isTypeStart() bool {
+	if p.pending != nil {
+		return true
+	}
+	if p.tok.kind == tKeyword {
+		switch p.tok.text {
+		case "void", "char", "short", "int", "long", "float", "double",
+			"unsigned", "signed", "struct", "const":
+			return true
+		}
+		return false
+	}
+	if p.tok.kind == tIdent {
+		_, ok := p.typedefs[p.tok.text]
+		return ok
+	}
+	return false
+}
+
+// parseDeclarator parses pointer stars, the name, array suffixes and
+// function parameter lists:
+//
+//	*name, name[N], (*name)(params), name(params)
+//
+// It returns the declared type, the name (empty for abstract declarators)
+// and whether this is a function declarator (parameters in p.lastFn).
+func (p *parser) parseDeclarator(base *core.Type) (*core.Type, string, bool, error) {
+	t := base
+	for p.isPunct("*") {
+		t = p.ctx.Pointer(t)
+		if err := p.advance(); err != nil {
+			return nil, "", false, err
+		}
+	}
+	// function-pointer declarator: ( * name ) ( params )
+	if p.isPunct("(") {
+		nxt, err := p.peekTok()
+		if err != nil {
+			return nil, "", false, err
+		}
+		if nxt.kind == tPunct && nxt.text == "*" {
+			if err := p.advance(); err != nil { // '('
+				return nil, "", false, err
+			}
+			if err := p.advance(); err != nil { // '*'
+				return nil, "", false, err
+			}
+			name := ""
+			if p.tok.kind == tIdent {
+				name, err = p.ident()
+				if err != nil {
+					return nil, "", false, err
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, "", false, err
+			}
+			params, variadic, err := p.parseParams()
+			if err != nil {
+				return nil, "", false, err
+			}
+			ptypes := make([]*core.Type, len(params))
+			for i, pa := range params {
+				ptypes[i] = pa.Ty
+			}
+			sig := p.ctx.Function(t, ptypes, variadic)
+			return p.ctx.Pointer(sig), name, false, nil
+		}
+	}
+	name := ""
+	if p.tok.kind == tIdent {
+		var err error
+		name, err = p.ident()
+		if err != nil {
+			return nil, "", false, err
+		}
+	}
+	// function declarator
+	if p.isPunct("(") && name != "" {
+		params, variadic, err := p.parseParams()
+		if err != nil {
+			return nil, "", false, err
+		}
+		_ = variadic
+		p.lastFn = fnInfo{params: params, ret: t}
+		return t, name, true, nil
+	}
+	// array suffixes
+	var dims []int
+	for p.isPunct("[") {
+		if err := p.advance(); err != nil {
+			return nil, "", false, err
+		}
+		if p.isPunct("]") {
+			dims = append(dims, -1) // inferred (char s[] = "...")
+			if err := p.advance(); err != nil {
+				return nil, "", false, err
+			}
+			continue
+		}
+		n, err := p.parseConstIntExpr()
+		if err != nil {
+			return nil, "", false, err
+		}
+		dims = append(dims, int(n))
+		if err := p.expect("]"); err != nil {
+			return nil, "", false, err
+		}
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		if dims[i] < 0 {
+			// Marker for inferred length: an array of length 0 adjusted
+			// during IR generation from the initializer.
+			t = p.ctx.Array(0, t)
+		} else {
+			t = p.ctx.Array(dims[i], t)
+		}
+	}
+	return t, name, false, nil
+}
+
+func (p *parser) parseParams() ([]param, bool, error) {
+	if err := p.expect("("); err != nil {
+		return nil, false, err
+	}
+	var out []param
+	variadic := false
+	// "()" and "(void)" both mean no parameters.
+	if p.isKw("void") {
+		nxt, err := p.peekTok()
+		if err != nil {
+			return nil, false, err
+		}
+		if nxt.kind == tPunct && nxt.text == ")" {
+			if err := p.advance(); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+	for !p.isPunct(")") {
+		if len(out) > 0 {
+			if err := p.expect(","); err != nil {
+				return nil, false, err
+			}
+		}
+		if p.isPunct(".") {
+			// "..." lexes as three '.' puncts
+			for i := 0; i < 3; i++ {
+				if !p.isPunct(".") {
+					return nil, false, p.errf("expected ...")
+				}
+				if err := p.advance(); err != nil {
+					return nil, false, err
+				}
+			}
+			variadic = true
+			continue
+		}
+		base, err := p.parseTypeBase()
+		if err != nil {
+			return nil, false, err
+		}
+		ty, name, isFn, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, false, err
+		}
+		if isFn {
+			return nil, false, p.errf("function parameter cannot itself declare a function")
+		}
+		// arrays decay to pointers in parameters
+		if ty.Kind() == core.ArrayKind {
+			ty = p.ctx.Pointer(ty.Elem())
+		}
+		out = append(out, param{Name: name, Ty: ty})
+	}
+	return out, variadic, p.advance()
+}
+
+// parseConstIntExpr evaluates a constant integer expression (array sizes,
+// case labels).
+func (p *parser) parseConstIntExpr() (int64, error) {
+	e, err := p.parseConditional()
+	if err != nil {
+		return 0, err
+	}
+	return p.evalConstInt(e)
+}
+
+func (p *parser) evalConstInt(e expr) (int64, error) {
+	switch x := e.(type) {
+	case *intLit:
+		return int64(x.Val), nil
+	case *unaryExpr:
+		v, err := p.evalConstInt(x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "-":
+			return -v, nil
+		case "~":
+			return ^v, nil
+		case "!":
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *binaryExpr:
+		a, err := p.evalConstInt(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := p.evalConstInt(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case "+":
+			return a + b, nil
+		case "-":
+			return a - b, nil
+		case "*":
+			return a * b, nil
+		case "/":
+			if b == 0 {
+				return 0, p.errf("division by zero in constant expression")
+			}
+			return a / b, nil
+		case "%":
+			if b == 0 {
+				return 0, p.errf("division by zero in constant expression")
+			}
+			return a % b, nil
+		case "<<":
+			return a << uint(b), nil
+		case ">>":
+			return a >> uint(b), nil
+		case "&":
+			return a & b, nil
+		case "|":
+			return a | b, nil
+		case "^":
+			return a ^ b, nil
+		}
+	case *sizeofExpr:
+		return int64(core.Layout{PointerSize: 8}.Size(x.Ty)), nil
+	}
+	return 0, p.errf("expression is not a compile-time integer constant")
+}

@@ -1,0 +1,763 @@
+package minic
+
+import "llva/internal/core"
+
+// ------------------------------------------------------------- statements
+
+func (p *parser) parseBlock() (*blockStmt, error) {
+	b := &blockStmt{}
+	b.Line = p.tok.line
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	for !p.isPunct("}") {
+		if p.tok.kind == tEOF {
+			return nil, p.errf("unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		b.List = append(b.List, s)
+	}
+	return b, p.advance()
+}
+
+func (p *parser) parseStmt() (stmt, error) {
+	line := p.tok.line
+	switch {
+	case p.isPunct("{"):
+		return p.parseBlock()
+	case p.isPunct(";"):
+		s := &blockStmt{}
+		s.Line = line
+		return s, p.advance()
+	case p.isKw("if"):
+		return p.parseIf()
+	case p.isKw("while"):
+		return p.parseWhile()
+	case p.isKw("do"):
+		return p.parseDoWhile()
+	case p.isKw("for"):
+		return p.parseFor()
+	case p.isKw("switch"):
+		return p.parseSwitch()
+	case p.isKw("return"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s := &returnStmt{}
+		s.Line = line
+		if !p.isPunct(";") {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.X = x
+		}
+		return s, p.expect(";")
+	case p.isKw("break"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s := &breakStmt{}
+		s.Line = line
+		return s, p.expect(";")
+	case p.isKw("continue"):
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s := &continueStmt{}
+		s.Line = line
+		return s, p.expect(";")
+	case p.isTypeStart():
+		return p.parseLocalDecl()
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s := &exprStmt{X: x}
+		s.Line = line
+		return s, p.expect(";")
+	}
+}
+
+// parseLocalDecl parses "type declarator [= init] (, declarator [= init])* ;"
+// Multiple declarators expand to a block of declStmts.
+func (p *parser) parseLocalDecl() (stmt, error) {
+	line := p.tok.line
+	base, err := p.parseTypeBase()
+	if err != nil {
+		return nil, err
+	}
+	var decls []stmt
+	for {
+		ty, name, isFn, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if isFn || name == "" {
+			return nil, p.errf("bad local declaration")
+		}
+		d := &declStmt{Name: name, Ty: ty}
+		d.Line = line
+		if p.isPunct("=") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			init, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			d.Init = init
+		}
+		decls = append(decls, d)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if len(decls) == 1 {
+		return decls[0], nil
+	}
+	b := &blockStmt{List: decls, NoScope: true}
+	b.Line = line
+	return b, nil
+}
+
+func (p *parser) parseIf() (stmt, error) {
+	s := &ifStmt{}
+	s.Line = p.tok.line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	s.Cond = cond
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	s.Then, err = p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if p.isKw("else") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		s.Else, err = p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhile() (stmt, error) {
+	s := &whileStmt{}
+	s.Line = p.tok.line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	s.Cond = cond
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	s.Body, err = p.parseStmt()
+	return s, err
+}
+
+func (p *parser) parseDoWhile() (stmt, error) {
+	s := &whileStmt{Do: true}
+	s.Line = p.tok.line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	s.Body = body
+	if !p.isKw("while") {
+		return nil, p.errf("expected while after do body")
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	s.Cond, err = p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return s, p.expect(";")
+}
+
+func (p *parser) parseFor() (stmt, error) {
+	s := &forStmt{}
+	s.Line = p.tok.line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(";") {
+		if p.isTypeStart() {
+			init, err := p.parseLocalDecl() // consumes ';'
+			if err != nil {
+				return nil, err
+			}
+			s.Init = init
+		} else {
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			es := &exprStmt{X: x}
+			es.Line = s.Line
+			s.Init = es
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	} else if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(";") {
+		c, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Cond = c
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	if !p.isPunct(")") {
+		post, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Post = post
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	s.Body = body
+	return s, err
+}
+
+func (p *parser) parseSwitch() (stmt, error) {
+	s := &switchStmt{}
+	s.Line = p.tok.line
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	x, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	s.X = x
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("{"); err != nil {
+		return nil, err
+	}
+	// Each case body runs until the next case/default/}. MiniC switch
+	// bodies do not fall through: each case is implicitly terminated
+	// (break is accepted and redundant). This matches how the workloads
+	// use switch and maps directly onto the LLVA mbr instruction.
+	for !p.isPunct("}") {
+		switch {
+		case p.isKw("case"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			v, err := p.parseConstIntExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseCaseBody()
+			if err != nil {
+				return nil, err
+			}
+			s.Cases = append(s.Cases, switchCase{Val: v, Body: body})
+		case p.isKw("default"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(":"); err != nil {
+				return nil, err
+			}
+			body, err := p.parseCaseBody()
+			if err != nil {
+				return nil, err
+			}
+			s.Default = body
+			if s.Default == nil {
+				s.Default = []stmt{}
+			}
+		default:
+			return nil, p.errf("expected case or default in switch, got %s", p.tok)
+		}
+	}
+	return s, p.advance()
+}
+
+func (p *parser) parseCaseBody() ([]stmt, error) {
+	var body []stmt
+	for !p.isKw("case") && !p.isKw("default") && !p.isPunct("}") {
+		if p.isKw("break") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+			// implicit: case bodies never fall through
+			continue
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, st)
+	}
+	return body, nil
+}
+
+// ------------------------------------------------------------ expressions
+
+func (p *parser) parseExpr() (expr, error) { return p.parseAssign() }
+
+func (p *parser) parseAssign() (expr, error) {
+	l, err := p.parseConditional()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind == tPunct {
+		switch p.tok.text {
+		case "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=":
+			op := p.tok.text
+			line := p.tok.line
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			r, err := p.parseAssign()
+			if err != nil {
+				return nil, err
+			}
+			a := &assignExpr{Op: op, L: l, R: r}
+			a.Line = line
+			return a, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseConditional() (expr, error) {
+	c, err := p.parseBinary(0)
+	if err != nil {
+		return nil, err
+	}
+	if p.isPunct("?") {
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		thn, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		els, err := p.parseConditional()
+		if err != nil {
+			return nil, err
+		}
+		e := &condExpr{Cond: c, Then: thn, Else: els}
+		e.Line = line
+		return e, nil
+	}
+	return c, nil
+}
+
+// binary operator precedence, lowest first
+var binPrec = map[string]int{
+	"||": 1, "&&": 2,
+	"|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (p *parser) parseBinary(minPrec int) (expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		if p.tok.kind != tPunct {
+			return l, nil
+		}
+		prec, ok := binPrec[p.tok.text]
+		if !ok || prec < minPrec {
+			return l, nil
+		}
+		op := p.tok.text
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		b := &binaryExpr{Op: op, X: l, Y: r}
+		b.Line = line
+		l = b
+	}
+}
+
+func (p *parser) parseUnary() (expr, error) {
+	line := p.tok.line
+	if p.tok.kind == tPunct {
+		switch p.tok.text {
+		case "-", "!", "~", "*", "&":
+			op := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			u := &unaryExpr{Op: op, X: x}
+			u.Line = line
+			return u, nil
+		case "+":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return p.parseUnary()
+		case "++", "--":
+			op := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			u := &unaryExpr{Op: op, X: x}
+			u.Line = line
+			return u, nil
+		case "(":
+			// Could be a cast "(type) expr" or a parenthesized expression.
+			nxt, err := p.peekTok()
+			if err != nil {
+				return nil, err
+			}
+			isCast := false
+			if nxt.kind == tKeyword {
+				switch nxt.text {
+				case "void", "char", "short", "int", "long", "float",
+					"double", "unsigned", "signed", "struct", "const":
+					isCast = true
+				}
+			} else if nxt.kind == tIdent {
+				_, isCast = p.typedefs[nxt.text]
+			}
+			if isCast {
+				if err := p.advance(); err != nil { // '('
+					return nil, err
+				}
+				base, err := p.parseTypeBase()
+				if err != nil {
+					return nil, err
+				}
+				ty, name, _, err := p.parseDeclarator(base)
+				if err != nil {
+					return nil, err
+				}
+				if name != "" {
+					return nil, p.errf("unexpected name in cast")
+				}
+				if err := p.expect(")"); err != nil {
+					return nil, err
+				}
+				x, err := p.parseUnary()
+				if err != nil {
+					return nil, err
+				}
+				c := &castExpr{Ty: ty, X: x}
+				c.Line = line
+				return c, nil
+			}
+		}
+	}
+	if p.isKw("sizeof") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		base, err := p.parseTypeBase()
+		if err != nil {
+			return nil, err
+		}
+		ty, _, _, err := p.parseDeclarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		s := &sizeofExpr{Ty: ty}
+		s.Line = line
+		return s, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		line := p.tok.line
+		switch {
+		case p.isPunct("("):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			var args []expr
+			for !p.isPunct(")") {
+				if len(args) > 0 {
+					if err := p.expect(","); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseAssign()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			c := &callExpr{Fn: x, Args: args}
+			c.Line = line
+			x = c
+		case p.isPunct("["):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			ie := &indexExpr{X: x, Idx: idx}
+			ie.Line = line
+			x = ie
+		case p.isPunct("."):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			me := &memberExpr{X: x, Name: name}
+			me.Line = line
+			x = me
+		case p.isPunct("->"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			me := &memberExpr{X: x, Name: name, Arrow: true}
+			me.Line = line
+			x = me
+		case p.isPunct("++"), p.isPunct("--"):
+			op := p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			pe := &postfixExpr{Op: op, X: x}
+			pe.Line = line
+			x = pe
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (expr, error) {
+	line := p.tok.line
+	switch p.tok.kind {
+	case tInt:
+		t := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e := &intLit{Val: t.ival, Ty: p.intLitType(t)}
+		e.Line = line
+		return e, nil
+	case tChar:
+		t := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e := &intLit{Val: t.ival, Ty: p.ctx.SByte()}
+		e.Line = line
+		return e, nil
+	case tFloat:
+		t := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e := &floatLit{Val: t.fval, Ty: p.ctx.Double()}
+		e.Line = line
+		return e, nil
+	case tString:
+		t := p.tok
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		// Adjacent string literals concatenate, as in C.
+		val := t.text
+		for p.tok.kind == tString {
+			val += p.tok.text
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		e := &strLit{Val: val}
+		e.Line = line
+		return e, nil
+	case tIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e := &identExpr{Name: name}
+		e.Line = line
+		return e, nil
+	}
+	if p.isPunct("(") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return x, p.expect(")")
+	}
+	return nil, p.errf("expected expression, got %s", p.tok)
+}
+
+// intLitType picks the literal's type from its suffixes and magnitude.
+func (p *parser) intLitType(t tok) *core.Type {
+	hasU, hasL := false, false
+	for i := len(t.text) - 1; i >= 0; i-- {
+		switch t.text[i] {
+		case 'u':
+			hasU = true
+			continue
+		case 'l':
+			hasL = true
+			continue
+		}
+		break
+	}
+	switch {
+	case hasU && hasL:
+		return p.ctx.ULong()
+	case hasL:
+		return p.ctx.Long()
+	case hasU:
+		if t.ival > 0xffffffff {
+			return p.ctx.ULong()
+		}
+		return p.ctx.UInt()
+	case t.ival > 0x7fffffff:
+		return p.ctx.Long()
+	default:
+		return p.ctx.Int()
+	}
+}
+
+// parseInitializer parses a global initializer: expression or brace list.
+func (p *parser) parseInitializer() (expr, error) {
+	if p.isPunct("{") {
+		line := p.tok.line
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		lst := &initList{}
+		lst.Line = line
+		for !p.isPunct("}") {
+			if len(lst.Elems) > 0 {
+				if err := p.expect(","); err != nil {
+					return nil, err
+				}
+				if p.isPunct("}") { // trailing comma
+					break
+				}
+			}
+			e, err := p.parseInitializer()
+			if err != nil {
+				return nil, err
+			}
+			lst.Elems = append(lst.Elems, e)
+		}
+		return lst, p.advance()
+	}
+	return p.parseAssign()
+}

@@ -1,0 +1,195 @@
+package obj
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"llva/internal/asm"
+	"llva/internal/core"
+	"llva/internal/minic"
+)
+
+const quadtree = `
+target endian = little
+target pointersize = 64
+
+%struct.QuadTree = type { double, [4 x %struct.QuadTree*] }
+%table = global [2 x int (int)*] [ int (int)* %idf, int (int)* %idf ]
+
+declare void %print_int(long %v)
+
+int %idf(int %x) {
+entry:
+    ret int %x
+}
+
+void %Sum3rdChildren(%struct.QuadTree* %T, double* %Result) {
+entry:
+    %V = alloca double
+    %tmp.0 = seteq %struct.QuadTree* %T, null
+    br bool %tmp.0, label %endif, label %else
+else:
+    %tmp.1 = getelementptr %struct.QuadTree* %T, long 0, ubyte 1, long 3
+    %Child3 = load %struct.QuadTree** %tmp.1
+    call void %Sum3rdChildren(%struct.QuadTree* %Child3, double* %V)
+    %tmp.2 = load double* %V
+    %tmp.3 = getelementptr %struct.QuadTree* %T, long 0, ubyte 0
+    %tmp.4 = load double* %tmp.3
+    %Ret.0 = add double %tmp.2, %tmp.4 !exc
+    br label %endif
+endif:
+    %Ret.1 = phi double [ %Ret.0, %else ], [ 0.0, %entry ]
+    store double %Ret.1, double* %Result
+    ret void
+}
+`
+
+// roundTrip encodes and decodes m, comparing semantic structure via the
+// printed assembly (names are not preserved by design, so both sides are
+// canonicalized by reparsing the original through a name-stripped clone).
+func roundTrip(t *testing.T, m *core.Module) *core.Module {
+	t.Helper()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	m2, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if err := core.Verify(m2); err != nil {
+		t.Fatalf("decoded module fails verification: %v", err)
+	}
+	return m2
+}
+
+func TestRoundTripQuadtree(t *testing.T) {
+	m, err := asm.Parse("qt", quadtree)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	m2 := roundTrip(t, m)
+
+	f := m2.Function("Sum3rdChildren")
+	if f == nil || f.NumInstructions() != m.Function("Sum3rdChildren").NumInstructions() {
+		t.Fatal("instruction count not preserved")
+	}
+	// ExceptionsEnabled attribute must survive (the add has !exc).
+	var found bool
+	for _, bb := range f.Blocks {
+		for _, in := range bb.Instructions() {
+			if in.Op() == core.OpAdd {
+				found = true
+				if !in.ExceptionsEnabled {
+					t.Error("ExceptionsEnabled attribute lost in round trip")
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("add instruction lost")
+	}
+	if m2.PointerSize != 8 || !m2.LittleEndian {
+		t.Error("configuration flags lost")
+	}
+	// Function-pointer table initializer must survive.
+	g := m2.Global("table")
+	if g == nil || g.Init == nil || g.Init.CK != core.ConstArray {
+		t.Fatal("global fn-pointer table lost")
+	}
+	if g.Init.Elems[0].CK != core.ConstGlobal || g.Init.Elems[0].Ref.Name() != "idf" {
+		t.Error("fn-pointer table entries lost")
+	}
+}
+
+func TestRoundTripSemanticEquality(t *testing.T) {
+	m, err := asm.Parse("qt", quadtree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := roundTrip(t, m)
+	// Encoding is name-stripping; compare structure counts and re-encode:
+	// a second encode must be byte-identical (fixpoint).
+	d1, err := Encode(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := Decode(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Encode(m3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(d1) != string(d2) {
+		t.Error("encode/decode is not a fixpoint")
+	}
+}
+
+func TestCompiledProgramRoundTrip(t *testing.T) {
+	src := `
+struct Node { int val; struct Node *next; };
+int sum_list(struct Node *head) {
+	int s = 0;
+	while (head != 0) { s += head->val; head = head->next; }
+	return s;
+}
+int main() {
+	struct Node a, b;
+	a.val = 1; a.next = &b;
+	b.val = 2; b.next = 0;
+	return sum_list(&a);
+}`
+	m, err := minic.Compile("rt.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	m2 := roundTrip(t, m)
+	if m2.Function("main") == nil || m2.Function("sum_list") == nil {
+		t.Fatal("functions lost")
+	}
+	if got, want := m2.Function("sum_list").NumInstructions(),
+		m.Function("sum_list").NumInstructions(); got != want {
+		t.Errorf("sum_list has %d instructions after round trip, want %d", got, want)
+	}
+}
+
+func TestCompactFormDominates(t *testing.T) {
+	// Paper Section 3.1: most instructions fit in a single 32-bit word.
+	// Check that for straight-line arithmetic code, bytes-per-instruction
+	// stays close to 4.
+	var b strings.Builder
+	b.WriteString("long %f(long %a, long %b) {\nentry:\n")
+	b.WriteString("    %v0 = add long %a, %b\n")
+	for i := 1; i < 100; i++ {
+		b.WriteString("    %v")
+		b.WriteString(strings.Repeat("", 0))
+		b.WriteString(itoa(i))
+		b.WriteString(" = add long %v")
+		b.WriteString(itoa(i - 1))
+		b.WriteString(", %b\n")
+	}
+	b.WriteString("    ret long %v99\n}\n")
+	m, err := asm.Parse("arith", b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perInstr := float64(len(data)) / 101.0
+	if perInstr > 6.0 {
+		t.Errorf("bytes per instruction = %.2f, want near 4 (compact form)", perInstr)
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }

@@ -1,0 +1,99 @@
+package obj
+
+import (
+	"math/rand"
+	"testing"
+
+	"llva/internal/core"
+	"llva/internal/minic"
+)
+
+// TestDecodeTruncated checks that every prefix of a valid object decodes
+// to an error, never a panic or a silently-wrong module.
+func TestDecodeTruncated(t *testing.T) {
+	m, err := minic.Compile("t.c", `
+struct S { int a; struct S *n; };
+int f(struct S *s) { if (s == 0) return 0; return s->a + f(s->n); }
+int main() { return f(0); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(data); n++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on %d-byte prefix: %v", n, r)
+				}
+			}()
+			if _, err := Decode(data[:n]); err == nil {
+				t.Errorf("Decode accepted a %d-byte prefix of a %d-byte object", n, len(data))
+			}
+		}()
+	}
+}
+
+// TestDecodeBitFlips flips random bytes and requires Decode to either
+// error out or produce a module (it may decode to something valid — bit
+// flips in names or constants are not detectable — but it must never
+// panic).
+func TestDecodeBitFlips(t *testing.T) {
+	m, err := minic.Compile("t.c", `
+long mix(long a, long b) { return a * 31 + b; }
+int main() { return (int)(mix(3, 4) % 100); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		mut := append([]byte(nil), data...)
+		for k := 0; k < 1+r.Intn(4); k++ {
+			mut[r.Intn(len(mut))] ^= byte(1 << r.Intn(8))
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("Decode panicked on mutated input (trial %d): %v", trial, rec)
+				}
+			}()
+			dm, err := Decode(mut)
+			if err == nil && dm != nil {
+				// If it decoded, the result must at least be printable;
+				// verification may legitimately fail.
+				_ = core.Verify(dm)
+			}
+		}()
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	inputs := [][]byte{
+		nil,
+		{},
+		{0, 1, 2, 3},
+		[]byte("LLVA"),
+		[]byte("not an object at all"),
+		append([]byte{'L', 'L', 'V', 'A', Version, 3}, make([]byte, 64)...),
+	}
+	for i, in := range inputs {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("input %d: panic %v", i, r)
+				}
+			}()
+			if _, err := Decode(in); err == nil && len(in) < 16 {
+				t.Errorf("input %d: garbage accepted", i)
+			}
+		}()
+	}
+}

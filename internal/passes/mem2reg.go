@@ -1,0 +1,205 @@
+package passes
+
+import (
+	"llva/internal/analysis"
+	"llva/internal/core"
+)
+
+// Mem2Reg promotes allocas whose address never escapes and that are only
+// loaded and stored directly into SSA virtual registers, inserting phi
+// instructions at dominance frontiers (Cytron et al.). Front-ends emit
+// locals as allocas (paper, Figure 2); this pass recovers the SSA form
+// the V-ISA is built around.
+func Mem2Reg(m *core.Module, s *Stats) bool {
+	return forEachDefined(m, func(f *core.Function) bool {
+		return mem2regFunc(f, s)
+	})
+}
+
+func promotable(in *core.Instruction) bool {
+	if in.Op() != core.OpAlloca || in.NumOperands() != 0 {
+		return false
+	}
+	if !in.Allocated.IsFirstClass() {
+		return false
+	}
+	for _, u := range in.Uses() {
+		switch u.User.Op() {
+		case core.OpLoad:
+			// ok
+		case core.OpStore:
+			if u.Index == 0 {
+				return false // the address itself is stored
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func mem2regFunc(f *core.Function, s *Stats) bool {
+	var allocas []*core.Instruction
+	for _, bb := range f.Blocks {
+		for _, in := range bb.Instructions() {
+			if promotable(in) {
+				allocas = append(allocas, in)
+			}
+		}
+	}
+	if len(allocas) == 0 {
+		return false
+	}
+
+	cfg := analysis.NewCFG(f)
+	dt := analysis.NewDomTreeCFG(cfg)
+	df := dt.Frontiers()
+
+	allocaID := make(map[*core.Instruction]int, len(allocas))
+	for i, a := range allocas {
+		allocaID[a] = i
+	}
+
+	// Phi placement at iterated dominance frontiers of each alloca's
+	// defining (storing) blocks.
+	phiFor := make(map[*core.Instruction]int) // phi -> alloca id
+	for ai, a := range allocas {
+		work := []int{}
+		inWork := make(map[int]bool)
+		for _, u := range a.Uses() {
+			if u.User.Op() == core.OpStore {
+				bi := cfg.Index[u.User.Parent()]
+				if !inWork[bi] {
+					inWork[bi] = true
+					work = append(work, bi)
+				}
+			}
+		}
+		hasPhi := make(map[int]bool)
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, fr := range df[b] {
+				if hasPhi[fr] {
+					continue
+				}
+				hasPhi[fr] = true
+				phi := core.NewInstruction(core.OpPhi, a.Allocated)
+				phi.SetName(a.Name() + ".phi")
+				cfg.Blocks[fr].InsertAt(0, phi)
+				phiFor[phi] = ai
+				if !inWork[fr] {
+					inWork[fr] = true
+					work = append(work, fr)
+				}
+			}
+		}
+	}
+
+	// Renaming walk over the dominator tree.
+	stacks := make([][]core.Value, len(allocas))
+	var rename func(b int)
+	rename = func(b int) {
+		bb := cfg.Blocks[b]
+		pushed := make([]int, 0, 4)
+
+		for _, in := range append([]*core.Instruction(nil), bb.Instructions()...) {
+			switch in.Op() {
+			case core.OpPhi:
+				if ai, ok := phiFor[in]; ok {
+					stacks[ai] = append(stacks[ai], in)
+					pushed = append(pushed, ai)
+				}
+			case core.OpLoad:
+				a, ok := in.Operand(0).(*core.Instruction)
+				if !ok {
+					continue
+				}
+				ai, isProm := allocaID[a]
+				if !isProm {
+					continue
+				}
+				var v core.Value
+				if n := len(stacks[ai]); n > 0 {
+					v = stacks[ai][n-1]
+				} else {
+					v = core.NewUndef(a.Allocated)
+				}
+				core.ReplaceAllUsesWith(in, v)
+				in.EraseFromParent()
+				s.Add("mem2reg.loads", 1)
+			case core.OpStore:
+				a, ok := in.Operand(1).(*core.Instruction)
+				if !ok {
+					continue
+				}
+				ai, isProm := allocaID[a]
+				if !isProm {
+					continue
+				}
+				stacks[ai] = append(stacks[ai], in.Operand(0))
+				pushed = append(pushed, ai)
+				in.EraseFromParent()
+				s.Add("mem2reg.stores", 1)
+			}
+		}
+
+		// Fill phi incomings in successors.
+		for _, si := range cfg.Succs[b] {
+			sb := cfg.Blocks[si]
+			for _, phi := range sb.Phis() {
+				ai, ok := phiFor[phi]
+				if !ok {
+					continue
+				}
+				var v core.Value
+				if n := len(stacks[ai]); n > 0 {
+					v = stacks[ai][n-1]
+				} else {
+					v = core.NewUndef(allocas[ai].Allocated)
+				}
+				phi.AddPhiIncoming(v, bb)
+			}
+		}
+
+		for _, ch := range dt.Children[b] {
+			rename(ch)
+		}
+		for i := len(pushed) - 1; i >= 0; i-- {
+			ai := pushed[i]
+			stacks[ai] = stacks[ai][:len(stacks[ai])-1]
+		}
+	}
+	rename(0)
+
+	// Unreachable predecessors are never visited by the renaming walk;
+	// give their phi edges undef so the phi/predecessor invariant holds.
+	for phi, ai := range phiFor {
+		bb := phi.Parent()
+		for _, p := range bb.Predecessors() {
+			if phi.PhiIncomingFor(p) == nil {
+				phi.AddPhiIncoming(core.NewUndef(allocas[ai].Allocated), p)
+			}
+		}
+	}
+
+	// Remove the allocas (all loads/stores are gone; unreachable-block
+	// uses may remain — clear them).
+	for _, a := range allocas {
+		for _, u := range a.Uses() {
+			// only possible in unreachable blocks
+			dead := u.User
+			if dead.NumUses() > 0 {
+				core.ReplaceAllUsesWith(dead, core.NewUndef(dead.Type()))
+			}
+			dead.EraseFromParent()
+		}
+		a.EraseFromParent()
+		s.Add("mem2reg.promoted", 1)
+	}
+
+	// Phis placed in blocks that turned out to lack the value on some
+	// path already default to undef above. Dead phis (never used) are
+	// cleaned by DCE/ADCE later.
+	return true
+}

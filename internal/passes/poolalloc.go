@@ -1,0 +1,106 @@
+package passes
+
+import (
+	"llva/internal/analysis"
+	"llva/internal/core"
+)
+
+// PoolAllocate implements Automatic Pool Allocation (paper, Section 5.1:
+// "a powerful interprocedural transformation that uses Data Structure
+// Analysis to partition the heap into separate pools for each data
+// structure instance"). Every disjoint heap structure identified by DSA
+// receives its own pool id; its malloc/calloc sites become pool_alloc
+// calls and frees of pointers provably inside a pooled structure become
+// pool_free (arena semantics in the runtime).
+//
+// Correctness does not depend on the precision of the analysis: pools
+// satisfy the same allocation contract as malloc, and frees that cannot
+// be attributed to a pool are left untouched.
+func PoolAllocate(m *core.Module, s *Stats) bool {
+	dsa := analysis.NewDSA(m)
+	heapNodes := dsa.HeapStructures()
+	if len(heapNodes) == 0 {
+		return false
+	}
+
+	ctx := m.Types()
+	sp := ctx.Pointer(ctx.SByte())
+	poolAllocFn := m.Function("pool_alloc")
+	if poolAllocFn == nil {
+		poolAllocFn = m.NewFunction("pool_alloc",
+			ctx.Function(sp, []*core.Type{ctx.ULong(), ctx.ULong()}, false))
+	}
+	poolFreeFn := m.Function("pool_free")
+	if poolFreeFn == nil {
+		poolFreeFn = m.NewFunction("pool_free",
+			ctx.Function(ctx.Void(), []*core.Type{ctx.ULong(), sp}, false))
+	}
+
+	// Assign pool ids.
+	poolID := make(map[*analysis.DSNode]uint64, len(heapNodes))
+	for i, n := range heapNodes {
+		poolID[n] = uint64(i)
+	}
+	s.Add("poolalloc.pools", len(heapNodes))
+
+	changed := false
+	for _, node := range heapNodes {
+		id := core.NewUint(ctx.ULong(), poolID[node])
+		for _, site := range node.HeapSites {
+			if site.Parent() == nil {
+				continue // already rewritten (merged duplicate record)
+			}
+			callee := site.CalledFunction()
+			if callee == nil {
+				continue
+			}
+			bb := site.Parent()
+			var size core.Value
+			switch callee.Name() {
+			case "malloc":
+				size = site.CallArgs()[0]
+			case "calloc":
+				// calloc(n, elem) allocates n*elem zeroed bytes; pool
+				// allocations are zeroed by the runtime too.
+				mul := core.NewInstruction(core.OpMul, ctx.ULong(),
+					site.CallArgs()[0], site.CallArgs()[1])
+				bb.InsertBefore(site, mul)
+				size = mul
+			default:
+				continue
+			}
+			repl := core.NewInstruction(core.OpCall, sp, poolAllocFn, id, size)
+			bb.InsertBefore(site, repl)
+			repl.SetName(site.Name())
+			core.ReplaceAllUsesWith(site, repl)
+			site.EraseFromParent()
+			s.Add("poolalloc.allocs", 1)
+			changed = true
+		}
+	}
+
+	// Rewrite frees whose operand provably belongs to a pooled structure.
+	freeFn := m.Function("free")
+	if freeFn != nil {
+		for _, u := range freeFn.Uses() {
+			call := u.User
+			if call.Op() != core.OpCall || u.Index != 0 || call.Parent() == nil {
+				continue
+			}
+			ptr := call.CallArgs()[0]
+			node := dsa.NodeOf(ptr)
+			id, pooled := poolID[node]
+			if node == nil || !pooled {
+				continue
+			}
+			bb := call.Parent()
+			repl := core.NewInstruction(core.OpCall, ctx.Void(), poolFreeFn,
+				core.NewUint(ctx.ULong(), id), ptr)
+			bb.InsertBefore(call, repl)
+			call.EraseFromParent()
+			s.Add("poolalloc.frees", 1)
+			changed = true
+		}
+	}
+	return changed
+}

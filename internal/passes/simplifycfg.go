@@ -1,0 +1,204 @@
+package passes
+
+import (
+	"llva/internal/core"
+)
+
+// SimplifyCFG folds constant branches, removes unreachable blocks, and
+// merges blocks with a single unconditional predecessor.
+func SimplifyCFG(m *core.Module, s *Stats) bool {
+	return forEachDefined(m, func(f *core.Function) bool {
+		changed := false
+		for {
+			c := false
+			c = foldBranches(f, s) || c
+			c = removeUnreachable(f, s) || c
+			c = mergeBlocks(f, s) || c
+			if !c {
+				break
+			}
+			changed = true
+		}
+		return changed
+	})
+}
+
+// removePhiEdge drops bb's incoming entries for pred on every phi in bb.
+func removePhiEdge(bb, pred *core.BasicBlock) {
+	for _, phi := range bb.Phis() {
+		for i := 0; i < phi.NumBlocks(); {
+			if phi.Block(i) == pred {
+				phi.RemovePhiIncoming(i)
+			} else {
+				i++
+			}
+		}
+	}
+}
+
+// foldBranches rewrites conditional branches on constants and mbr on
+// constants into unconditional branches.
+func foldBranches(f *core.Function, s *Stats) bool {
+	changed := false
+	for _, bb := range f.Blocks {
+		t := bb.Terminator()
+		if t == nil {
+			continue
+		}
+		switch t.Op() {
+		case core.OpBr:
+			if t.NumBlocks() != 2 {
+				// Also normalize br cond, X, X.
+				continue
+			}
+			if t.Block(0) == t.Block(1) {
+				target := t.Block(0)
+				replaceTerminatorWithBr(bb, t, target)
+				s.Add("simplifycfg.brsame", 1)
+				changed = true
+				continue
+			}
+			c, ok := t.Operand(0).(*core.Constant)
+			if !ok {
+				continue
+			}
+			var taken, dead *core.BasicBlock
+			if c.I&1 != 0 {
+				taken, dead = t.Block(0), t.Block(1)
+			} else {
+				taken, dead = t.Block(1), t.Block(0)
+			}
+			replaceTerminatorWithBr(bb, t, taken)
+			removePhiEdge(dead, bb)
+			s.Add("simplifycfg.constbr", 1)
+			changed = true
+		case core.OpMbr:
+			c, ok := t.Operand(0).(*core.Constant)
+			if !ok {
+				continue
+			}
+			taken := t.Block(0)
+			for i, cv := range t.Cases {
+				if cv == c.Int64() {
+					taken = t.Block(i + 1)
+					break
+				}
+			}
+			// Remove phi edges from every non-taken unique target.
+			seen := map[*core.BasicBlock]bool{taken: true}
+			for _, tgt := range t.Blocks() {
+				if !seen[tgt] {
+					seen[tgt] = true
+					removePhiEdge(tgt, bb)
+				}
+			}
+			replaceTerminatorWithBr(bb, t, taken)
+			s.Add("simplifycfg.constmbr", 1)
+			changed = true
+		}
+	}
+	return changed
+}
+
+func replaceTerminatorWithBr(bb *core.BasicBlock, t *core.Instruction, target *core.BasicBlock) {
+	t.EraseFromParent()
+	br := core.NewInstruction(core.OpBr, bb.Parent().Parent().Types().Void())
+	br.AddBlock(target)
+	bb.Append(br)
+}
+
+// removeUnreachable deletes blocks not reachable from the entry.
+func removeUnreachable(f *core.Function, s *Stats) bool {
+	reachable := make(map[*core.BasicBlock]bool)
+	var stack []*core.BasicBlock
+	stack = append(stack, f.Entry())
+	reachable[f.Entry()] = true
+	for len(stack) > 0 {
+		bb := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, sc := range bb.Successors() {
+			if !reachable[sc] {
+				reachable[sc] = true
+				stack = append(stack, sc)
+			}
+		}
+	}
+	var dead []*core.BasicBlock
+	for _, bb := range f.Blocks {
+		if !reachable[bb] {
+			dead = append(dead, bb)
+		}
+	}
+	if len(dead) == 0 {
+		return false
+	}
+	// Unlink phi edges from dead predecessors, then clear instruction
+	// uses inside dead blocks before removal.
+	for _, bb := range dead {
+		for _, sc := range bb.Successors() {
+			if reachable[sc] {
+				removePhiEdge(sc, bb)
+			}
+		}
+	}
+	for _, bb := range dead {
+		for _, in := range bb.Instructions() {
+			if in.NumUses() > 0 {
+				core.ReplaceAllUsesWith(in, core.NewUndef(in.Type()))
+			}
+		}
+	}
+	for _, bb := range dead {
+		f.RemoveBlock(bb)
+		s.Add("simplifycfg.deadblocks", 1)
+	}
+	return true
+}
+
+// mergeBlocks merges a block into its unique unconditional predecessor
+// and removes empty forwarding blocks.
+func mergeBlocks(f *core.Function, s *Stats) bool {
+	changed := false
+	for _, bb := range append([]*core.BasicBlock(nil), f.Blocks...) {
+		if bb.Parent() == nil || bb == f.Entry() {
+			continue
+		}
+		preds := bb.Predecessors()
+		if len(preds) != 1 {
+			continue
+		}
+		pred := preds[0]
+		pt := pred.Terminator()
+		if pt == nil || pt.Op() != core.OpBr || pt.NumBlocks() != 1 || pred == bb {
+			continue
+		}
+		// Phis in bb with a single predecessor are trivial: replace.
+		for _, phi := range bb.Phis() {
+			core.ReplaceAllUsesWith(phi, phi.Operand(0))
+			phi.EraseFromParent()
+		}
+		// Move instructions from bb into pred.
+		pt.EraseFromParent()
+		for _, in := range append([]*core.Instruction(nil), bb.Instructions()...) {
+			in.MoveTo(pred)
+		}
+		// Successor phis must now name pred instead of bb.
+		for _, sc := range pred.Successors() {
+			for _, phi := range sc.Phis() {
+				for i := 0; i < phi.NumBlocks(); i++ {
+					if phi.Block(i) == bb {
+						phi.SetBlock(i, pred)
+					}
+				}
+			}
+		}
+		if bb.NumUses() > 0 {
+			// Should not happen: remaining label uses would be stale.
+			continue
+		}
+		f.RemoveBlock(bb)
+		s.Add("simplifycfg.merged", 1)
+		changed = true
+	}
+	return changed
+}

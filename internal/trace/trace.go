@@ -1,0 +1,255 @@
+// Package trace implements the software trace cache of the paper's
+// Section 4.2: using the explicit CFG plus runtime profile information,
+// it identifies hot traces — frequently executed paths through basic
+// blocks, potentially crossing procedure boundaries through direct calls
+// — and re-lays out function bodies so hot paths run straight-line. The
+// LLVA representation makes this easy precisely because the CFG is
+// available at run time: no interpretation or binary-level reconstruction
+// is needed (contrast with Dynamo, as the paper notes).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"llva/internal/core"
+	"llva/internal/interp"
+)
+
+// Trace is one hot path through the program.
+type Trace struct {
+	// Blocks is the path, in execution order. Blocks may belong to
+	// different functions when the trace crosses a call.
+	Blocks []*core.BasicBlock
+	// Heat is the execution count of the seed block.
+	Heat uint64
+	// CrossProcedure marks traces that follow a direct call into the
+	// callee's entry block.
+	CrossProcedure bool
+}
+
+// Options tunes trace formation.
+type Options struct {
+	// MinHeat is the minimum seed block execution count (default 50).
+	MinHeat uint64
+	// MinBranchProb is the minimum probability of the followed successor
+	// edge (default 0.6).
+	MinBranchProb float64
+	// MaxBlocks bounds trace length (default 16).
+	MaxBlocks int
+	// NoFollowCalls disables cross-procedure traces.
+	NoFollowCalls bool
+}
+
+func (o *Options) defaults() {
+	if o.MinHeat == 0 {
+		o.MinHeat = 50
+	}
+	if o.MinBranchProb == 0 {
+		o.MinBranchProb = 0.6
+	}
+	if o.MaxBlocks == 0 {
+		o.MaxBlocks = 16
+	}
+}
+
+// Form grows traces from hot seed blocks, following the most likely
+// successor edge while it stays probable enough, stopping at blocks
+// already claimed by another trace (the standard most-frequently-used
+// trace-formation heuristic).
+func Form(m *core.Module, prof *interp.Profile, opts Options) []*Trace {
+	opts.defaults()
+
+	// Seeds: blocks sorted by heat.
+	type seed struct {
+		bb   *core.BasicBlock
+		heat uint64
+	}
+	var seeds []seed
+	for bb, n := range prof.Block {
+		if n >= opts.MinHeat {
+			seeds = append(seeds, seed{bb, n})
+		}
+	}
+	sort.Slice(seeds, func(i, j int) bool {
+		if seeds[i].heat != seeds[j].heat {
+			return seeds[i].heat > seeds[j].heat
+		}
+		return seeds[i].bb.Name() < seeds[j].bb.Name()
+	})
+
+	claimed := make(map[*core.BasicBlock]bool)
+	var traces []*Trace
+	for _, s := range seeds {
+		if claimed[s.bb] {
+			continue
+		}
+		tr := &Trace{Heat: s.heat}
+		cur := s.bb
+		for len(tr.Blocks) < opts.MaxBlocks && cur != nil && !claimed[cur] {
+			claimed[cur] = true
+			tr.Blocks = append(tr.Blocks, cur)
+			next, cross := nextBlock(cur, prof, opts)
+			if cross {
+				tr.CrossProcedure = true
+			}
+			cur = next
+		}
+		if len(tr.Blocks) >= 2 {
+			traces = append(traces, tr)
+		}
+	}
+	return traces
+}
+
+// nextBlock picks the most probable successor of bb (or the entry of a
+// hot direct callee), when probable enough.
+func nextBlock(bb *core.BasicBlock, prof *interp.Profile, opts Options) (*core.BasicBlock, bool) {
+	total := prof.Block[bb]
+	if total == 0 {
+		return nil, false
+	}
+	// Cross-procedure extension: a block whose body is dominated by one
+	// hot direct call can extend the trace into the callee (paper: "the
+	// ability to gather cross-procedure traces").
+	if !opts.NoFollowCalls {
+		for _, in := range bb.Instructions() {
+			if in.Op() != core.OpCall {
+				continue
+			}
+			callee := in.CalledFunction()
+			if callee == nil || callee.IsDeclaration() || callee.IsIntrinsic() {
+				continue
+			}
+			calls := prof.Call[callee]
+			if calls > 0 && float64(calls) >= float64(total)*opts.MinBranchProb &&
+				prof.Block[callee.Entry()] >= opts.MinHeat {
+				return callee.Entry(), true
+			}
+		}
+	}
+	var best *core.BasicBlock
+	var bestN uint64
+	for _, succ := range bb.Successors() {
+		n := prof.Edge[interp.Edge{From: bb, To: succ}]
+		if n > bestN {
+			best, bestN = succ, n
+		}
+	}
+	if best == nil || float64(bestN) < float64(total)*opts.MinBranchProb {
+		return nil, false
+	}
+	return best, false
+}
+
+// ApplyLayout reorders each function's blocks so that intra-procedural
+// trace segments are contiguous in layout order: the translator's
+// fallthrough elision then removes the jumps between them, turning hot
+// paths into straight-line native code.
+func ApplyLayout(m *core.Module, traces []*Trace) int {
+	moved := 0
+	for _, f := range m.Functions {
+		if f.IsDeclaration() {
+			continue
+		}
+		order := layoutOrder(f, traces)
+		if order != nil {
+			f.Blocks = order
+			moved++
+		}
+	}
+	return moved
+}
+
+func layoutOrder(f *core.Function, traces []*Trace) []*core.BasicBlock {
+	inFunc := make(map[*core.BasicBlock]bool, len(f.Blocks))
+	for _, bb := range f.Blocks {
+		inFunc[bb] = true
+	}
+	placed := make(map[*core.BasicBlock]bool, len(f.Blocks))
+	var order []*core.BasicBlock
+	add := func(bb *core.BasicBlock) {
+		if !placed[bb] {
+			placed[bb] = true
+			order = append(order, bb)
+		}
+	}
+	// The entry block must stay first.
+	add(f.Entry())
+	changed := false
+	for _, tr := range traces {
+		for _, bb := range tr.Blocks {
+			if inFunc[bb] {
+				if !placed[bb] {
+					changed = true
+				}
+				add(bb)
+			}
+		}
+	}
+	if !changed {
+		return nil
+	}
+	for _, bb := range f.Blocks {
+		add(bb)
+	}
+	return order
+}
+
+// Stats summarizes a set of traces against a profile.
+type Stats struct {
+	Traces         int
+	CrossProcedure int
+	BlocksCovered  int
+	// Coverage is the fraction of dynamic block executions that fall in
+	// some trace.
+	Coverage float64
+}
+
+// Summarize computes coverage statistics.
+func Summarize(prof *interp.Profile, traces []*Trace) Stats {
+	var s Stats
+	s.Traces = len(traces)
+	inTrace := make(map[*core.BasicBlock]bool)
+	for _, tr := range traces {
+		if tr.CrossProcedure {
+			s.CrossProcedure++
+		}
+		for _, bb := range tr.Blocks {
+			inTrace[bb] = true
+		}
+	}
+	s.BlocksCovered = len(inTrace)
+	var total, covered uint64
+	for bb, n := range prof.Block {
+		total += n
+		if inTrace[bb] {
+			covered += n
+		}
+	}
+	if total > 0 {
+		s.Coverage = float64(covered) / float64(total)
+	}
+	return s
+}
+
+// Describe renders traces for logs and tools.
+func Describe(traces []*Trace) string {
+	var b strings.Builder
+	for i, tr := range traces {
+		fmt.Fprintf(&b, "trace %d (heat %d", i, tr.Heat)
+		if tr.CrossProcedure {
+			b.WriteString(", cross-procedure")
+		}
+		b.WriteString("): ")
+		for j, bb := range tr.Blocks {
+			if j > 0 {
+				b.WriteString(" -> ")
+			}
+			fmt.Fprintf(&b, "%s/%s", bb.Parent().Name(), bb.Name())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/interp"
+	"llva/internal/machine"
+	"llva/internal/mem"
+	"llva/internal/minic"
+	"llva/internal/rt"
+	"llva/internal/target"
+)
+
+const hotLoopProg = `
+static int step(int x) {
+	if (x % 2 == 0) return x / 2;
+	return 3 * x + 1;
+}
+int main() {
+	int i, total = 0;
+	for (i = 1; i <= 200; i++) {
+		int n = i;
+		while (n != 1) { n = step(n); total++; }
+	}
+	print_int(total); print_nl();
+	return 0;
+}
+`
+
+func profileOf(t *testing.T, m *core.Module) (*interp.Profile, string) {
+	t.Helper()
+	prof := interp.NewProfile()
+	var out strings.Builder
+	ip, err := interp.New(m, &out, interp.WithProfile(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ip.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	return prof, out.String()
+}
+
+func TestTraceFormation(t *testing.T) {
+	m, err := minic.Compile("hot.c", hotLoopProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := profileOf(t, m)
+	traces := Form(m, prof, Options{})
+	if len(traces) == 0 {
+		t.Fatal("no traces formed on a loop-dominated program")
+	}
+	st := Summarize(prof, traces)
+	if st.Coverage < 0.5 {
+		t.Errorf("trace coverage = %.2f, want >= 0.5 for a hot loop\n%s",
+			st.Coverage, Describe(traces))
+	}
+	if st.CrossProcedure == 0 {
+		t.Errorf("expected at least one cross-procedure trace (step() is hot)\n%s",
+			Describe(traces))
+	}
+}
+
+func runCycles(t *testing.T, m *core.Module, d *target.Desc) (uint64, string) {
+	t.Helper()
+	tr, err := codegen.New(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := tr.TranslateModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	env := rt.NewEnv(mem.New(0, true), &out)
+	mc, err := machine.New(d, m, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.LoadObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Run("main"); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	return mc.Stats.Cycles, out.String()
+}
+
+// TestTraceLayoutPreservesSemanticsAndHelps re-lays out the hot program
+// and checks it still verifies, produces identical output, and does not
+// regress cycle counts (taken branches cost extra on the machine).
+func TestTraceLayoutPreservesSemanticsAndHelps(t *testing.T) {
+	base, err := minic.Compile("hot.c", hotLoopProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseCycles, baseOut := runCycles(t, base, target.VSPARC)
+
+	opt, err := minic.Compile("hot.c", hotLoopProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := profileOf(t, opt)
+	traces := Form(opt, prof, Options{})
+	moved := ApplyLayout(opt, traces)
+	if moved == 0 {
+		t.Fatal("layout moved nothing")
+	}
+	if err := core.Verify(opt); err != nil {
+		t.Fatalf("verify after relayout: %v", err)
+	}
+	optCycles, optOut := runCycles(t, opt, target.VSPARC)
+	if optOut != baseOut {
+		t.Fatalf("relayout changed program output: %q vs %q", optOut, baseOut)
+	}
+	if optCycles > baseCycles+baseCycles/50 {
+		t.Errorf("trace layout regressed cycles: %d -> %d", baseCycles, optCycles)
+	}
+	t.Logf("cycles: %d -> %d (%.2f%%)", baseCycles, optCycles,
+		100*float64(int64(baseCycles)-int64(optCycles))/float64(baseCycles))
+}
+
+func TestTracesStopAtColdBranches(t *testing.T) {
+	src := `
+int main() {
+	int i, acc = 0;
+	for (i = 0; i < 1000; i++) {
+		if (i == 500) acc += 1000;   /* cold path */
+		else acc += 1;
+	}
+	print_int(acc); print_nl();
+	return 0;
+}`
+	m, err := minic.Compile("cold.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _ := profileOf(t, m)
+	traces := Form(m, prof, Options{})
+	for _, tr := range traces {
+		for _, bb := range tr.Blocks {
+			if prof.Block[bb] < 50 {
+				t.Errorf("trace includes cold block %s (%d executions)",
+					bb.Name(), prof.Block[bb])
+			}
+		}
+	}
+}

@@ -1,0 +1,553 @@
+package workloads
+
+// The PtrDist-analog workloads: pointer-intensive C programs.
+
+// srcAnagram mirrors ptrdist-anagram: word signatures, hash tables with
+// chaining, anagram class discovery over an embedded dictionary.
+const srcAnagram = `
+/* anagram: group dictionary words by letter signature (ptrdist-anagram analog) */
+
+struct Word {
+	char text[16];
+	unsigned long sig;
+	struct Word *next;      /* chain within a hash bucket */
+	struct Word *classmate; /* next word in the same anagram class */
+	int classSize;
+};
+
+struct Word *buckets[127];
+char dict[] =
+	"stone notes seton tones steno onset "
+	"listen silent enlist tinsel inlets "
+	"parse spare pears reaps spear pares "
+	"dear dare read "
+	"rat tar art "
+	"evil vile live veil "
+	"meat team tame mate "
+	"angel glean angle "
+	"brag grab garb "
+	"cat act tac "
+	"stop pots opts spot tops post "
+	"arc car "
+	"bored robed orbed "
+	"loop polo pool "
+	"night thing "
+	"below elbow bowel "
+	"study dusty "
+	"cheap peach "
+	"could cloud "
+	"state taste "
+	"acre race care "
+	"earth heart hater "
+	"danger garden gander "
+	"lemon melon "
+	"diary dairy "
+	"unique single words here zzz";
+
+unsigned long signature(char *w, int n) {
+	/* order-independent letter multiset signature: product of primes */
+	unsigned long primes[26];
+	unsigned long sig = 1;
+	int i;
+	primes[0] = 2;  primes[1] = 3;  primes[2] = 5;  primes[3] = 7;
+	primes[4] = 11; primes[5] = 13; primes[6] = 17; primes[7] = 19;
+	primes[8] = 23; primes[9] = 29; primes[10] = 31; primes[11] = 37;
+	primes[12] = 41; primes[13] = 43; primes[14] = 47; primes[15] = 53;
+	primes[16] = 59; primes[17] = 61; primes[18] = 67; primes[19] = 71;
+	primes[20] = 73; primes[21] = 79; primes[22] = 83; primes[23] = 89;
+	primes[24] = 97; primes[25] = 101;
+	for (i = 0; i < n; i++) {
+		int c = (int)w[i] - 'a';
+		if (c >= 0 && c < 26) sig *= primes[c];
+	}
+	return sig;
+}
+
+struct Word *newWord(char *src, int n) {
+	struct Word *w = (struct Word*)malloc(sizeof(struct Word));
+	int i;
+	for (i = 0; i < n && i < 15; i++) w->text[i] = src[i];
+	w->text[i] = '\0';
+	w->sig = signature(src, n);
+	w->next = 0;
+	w->classmate = 0;
+	w->classSize = 1;
+	return w;
+}
+
+/* insert into hash table; link anagram classes */
+int insert(struct Word *w) {
+	int h = (int)(w->sig % 127u);
+	struct Word *p = buckets[h];
+	while (p != 0) {
+		if (p->sig == w->sig) {
+			w->classmate = p->classmate;
+			p->classmate = w;
+			p->classSize++;
+			return 0; /* joined an existing class */
+		}
+		p = p->next;
+	}
+	w->next = buckets[h];
+	buckets[h] = w;
+	return 1; /* new class */
+}
+
+int main() {
+	int classes = 0;
+	int words = 0;
+	int i = 0;
+	int start;
+	int pass;
+
+	for (pass = 0; pass < 20; pass++) {
+		/* reset table each pass to exercise allocation and chasing */
+		int b;
+		for (b = 0; b < 127; b++) buckets[b] = 0;
+		classes = 0;
+		words = 0;
+		i = 0;
+		while (dict[i] != '\0') {
+			while (dict[i] == ' ') i++;
+			if (dict[i] == '\0') break;
+			start = i;
+			while (dict[i] != ' ' && dict[i] != '\0') i++;
+			classes += insert(newWord(&dict[start], i - start));
+			words++;
+		}
+	}
+
+	/* report: words, classes, size of largest class, its signature hash */
+	int best = 0;
+	unsigned long bestSig = 0;
+	for (i = 0; i < 127; i++) {
+		struct Word *p = buckets[i];
+		while (p != 0) {
+			if (p->classSize > best) { best = p->classSize; bestSig = p->sig; }
+			p = p->next;
+		}
+	}
+	print_int(words); print_char(' ');
+	print_int(classes); print_char(' ');
+	print_int(best); print_char(' ');
+	print_uint(bestSig % 1000000u); print_nl();
+	return 0;
+}
+`
+
+// srcKS mirrors ptrdist-ks: Kernighan-Lin/Schweikert graph partitioning
+// with gain computation and vertex swapping.
+const srcKS = `
+/* ks: Kernighan-Lin graph bipartitioning (ptrdist-ks analog) */
+
+int NV;
+int adj[64][64];   /* weighted adjacency matrix */
+int side[64];      /* 0 or 1 */
+int locked[64];
+
+void buildGraph() {
+	int i, j;
+	NV = 64;
+	srand(12345);
+	for (i = 0; i < NV; i++)
+		for (j = 0; j < NV; j++) adj[i][j] = 0;
+	for (i = 0; i < NV; i++) {
+		int d;
+		for (d = 0; d < 6; d++) {
+			int j2 = (int)(rand() % 64u);
+			int w = 1 + (int)(rand() % 9u);
+			if (j2 != i) { adj[i][j2] = w; adj[j2][i] = w; }
+		}
+	}
+	for (i = 0; i < NV; i++) side[i] = i % 2;
+}
+
+int cutCost() {
+	int i, j, cost = 0;
+	for (i = 0; i < NV; i++)
+		for (j = i + 1; j < NV; j++)
+			if (side[i] != side[j]) cost += adj[i][j];
+	return cost;
+}
+
+/* D-value: external minus internal cost of vertex v */
+int dValue(int v) {
+	int j, e = 0, in = 0;
+	for (j = 0; j < NV; j++) {
+		if (j == v) continue;
+		if (side[j] != side[v]) e += adj[v][j];
+		else in += adj[v][j];
+	}
+	return e - in;
+}
+
+int klPass() {
+	int moved, improved = 0;
+	int i;
+	for (i = 0; i < NV; i++) locked[i] = 0;
+	for (moved = 0; moved < NV / 2; moved++) {
+		/* best unlocked pair (a in side0, b in side1) by gain */
+		int bestA = -1, bestB = -1, bestGain = -1000000;
+		int a, b;
+		for (a = 0; a < NV; a++) {
+			if (locked[a] || side[a] != 0) continue;
+			for (b = 0; b < NV; b++) {
+				if (locked[b] || side[b] != 1) continue;
+				int gain = dValue(a) + dValue(b) - 2 * adj[a][b];
+				if (gain > bestGain) { bestGain = gain; bestA = a; bestB = b; }
+			}
+		}
+		if (bestA < 0 || bestGain <= 0) break;
+		side[bestA] = 1; side[bestB] = 0;
+		locked[bestA] = 1; locked[bestB] = 1;
+		improved += bestGain;
+	}
+	return improved;
+}
+
+int main() {
+	buildGraph();
+	int before = cutCost();
+	int pass, gain;
+	int totalGain = 0;
+	for (pass = 0; pass < 3; pass++) {
+		gain = klPass();
+		totalGain += gain;
+		if (gain <= 0) break;
+	}
+	int after = cutCost();
+	print_int(before); print_char(' ');
+	print_int(after); print_char(' ');
+	print_int(totalGain); print_nl();
+	return 0;
+}
+`
+
+// srcFT mirrors ptrdist-ft: minimum spanning tree over a sparse graph
+// with a pointer-based priority structure.
+const srcFT = `
+/* ft: Prim minimum spanning tree with a pairing of linked lists (ptrdist-ft analog) */
+
+struct Edge {
+	int to;
+	int weight;
+	struct Edge *next;
+};
+
+struct Edge *adjList[256];
+int inTree[256];
+long dist[256];
+int parent[256];
+int NV;
+
+void addEdge(int a, int b, int w) {
+	struct Edge *e = (struct Edge*)malloc(sizeof(struct Edge));
+	e->to = b; e->weight = w; e->next = adjList[a]; adjList[a] = e;
+	struct Edge *r = (struct Edge*)malloc(sizeof(struct Edge));
+	r->to = a; r->weight = w; r->next = adjList[b]; adjList[b] = r;
+}
+
+void buildGraph() {
+	int i;
+	NV = 256;
+	srand(777);
+	for (i = 0; i < NV; i++) adjList[i] = 0;
+	/* ring to guarantee connectivity */
+	for (i = 0; i < NV; i++) addEdge(i, (i + 1) % NV, 1 + (int)(rand() % 50u));
+	/* random chords */
+	for (i = 0; i < 3 * NV; i++) {
+		int a = (int)(rand() % 256u);
+		int b = (int)(rand() % 256u);
+		if (a != b) addEdge(a, b, 1 + (int)(rand() % 100u));
+	}
+}
+
+long prim() {
+	int i;
+	long total = 0;
+	for (i = 0; i < NV; i++) { inTree[i] = 0; dist[i] = 1000000; parent[i] = -1; }
+	dist[0] = 0;
+	for (i = 0; i < NV; i++) {
+		/* extract-min over the lazy list (ft uses a heap; same access pattern) */
+		int best = -1;
+		long bestD = 2000000;
+		int v;
+		for (v = 0; v < NV; v++) {
+			if (!inTree[v] && dist[v] < bestD) { bestD = dist[v]; best = v; }
+		}
+		if (best < 0) break;
+		inTree[best] = 1;
+		total += dist[best];
+		struct Edge *e = adjList[best];
+		while (e != 0) {
+			if (!inTree[e->to] && (long)e->weight < dist[e->to]) {
+				dist[e->to] = (long)e->weight;
+				parent[e->to] = best;
+			}
+			e = e->next;
+		}
+	}
+	return total;
+}
+
+int main() {
+	buildGraph();
+	long w1 = prim();
+	/* perturb: penalize tree edges (both directions), re-run */
+	int v;
+	for (v = 1; v < NV; v++) {
+		struct Edge *e = adjList[v];
+		while (e != 0) {
+			if (e->to == parent[v]) e->weight += 40;
+			e = e->next;
+		}
+		e = adjList[parent[v] < 0 ? 0 : parent[v]];
+		while (e != 0) {
+			if (e->to == v) e->weight += 40;
+			e = e->next;
+		}
+	}
+	long w2 = prim();
+	print_int(w1); print_char(' '); print_int(w2); print_nl();
+	return 0;
+}
+`
+
+// srcYacr2 mirrors ptrdist-yacr2: VLSI channel routing with vertical
+// constraints, via the left-edge algorithm.
+const srcYacr2 = `
+/* yacr2: left-edge channel routing with vertical constraints (ptrdist-yacr2 analog) */
+
+int NNETS;
+int leftEnd[128];
+int rightEnd[128];
+int track[128];
+int over[128];   /* net on top terminal of each column */
+int under[128];  /* net on bottom terminal */
+
+void buildChannel() {
+	int i;
+	NNETS = 96;
+	srand(424242);
+	for (i = 0; i < NNETS; i++) {
+		int a = (int)(rand() % 120u);
+		int b = a + 1 + (int)(rand() % 24u);
+		if (b > 127) b = 127;
+		leftEnd[i] = a; rightEnd[i] = b; track[i] = -1;
+	}
+	for (i = 0; i < 128; i++) {
+		over[i] = (int)(rand() % 96u);
+		under[i] = (int)(rand() % 96u);
+	}
+}
+
+/* does net n have a vertical constraint against net m? (n must be above m) */
+int mustBeAbove(int n, int m) {
+	int c;
+	for (c = leftEnd[n]; c <= rightEnd[n]; c++) {
+		if (over[c] == n && under[c] == m && c >= leftEnd[m] && c <= rightEnd[m])
+			return 1;
+	}
+	return 0;
+}
+
+int overlaps(int a, int b) {
+	return !(rightEnd[a] < leftEnd[b] || rightEnd[b] < leftEnd[a]);
+}
+
+int route() {
+	int tracksUsed = 0;
+	int assigned = 0;
+	int t;
+	for (t = 0; assigned < NNETS && t < 96; t++) {
+		int lastRight = -1;
+		int n;
+		/* left-edge: sweep nets by left endpoint */
+		for (;;) {
+			int best = -1;
+			for (n = 0; n < NNETS; n++) {
+				if (track[n] >= 0) continue;
+				if (leftEnd[n] <= lastRight) continue;
+				if (best < 0 || leftEnd[n] < leftEnd[best]) best = n;
+			}
+			if (best < 0) break;
+			/* vertical constraints against nets already in this track set */
+			int ok = 1;
+			for (n = 0; n < NNETS; n++) {
+				if (track[n] == t && overlaps(best, n)) { ok = 0; break; }
+				if (track[n] >= 0 && track[n] > t && mustBeAbove(n, best)) { ok = 0; break; }
+			}
+			if (ok) {
+				track[best] = t;
+				lastRight = rightEnd[best];
+				assigned++;
+			} else {
+				lastRight = leftEnd[best]; /* skip this net for now */
+			}
+		}
+		tracksUsed = t + 1;
+	}
+	return tracksUsed;
+}
+
+int main() {
+	buildChannel();
+	int tracks = route();
+	int unrouted = 0;
+	long span = 0;
+	int n;
+	for (n = 0; n < NNETS; n++) {
+		if (track[n] < 0) unrouted++;
+		else span += (long)(rightEnd[n] - leftEnd[n]);
+	}
+	print_int(tracks); print_char(' ');
+	print_int(unrouted); print_char(' ');
+	print_int(span); print_nl();
+	return 0;
+}
+`
+
+// srcBC mirrors ptrdist-bc: an arbitrary-precision calculator; here a
+// recursive-descent expression interpreter with variables and a loop
+// construct over an embedded program.
+const srcBC = `
+/* bc: expression interpreter (ptrdist-bc analog) */
+
+char program[] =
+	"a=3; b=4; c=a*a+b*b;"
+	"s=0; i=1;"
+	"L: s=s+i*i-(i/2); i=i+1; if i<200 goto L;"
+	"d=(c+s)*2-(s/7);"
+	"x=1; j=0;"
+	"M: x=(x*31+7)%100003; j=j+1; if j<500 goto M;"
+	"r=d+x+c;";
+
+long vars[26];
+int pos;
+
+long parseExpr();
+
+void skipSpaces() {
+	while (program[pos] == ' ') pos++;
+}
+
+long parsePrimary() {
+	skipSpaces();
+	char c = program[pos];
+	if (c >= '0' && c <= '9') {
+		long v = 0;
+		while (program[pos] >= '0' && program[pos] <= '9') {
+			v = v * 10 + (long)(program[pos] - '0');
+			pos++;
+		}
+		return v;
+	}
+	if (c == '(') {
+		pos++;
+		long v = parseExpr();
+		skipSpaces();
+		if (program[pos] == ')') pos++;
+		return v;
+	}
+	if (c >= 'a' && c <= 'z') {
+		pos++;
+		return vars[(int)(c - 'a')];
+	}
+	if (c == '-') {
+		pos++;
+		return -parsePrimary();
+	}
+	return 0;
+}
+
+long parseTerm() {
+	long v = parsePrimary();
+	for (;;) {
+		skipSpaces();
+		char c = program[pos];
+		if (c == '*') { pos++; v = v * parsePrimary(); }
+		else if (c == '/') {
+			pos++;
+			long d = parsePrimary();
+			if (d != 0) v = v / d;
+		}
+		else if (c == '%') {
+			pos++;
+			long d = parsePrimary();
+			if (d != 0) v = v % d;
+		}
+		else return v;
+	}
+}
+
+long parseExpr() {
+	long v = parseTerm();
+	for (;;) {
+		skipSpaces();
+		char c = program[pos];
+		if (c == '+') { pos++; v = v + parseTerm(); }
+		else if (c == '-') { pos++; v = v - parseTerm(); }
+		else return v;
+	}
+}
+
+int labelPos[26];
+
+void findLabels() {
+	int i = 0;
+	while (program[i] != '\0') {
+		if (program[i] >= 'A' && program[i] <= 'Z' && program[i+1] == ':')
+			labelPos[(int)(program[i] - 'A')] = i + 2;
+		i++;
+	}
+}
+
+/* execute one statement starting at pos; returns 0 at end of program */
+int step() {
+	skipSpaces();
+	char c = program[pos];
+	if (c == '\0') return 0;
+	if (c == ';') { pos++; return 1; }
+	if (c >= 'A' && c <= 'Z') { pos += 2; return 1; } /* label */
+	if (c == 'i' && program[pos+1] == 'f') {
+		pos += 2;
+		long lhs = parseExpr();
+		skipSpaces();
+		char op = program[pos];
+		pos++;
+		long rhs = parseExpr();
+		int cond = 0;
+		if (op == '<') cond = lhs < rhs;
+		if (op == '>') cond = lhs > rhs;
+		if (op == '=') cond = lhs == rhs;
+		skipSpaces();
+		/* expect: goto X */
+		pos += 4;
+		skipSpaces();
+		char lbl = program[pos];
+		pos++;
+		if (cond) pos = labelPos[(int)(lbl - 'A')];
+		return 1;
+	}
+	/* assignment: v=expr */
+	int v = (int)(c - 'a');
+	pos++;
+	skipSpaces();
+	pos++; /* '=' */
+	vars[v] = parseExpr();
+	return 1;
+}
+
+int main() {
+	int i;
+	findLabels();
+	for (i = 0; i < 26; i++) vars[i] = 0;
+	pos = 0;
+	long steps = 0;
+	while (step()) steps++;
+	print_int(vars['r' - 'a']); print_char(' ');
+	print_int(vars['s' - 'a']); print_char(' ');
+	print_int(steps); print_nl();
+	return 0;
+}
+`

@@ -1,0 +1,92 @@
+package workloads
+
+import (
+	"testing"
+
+	"llva/internal/asm"
+	"llva/internal/core"
+	"llva/internal/obj"
+)
+
+// TestWorkloadsAsmRoundTrip prints each workload module as LLVA assembly
+// and re-parses it; the result must verify, and the fast workloads must
+// still produce their golden output.
+func TestWorkloadsAsmRoundTrip(t *testing.T) {
+	fast := map[string]bool{"anagram": true, "yacr2": true, "gap": true, "vortex": true}
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			m, err := w.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := asm.Print(m)
+			m2, err := asm.Parse(w.Name, text)
+			if err != nil {
+				t.Fatalf("reparse failed: %v", err)
+			}
+			if err := core.Verify(m2); err != nil {
+				t.Fatalf("reparsed module fails verification: %v", err)
+			}
+			if fast[w.Name] {
+				_, out := interpRun(t, m2)
+				if out != goldenOutputs[w.Name] {
+					t.Errorf("round-tripped module output drifted:\n got: %q\nwant: %q",
+						out, goldenOutputs[w.Name])
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadsObjRoundTrip encodes each workload to virtual object code
+// and decodes it back; the fast subset must still produce golden output.
+func TestWorkloadsObjRoundTrip(t *testing.T) {
+	fast := map[string]bool{"anagram": true, "yacr2": true, "gap": true, "vortex": true}
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			m, err := w.CompileOptimized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := obj.Encode(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2, err := obj.Decode(data)
+			if err != nil {
+				t.Fatalf("decode failed: %v", err)
+			}
+			if err := core.Verify(m2); err != nil {
+				t.Fatalf("decoded module fails verification: %v", err)
+			}
+			// Encode must be a fixpoint.
+			data2, err := obj.Encode(m2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data3, err := obj.Encode(mustDecode(t, data2))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data2) != string(data3) {
+				t.Error("encode/decode is not a fixpoint")
+			}
+			if fast[w.Name] {
+				_, out := interpRun(t, m2)
+				if out != goldenOutputs[w.Name] {
+					t.Errorf("decoded module output drifted:\n got: %q\nwant: %q",
+						out, goldenOutputs[w.Name])
+				}
+			}
+		})
+	}
+}
+
+func mustDecode(t *testing.T, data []byte) *core.Module {
+	t.Helper()
+	m, err := obj.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,676 @@
+package workloads
+
+// SPEC CINT2000 / CFP2000 analog workloads, part 1.
+
+// srcArt mirrors 179.art: an Adaptive Resonance Theory neural network
+// scanning synthetic "thermal images" — FP-heavy inner products.
+const srcArt = `
+/* art: ART-1 style neural network over synthetic images (179.art analog) */
+
+double f1[64];        /* input layer */
+double weightsB[16][64]; /* bottom-up */
+double weightsT[16][64]; /* top-down */
+int committed[16];
+
+void makeImage(int seed) {
+	int i;
+	srand((unsigned long)seed);
+	for (i = 0; i < 64; i++) {
+		f1[i] = (double)(rand() % 1000) / 1000.0;
+	}
+}
+
+void initWeights() {
+	int j, i;
+	for (j = 0; j < 16; j++) {
+		committed[j] = 0;
+		for (i = 0; i < 64; i++) {
+			weightsB[j][i] = 1.0 / (1.0 + 64.0);
+			weightsT[j][i] = 1.0;
+		}
+	}
+}
+
+/* winner-take-all F2 activation */
+int findWinner(int *mask) {
+	int j, best = -1;
+	double bestAct = -1.0;
+	for (j = 0; j < 16; j++) {
+		if (mask[j]) continue;
+		double act = 0.0;
+		int i;
+		for (i = 0; i < 64; i++) act += weightsB[j][i] * f1[i];
+		if (act > bestAct) { bestAct = act; best = j; }
+	}
+	return best;
+}
+
+/* vigilance test: |I and T| / |I| */
+double match(int j) {
+	double inter = 0.0, norm = 0.0;
+	int i;
+	for (i = 0; i < 64; i++) {
+		double m = f1[i] * weightsT[j][i];
+		if (m < f1[i]) inter += m; else inter += f1[i];
+		norm += f1[i];
+	}
+	if (norm == 0.0) return 0.0;
+	return inter / norm;
+}
+
+void learn(int j) {
+	int i;
+	double norm = 0.0;
+	for (i = 0; i < 64; i++) {
+		double m = f1[i] * weightsT[j][i];
+		if (m < f1[i]) weightsT[j][i] = m; else weightsT[j][i] = f1[i];
+		norm += weightsT[j][i];
+	}
+	for (i = 0; i < 64; i++)
+		weightsB[j][i] = weightsT[j][i] / (0.5 + norm);
+	committed[j] = 1;
+}
+
+int classify(int seed) {
+	int mask[16];
+	int tries;
+	makeImage(seed);
+	int j;
+	for (j = 0; j < 16; j++) mask[j] = 0;
+	for (tries = 0; tries < 16; tries++) {
+		int w = findWinner(mask);
+		if (w < 0) return -1;
+		if (match(w) >= 0.6) { learn(w); return w; }
+		mask[w] = 1;
+	}
+	return -1;
+}
+
+int main() {
+	initWeights();
+	int hist[16];
+	int j;
+	for (j = 0; j < 16; j++) hist[j] = 0;
+	int img;
+	int rejected = 0;
+	for (img = 0; img < 120; img++) {
+		int cls = classify(img % 37);
+		if (cls < 0) rejected++;
+		else hist[cls]++;
+	}
+	int used = 0, maxc = 0;
+	for (j = 0; j < 16; j++) {
+		if (committed[j]) used++;
+		if (hist[j] > maxc) maxc = hist[j];
+	}
+	print_int(used); print_char(' ');
+	print_int(maxc); print_char(' ');
+	print_int(rejected); print_nl();
+	double checksum = 0.0;
+	int i;
+	for (j = 0; j < 16; j++)
+		for (i = 0; i < 64; i++) checksum += weightsB[j][i];
+	print_float(checksum); print_nl();
+	return 0;
+}
+`
+
+// srcEquake mirrors 183.equake: sparse matrix-vector products driving an
+// explicit time-stepping simulation.
+const srcEquake = `
+/* equake: sparse MVP time stepping on a synthetic mesh (183.equake analog) */
+
+int N;
+int rowStart[401];
+int colIdx[4000];
+double val[4000];
+double disp[400];
+double vel[400];
+double acc[400];
+double force[400];
+int NNZ;
+
+void buildMesh() {
+	int i;
+	N = 400;
+	NNZ = 0;
+	srand(99);
+	for (i = 0; i < N; i++) {
+		rowStart[i] = NNZ;
+		/* banded sparse row: self + neighbors */
+		int k;
+		colIdx[NNZ] = i; val[NNZ] = 4.0; NNZ++;
+		for (k = 1; k <= 4; k++) {
+			int j = i - k;
+			if (j >= 0) { colIdx[NNZ] = j; val[NNZ] = -1.0 / (double)k; NNZ++; }
+			j = i + k;
+			if (j < N) { colIdx[NNZ] = j; val[NNZ] = -1.0 / (double)k; NNZ++; }
+		}
+	}
+	rowStart[N] = NNZ;
+	for (i = 0; i < N; i++) {
+		disp[i] = 0.0; vel[i] = 0.0; acc[i] = 0.0;
+	}
+}
+
+void spmv(double *x, double *y) {
+	int i;
+	for (i = 0; i < N; i++) {
+		double s = 0.0;
+		int k;
+		for (k = rowStart[i]; k < rowStart[i+1]; k++)
+			s += val[k] * x[colIdx[k]];
+		y[i] = s;
+	}
+}
+
+int main() {
+	buildMesh();
+	int step;
+	double dt = 0.01;
+	for (step = 0; step < 120; step++) {
+		/* impulse source at the center for early steps */
+		if (step < 10) disp[N/2] += 0.5;
+		spmv(disp, force);
+		int i;
+		for (i = 0; i < N; i++) {
+			acc[i] = -force[i] - 0.1 * vel[i];
+			vel[i] += dt * acc[i];
+			disp[i] += dt * vel[i];
+		}
+	}
+	double energy = 0.0, maxd = 0.0;
+	int i;
+	for (i = 0; i < N; i++) {
+		energy += vel[i] * vel[i] + disp[i] * disp[i];
+		double a = disp[i];
+		if (a < 0.0) a = -a;
+		if (a > maxd) maxd = a;
+	}
+	print_float(energy); print_nl();
+	print_float(maxd); print_nl();
+	print_int(NNZ); print_nl();
+	return 0;
+}
+`
+
+// srcMCF mirrors 181.mcf: minimum-cost flow by successive shortest
+// augmenting paths on a synthetic transport network.
+const srcMCF = `
+/* mcf: min-cost flow via Bellman-Ford augmentation (181.mcf analog) */
+
+struct Arc {
+	int from;
+	int to;
+	int cap;
+	int cost;
+	int flow;
+};
+
+struct Arc arcs[500];
+int NARCS;
+int NNODES;
+long dist2[130];
+int prevArc[130];
+int inQueue[130];
+int queue[4000];
+
+void buildNet() {
+	int i;
+	NNODES = 128;
+	NARCS = 0;
+	srand(31337);
+	/* layered network: source 0 -> layers -> sink 127 */
+	for (i = 0; i < 400; i++) {
+		int a = (int)(rand() % 127u);
+		int b = a + 1 + (int)(rand() % 8u);
+		if (b > 127) b = 127;
+		arcs[NARCS].from = a;
+		arcs[NARCS].to = b;
+		arcs[NARCS].cap = 1 + (int)(rand() % 20u);
+		arcs[NARCS].cost = 1 + (int)(rand() % 30u);
+		arcs[NARCS].flow = 0;
+		NARCS++;
+	}
+}
+
+/* Bellman-Ford shortest path from 0 to 127 over residual arcs */
+int shortestPath() {
+	int i;
+	for (i = 0; i < NNODES; i++) { dist2[i] = 1000000000; prevArc[i] = -1; inQueue[i] = 0; }
+	dist2[0] = 0;
+	int head = 0, tail = 0;
+	queue[tail] = 0; tail++;
+	inQueue[0] = 1;
+	while (head < tail) {
+		int u = queue[head]; head++;
+		if (head >= 4000) break;
+		inQueue[u] = 0;
+		int a;
+		for (a = 0; a < NARCS; a++) {
+			/* forward residual */
+			if (arcs[a].from == u && arcs[a].flow < arcs[a].cap) {
+				int v = arcs[a].to;
+				long nd = dist2[u] + (long)arcs[a].cost;
+				if (nd < dist2[v]) {
+					dist2[v] = nd; prevArc[v] = a;
+					if (!inQueue[v] && tail < 4000) { queue[tail] = v; tail++; inQueue[v] = 1; }
+				}
+			}
+			/* backward residual */
+			if (arcs[a].to == u && arcs[a].flow > 0) {
+				int v = arcs[a].from;
+				long nd = dist2[u] - (long)arcs[a].cost;
+				if (nd < dist2[v]) {
+					dist2[v] = nd; prevArc[v] = a + 10000;
+					if (!inQueue[v] && tail < 4000) { queue[tail] = v; tail++; inQueue[v] = 1; }
+				}
+			}
+		}
+	}
+	return dist2[127] < 1000000000;
+}
+
+int main() {
+	buildNet();
+	long totalCost = 0;
+	int totalFlow = 0;
+	int iter;
+	for (iter = 0; iter < 16; iter++) {
+		if (!shortestPath()) break;
+		/* find bottleneck along the path */
+		int v = 127;
+		int bottleneck = 1000000;
+		while (v != 0) {
+			int a = prevArc[v];
+			if (a < 0) break;
+			if (a >= 10000) {
+				int ar = a - 10000;
+				if (arcs[ar].flow < bottleneck) bottleneck = arcs[ar].flow;
+				v = arcs[ar].to;
+			} else {
+				int room = arcs[a].cap - arcs[a].flow;
+				if (room < bottleneck) bottleneck = room;
+				v = arcs[a].from;
+			}
+		}
+		/* augment */
+		v = 127;
+		while (v != 0) {
+			int a = prevArc[v];
+			if (a < 0) break;
+			if (a >= 10000) {
+				int ar = a - 10000;
+				arcs[ar].flow -= bottleneck;
+				totalCost -= (long)bottleneck * (long)arcs[ar].cost;
+				v = arcs[ar].to;
+			} else {
+				arcs[a].flow += bottleneck;
+				totalCost += (long)bottleneck * (long)arcs[a].cost;
+				v = arcs[a].from;
+			}
+		}
+		totalFlow += bottleneck;
+	}
+	print_int(totalFlow); print_char(' ');
+	print_int(totalCost); print_nl();
+	return 0;
+}
+`
+
+// srcBzip2 mirrors 256.bzip2: block transforms — move-to-front coding and
+// run-length encoding over generated data, with a verification decode.
+const srcBzip2 = `
+/* bzip2: MTF + RLE block coder with round-trip check (256.bzip2 analog) */
+
+unsigned char block[4096];
+unsigned char mtfOut[4096];
+unsigned char rleOut[8192];
+unsigned char decoded[4096];
+int blockLen;
+
+void makeBlock() {
+	int i;
+	srand(2001);
+	blockLen = 4096;
+	/* skewed distribution with runs, like text */
+	unsigned char c = 'a';
+	for (i = 0; i < blockLen; i++) {
+		if ((int)(rand() % 5u) == 0) c = (unsigned char)('a' + (int)(rand() % 16u));
+		block[i] = c;
+	}
+}
+
+int mtfEncode() {
+	unsigned char table[256];
+	int i, j;
+	for (i = 0; i < 256; i++) table[i] = (unsigned char)i;
+	for (i = 0; i < blockLen; i++) {
+		unsigned char c = block[i];
+		/* find rank */
+		j = 0;
+		while (table[j] != c) j++;
+		mtfOut[i] = (unsigned char)j;
+		/* move to front */
+		while (j > 0) { table[j] = table[j-1]; j--; }
+		table[0] = c;
+	}
+	return blockLen;
+}
+
+int rleEncode() {
+	int i = 0, o = 0;
+	while (i < blockLen) {
+		unsigned char c = mtfOut[i];
+		int run = 1;
+		while (i + run < blockLen && mtfOut[i + run] == c && run < 255) run++;
+		if (run >= 4) {
+			rleOut[o] = 255; o++;
+			rleOut[o] = (unsigned char)run; o++;
+			rleOut[o] = c; o++;
+			i += run;
+		} else {
+			rleOut[o] = c; o++;
+			i++;
+		}
+	}
+	return o;
+}
+
+int rleDecode(int n) {
+	int i = 0, o = 0;
+	while (i < n) {
+		if (rleOut[i] == 255) {
+			int run = (int)rleOut[i+1];
+			unsigned char c = rleOut[i+2];
+			int k;
+			for (k = 0; k < run; k++) { decoded[o] = c; o++; }
+			i += 3;
+		} else {
+			decoded[o] = rleOut[i]; o++;
+			i++;
+		}
+	}
+	return o;
+}
+
+void mtfDecode(int n) {
+	unsigned char table[256];
+	int i, j;
+	for (i = 0; i < 256; i++) table[i] = (unsigned char)i;
+	for (i = 0; i < n; i++) {
+		j = (int)decoded[i];
+		unsigned char c = table[j];
+		while (j > 0) { table[j] = table[j-1]; j--; }
+		table[0] = c;
+		decoded[i] = c;
+	}
+}
+
+int main() {
+	int pass;
+	int compressed = 0;
+	long check = 0;
+	for (pass = 0; pass < 6; pass++) {
+		makeBlock();
+		mtfEncode();
+		compressed = rleEncode();
+		int n = rleDecode(compressed);
+		mtfDecode(n);
+		int i, ok = 1;
+		if (n != blockLen) ok = 0;
+		for (i = 0; i < blockLen && ok; i++)
+			if (decoded[i] != block[i]) ok = 0;
+		if (!ok) { print_str("MISMATCH"); print_nl(); return 1; }
+		check = check * 17 + (long)compressed;
+	}
+	print_int(blockLen); print_char(' ');
+	print_int(compressed); print_char(' ');
+	print_int(check % 1000000); print_nl();
+	return 0;
+}
+`
+
+// srcGzip mirrors 164.gzip: LZ77 with hash-chain match finding, plus a
+// round-trip decode.
+const srcGzip = `
+/* gzip: LZ77 with hash chains and round-trip (164.gzip analog) */
+
+unsigned char input[8192];
+int tokens[6000][3];   /* (dist, len, literal) triples */
+unsigned char output[16384];
+int head[1024];
+int prev[8192];
+int inputLen;
+
+char words[] = "the cat sat on the mat and the dog ran to the cat ";
+
+void makeInput() {
+	int i;
+	srand(5150);
+	inputLen = 8192;
+	int wl = 0;
+	while (words[wl] != '\0') wl++;
+	for (i = 0; i < inputLen; i++) {
+		if ((int)(rand() % 20u) == 0)
+			input[i] = (unsigned char)('a' + (int)(rand() % 26u));
+		else
+			input[i] = (unsigned char)words[i % wl];
+	}
+}
+
+int hash3(int i) {
+	int h = ((int)input[i] * 33 + (int)input[i+1]) * 33 + (int)input[i+2];
+	return h & 1023;
+}
+
+int compress() {
+	int i;
+	int nt = 0;
+	for (i = 0; i < 1024; i++) head[i] = -1;
+	i = 0;
+	while (i < inputLen && nt < 6000) {
+		int bestLen = 0, bestDist = 0;
+		if (i + 3 <= inputLen) {
+			int h = hash3(i);
+			int cand = head[h];
+			int chain = 0;
+			while (cand >= 0 && chain < 16) {
+				int l = 0;
+				while (i + l < inputLen && l < 64 && input[cand + l] == input[i + l]) l++;
+				if (l > bestLen) { bestLen = l; bestDist = i - cand; }
+				cand = prev[cand];
+				chain++;
+			}
+			prev[i] = head[h];
+			head[h] = i;
+		}
+		if (bestLen >= 3) {
+			tokens[nt][0] = bestDist;
+			tokens[nt][1] = bestLen;
+			tokens[nt][2] = -1;
+			nt++;
+			/* insert skipped positions into the hash chains */
+			int k;
+			for (k = 1; k < bestLen && i + k + 3 <= inputLen; k++) {
+				int h2 = hash3(i + k);
+				prev[i + k] = head[h2];
+				head[h2] = i + k;
+			}
+			i += bestLen;
+		} else {
+			tokens[nt][0] = 0;
+			tokens[nt][1] = 0;
+			tokens[nt][2] = (int)input[i];
+			nt++;
+			i++;
+		}
+	}
+	return nt;
+}
+
+int decompress(int nt) {
+	int o = 0, t;
+	for (t = 0; t < nt; t++) {
+		if (tokens[t][2] >= 0) {
+			output[o] = (unsigned char)tokens[t][2]; o++;
+		} else {
+			int d = tokens[t][0], l = tokens[t][1];
+			int k;
+			for (k = 0; k < l; k++) { output[o] = output[o - d]; o++; }
+		}
+	}
+	return o;
+}
+
+int main() {
+	makeInput();
+	int nt = compress();
+	int n = decompress(nt);
+	int i, ok = 1;
+	if (n != inputLen) ok = 0;
+	for (i = 0; i < inputLen && ok; i++)
+		if (output[i] != input[i]) ok = 0;
+	if (!ok) { print_str("MISMATCH"); print_nl(); return 1; }
+	/* ratio proxy: tokens vs bytes */
+	print_int(inputLen); print_char(' ');
+	print_int(nt); print_char(' ');
+	print_int((inputLen * 100) / (nt * 3)); print_nl();
+	return 0;
+}
+`
+
+// srcParser mirrors 197.parser: dictionary lookup and sentence analysis
+// with a linking grammar-like matcher.
+const srcParser = `
+/* parser: dictionary-driven sentence analysis (197.parser analog) */
+
+struct DictEnt {
+	char word[12];
+	int class;           /* 0=noun 1=verb 2=det 3=adj 4=prep */
+	struct DictEnt *next;
+};
+
+struct DictEnt *dict[64];
+
+char text[] =
+	"the cat saw a dog . the big dog ran to the park . "
+	"a man with a hat saw the small cat . the cat ran . "
+	"the man saw a park . a dog with the man ran to a cat . "
+	"the small man with a big hat saw a small dog . unknownword . ";
+
+int hashWord(char *w, int n) {
+	int h = 0, i;
+	for (i = 0; i < n; i++) h = h * 31 + (int)w[i];
+	if (h < 0) h = -h;
+	return h % 64;
+}
+
+void define(char *w, int class) {
+	int n = 0;
+	while (w[n] != '\0') n++;
+	struct DictEnt *e = (struct DictEnt*)malloc(sizeof(struct DictEnt));
+	int i;
+	for (i = 0; i < n && i < 11; i++) e->word[i] = w[i];
+	e->word[i] = '\0';
+	e->class = class;
+	int h = hashWord(w, n);
+	e->next = dict[h];
+	dict[h] = e;
+}
+
+int lookup(char *w, int n) {
+	int h = hashWord(w, n);
+	struct DictEnt *e = dict[h];
+	while (e != 0) {
+		int i = 0;
+		while (i < n && e->word[i] == w[i]) i++;
+		if (i == n && e->word[i] == '\0') return e->class;
+		e = e->next;
+	}
+	return -1;
+}
+
+void buildDict() {
+	define("the", 2); define("a", 2);
+	define("cat", 0); define("dog", 0); define("man", 0);
+	define("park", 0); define("hat", 0);
+	define("saw", 1); define("ran", 1);
+	define("big", 3); define("small", 3);
+	define("to", 4); define("with", 4);
+}
+
+/* grammar: S -> NP VP; NP -> det adj* noun (PP)?; PP -> prep NP; VP -> verb (NP|PP)? */
+int wordsClass[32];
+int nWords;
+
+int parseNP(int *p);
+
+int parsePP(int *p) {
+	if (*p < nWords && wordsClass[*p] == 4) {
+		*p = *p + 1;
+		return parseNP(p);
+	}
+	return 0;
+}
+
+int parseNP(int *p) {
+	if (*p >= nWords || wordsClass[*p] != 2) return 0;
+	*p = *p + 1;
+	while (*p < nWords && wordsClass[*p] == 3) *p = *p + 1;
+	if (*p >= nWords || wordsClass[*p] != 0) return 0;
+	*p = *p + 1;
+	if (*p < nWords && wordsClass[*p] == 4) {
+		int save = *p;
+		if (!parsePP(p)) *p = save;
+	}
+	return 1;
+}
+
+int parseS() {
+	int p = 0;
+	if (!parseNP(&p)) return 0;
+	if (p >= nWords || wordsClass[p] != 1) return 0;
+	p++;
+	if (p < nWords) {
+		int save = p;
+		if (wordsClass[p] == 2) {
+			if (!parseNP(&p)) p = save;
+		} else if (wordsClass[p] == 4) {
+			if (!parsePP(&p)) p = save;
+		}
+	}
+	return p == nWords;
+}
+
+int main() {
+	buildDict();
+	int i = 0;
+	int sentences = 0, accepted = 0, unknown = 0;
+	int rounds;
+	for (rounds = 0; rounds < 50; rounds++) {
+		i = 0;
+		nWords = 0;
+		while (text[i] != '\0') {
+			while (text[i] == ' ') i++;
+			if (text[i] == '\0') break;
+			if (text[i] == '.') {
+				sentences++;
+				if (nWords > 0 && parseS()) accepted++;
+				nWords = 0;
+				i++;
+				continue;
+			}
+			int start = i;
+			while (text[i] != ' ' && text[i] != '\0') i++;
+			int cls = lookup(&text[start], i - start);
+			if (cls < 0) { unknown++; cls = 0; }
+			if (nWords < 32) { wordsClass[nWords] = cls; nWords++; }
+		}
+	}
+	print_int(sentences); print_char(' ');
+	print_int(accepted); print_char(' ');
+	print_int(unknown); print_nl();
+	return 0;
+}
+`

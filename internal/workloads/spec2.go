@@ -1,0 +1,583 @@
+package workloads
+
+// SPEC analog workloads, part 2.
+
+// srcAmmp mirrors 188.ammp: molecular dynamics with pairwise short-range
+// forces and velocity-Verlet integration.
+const srcAmmp = `
+/* ammp: Lennard-Jones molecular dynamics (188.ammp analog) */
+
+double px[128]; double py[128]; double pz[128];
+double vx[128]; double vy[128]; double vz[128];
+double fx[128]; double fy[128]; double fz[128];
+int NA;
+
+void initAtoms() {
+	int i;
+	NA = 128;
+	srand(1234);
+	for (i = 0; i < NA; i++) {
+		/* lattice with jitter */
+		px[i] = (double)(i % 8) * 1.2 + (double)(rand() % 100) / 1000.0;
+		py[i] = (double)((i / 8) % 4) * 1.2 + (double)(rand() % 100) / 1000.0;
+		pz[i] = (double)(i / 32) * 1.2 + (double)(rand() % 100) / 1000.0;
+		vx[i] = 0.0; vy[i] = 0.0; vz[i] = 0.0;
+	}
+}
+
+double computeForces() {
+	int i, j;
+	double pot = 0.0;
+	for (i = 0; i < NA; i++) { fx[i] = 0.0; fy[i] = 0.0; fz[i] = 0.0; }
+	for (i = 0; i < NA; i++) {
+		for (j = i + 1; j < NA; j++) {
+			double dx = px[i] - px[j];
+			double dy = py[i] - py[j];
+			double dz = pz[i] - pz[j];
+			double r2 = dx*dx + dy*dy + dz*dz;
+			if (r2 > 9.0) continue;         /* cutoff */
+			if (r2 < 0.01) r2 = 0.01;       /* clamp */
+			double inv2 = 1.0 / r2;
+			double inv6 = inv2 * inv2 * inv2;
+			double inv12 = inv6 * inv6;
+			pot += 4.0 * (inv12 - inv6);
+			double fmag = 24.0 * (2.0 * inv12 - inv6) * inv2;
+			fx[i] += fmag * dx; fx[j] -= fmag * dx;
+			fy[i] += fmag * dy; fy[j] -= fmag * dy;
+			fz[i] += fmag * dz; fz[j] -= fmag * dz;
+		}
+	}
+	return pot;
+}
+
+int main() {
+	initAtoms();
+	double dt = 0.002;
+	double pot = 0.0;
+	int step;
+	for (step = 0; step < 40; step++) {
+		pot = computeForces();
+		int i;
+		for (i = 0; i < NA; i++) {
+			vx[i] += dt * fx[i]; vy[i] += dt * fy[i]; vz[i] += dt * fz[i];
+			px[i] += dt * vx[i]; py[i] += dt * vy[i]; pz[i] += dt * vz[i];
+		}
+	}
+	double ke = 0.0;
+	int i;
+	for (i = 0; i < NA; i++) ke += vx[i]*vx[i] + vy[i]*vy[i] + vz[i]*vz[i];
+	ke = 0.5 * ke;
+	print_float(pot); print_nl();
+	print_float(ke); print_nl();
+	return 0;
+}
+`
+
+// srcVPR mirrors 175.vpr: FPGA placement by simulated annealing over a
+// grid, minimizing total wirelength.
+const srcVPR = `
+/* vpr: simulated annealing placement (175.vpr analog) */
+
+int cellX[100]; int cellY[100];
+int nets[160][4];     /* each net connects up to 4 cells; [0] = count */
+int NCELLS; int NNETS2;
+int grid[12][12];     /* cell at location, or -1 */
+
+void build() {
+	int i;
+	NCELLS = 100;
+	NNETS2 = 160;
+	srand(31415);
+	int x, y;
+	for (x = 0; x < 12; x++) for (y = 0; y < 12; y++) grid[x][y] = -1;
+	for (i = 0; i < NCELLS; i++) {
+		for (;;) {
+			x = (int)(rand() % 12u);
+			y = (int)(rand() % 12u);
+			if (grid[x][y] < 0) { grid[x][y] = i; cellX[i] = x; cellY[i] = y; break; }
+		}
+	}
+	for (i = 0; i < NNETS2; i++) {
+		int k = 2 + (int)(rand() % 3u);
+		nets[i][0] = k;
+		int j;
+		for (j = 1; j <= k; j++) nets[i][j] = (int)(rand() % 100u);
+	}
+}
+
+/* half-perimeter wirelength of one net */
+int netCost(int n) {
+	int k = nets[n][0];
+	int minX = 100, maxX = -1, minY = 100, maxY = -1;
+	int j;
+	for (j = 1; j <= k; j++) {
+		int c = nets[n][j];
+		if (cellX[c] < minX) minX = cellX[c];
+		if (cellX[c] > maxX) maxX = cellX[c];
+		if (cellY[c] < minY) minY = cellY[c];
+		if (cellY[c] > maxY) maxY = cellY[c];
+	}
+	return (maxX - minX) + (maxY - minY);
+}
+
+int totalCost() {
+	int n, c = 0;
+	for (n = 0; n < NNETS2; n++) c += netCost(n);
+	return c;
+}
+
+int main() {
+	build();
+	int before = totalCost();
+	long t = 700;          /* temperature, scaled by 100 */
+	int moves = 0, accepts = 0;
+	int cur = before;
+	while (t > 10) {
+		int m;
+		for (m = 0; m < 45; m++) {
+			/* swap two random locations (cells or empty) */
+			int x1 = (int)(rand() % 12u); int y1 = (int)(rand() % 12u);
+			int x2 = (int)(rand() % 12u); int y2 = (int)(rand() % 12u);
+			int a = grid[x1][y1]; int b = grid[x2][y2];
+			if (a < 0 && b < 0) continue;
+			int old = cur;
+			/* apply */
+			grid[x1][y1] = b; grid[x2][y2] = a;
+			if (a >= 0) { cellX[a] = x2; cellY[a] = y2; }
+			if (b >= 0) { cellX[b] = x1; cellY[b] = y1; }
+			int now = totalCost();
+			int delta = now - old;
+			moves++;
+			/* accept downhill always; uphill with pseudo-probability */
+			long thresh = (long)(rand() % 1000u);
+			if (delta <= 0 || (long)delta * 300 < t * thresh / 1000) {
+				cur = now;
+				accepts++;
+			} else {
+				/* undo */
+				grid[x1][y1] = a; grid[x2][y2] = b;
+				if (a >= 0) { cellX[a] = x1; cellY[a] = y1; }
+				if (b >= 0) { cellX[b] = x2; cellY[b] = y2; }
+			}
+		}
+		t = t * 82 / 100;
+	}
+	int after = totalCost();
+	print_int(before); print_char(' ');
+	print_int(after); print_char(' ');
+	print_int(accepts); print_char(' ');
+	print_int(moves); print_nl();
+	return 0;
+}
+`
+
+// srcTwolf mirrors 300.twolf: standard-cell placement with net bounding
+// boxes, row-based with cell widths (a second, distinct annealer).
+const srcTwolf = `
+/* twolf: row-based standard-cell annealing (300.twolf analog) */
+
+int cellRow[80]; int cellPos[80]; int cellWidth[80];
+int rowEnd[8];
+int netCells[120][6];
+int NCELL; int NNET; int NROW;
+
+void build() {
+	int i;
+	NCELL = 80; NNET = 120; NROW = 8;
+	srand(271828);
+	for (i = 0; i < NROW; i++) rowEnd[i] = 0;
+	for (i = 0; i < NCELL; i++) {
+		cellWidth[i] = 2 + (int)(rand() % 6u);
+		int r = i % NROW;
+		cellRow[i] = r;
+		cellPos[i] = rowEnd[r];
+		rowEnd[r] += cellWidth[i];
+	}
+	for (i = 0; i < NNET; i++) {
+		int k = 2 + (int)(rand() % 4u);
+		netCells[i][0] = k;
+		int j;
+		for (j = 1; j <= k; j++) netCells[i][j] = (int)(rand() % 80u);
+	}
+}
+
+int netSpan(int n) {
+	int k = netCells[n][0];
+	int minX = 1000000, maxX = -1000000, minR = 100, maxR = -1;
+	int j;
+	for (j = 1; j <= k; j++) {
+		int c = netCells[n][j];
+		int x = cellPos[c] + cellWidth[c] / 2;
+		if (x < minX) minX = x;
+		if (x > maxX) maxX = x;
+		if (cellRow[c] < minR) minR = cellRow[c];
+		if (cellRow[c] > maxR) maxR = cellRow[c];
+	}
+	return (maxX - minX) + 4 * (maxR - minR);
+}
+
+int wirelength() {
+	int n, c = 0;
+	for (n = 0; n < NNET; n++) c += netSpan(n);
+	return c;
+}
+
+/* swap two cells (exchanging row and position) */
+void swapCells(int a, int b) {
+	int t = cellRow[a]; cellRow[a] = cellRow[b]; cellRow[b] = t;
+	t = cellPos[a]; cellPos[a] = cellPos[b]; cellPos[b] = t;
+}
+
+int main() {
+	build();
+	int before = wirelength();
+	int cur = before;
+	long temp = 800;
+	int accepts = 0;
+	while (temp > 5) {
+		int m;
+		for (m = 0; m < 35; m++) {
+			int a = (int)(rand() % 80u);
+			int b = (int)(rand() % 80u);
+			if (a == b) continue;
+			swapCells(a, b);
+			int now = wirelength();
+			int delta = now - cur;
+			long gate = (long)(rand() % 100u);
+			if (delta < 0 || (long)delta * 25 < temp * gate / 100) {
+				cur = now;
+				accepts++;
+			} else {
+				swapCells(a, b);
+			}
+		}
+		temp = temp * 78 / 100;
+	}
+	print_int(before); print_char(' ');
+	print_int(cur); print_char(' ');
+	print_int(accepts); print_nl();
+	return 0;
+}
+`
+
+// srcCrafty mirrors 186.crafty: game-tree search with bitboards —
+// alpha-beta over a bitboard game (8x8 domineering-style placement duel).
+const srcCrafty = `
+/* crafty: alpha-beta search over a bitboard game (186.crafty analog) */
+
+/* Game: players alternately claim a free square and its right neighbor
+   (player A, horizontal) or lower neighbor (player B, vertical) on an
+   8x8 board held in a 64-bit bitboard. A player unable to move loses. */
+
+unsigned long occupied;
+long nodes;
+
+int popcount(unsigned long b) {
+	int n = 0;
+	while (b != 0ul) { b &= b - 1ul; n++; }
+	return n;
+}
+
+/* moves for horizontal player: squares s where s and s+1 free, same row */
+unsigned long hMoves(unsigned long occ) {
+	unsigned long free = ~occ;
+	unsigned long notH = 9187201950435737471ul;  /* ~file-h mask: bit 7 of each byte clear */
+	return free & (free >> 1) & notH;
+}
+
+/* moves for vertical player: squares s where s and s+8 free */
+unsigned long vMoves(unsigned long occ) {
+	unsigned long free = ~occ;
+	return free & (free >> 8) & 72057594037927935ul; /* low 56 bits */
+}
+
+/* negamax with alpha-beta: side 0 = horizontal, 1 = vertical */
+int search(unsigned long occ, int side, int alpha, int beta, int depth) {
+	nodes++;
+	unsigned long moves;
+	if (side == 0) moves = hMoves(occ); else moves = vMoves(occ);
+	if (moves == 0ul) return -1000 + depth;   /* cannot move: lose */
+	if (depth >= 3) {
+		/* evaluation: mobility difference */
+		return popcount(hMoves(occ)) - popcount(vMoves(occ));
+	}
+	int best = -2000;
+	while (moves != 0ul) {
+		unsigned long m = moves & (0ul - moves);   /* lowest set bit */
+		moves ^= m;
+		unsigned long place;
+		if (side == 0) place = m | (m << 1);
+		else place = m | (m << 8);
+		int score = -search(occ | place, 1 - side, -beta, -alpha, depth + 1);
+		if (score > best) best = score;
+		if (best > alpha) alpha = best;
+		if (alpha >= beta) break;   /* cutoff */
+	}
+	return best;
+}
+
+int main() {
+	nodes = 0;
+	occupied = 0ul;
+	/* play a short game with search at each move */
+	int side = 0;
+	int movesPlayed = 0;
+	long checksum = 0;
+	while (movesPlayed < 5) {
+		unsigned long ms;
+		if (side == 0) ms = hMoves(occupied); else ms = vMoves(occupied);
+		if (ms == 0ul) break;
+		/* pick the move with the best search score (first 14 candidates) */
+		unsigned long bestMove = 0ul;
+		int bestScore = -3000;
+		int tried = 0;
+		while (ms != 0ul && tried < 6) {
+			tried++;
+			unsigned long m = ms & (0ul - ms);
+			ms ^= m;
+			unsigned long place;
+			if (side == 0) place = m | (m << 1);
+			else place = m | (m << 8);
+			int sc = -search(occupied | place, 1 - side, -2000, 2000, 0);
+			if (sc > bestScore) { bestScore = sc; bestMove = place; }
+		}
+		occupied |= bestMove;
+		checksum = checksum * 37 + (long)(bestMove % 1000003ul) + (long)bestScore;
+		side = 1 - side;
+		movesPlayed++;
+	}
+	print_int(movesPlayed); print_char(' ');
+	print_int(popcount(occupied)); print_char(' ');
+	print_int(nodes); print_char(' ');
+	print_int(checksum % 1000000); print_nl();
+	return 0;
+}
+`
+
+// srcVortex mirrors 255.vortex: an object-oriented database — records
+// with virtual dispatch through function-pointer tables, hash indexes,
+// insert/lookup/delete transactions.
+const srcVortex = `
+/* vortex: object database with fn-pointer dispatch (255.vortex analog) */
+
+struct Obj {
+	int id;
+	int kind;        /* 0=point 1=segment 2=poly */
+	int a; int b; int c; int d;
+	struct Obj *next;
+};
+
+typedef int (*AreaFn)(struct Obj*);
+typedef int (*ValidFn)(struct Obj*);
+
+int areaPoint(struct Obj *o) { return 0; }
+int areaSegment(struct Obj *o) {
+	int dx = o->c - o->a;
+	int dy = o->d - o->b;
+	if (dx < 0) dx = -dx;
+	if (dy < 0) dy = -dy;
+	return dx + dy;
+}
+int areaPoly(struct Obj *o) {
+	int w = o->c - o->a;
+	int h = o->d - o->b;
+	if (w < 0) w = -w;
+	if (h < 0) h = -h;
+	return w * h;
+}
+
+int validAlways(struct Obj *o) { return 1; }
+int validSegment(struct Obj *o) { return o->a != o->c || o->b != o->d; }
+int validPoly(struct Obj *o) { return o->a < o->c && o->b < o->d; }
+
+AreaFn areaTable[3] = {areaPoint, areaSegment, areaPoly};
+ValidFn validTable[3] = {validAlways, validSegment, validPoly};
+
+struct Obj *index2[256];
+int population;
+
+int hashId(int id) {
+	unsigned int h = (unsigned int)id * 2654435761u;
+	return (int)(h % 256u);
+}
+
+void insert(int id, int kind, int a, int b, int c, int d) {
+	struct Obj *o = (struct Obj*)malloc(sizeof(struct Obj));
+	o->id = id; o->kind = kind;
+	o->a = a; o->b = b; o->c = c; o->d = d;
+	int h = hashId(id);
+	o->next = index2[h];
+	index2[h] = o;
+	population++;
+}
+
+struct Obj *lookup(int id) {
+	struct Obj *o = index2[hashId(id)];
+	while (o != 0) {
+		if (o->id == id) return o;
+		o = o->next;
+	}
+	return 0;
+}
+
+int deleteObj(int id) {
+	int h = hashId(id);
+	struct Obj *o = index2[h];
+	struct Obj *prev = 0;
+	while (o != 0) {
+		if (o->id == id) {
+			if (prev == 0) index2[h] = o->next;
+			else prev->next = o->next;
+			free((char*)o);
+			population--;
+			return 1;
+		}
+		prev = o;
+		o = o->next;
+	}
+	return 0;
+}
+
+int main() {
+	int i;
+	srand(600);
+	population = 0;
+	for (i = 0; i < 256; i++) index2[i] = 0;
+
+	long areaSum = 0;
+	int found = 0, removed = 0, invalid = 0;
+	int txn;
+	for (txn = 0; txn < 4000; txn++) {
+		int op = (int)(rand() % 10u);
+		int id = (int)(rand() % 600u);
+		if (op < 5) {
+			insert(id + txn * 7 % 600, (int)(rand() % 3u),
+				(int)(rand() % 50u), (int)(rand() % 50u),
+				(int)(rand() % 50u), (int)(rand() % 50u));
+		} else if (op < 8) {
+			struct Obj *o = lookup(id);
+			if (o != 0) {
+				found++;
+				if (validTable[o->kind](o))
+					areaSum += (long)areaTable[o->kind](o);
+				else
+					invalid++;
+			}
+		} else {
+			removed += deleteObj(id);
+		}
+	}
+	print_int(population); print_char(' ');
+	print_int(found); print_char(' ');
+	print_int(removed); print_char(' ');
+	print_int(invalid); print_char(' ');
+	print_int(areaSum % 1000000); print_nl();
+	return 0;
+}
+`
+
+// srcGap mirrors 254.gap: computer algebra — arbitrary-precision integer
+// arithmetic (add, multiply, divide by small) computing factorials and
+// binomials.
+const srcGap = `
+/* gap: bignum factorials and binomials (254.gap analog) */
+
+/* bignums: arrays of int digits base 10000, [0] = length */
+
+void bigSet(int *x, int v) {
+	x[0] = 0;
+	while (v > 0) {
+		x[0]++;
+		x[x[0]] = v % 10000;
+		v /= 10000;
+	}
+	if (x[0] == 0) { x[0] = 1; x[1] = 0; }
+}
+
+void bigCopy(int *dst, int *src) {
+	int i;
+	for (i = 0; i <= src[0]; i++) dst[i] = src[i];
+}
+
+void bigMulSmall(int *x, int m) {
+	int carry = 0, i;
+	for (i = 1; i <= x[0]; i++) {
+		int t = x[i] * m + carry;
+		x[i] = t % 10000;
+		carry = t / 10000;
+	}
+	while (carry > 0) {
+		x[0]++;
+		x[x[0]] = carry % 10000;
+		carry /= 10000;
+	}
+}
+
+void bigDivSmall(int *x, int d) {
+	int rem = 0, i;
+	for (i = x[0]; i >= 1; i--) {
+		int t = rem * 10000 + x[i];
+		x[i] = t / d;
+		rem = t % d;
+	}
+	while (x[0] > 1 && x[x[0]] == 0) x[0]--;
+}
+
+void bigAdd(int *x, int *y) {
+	int n = x[0];
+	if (y[0] > n) n = y[0];
+	int carry = 0, i;
+	for (i = 1; i <= n; i++) {
+		int a = 0; int b = 0;
+		if (i <= x[0]) a = x[i];
+		if (i <= y[0]) b = y[i];
+		int t = a + b + carry;
+		x[i] = t % 10000;
+		carry = t / 10000;
+	}
+	x[0] = n;
+	if (carry > 0) { x[0]++; x[x[0]] = carry; }
+}
+
+int bigDigitSum(int *x) {
+	int s = 0, i;
+	for (i = 1; i <= x[0]; i++) {
+		int d = x[i];
+		while (d > 0) { s += d % 10; d /= 10; }
+	}
+	return s;
+}
+
+int fact[300];
+int binom[300];
+int tmp[300];
+
+int main() {
+	/* 150! */
+	bigSet(fact, 1);
+	int i;
+	for (i = 2; i <= 150; i++) bigMulSmall(fact, i);
+	print_int(fact[0]); print_char(' ');
+	print_int(bigDigitSum(fact)); print_nl();
+
+	/* C(200, 100) = prod (100+k)/k */
+	bigSet(binom, 1);
+	for (i = 1; i <= 100; i++) {
+		bigMulSmall(binom, 100 + i);
+		bigDivSmall(binom, i);
+	}
+	print_int(binom[0]); print_char(' ');
+	print_int(bigDigitSum(binom)); print_nl();
+
+	/* fibonacci-like bignum chain */
+	bigSet(tmp, 1);
+	int j;
+	for (j = 0; j < 120; j++) {
+		bigAdd(tmp, binom);
+		bigCopy(binom, tmp);
+	}
+	print_int(tmp[0]); print_char(' ');
+	print_int(bigDigitSum(tmp) % 10000); print_nl();
+	return 0;
+}
+`

@@ -1,0 +1,102 @@
+// Package workloads provides the benchmark suite used to regenerate the
+// paper's Table 2. Each workload is a MiniC program mirroring the
+// algorithmic character of one paper benchmark (PtrDist or SPEC CINT2000)
+// at reduced scale: pointer-intensive data structures, hashing, state
+// machines, numeric loops, annealing, search, compression — the code
+// shapes that drive the size/expansion/translate-time metrics (DESIGN.md,
+// substitution table).
+package workloads
+
+import (
+	"fmt"
+	"strings"
+
+	"llva/internal/core"
+	"llva/internal/minic"
+	"llva/internal/passes"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	// Name is the short name used by tools and benches.
+	Name string
+	// PaperName is the Table 2 row this workload mirrors.
+	PaperName string
+	// Source is the MiniC program text.
+	Source string
+	// Kind describes the dominant code shape (for documentation).
+	Kind string
+}
+
+// LOC counts non-blank source lines (the paper's column 2 analog).
+func (w *Workload) LOC() int {
+	n := 0
+	for _, line := range strings.Split(w.Source, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Compile builds the workload's LLVA module and verifies it.
+func (w *Workload) Compile() (*core.Module, error) {
+	m, err := minic.Compile(w.Name+".c", w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	if err := core.Verify(m); err != nil {
+		return nil, fmt.Errorf("workload %s: %w", w.Name, err)
+	}
+	return m, nil
+}
+
+// CompileOptimized builds the module and runs the link-time O2 pipeline,
+// matching the paper's methodology ("the same LLVA optimizations were
+// applied in both cases").
+func (w *Workload) CompileOptimized() (*core.Module, error) {
+	m, err := w.Compile()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := passes.Optimize(m); err != nil {
+		return nil, fmt.Errorf("workload %s: optimize: %w", w.Name, err)
+	}
+	if err := core.Verify(m); err != nil {
+		return nil, fmt.Errorf("workload %s: verify after O2: %w", w.Name, err)
+	}
+	return m, nil
+}
+
+// All returns the suite in the paper's Table 2 order.
+func All() []*Workload {
+	return []*Workload{
+		{Name: "anagram", PaperName: "ptrdist-anagram", Source: srcAnagram, Kind: "hashing, pointer chasing"},
+		{Name: "ks", PaperName: "ptrdist-ks", Source: srcKS, Kind: "graph partitioning"},
+		{Name: "ft", PaperName: "ptrdist-ft", Source: srcFT, Kind: "minimum spanning tree"},
+		{Name: "yacr2", PaperName: "ptrdist-yacr2", Source: srcYacr2, Kind: "channel routing"},
+		{Name: "bc", PaperName: "ptrdist-bc", Source: srcBC, Kind: "expression interpreter"},
+		{Name: "art", PaperName: "179.art", Source: srcArt, Kind: "neural network (FP)"},
+		{Name: "equake", PaperName: "183.equake", Source: srcEquake, Kind: "sparse FP kernel"},
+		{Name: "mcf", PaperName: "181.mcf", Source: srcMCF, Kind: "min-cost flow"},
+		{Name: "bzip2", PaperName: "256.bzip2", Source: srcBzip2, Kind: "block compression"},
+		{Name: "gzip", PaperName: "164.gzip", Source: srcGzip, Kind: "LZ77 compression"},
+		{Name: "parser", PaperName: "197.parser", Source: srcParser, Kind: "dictionary parsing"},
+		{Name: "ammp", PaperName: "188.ammp", Source: srcAmmp, Kind: "molecular dynamics (FP)"},
+		{Name: "vpr", PaperName: "175.vpr", Source: srcVPR, Kind: "annealing placement"},
+		{Name: "twolf", PaperName: "300.twolf", Source: srcTwolf, Kind: "annealing (cells+nets)"},
+		{Name: "crafty", PaperName: "186.crafty", Source: srcCrafty, Kind: "alpha-beta search, bitboards"},
+		{Name: "vortex", PaperName: "255.vortex", Source: srcVortex, Kind: "object database"},
+		{Name: "gap", PaperName: "254.gap", Source: srcGap, Kind: "bignum arithmetic"},
+	}
+}
+
+// ByName returns the named workload, or nil.
+func ByName(name string) *Workload {
+	for _, w := range All() {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}

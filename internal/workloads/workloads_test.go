@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/interp"
+	"llva/internal/machine"
+	"llva/internal/mem"
+	"llva/internal/rt"
+	"llva/internal/target"
+)
+
+func interpRun(t *testing.T, m *core.Module) (int, string) {
+	t.Helper()
+	var out strings.Builder
+	ip, err := interp.New(m, &out)
+	if err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	code, err := ip.RunMain()
+	if err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	return code, out.String()
+}
+
+func machineRun(t *testing.T, m *core.Module, d *target.Desc) (int, string) {
+	t.Helper()
+	tr, err := codegen.New(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := tr.TranslateModule()
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	var out strings.Builder
+	env := rt.NewEnv(mem.New(0, true), &out)
+	mc, err := machine.New(d, m, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.LoadObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	v, err := mc.Run("main")
+	if err != nil {
+		t.Fatalf("machine %s: %v\noutput: %s", d.Name, err, out.String())
+	}
+	return int(int32(v)), out.String()
+}
+
+// TestWorkloadsCompile checks every workload compiles, verifies, and
+// optimizes cleanly.
+func TestWorkloadsCompile(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			if _, err := w.Compile(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := w.CompileOptimized(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWorkloadsRun runs every workload on the interpreter and checks a
+// zero exit status and non-trivial output. (Run-to-run determinism is
+// enforced by TestWorkloadGoldenOutputs, which pins the exact bytes.)
+func TestWorkloadsRun(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			m1, err := w.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			code1, out1 := interpRun(t, m1)
+			if code1 != 0 {
+				t.Errorf("exit status %d, want 0\noutput: %s", code1, out1)
+			}
+			if len(strings.TrimSpace(out1)) == 0 {
+				t.Error("no output")
+			}
+		})
+	}
+}
+
+// TestWorkloadsOptimizationPreservesOutput runs each workload unoptimized
+// and after O2 and compares outputs.
+func TestWorkloadsOptimizationPreservesOutput(t *testing.T) {
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			m0, err := w.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, out0 := interpRun(t, m0)
+			m2, err := w.CompileOptimized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, out2 := interpRun(t, m2)
+			if out0 != out2 {
+				t.Errorf("O2 changed output:\nO0: %q\nO2: %q", out0, out2)
+			}
+		})
+	}
+}
+
+// TestWorkloadsCrossEngine runs every optimized workload on both
+// simulated processors and compares against the interpreter — the full
+// Table 2 configuration must be semantically sound end to end.
+func TestWorkloadsCrossEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-engine sweep is slow")
+	}
+	for _, w := range All() {
+		t.Run(w.Name, func(t *testing.T) {
+			m, err := w.CompileOptimized()
+			if err != nil {
+				t.Fatal(err)
+			}
+			refCode, refOut := interpRun(t, m)
+			for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+				code, out := machineRun(t, m, d)
+				if code != refCode || out != refOut {
+					t.Errorf("%s diverges:\ninterp: %d %q\n%s: %d %q",
+						d.Name, refCode, refOut, d.Name, code, out)
+				}
+			}
+		})
+	}
+}
+
+func TestWorkloadRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 17 {
+		t.Errorf("suite has %d workloads, want 17 (Table 2 rows)", len(all))
+	}
+	seen := map[string]bool{}
+	for _, w := range all {
+		if seen[w.Name] {
+			t.Errorf("duplicate workload %s", w.Name)
+		}
+		seen[w.Name] = true
+		if w.LOC() < 30 {
+			t.Errorf("workload %s suspiciously small: %d LOC", w.Name, w.LOC())
+		}
+		if ByName(w.Name) != w {
+			// ByName returns a fresh slice element; compare by name only.
+			if ByName(w.Name) == nil || ByName(w.Name).Name != w.Name {
+				t.Errorf("ByName(%s) broken", w.Name)
+			}
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+}

@@ -1,0 +1,127 @@
+package llva
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTools compiles the command-line tools once into a temp dir.
+func buildTools(t *testing.T, names ...string) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bins := map[string]string{}
+	for _, n := range names {
+		out := filepath.Join(dir, n)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+n)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", n, err, b)
+		}
+		bins[n] = out
+	}
+	return bins
+}
+
+func runTool(t *testing.T, bin string, args ...string) (string, string) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() > 0 && ee.ExitCode() < 126 {
+			// program exit codes are data, not tool failures
+			return out.String(), errb.String()
+		}
+		t.Fatalf("%s %v: %v\nstderr: %s", filepath.Base(bin), args, err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+// TestToolPipeline drives the full command-line pipeline exactly as the
+// README shows: minicc -> llva-dis -> llva-as -> llva-opt -> llva-llc ->
+// llva-run (cold, then warm through the storage-API cache), checking each
+// artifact flows into the next.
+func TestToolPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t, "minicc", "llva-as", "llva-dis", "llva-opt", "llva-llc", "llva-run")
+	work := t.TempDir()
+
+	src := filepath.Join(work, "fib.c")
+	if err := os.WriteFile(src, []byte(`
+long fib(int n) {
+	if (n < 2) return (long)n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main() { print_int(fib(20)); print_nl(); return 0; }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. compile
+	bc := filepath.Join(work, "fib.bc")
+	runTool(t, bins["minicc"], "-O", "-o", bc, src)
+	if _, err := os.Stat(bc); err != nil {
+		t.Fatalf("minicc produced no object: %v", err)
+	}
+
+	// 2. disassemble, reassemble: the pipeline must round-trip
+	asmText, _ := runTool(t, bins["llva-dis"], bc)
+	if !strings.Contains(asmText, "%fib") || !strings.Contains(asmText, "call") {
+		t.Fatalf("disassembly looks wrong:\n%s", asmText)
+	}
+	llvaFile := filepath.Join(work, "fib.llva")
+	if err := os.WriteFile(llvaFile, []byte(asmText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bc2 := filepath.Join(work, "fib2.bc")
+	runTool(t, bins["llva-as"], "-o", bc2, llvaFile)
+
+	// 3. optimize the reassembled object in place
+	runTool(t, bins["llva-opt"], "-O2", "-stats", bc2)
+
+	// 4. offline translation metrics for both targets
+	for _, tgt := range []string{"vx86", "vsparc"} {
+		stats, _ := runTool(t, bins["llva-llc"], "-target", tgt, bc2)
+		if !strings.Contains(stats, "TOTAL") || !strings.Contains(stats, "fib") {
+			t.Errorf("llva-llc %s output missing metrics:\n%s", tgt, stats)
+		}
+	}
+
+	// 5. run: interpreter and both simulated processors agree
+	want := "6765\n"
+	outI, _ := runTool(t, bins["llva-run"], "-interp", bc2)
+	if outI != want {
+		t.Errorf("interp output = %q, want %q", outI, want)
+	}
+	cache := filepath.Join(work, "cache")
+	for _, tgt := range []string{"vx86", "vsparc"} {
+		out1, err1 := runTool(t, bins["llva-run"], "-target", tgt, "-cache", cache, "-stats", bc2)
+		if out1 != want {
+			t.Errorf("%s cold output = %q, want %q", tgt, out1, want)
+		}
+		if !strings.Contains(err1, "cacheHit=false") {
+			t.Errorf("%s first run should be a cache miss: %s", tgt, err1)
+		}
+		out2, err2 := runTool(t, bins["llva-run"], "-target", tgt, "-cache", cache, "-stats", bc2)
+		if out2 != want {
+			t.Errorf("%s warm output = %q, want %q", tgt, out2, want)
+		}
+		if !strings.Contains(err2, "cacheHit=true") {
+			t.Errorf("%s second run should hit the cache: %s", tgt, err2)
+		}
+	}
+
+	// 6. idle-time offline translation into a fresh cache, then a pure hit
+	cache2 := filepath.Join(work, "cache2")
+	runTool(t, bins["llva-run"], "-target", "vsparc", "-cache", cache2, "-translate-only", bc2)
+	out3, err3 := runTool(t, bins["llva-run"], "-target", "vsparc", "-cache", cache2, "-stats", bc2)
+	if out3 != want || !strings.Contains(err3, "cacheHit=true") {
+		t.Errorf("offline-translated run: out=%q stats=%s", out3, err3)
+	}
+}
