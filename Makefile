@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race tier1 bench fmt-check
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# tier1 is the CI gate: everything must build, vet clean, and pass the
+# full test suite under the race detector.
+tier1: vet build race
+
+# Regenerate the paper's Table 2 with registry-sourced telemetry.
+bench:
+	$(GO) run ./cmd/llva-bench -json
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi

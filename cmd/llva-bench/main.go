@@ -12,10 +12,17 @@
 // and host wall clock are reported, the ratio uses wall clock for both
 // sides).
 //
-// Usage: llva-bench [-workload NAME] [-O0] [-md]
+// With -json the same rows are emitted machine-readable, extended with
+// a telemetry block sourced from the execution manager's metric
+// registry over a cold (JIT + cache write-back) and warm (cache hit)
+// run pair: translate nanoseconds, cache hits/misses, and instructions
+// retired on the simulated processor.
+//
+// Usage: llva-bench [-workload NAME] [-O0] [-md] [-json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,30 +31,76 @@ import (
 
 	"llva/internal/codegen"
 	"llva/internal/core"
+	"llva/internal/llee"
 	"llva/internal/machine"
 	"llva/internal/mem"
 	"llva/internal/obj"
 	"llva/internal/rt"
 	"llva/internal/target"
+	"llva/internal/telemetry"
 	"llva/internal/workloads"
 )
 
 // Row is one Table 2 line.
 type Row struct {
-	Name        string
-	PaperName   string
-	LOC         int
-	NativeKB    float64 // vsparc native size
-	LLVAKB      float64
-	NumLLVA     int
-	NumX86      int
-	RatioX86    float64
-	NumSparc    int
-	RatioSparc  float64
-	TranslateS  float64 // vx86 whole-program JIT, host seconds
-	RunVirtualS float64 // vx86 cycles at 1 GHz
-	RunWallS    float64 // host wall clock of the simulated run
-	Ratio       float64 // TranslateS / RunWallS
+	Name        string  `json:"name"`
+	PaperName   string  `json:"paper_name"`
+	LOC         int     `json:"loc"`
+	NativeKB    float64 `json:"native_kb"` // vsparc native size
+	LLVAKB      float64 `json:"llva_kb"`
+	NumLLVA     int     `json:"llva_instrs"`
+	NumX86      int     `json:"vx86_instrs"`
+	RatioX86    float64 `json:"vx86_ratio"`
+	NumSparc    int     `json:"vsparc_instrs"`
+	RatioSparc  float64 `json:"vsparc_ratio"`
+	TranslateS  float64 `json:"translate_s"`   // vx86 whole-program JIT, host seconds
+	RunVirtualS float64 `json:"run_virtual_s"` // vx86 cycles at 1 GHz
+	RunWallS    float64 `json:"run_wall_s"`    // host wall clock of the simulated run
+	Ratio       float64 `json:"translate_run_ratio"`
+
+	Telemetry *TelemetryRow `json:"telemetry,omitempty"`
+}
+
+// TelemetryRow carries the registry-sourced metrics of a cold+warm
+// manager run pair on vx86.
+type TelemetryRow struct {
+	TranslateNS   int64  `json:"translate_ns"`
+	Translations  uint64 `json:"translations"`
+	CacheHits     uint64 `json:"cache_hits"`
+	CacheMisses   uint64 `json:"cache_misses"`
+	InstrsRetired uint64 `json:"instrs_retired"`
+	Cycles        uint64 `json:"cycles"`
+	Branches      uint64 `json:"branches"`
+}
+
+// measureTelemetry runs the workload twice through an execution manager
+// backed by an in-memory storage API — cold (JIT, cache write-back)
+// then warm (stamp-validated cache hit) — and reads the results out of
+// the shared telemetry registry.
+func measureTelemetry(m *core.Module) (*TelemetryRow, error) {
+	reg := telemetry.New()
+	st := llee.NewMemStorage()
+	for i := 0; i < 2; i++ {
+		mg, err := llee.NewManager(m, target.VX86, io.Discard,
+			llee.WithStorage(st), llee.WithTelemetry(reg))
+		if err != nil {
+			return nil, err
+		}
+		if _, err := mg.Run("main"); err != nil {
+			if _, isExit := err.(*rt.ExitError); !isExit {
+				return nil, err
+			}
+		}
+	}
+	return &TelemetryRow{
+		TranslateNS:   reg.Histogram(llee.MetricTranslateNS).Sum(),
+		Translations:  reg.CounterValue(llee.MetricTranslations),
+		CacheHits:     reg.CounterValue(llee.MetricCacheHits),
+		CacheMisses:   reg.CounterValue(llee.MetricCacheMisses),
+		InstrsRetired: reg.CounterValue("machine.instrs"),
+		Cycles:        reg.CounterValue("machine.cycles"),
+		Branches:      reg.CounterValue("machine.branches"),
+	}, nil
 }
 
 // Measure computes one row.
@@ -130,6 +183,7 @@ func main() {
 	one := flag.String("workload", "", "measure a single workload")
 	noOpt := flag.Bool("O0", false, "skip the link-time O2 pipeline")
 	md := flag.Bool("md", false, "emit a Markdown table")
+	jsonOut := flag.Bool("json", false, "emit machine-readable rows with manager telemetry")
 	flag.Parse()
 
 	suite := workloads.All()
@@ -149,7 +203,32 @@ func main() {
 			fmt.Fprintf(os.Stderr, "llva-bench: %v\n", err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			var m *core.Module
+			if *noOpt {
+				m, err = w.Compile()
+			} else {
+				m, err = w.CompileOptimized()
+			}
+			if err == nil {
+				row.Telemetry, err = measureTelemetry(m)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "llva-bench: %s telemetry: %v\n", w.Name, err)
+				os.Exit(1)
+			}
+		}
 		rows = append(rows, row)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			fmt.Fprintf(os.Stderr, "llva-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *md {

@@ -3,12 +3,18 @@
 // JIT-translates on demand otherwise, executes %main on the simulated
 // processor, and writes new translations back to the cache.
 //
-// Usage: llva-run [-target vx86|vsparc] [-cache DIR] [-interp] [-stats] prog.bc
+// Usage: llva-run [-target vx86|vsparc] [-cache DIR] [-interp] [-stats]
+//
+//	[-metrics-addr HOST:PORT] [-trace-log FILE] prog.bc
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
@@ -17,7 +23,46 @@ import (
 	"llva/internal/obj"
 	"llva/internal/rt"
 	"llva/internal/target"
+	"llva/internal/telemetry"
 )
+
+// exitHooks run before every exit path (telemetry flushing must survive
+// os.Exit, which skips defers).
+var exitHooks []func()
+
+func exit(code int) {
+	for _, h := range exitHooks {
+		h()
+	}
+	os.Exit(code)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "llva-run:", err)
+	exit(1)
+}
+
+// serveMetrics exposes the registry (and the process's expvar/pprof
+// debug surface) on addr. It listens synchronously so a bad address
+// fails loudly, then serves in the background for the program's life.
+func serveMetrics(reg *telemetry.Registry, addr string) {
+	reg.Publish("llva")
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/metrics/events", reg.EventsHandler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("metrics listener: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "llva-run: metrics on http://%s/metrics\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
+}
 
 func main() {
 	tgt := flag.String("target", "vsparc", "target I-ISA: vx86 or vsparc")
@@ -27,11 +72,33 @@ func main() {
 	offline := flag.Bool("translate-only", false, "offline-translate into the cache, do not execute")
 	profile := flag.Bool("profile", false, "gather and store a profile after the run (needs -cache)")
 	idleOpt := flag.Bool("idle-optimize", false, "idle-time PGO: re-layout from the stored profile and retranslate into the cache")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics, /metrics/events, /debug/vars, /debug/pprof)")
+	traceLog := flag.String("trace-log", "", "write the structured event log as JSON lines to FILE at exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: llva-run [-target T] [-cache DIR] [-interp] prog.bc")
 		os.Exit(2)
 	}
+
+	reg := telemetry.New()
+	if *metricsAddr != "" {
+		serveMetrics(reg, *metricsAddr)
+	}
+	if *traceLog != "" {
+		path := *traceLog
+		exitHooks = append(exitHooks, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "llva-run: trace-log:", err)
+				return
+			}
+			defer f.Close()
+			if err := reg.WriteEventsJSONL(f); err != nil {
+				fmt.Fprintln(os.Stderr, "llva-run: trace-log:", err)
+			}
+		})
+	}
+
 	data, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
@@ -55,7 +122,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "interp: %d instructions in %v\n",
 				ip.Stats.Instructions, time.Since(start))
 		}
-		os.Exit(code)
+		exit(code)
 	}
 
 	var d *target.Desc
@@ -68,7 +135,7 @@ func main() {
 		fatal(fmt.Errorf("unknown target %q", *tgt))
 	}
 
-	var opts []llee.Option
+	opts := []llee.Option{llee.WithTelemetry(reg)}
 	if *cacheDir != "" {
 		st, err := llee.NewDirStorage(*cacheDir)
 		if err != nil {
@@ -88,7 +155,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "offline: translated %d functions in %v\n",
 				mg.Stats.Translations, time.Duration(mg.Stats.TranslateNS))
 		}
-		return
+		exit(0)
 	}
 	if *idleOpt {
 		ts, err := mg.IdleTimeOptimize()
@@ -99,7 +166,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "idle-time: %d traces, %.0f%% coverage, %d functions retranslated\n",
 				ts.Traces, ts.Coverage*100, mg.Stats.Translations)
 		}
-		return
+		exit(0)
 	}
 	start := time.Now()
 	v, err := mg.Run("main")
@@ -126,10 +193,5 @@ func main() {
 			mc.Stats.Instrs, mc.Stats.Cycles, mc.Stats.Calls,
 			mc.Stats.ExternCalls, time.Since(start))
 	}
-	os.Exit(code)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "llva-run:", err)
-	os.Exit(1)
+	exit(code)
 }

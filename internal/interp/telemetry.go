@@ -1,0 +1,20 @@
+package interp
+
+import "llva/internal/telemetry"
+
+// Export publishes the profile's aggregate shape as interp.profile.*
+// gauges — how much dynamic control-flow information the idle-time
+// optimizer has to work with.
+func (p *Profile) Export(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	var execs uint64
+	for _, n := range p.Block {
+		execs += n
+	}
+	reg.Gauge("interp.profile.blocks").Set(int64(len(p.Block)))
+	reg.Gauge("interp.profile.block_execs").Set(int64(execs))
+	reg.Gauge("interp.profile.edges").Set(int64(len(p.Edge)))
+	reg.Gauge("interp.profile.calls").Set(int64(len(p.Call)))
+}

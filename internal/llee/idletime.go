@@ -8,6 +8,7 @@ import (
 
 	"llva/internal/core"
 	"llva/internal/interp"
+	"llva/internal/telemetry"
 	"llva/internal/trace"
 )
 
@@ -54,7 +55,61 @@ func (mg *Manager) GatherProfile(entry string, args ...uint64) error {
 	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
 		return err
 	}
-	return mg.storage.Write(mg.profileKey(), mg.objStamp, buf.Bytes())
+	if err := mg.storage.Write(mg.profileKey(), mg.objStamp, buf.Bytes()); err != nil {
+		return err
+	}
+	prof.Export(mg.tele)
+	mg.tele.Counter(MetricProfileStores).Inc()
+	mg.tele.Events().Emit(telemetry.EvProfileStored, mg.profileKey(), int64(buf.Len()))
+	return nil
+}
+
+// loadProfile reads and decodes the persisted profile, validating its
+// stamp against the current virtual object code. A missing or stale
+// profile is not an error (ok=false); a corrupt one is.
+func (mg *Manager) loadProfile() (*interp.Profile, bool, error) {
+	data, stamp, ok, err := mg.storage.Read(mg.profileKey())
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if stamp != mg.objStamp {
+		mg.tele.Counter(MetricStampMismatches).Inc()
+		mg.tele.Events().Emit(telemetry.EvStampMismatch, mg.profileKey(), 0)
+		return nil, false, nil
+	}
+	var blob profileBlob
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blob); err != nil {
+		return nil, false, fmt.Errorf("llee: corrupt profile: %w", err)
+	}
+	prof := decodeProfile(mg.Module, &blob)
+	mg.tele.Counter(MetricProfileLoads).Inc()
+	mg.tele.Events().Emit(telemetry.EvProfileLoaded, mg.profileKey(), int64(len(prof.Block)))
+	return prof, true, nil
+}
+
+// seedTraceCache reloads the persisted profile at startup and rebuilds
+// the software trace cache from it without re-profiling. When relayout
+// is true (the online-translation path) the hot traces also re-lay out
+// the virtual object code so the JIT emits straight-line hot paths; a
+// cache hit must not relayout, since the cached native code was built
+// against the stored block order.
+func (mg *Manager) seedTraceCache(relayout bool) error {
+	prof, ok, err := mg.loadProfile()
+	if err != nil || !ok {
+		return err
+	}
+	traces := trace.Form(mg.Module, prof, trace.Options{})
+	mg.traceStats = trace.Summarize(prof, traces)
+	mg.profileSeeded = true
+	mg.recordTraceStats(mg.traceStats)
+	if relayout && len(traces) > 0 {
+		relaid := trace.ApplyLayout(mg.Module, traces)
+		mg.tele.Gauge(MetricTraceRelaid).Set(int64(relaid))
+		if err := core.Verify(mg.Module); err != nil {
+			return fmt.Errorf("llee: relayout broke the module: %w", err)
+		}
+	}
+	return nil
 }
 
 // IdleTimeOptimize performs the between-executions step: it loads the
@@ -67,19 +122,18 @@ func (mg *Manager) IdleTimeOptimize() (trace.Stats, error) {
 	if mg.storage == nil {
 		return st, fmt.Errorf("llee: idle-time optimization requires the storage API")
 	}
-	data, stamp, ok, err := mg.storage.Read(mg.profileKey())
+	prof, ok, err := mg.loadProfile()
 	if err != nil {
 		return st, err
 	}
-	if ok && stamp == mg.objStamp {
-		var blob profileBlob
-		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blob); err != nil {
-			return st, fmt.Errorf("llee: corrupt profile: %w", err)
-		}
-		prof := decodeProfile(mg.Module, &blob)
+	if ok {
 		traces := trace.Form(mg.Module, prof, trace.Options{})
 		st = trace.Summarize(prof, traces)
-		trace.ApplyLayout(mg.Module, traces)
+		mg.traceStats = st
+		mg.profileSeeded = true
+		mg.recordTraceStats(st)
+		relaid := trace.ApplyLayout(mg.Module, traces)
+		mg.tele.Gauge(MetricTraceRelaid).Set(int64(relaid))
 		if err := core.Verify(mg.Module); err != nil {
 			return st, fmt.Errorf("llee: relayout broke the module: %w", err)
 		}

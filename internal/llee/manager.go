@@ -14,6 +14,8 @@ import (
 	"llva/internal/obj"
 	"llva/internal/rt"
 	"llva/internal/target"
+	"llva/internal/telemetry"
+	"llva/internal/trace"
 )
 
 // Manager is one LLEE instance managing the execution of one LLVA program
@@ -40,7 +42,17 @@ type Manager struct {
 	// llva.storage.register (exposed to trap handlers/tools).
 	storageAPIAddr uint64
 
-	// Stats describes what the execution manager did.
+	// tele records everything the manager, its machine, and the trace
+	// cache do; the Stats struct below is a snapshot of it.
+	tele *telemetry.Registry
+	// traceStats/profileSeeded describe the software trace cache seeded
+	// from the persisted profile (Section 4.2).
+	traceStats    trace.Stats
+	profileSeeded bool
+
+	// Stats describes what the execution manager did. It is refreshed
+	// from the telemetry registry after Run/TranslateOffline/
+	// IdleTimeOptimize; the registry is the authoritative source.
 	Stats struct {
 		CacheHit      bool
 		CacheMisses   int
@@ -56,6 +68,7 @@ type Option func(*config)
 type config struct {
 	storage Storage
 	memSize uint64
+	tele    *telemetry.Registry
 }
 
 // WithStorage registers the OS storage API implementation. Without it
@@ -65,6 +78,11 @@ func WithStorage(s Storage) Option { return func(c *config) { c.storage = s } }
 
 // WithMemSize sets the simulated machine's address-space size.
 func WithMemSize(n uint64) Option { return func(c *config) { c.memSize = n } }
+
+// WithTelemetry aggregates this manager's metrics and events into an
+// existing registry (for multi-run tools such as llva-bench). Without
+// it every manager gets a private registry.
+func WithTelemetry(reg *telemetry.Registry) Option { return func(c *config) { c.tele = reg } }
 
 // NewManager creates an execution manager for module m on target d,
 // writing program output to out.
@@ -98,7 +116,12 @@ func NewManager(m *core.Module, d *target.Desc, out io.Writer, opts ...Option) (
 		objStamp:   Stamp(enc),
 		redirect:   make(map[string]string),
 		translated: make(map[string]*codegen.NativeFunc),
+		tele:       cfg.tele,
 	}
+	if mg.tele == nil {
+		mg.tele = telemetry.New()
+	}
+	mc.SetTelemetry(mg.tele)
 	mc.OnJIT = mg.onJIT
 	mc.OnIntrinsic = mg.onIntrinsic
 	return mg, nil
@@ -132,10 +155,19 @@ func (mg *Manager) Run(entry string, args ...uint64) (uint64, error) {
 			if err := mg.mc.LoadObject(obj); err != nil {
 				return 0, err
 			}
-			mg.Stats.CacheHit = true
+			mg.tele.Counter(MetricCacheHits).Inc()
+			mg.tele.Events().Emit(telemetry.EvCacheHit, mg.cacheKey(), 0)
 			loaded = true
 		} else {
-			mg.Stats.CacheMisses++
+			mg.tele.Counter(MetricCacheMisses).Inc()
+			mg.tele.Events().Emit(telemetry.EvCacheMiss, mg.cacheKey(), 0)
+		}
+		// A persisted profile (Section 4.2) seeds the software trace
+		// cache on every start without re-profiling; on the online-
+		// translation path it also re-lays out the virtual object code
+		// before the JIT sees it.
+		if err := mg.seedTraceCache(!loaded); err != nil {
+			return 0, err
 		}
 	}
 	if !loaded {
@@ -150,6 +182,7 @@ func (mg *Manager) Run(entry string, args ...uint64) (uint64, error) {
 	if werr := mg.writeBack(); werr != nil && err == nil {
 		err = werr
 	}
+	mg.syncStats()
 	return v, err
 }
 
@@ -166,13 +199,14 @@ func (mg *Manager) TranslateOffline() error {
 	if mg.storage == nil {
 		return fmt.Errorf("llee: offline translation requires the storage API")
 	}
+	mg.tele.Events().Emit(telemetry.EvTranslateStart, mg.Module.Name, int64(len(mg.Module.Functions)))
 	start := time.Now()
 	nobj, err := mg.tr.TranslateModule()
 	if err != nil {
 		return err
 	}
-	mg.Stats.TranslateNS += time.Since(start).Nanoseconds()
-	mg.Stats.Translations += len(nobj.Funcs)
+	mg.recordTranslate(mg.Module.Name, time.Since(start).Nanoseconds(), len(nobj.Funcs))
+	mg.syncStats()
 	return mg.writeCache(nobj.Funcs)
 }
 
@@ -184,6 +218,8 @@ func (mg *Manager) readCache() (*codegen.NativeObject, bool, error) {
 	if stamp != mg.objStamp {
 		// Out-of-date translation: ignore it (the paper's timestamp
 		// check failing).
+		mg.tele.Counter(MetricStampMismatches).Inc()
+		mg.tele.Events().Emit(telemetry.EvStampMismatch, mg.cacheKey(), 0)
 		return nil, false, nil
 	}
 	var co cachedObject
@@ -241,13 +277,14 @@ func (mg *Manager) onJIT(name string) (uint64, error) {
 	if f == nil || f.IsDeclaration() {
 		return 0, fmt.Errorf("llee: no body for %%%s", body)
 	}
+	mg.tele.Events().Emit(telemetry.EvJITRequest, name, 0)
+	mg.tele.Events().Emit(telemetry.EvTranslateStart, body, 0)
 	start := time.Now()
 	nf, err := mg.tr.TranslateFunction(f)
 	if err != nil {
 		return 0, err
 	}
-	mg.Stats.TranslateNS += time.Since(start).Nanoseconds()
-	mg.Stats.Translations++
+	mg.recordTranslate(name, time.Since(start).Nanoseconds(), 1)
 	nf.Name = name // install the (possibly replacement) body under the callee's name
 	addr, err := mg.mc.InstallCode(nf)
 	if err != nil {
@@ -277,7 +314,8 @@ func (mg *Manager) onIntrinsic(name string, args []uint64) (uint64, error) {
 			return 0, fmt.Errorf("llva.smc.replace: signature mismatch %%%s vs %%%s", tgt, src)
 		}
 		mg.redirect[tgt] = src
-		mg.Stats.Invalidations++
+		mg.tele.Counter(MetricInvalidations).Inc()
+		mg.tele.Events().Emit(telemetry.EvInvalidate, tgt, 0)
 		// Mark the generated code invalid; regenerated on next invocation
 		// (paper, Section 3.4).
 		return 0, mg.mc.InvalidateFunction(tgt)

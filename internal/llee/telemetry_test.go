@@ -1,0 +1,153 @@
+package llee
+
+import (
+	"strings"
+	"testing"
+
+	"llva/internal/minic"
+	"llva/internal/target"
+	"llva/internal/telemetry"
+)
+
+// TestProfilePersistenceRoundTrip checks the tentpole claim end to end:
+// a profile gathered in one session and persisted through the storage
+// API is reloaded by a fresh manager (observable as a ProfileLoaded
+// event and non-empty trace-cache stats) without re-profiling, and
+// seeds trace-driven relayout on the online-translation path.
+func TestProfilePersistenceRoundTrip(t *testing.T) {
+	st := NewMemStorage()
+
+	// Session 1: gather and persist the profile only — no native cache,
+	// so the next session exercises the JIT path.
+	m1, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg1, err := NewManager(m1, target.VSPARC, &strings.Builder{}, WithStorage(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg1.GatherProfile("main"); err != nil {
+		t.Fatal(err)
+	}
+	if got := mg1.Telemetry().CounterValue(MetricProfileStores); got != 1 {
+		t.Errorf("profile stores = %d, want 1", got)
+	}
+	if evs := mg1.Telemetry().Events().Find(telemetry.EvProfileStored); len(evs) != 1 {
+		t.Errorf("ProfileStored events = %d, want 1", len(evs))
+	}
+
+	// Session 2: fresh manager, same storage. The run misses the native
+	// cache but reloads the persisted profile, so the trace cache is
+	// seeded before the JIT translates anything.
+	m2, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out2 strings.Builder
+	reg := telemetry.New()
+	mg2, err := NewManager(m2, target.VSPARC, &out2, WithStorage(st), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mg2.Telemetry() != reg {
+		t.Fatal("WithTelemetry registry not adopted")
+	}
+	if _, err := mg2.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if !mg2.ProfileSeeded() {
+		t.Error("persisted profile was not reloaded")
+	}
+	if evs := reg.Events().Find(telemetry.EvProfileLoaded); len(evs) != 1 {
+		t.Errorf("ProfileLoaded events = %d, want 1", len(evs))
+	}
+	if ts := mg2.TraceCacheStats(); ts.Traces == 0 || ts.BlocksCovered == 0 {
+		t.Errorf("trace cache not seeded: %+v", ts)
+	}
+	if evs := reg.Events().Find(telemetry.EvTraceFormed); len(evs) != 1 {
+		t.Errorf("TraceFormed events = %d, want 1", len(evs))
+	}
+	// No re-profiling happened: exactly the one stored profile exists and
+	// the manager never wrote another.
+	if got := reg.CounterValue(MetricProfileStores); got != 0 {
+		t.Errorf("session 2 stored %d profiles (re-profiled?)", got)
+	}
+	if got := reg.CounterValue(MetricCacheMisses); got != 1 {
+		t.Errorf("cache misses = %d, want 1", got)
+	}
+	if mg2.Stats.Translations == 0 {
+		t.Error("JIT path did not translate (expected online translation)")
+	}
+
+	// Session 3: warm start — cache hit, profile still seeds the trace
+	// cache (without relayout), output identical.
+	m3, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out3 strings.Builder
+	mg3, err := NewManager(m3, target.VSPARC, &out3, WithStorage(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg3.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if !mg3.Stats.CacheHit {
+		t.Error("warm run missed the native cache")
+	}
+	if !mg3.ProfileSeeded() || mg3.TraceCacheStats().Traces == 0 {
+		t.Error("warm run did not reseed the trace cache from storage")
+	}
+	if out3.String() != out2.String() {
+		t.Errorf("output differs: %q vs %q", out3.String(), out2.String())
+	}
+}
+
+// TestStatsMirrorsTelemetry checks that the API-compatible Stats struct
+// is an exact snapshot of the registry, and that the machine flushed
+// its execution counters into the same registry.
+func TestStatsMirrorsTelemetry(t *testing.T) {
+	m, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewMemStorage()
+	mg, err := NewManager(m, target.VX86, &strings.Builder{}, WithStorage(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	reg := mg.Telemetry()
+	if got := int(reg.CounterValue(MetricTranslations)); got != mg.Stats.Translations {
+		t.Errorf("translations: registry %d vs Stats %d", got, mg.Stats.Translations)
+	}
+	if sum := reg.Histogram(MetricTranslateNS).Sum(); sum != mg.Stats.TranslateNS {
+		t.Errorf("translate ns: registry %d vs Stats %d", sum, mg.Stats.TranslateNS)
+	}
+	if got := int(reg.CounterValue(MetricCacheMisses)); got != mg.Stats.CacheMisses {
+		t.Errorf("cache misses: registry %d vs Stats %d", got, mg.Stats.CacheMisses)
+	}
+	mcStats := mg.Machine().Stats
+	if got := reg.CounterValue("machine.instrs"); got != mcStats.Instrs {
+		t.Errorf("machine.instrs: registry %d vs machine %d", got, mcStats.Instrs)
+	}
+	if got := reg.CounterValue("machine.cycles"); got != mcStats.Cycles {
+		t.Errorf("machine.cycles: registry %d vs machine %d", got, mcStats.Cycles)
+	}
+	if mcStats.Branches == 0 || mcStats.BranchesTaken == 0 {
+		t.Errorf("branch counters not incremented: %+v", mcStats)
+	}
+	if mcStats.BranchesTaken > mcStats.Branches {
+		t.Errorf("taken (%d) > executed (%d)", mcStats.BranchesTaken, mcStats.Branches)
+	}
+	if len(reg.Events().Find(telemetry.EvTranslateEnd)) == 0 {
+		t.Error("no TranslateEnd events recorded")
+	}
+	if len(reg.Events().Find(telemetry.EvJITRequest)) == 0 {
+		t.Error("no JITRequest events recorded")
+	}
+}

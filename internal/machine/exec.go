@@ -154,6 +154,7 @@ func (mc *Machine) Run(entry string, args ...uint64) (uint64, error) {
 
 	err := mc.loop()
 	mc.env.Clock = func() uint64 { return mc.Stats.Cycles }
+	mc.recordRunEnd(err)
 	if err != nil {
 		return mc.ireg[d.RetReg], err
 	}
@@ -212,11 +213,15 @@ func (mc *Machine) loop() error {
 		if err != nil {
 			return err
 		}
+		if dd.in.Op == target.MJmp || dd.in.Op == target.MJcc {
+			mc.Stats.Branches++
+		}
 		if !jumped {
 			mc.pc = next
 		} else if dd.in.Op == target.MJmp || dd.in.Op == target.MJcc {
 			// Taken branches redirect the fetch stream: +1 cycle. This is
 			// what makes trace-driven code layout measurable (Section 4.2).
+			mc.Stats.BranchesTaken++
 			mc.Stats.Cycles++
 		}
 	}

@@ -16,6 +16,7 @@ import (
 	"llva/internal/mem"
 	"llva/internal/rt"
 	"llva/internal/target"
+	"llva/internal/telemetry"
 )
 
 // CodeReserve is the size of the machine's code segment: translated code
@@ -64,13 +65,10 @@ type Machine struct {
 	OnIntrinsic func(name string, args []uint64) (uint64, error)
 
 	// Stats accumulates execution counters.
-	Stats struct {
-		Instrs, Cycles uint64
-		Calls          uint64
-		ExternCalls    uint64
-		JITRequests    uint64
-		ICacheFills    uint64
-	}
+	Stats ExecStats
+	// tele, when set, receives the counter deltas after each Run.
+	tele        *telemetry.Registry
+	teleFlushed ExecStats
 
 	// MaxInstrs bounds execution (0 = 2 billion).
 	MaxInstrs uint64

@@ -1,0 +1,320 @@
+// Package telemetry is the repo-wide observability layer: a
+// dependency-light metrics registry (counters, gauges, ns-precision
+// histograms) plus a ring-buffered structured event log. It exists to
+// make the paper's quantitative claims — translation cost ≪ run time
+// (Table 2), transparent caching of code and profile data through the
+// OS storage API (Section 4.1) — directly measurable on every run.
+//
+// Hot-path updates are single atomic operations on pre-resolved metric
+// handles; the registry map is only consulted when a handle is first
+// created. Metrics belong to labeled families: the instance name is
+// the family name plus an ordered label list, rendered canonically as
+// name{k=v,...}.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous atomic value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations v with bitlen(v) == i (bucket 0 covers v <= 0..1).
+const histBuckets = 64
+
+// Histogram accumulates a distribution of int64 observations
+// (conventionally nanoseconds) in power-of-two buckets, with exact
+// count/sum/min/max. All updates are lock-free.
+type Histogram struct {
+	count atomic.Uint64
+	sum   atomic.Int64
+	min   atomic.Int64 // valid when count > 0
+	max   atomic.Int64
+	bkt   [histBuckets]atomic.Uint64
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	i := 0
+	if v > 0 {
+		i = bits.Len64(uint64(v))
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.bkt[i].Add(1)
+}
+
+// Time starts a timer; the returned stop function records the elapsed
+// time in nanoseconds and returns it.
+func (h *Histogram) Time() func() int64 {
+	start := time.Now()
+	return func() int64 {
+		ns := time.Since(start).Nanoseconds()
+		h.Observe(ns)
+		return ns
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// HistogramSnapshot is a consistent-enough copy for export.
+type HistogramSnapshot struct {
+	Count uint64            `json:"count"`
+	Sum   int64             `json:"sum"`
+	Min   int64             `json:"min"`
+	Max   int64             `json:"max"`
+	Mean  float64           `json:"mean"`
+	Bkt   map[string]uint64 `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+	}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	s.Bkt = map[string]uint64{}
+	for i := range h.bkt {
+		if n := h.bkt[i].Load(); n > 0 {
+			lo := int64(0)
+			if i > 0 {
+				lo = int64(1) << (i - 1)
+			}
+			s.Bkt[fmt.Sprintf("le_%d", lo*2)] = n
+		}
+	}
+	return s
+}
+
+// Registry holds the metric families of one subsystem (or one process;
+// registries are cheap and composable). The zero value is not usable —
+// call New.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	events   *Ring
+}
+
+// DefaultEventCap is the event-ring capacity of a fresh registry.
+const DefaultEventCap = 4096
+
+// New creates an empty registry with an event ring of DefaultEventCap.
+func New() *Registry { return NewWithEventCap(DefaultEventCap) }
+
+// NewWithEventCap creates an empty registry with a custom event-ring
+// capacity (0 disables event retention; emits are counted but dropped).
+func NewWithEventCap(cap int) *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		events:   NewRing(cap),
+	}
+}
+
+// Events returns the registry's event ring.
+func (r *Registry) Events() *Ring { return r.events }
+
+// Key renders the canonical instance name of a family member. Labels
+// are ordered key-value pairs: Key("x", "fn", "main") = `x{fn=main}`.
+func Key(name string, labels ...string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic("telemetry: odd label list for " + name)
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteByte('=')
+		b.WriteString(labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (creating on first use) the named counter. The
+// returned handle should be cached by hot paths.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	k := Key(name, labels...)
+	r.mu.RLock()
+	c, ok := r.counters[k]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[k]; !ok {
+		c = &Counter{}
+		r.counters[k] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	k := Key(name, labels...)
+	r.mu.RLock()
+	g, ok := r.gauges[k]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[k]; !ok {
+		g = &Gauge{}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string, labels ...string) *Histogram {
+	k := Key(name, labels...)
+	r.mu.RLock()
+	h, ok := r.hists[k]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[k]; !ok {
+		h = newHistogram()
+		r.hists[k] = h
+	}
+	return h
+}
+
+// CounterValue reads a counter without creating it (0 if absent).
+func (r *Registry) CounterValue(name string, labels ...string) uint64 {
+	k := Key(name, labels...)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if c, ok := r.counters[k]; ok {
+		return c.Value()
+	}
+	return 0
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Events     EventsSnapshot               `json:"events"`
+}
+
+// Snapshot copies the registry.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for k, c := range r.counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range r.hists {
+		s.Histograms[k] = h.Snapshot()
+	}
+	s.Events = r.events.Stats()
+	return s
+}
+
+// Names returns the sorted instance names of every metric (diagnostics).
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for k := range r.counters {
+		out = append(out, k)
+	}
+	for k := range r.gauges {
+		out = append(out, k)
+	}
+	for k := range r.hists {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

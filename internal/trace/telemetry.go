@@ -1,0 +1,15 @@
+package trace
+
+import "llva/internal/telemetry"
+
+// Export publishes the trace-cache state as llee.trace.* gauges.
+// Coverage is scaled to whole percent (gauges are integral).
+func (s Stats) Export(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("llee.trace.count").Set(int64(s.Traces))
+	reg.Gauge("llee.trace.blocks_covered").Set(int64(s.BlocksCovered))
+	reg.Gauge("llee.trace.cross_procedure").Set(int64(s.CrossProcedure))
+	reg.Gauge("llee.trace.coverage_pct").Set(int64(s.Coverage * 100))
+}
