@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench fmt-check
+.PHONY: all build vet test race race-concurrent tier1 bench bench-smoke fmt-check
 
 all: tier1
 
@@ -20,9 +20,20 @@ race:
 # full test suite under the race detector.
 tier1: vet build race
 
+# race-concurrent is the focused concurrency gate: every test named
+# *Concurrent* (the translation-pipeline stress tests) under the race
+# detector, fast enough to run on every push.
+race-concurrent:
+	$(GO) test -race -run Concurrent ./...
+
 # Regenerate the paper's Table 2 with registry-sourced telemetry.
 bench:
 	$(GO) run ./cmd/llva-bench -json
+
+# bench-smoke compiles and runs each pipeline benchmark once, as a
+# CI-cheap check that the benchmarks themselves stay green.
+bench-smoke:
+	$(GO) test -run xxx -bench 'ParallelTranslate|SpeculativeColdStart|CacheCodec' -benchtime 1x ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

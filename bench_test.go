@@ -10,6 +10,7 @@
 package llva
 
 import (
+	"fmt"
 	"io"
 
 	"llva/internal/asm"
@@ -21,6 +22,7 @@ import (
 	"llva/internal/core"
 	"llva/internal/interp"
 	"llva/internal/llee"
+	"llva/internal/llee/pipeline"
 	"llva/internal/machine"
 	"llva/internal/mem"
 	"llva/internal/obj"
@@ -510,6 +512,62 @@ func BenchmarkPoolAllocation(b *testing.B) {
 	}
 	b.ReportMetric(float64(pools), "pools")
 	b.ReportMetric(float64(rewritten), "sites-rewritten")
+}
+
+// BenchmarkParallelTranslate (P1): whole-module translation on the
+// worker-pool pipeline at increasing widths, against the serial
+// baseline (workers=1). The output is byte-identical at every width;
+// only the wall clock changes.
+func BenchmarkParallelTranslate(b *testing.B) {
+	for _, name := range []string{"bc", "gzip", "gap"} {
+		b.Run(name, func(b *testing.B) {
+			m := compiled(b, name)
+			tr, err := codegen.New(target.VX86, m)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, workers := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						if _, err := pipeline.TranslateModule(tr, workers, nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkSpeculativeColdStart (P2): a cold LLEE run with background
+// speculative JIT of static callees vs the strictly-on-demand baseline.
+// demand-stall-ns is the translation time the program actually waited
+// for on the demand path (near zero when speculation ran ahead).
+func BenchmarkSpeculativeColdStart(b *testing.B) {
+	m := compiled(b, "bc")
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"speculate", true}, {"on-demand", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var stall int64
+			for i := 0; i < b.N; i++ {
+				mg, err := llee.NewManager(m, target.VX86, io.Discard,
+					llee.WithSpeculation(mode.on), llee.WithTranslateWorkers(4))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := mg.Run("main"); err != nil {
+					b.Fatal(err)
+				}
+				if mg.Stats.Translations == 0 {
+					b.Fatal("cold run did not translate")
+				}
+				stall = mg.Stats.TranslateNS
+			}
+			b.ReportMetric(float64(stall), "demand-stall-ns")
+		})
+	}
 }
 
 // BenchmarkObjEncodeDecode: the virtual-object-code round trip itself.

@@ -18,7 +18,7 @@
 // run pair: translate nanoseconds, cache hits/misses, and instructions
 // retired on the simulated processor.
 //
-// Usage: llva-bench [-workload NAME] [-O0] [-md] [-json]
+// Usage: llva-bench [-workload NAME] [-O0] [-md] [-json] [-translate-workers N]
 package main
 
 import (
@@ -32,6 +32,7 @@ import (
 	"llva/internal/codegen"
 	"llva/internal/core"
 	"llva/internal/llee"
+	"llva/internal/llee/pipeline"
 	"llva/internal/machine"
 	"llva/internal/mem"
 	"llva/internal/obj"
@@ -62,7 +63,8 @@ type Row struct {
 }
 
 // TelemetryRow carries the registry-sourced metrics of a cold+warm
-// manager run pair on vx86.
+// manager run pair on vx86, including the speculative-JIT pipeline's
+// hit/waste/queue metrics for the cold run.
 type TelemetryRow struct {
 	TranslateNS   int64  `json:"translate_ns"`
 	Translations  uint64 `json:"translations"`
@@ -71,18 +73,26 @@ type TelemetryRow struct {
 	InstrsRetired uint64 `json:"instrs_retired"`
 	Cycles        uint64 `json:"cycles"`
 	Branches      uint64 `json:"branches"`
+
+	SpecEnqueued   uint64 `json:"spec_enqueued"`
+	SpecTranslated uint64 `json:"spec_translated"`
+	SpecHits       uint64 `json:"spec_hits"`
+	SpecJoins      uint64 `json:"spec_joins"`
+	SpecWaste      uint64 `json:"spec_waste"`
+	SpecQueuePeak  int64  `json:"spec_queue_peak"`
 }
 
 // measureTelemetry runs the workload twice through an execution manager
-// backed by an in-memory storage API — cold (JIT, cache write-back)
-// then warm (stamp-validated cache hit) — and reads the results out of
-// the shared telemetry registry.
-func measureTelemetry(m *core.Module) (*TelemetryRow, error) {
+// backed by an in-memory storage API — cold (speculative JIT, cache
+// write-back) then warm (stamp-validated cache hit) — and reads the
+// results out of the shared telemetry registry.
+func measureTelemetry(m *core.Module, workers int) (*TelemetryRow, error) {
 	reg := telemetry.New()
 	st := llee.NewMemStorage()
 	for i := 0; i < 2; i++ {
 		mg, err := llee.NewManager(m, target.VX86, io.Discard,
-			llee.WithStorage(st), llee.WithTelemetry(reg))
+			llee.WithStorage(st), llee.WithTelemetry(reg),
+			llee.WithTranslateWorkers(workers))
 		if err != nil {
 			return nil, err
 		}
@@ -92,6 +102,7 @@ func measureTelemetry(m *core.Module) (*TelemetryRow, error) {
 			}
 		}
 	}
+	snap := reg.Snapshot()
 	return &TelemetryRow{
 		TranslateNS:   reg.Histogram(llee.MetricTranslateNS).Sum(),
 		Translations:  reg.CounterValue(llee.MetricTranslations),
@@ -100,11 +111,19 @@ func measureTelemetry(m *core.Module) (*TelemetryRow, error) {
 		InstrsRetired: reg.CounterValue("machine.instrs"),
 		Cycles:        reg.CounterValue("machine.cycles"),
 		Branches:      reg.CounterValue("machine.branches"),
+
+		SpecEnqueued:   reg.CounterValue(pipeline.MetricSpecEnqueued),
+		SpecTranslated: reg.CounterValue(pipeline.MetricSpecTranslated),
+		SpecHits:       reg.CounterValue(pipeline.MetricSpecHits),
+		SpecJoins:      reg.CounterValue(pipeline.MetricSpecJoins),
+		SpecWaste:      reg.CounterValue(pipeline.MetricSpecWaste),
+		SpecQueuePeak:  snap.Gauges[pipeline.MetricSpecQueuePeak],
 	}, nil
 }
 
-// Measure computes one row.
-func Measure(w *workloads.Workload, optimize bool) (*Row, error) {
+// Measure computes one row; whole-module translations run on the
+// pipeline worker pool (workers=1 reproduces the serial timings).
+func Measure(w *workloads.Workload, optimize bool, workers int) (*Row, error) {
 	var m *core.Module
 	var err error
 	if optimize {
@@ -133,7 +152,7 @@ func Measure(w *workloads.Workload, optimize bool) (*Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	objS, err := trS.TranslateModule()
+	objS, err := pipeline.TranslateModule(trS, workers, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +167,7 @@ func Measure(w *workloads.Workload, optimize bool) (*Row, error) {
 		return nil, err
 	}
 	start := time.Now()
-	objX, err := trX.TranslateModule()
+	objX, err := pipeline.TranslateModule(trX, workers, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +203,7 @@ func main() {
 	noOpt := flag.Bool("O0", false, "skip the link-time O2 pipeline")
 	md := flag.Bool("md", false, "emit a Markdown table")
 	jsonOut := flag.Bool("json", false, "emit machine-readable rows with manager telemetry")
+	workers := flag.Int("translate-workers", 0, "translation worker-pool size (0: one per CPU; 1: serial, the paper's setup)")
 	flag.Parse()
 
 	suite := workloads.All()
@@ -198,7 +218,7 @@ func main() {
 
 	var rows []*Row
 	for _, w := range suite {
-		row, err := Measure(w, !*noOpt)
+		row, err := Measure(w, !*noOpt, *workers)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "llva-bench: %v\n", err)
 			os.Exit(1)
@@ -211,7 +231,7 @@ func main() {
 				m, err = w.CompileOptimized()
 			}
 			if err == nil {
-				row.Telemetry, err = measureTelemetry(m)
+				row.Telemetry, err = measureTelemetry(m, *workers)
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "llva-bench: %s telemetry: %v\n", w.Name, err)

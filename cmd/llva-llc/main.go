@@ -1,8 +1,9 @@
 // llva-llc is the offline static translator: it compiles virtual object
-// code to native code for a simulated I-ISA and reports the paper's
-// Table 2 per-function metrics.
+// code to native code for a simulated I-ISA — across a worker pool, one
+// worker per CPU by default — and reports the paper's Table 2
+// per-function metrics.
 //
-// Usage: llva-llc [-target vx86|vsparc] [-stats] input.bc
+// Usage: llva-llc [-target vx86|vsparc] [-workers N] [-stats] input.bc
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"os"
 
 	"llva/internal/codegen"
+	"llva/internal/llee/pipeline"
 	"llva/internal/obj"
 	"llva/internal/target"
 )
@@ -18,6 +20,7 @@ import (
 func main() {
 	tgt := flag.String("target", "vsparc", "target I-ISA: vx86 or vsparc")
 	stats := flag.Bool("stats", true, "print per-function translation metrics")
+	workers := flag.Int("workers", 0, "translation worker-pool size (0: one per CPU)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: llva-llc [-target vx86|vsparc] input.bc")
@@ -44,7 +47,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	nobj, err := tr.TranslateModule()
+	nobj, err := pipeline.TranslateModule(tr, *workers, nil)
 	if err != nil {
 		fatal(err)
 	}

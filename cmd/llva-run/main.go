@@ -5,6 +5,7 @@
 //
 // Usage: llva-run [-target vx86|vsparc] [-cache DIR] [-interp] [-stats]
 //
+//	[-translate-workers N] [-speculate=false]
 //	[-metrics-addr HOST:PORT] [-trace-log FILE] prog.bc
 package main
 
@@ -74,6 +75,8 @@ func main() {
 	idleOpt := flag.Bool("idle-optimize", false, "idle-time PGO: re-layout from the stored profile and retranslate into the cache")
 	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics, /metrics/events, /debug/vars, /debug/pprof)")
 	traceLog := flag.String("trace-log", "", "write the structured event log as JSON lines to FILE at exit")
+	workers := flag.Int("translate-workers", 0, "translation worker-pool size for offline and speculative JIT translation (0: one per CPU)")
+	speculate := flag.Bool("speculate", true, "speculatively JIT-translate static callees on background workers")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: llva-run [-target T] [-cache DIR] [-interp] prog.bc")
@@ -135,7 +138,11 @@ func main() {
 		fatal(fmt.Errorf("unknown target %q", *tgt))
 	}
 
-	opts := []llee.Option{llee.WithTelemetry(reg)}
+	opts := []llee.Option{
+		llee.WithTelemetry(reg),
+		llee.WithTranslateWorkers(*workers),
+		llee.WithSpeculation(*speculate),
+	}
 	if *cacheDir != "" {
 		st, err := llee.NewDirStorage(*cacheDir)
 		if err != nil {

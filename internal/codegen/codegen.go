@@ -103,6 +103,9 @@ func New(desc *target.Desc, m *core.Module) (*Translator, error) {
 // Target returns the target description.
 func (t *Translator) Target() *target.Desc { return t.desc }
 
+// Module returns the module being translated.
+func (t *Translator) Module() *core.Module { return t.m }
+
 // TranslateModule compiles every defined function (offline mode).
 func (t *Translator) TranslateModule() (*NativeObject, error) {
 	obj := &NativeObject{TargetName: t.desc.Name, Module: t.m.Name}
@@ -119,7 +122,10 @@ func (t *Translator) TranslateModule() (*NativeObject, error) {
 	return obj, nil
 }
 
-// TranslateFunction compiles a single function (JIT mode unit).
+// TranslateFunction compiles a single function (JIT mode unit). It only
+// reads the module and builds per-call state, so independent functions
+// may be translated concurrently on one Translator (internal/llee/pipeline
+// relies on this).
 func (t *Translator) TranslateFunction(f *core.Function) (nf *NativeFunc, err error) {
 	defer func() {
 		if r := recover(); r != nil {

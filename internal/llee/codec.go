@@ -1,0 +1,159 @@
+package llee
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"llva/internal/codegen"
+	"llva/internal/target"
+)
+
+// The translation-cache codec. Cached native objects are hot on every
+// start (read on the warm path, written on every cold run), so they use
+// a hand-rolled length-prefixed binary format instead of gob: no
+// reflection, no per-blob type dictionary, and ~an order of magnitude
+// faster both ways (BenchmarkCacheCodec). The format is versioned by a
+// magic header; blobs written by older builds (plain gob) don't start
+// with the magic and fall back to the gob decoder, so existing caches
+// keep working.
+
+// codecMagic tags binary-codec cache blobs; the byte after it is the
+// format version.
+var codecMagic = []byte("LLVC")
+
+const codecVersion = 1
+
+// errCorruptCache marks a cache blob that exists but cannot be decoded.
+// Callers treat it as a miss (fall back to the JIT, paper Section 4.1)
+// rather than an execution failure, but record it via telemetry.
+var errCorruptCache = errors.New("corrupt cached translation")
+
+func encodeCachedObject(co *cachedObject) []byte {
+	// Pre-size: headers are small, code dominates.
+	n := 64
+	for _, f := range co.Funcs {
+		n += len(f.Name) + len(f.Code) + 32*len(f.Relocs) + 32
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, codecMagic...)
+	buf = append(buf, codecVersion)
+	buf = appendString(buf, co.TargetName)
+	buf = appendString(buf, co.Module)
+	buf = binary.AppendUvarint(buf, uint64(len(co.Funcs)))
+	for _, f := range co.Funcs {
+		buf = appendString(buf, f.Name)
+		buf = binary.AppendUvarint(buf, uint64(len(f.Code)))
+		buf = append(buf, f.Code...)
+		buf = binary.AppendUvarint(buf, uint64(len(f.Relocs)))
+		for _, r := range f.Relocs {
+			buf = binary.AppendUvarint(buf, uint64(r.Offset))
+			buf = append(buf, byte(r.Kind))
+			buf = appendString(buf, r.Sym)
+		}
+		buf = binary.AppendUvarint(buf, uint64(f.NumInstrs))
+		buf = binary.AppendUvarint(buf, uint64(f.NumLLVA))
+	}
+	return buf
+}
+
+func decodeCachedObject(data []byte) (*cachedObject, error) {
+	if !bytes.HasPrefix(data, codecMagic) {
+		// Pre-versioning blob: gob.
+		var co cachedObject
+		if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&co); err != nil {
+			return nil, fmt.Errorf("%w: %v", errCorruptCache, err)
+		}
+		return &co, nil
+	}
+	d := &codecReader{buf: data[len(codecMagic):]}
+	if v := d.byte(); v != codecVersion {
+		return nil, fmt.Errorf("%w: unknown cache codec version %d", errCorruptCache, v)
+	}
+	co := &cachedObject{}
+	co.TargetName = d.string()
+	co.Module = d.string()
+	nf := d.uvarint()
+	for i := uint64(0); i < nf && d.err == nil; i++ {
+		f := &codegen.NativeFunc{}
+		f.Name = d.string()
+		f.Code = d.bytes(d.uvarint())
+		nr := d.uvarint()
+		for j := uint64(0); j < nr && d.err == nil; j++ {
+			f.Relocs = append(f.Relocs, target.Reloc{
+				Offset: uint32(d.uvarint()),
+				Kind:   target.RelocKind(d.byte()),
+				Sym:    d.string(),
+			})
+		}
+		f.NumInstrs = int(d.uvarint())
+		f.NumLLVA = int(d.uvarint())
+		co.Funcs = append(co.Funcs, f)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("%w: %v", errCorruptCache, d.err)
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", errCorruptCache, len(d.buf))
+	}
+	return co, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// codecReader is a sticky-error cursor over a cache blob.
+type codecReader struct {
+	buf []byte
+	err error
+}
+
+func (d *codecReader) fail() {
+	if d.err == nil {
+		d.err = errors.New("truncated blob")
+	}
+}
+
+func (d *codecReader) byte() byte {
+	if d.err != nil || len(d.buf) < 1 {
+		d.fail()
+		return 0
+	}
+	b := d.buf[0]
+	d.buf = d.buf[1:]
+	return b
+}
+
+func (d *codecReader) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.buf = d.buf[n:]
+	return v
+}
+
+func (d *codecReader) bytes(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if uint64(len(d.buf)) < n {
+		d.fail()
+		return nil
+	}
+	out := append([]byte(nil), d.buf[:n]...)
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *codecReader) string() string {
+	return string(d.bytes(d.uvarint()))
+}

@@ -1,0 +1,74 @@
+package llee
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"testing"
+
+	"llva/internal/target"
+	"llva/internal/workloads"
+)
+
+// benchCachedObject is a realistic payload: the full translation of a
+// multi-function workload, exactly what readCache/writeCache handle.
+func benchCachedObject(b *testing.B) *cachedObject {
+	b.Helper()
+	w := workloads.ByName("bc")
+	m, err := w.CompileOptimized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	mg, err := NewManager(m, target.VX86, io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nobj, err := mg.tr.TranslateModule()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &cachedObject{TargetName: "vx86", Module: m.Name, Funcs: nobj.Funcs}
+}
+
+// BenchmarkCacheCodec compares the versioned binary codec on the hot
+// cache read/write path with the gob encoding it replaced (old blobs
+// still decode through the gob fallback).
+func BenchmarkCacheCodec(b *testing.B) {
+	co := benchCachedObject(b)
+	bin := encodeCachedObject(co)
+	var gobBuf bytes.Buffer
+	if err := gob.NewEncoder(&gobBuf).Encode(co); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("encode/binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			encodeCachedObject(co)
+		}
+		b.SetBytes(int64(len(bin)))
+	})
+	b.Run("encode/gob", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(co); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(gobBuf.Len()))
+	})
+	b.Run("decode/binary", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeCachedObject(bin); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(len(bin)))
+	})
+	b.Run("decode/gob-fallback", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeCachedObject(gobBuf.Bytes()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(int64(gobBuf.Len()))
+	})
+}

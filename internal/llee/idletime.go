@@ -75,6 +75,9 @@ func (mg *Manager) loadProfile() (*interp.Profile, bool, error) {
 	if stamp != mg.objStamp {
 		mg.tele.Counter(MetricStampMismatches).Inc()
 		mg.tele.Events().Emit(telemetry.EvStampMismatch, mg.profileKey(), 0)
+		// A profile for different object code is dead weight: evict it
+		// so the cache does not accumulate garbage across recompiles.
+		mg.evictCache(mg.profileKey())
 		return nil, false, nil
 	}
 	var blob profileBlob
@@ -97,6 +100,12 @@ func (mg *Manager) seedTraceCache(relayout bool) error {
 	prof, ok, err := mg.loadProfile()
 	if err != nil || !ok {
 		return err
+	}
+	// Call counts order speculative JIT hottest-first (Section 4.2's
+	// profile information guiding the §4.1 translate-ahead machinery).
+	mg.callWeights = make(map[string]uint64, len(prof.Call))
+	for f, n := range prof.Call {
+		mg.callWeights[f.Name()] = n
 	}
 	traces := trace.Form(mg.Module, prof, trace.Options{})
 	mg.traceStats = trace.Summarize(prof, traces)

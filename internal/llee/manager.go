@@ -1,14 +1,14 @@
 package llee
 
 import (
-	"bytes"
-	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 
 	"llva/internal/codegen"
 	"llva/internal/core"
+	"llva/internal/llee/pipeline"
 	"llva/internal/machine"
 	"llva/internal/mem"
 	"llva/internal/obj"
@@ -42,6 +42,22 @@ type Manager struct {
 	// llva.storage.register (exposed to trap handlers/tools).
 	storageAPIAddr uint64
 
+	// translateWorkers is the pipeline worker-pool size (0: GOMAXPROCS).
+	translateWorkers int
+	// speculate enables background ahead-of-time JIT of static callees.
+	speculate bool
+	// spec is the live speculation pipeline of the current online run.
+	spec *pipeline.Speculator
+	// cached holds the decoded cache contents of this run's readCache
+	// (nil on a miss), so write-back merges without re-reading storage.
+	cached map[string]*codegen.NativeFunc
+	// specLeftover holds speculative translations never demanded by the
+	// run; they are still valid and merged into write-back.
+	specLeftover map[string]*codegen.NativeFunc
+	// callWeights orders speculation hottest-first when a persisted
+	// profile (Section 4.2) was loaded: function name -> call count.
+	callWeights map[string]uint64
+
 	// tele records everything the manager, its machine, and the trace
 	// cache do; the Stats struct below is a snapshot of it.
 	tele *telemetry.Registry
@@ -66,9 +82,11 @@ type Manager struct {
 type Option func(*config)
 
 type config struct {
-	storage Storage
-	memSize uint64
-	tele    *telemetry.Registry
+	storage          Storage
+	memSize          uint64
+	tele             *telemetry.Registry
+	translateWorkers int
+	speculate        bool
 }
 
 // WithStorage registers the OS storage API implementation. Without it
@@ -84,10 +102,19 @@ func WithMemSize(n uint64) Option { return func(c *config) { c.memSize = n } }
 // it every manager gets a private registry.
 func WithTelemetry(reg *telemetry.Registry) Option { return func(c *config) { c.tele = reg } }
 
+// WithTranslateWorkers sets the translation worker-pool size used by
+// offline translation and speculative JIT (0 or unset: GOMAXPROCS).
+func WithTranslateWorkers(n int) Option { return func(c *config) { c.translateWorkers = n } }
+
+// WithSpeculation toggles speculative background JIT: when a function
+// is translated on demand, its static callees are queued for
+// ahead-of-time translation on background workers (default on).
+func WithSpeculation(on bool) Option { return func(c *config) { c.speculate = on } }
+
 // NewManager creates an execution manager for module m on target d,
 // writing program output to out.
 func NewManager(m *core.Module, d *target.Desc, out io.Writer, opts ...Option) (*Manager, error) {
-	var cfg config
+	cfg := config{speculate: true}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -107,16 +134,18 @@ func NewManager(m *core.Module, d *target.Desc, out io.Writer, opts ...Option) (
 		return nil, err
 	}
 	mg := &Manager{
-		Module:     m,
-		desc:       d,
-		storage:    cfg.storage,
-		tr:         tr,
-		env:        env,
-		mc:         mc,
-		objStamp:   Stamp(enc),
-		redirect:   make(map[string]string),
-		translated: make(map[string]*codegen.NativeFunc),
-		tele:       cfg.tele,
+		Module:           m,
+		desc:             d,
+		storage:          cfg.storage,
+		tr:               tr,
+		env:              env,
+		mc:               mc,
+		objStamp:         Stamp(enc),
+		redirect:         make(map[string]string),
+		translated:       make(map[string]*codegen.NativeFunc),
+		tele:             cfg.tele,
+		translateWorkers: cfg.translateWorkers,
+		speculate:        cfg.speculate,
 	}
 	if mg.tele == nil {
 		mg.tele = telemetry.New()
@@ -145,11 +174,17 @@ type cachedObject struct {
 }
 
 // Run executes the entry function: cached translation when valid,
-// JIT-on-demand otherwise, with write-back of new translations.
+// JIT-on-demand otherwise, with write-back of new translations. A
+// corrupt cache entry is treated as a miss — evicted, surfaced through
+// telemetry, and replaced by online translation — never as an
+// execution failure (the paper's "online translation whenever
+// necessary").
 func (mg *Manager) Run(entry string, args ...uint64) (uint64, error) {
 	loaded := false
+	mg.cached = nil
+	mg.specLeftover = nil
 	if mg.storage != nil {
-		if obj, ok, err := mg.readCache(); err != nil {
+		if obj, ok, err := mg.readCache(); err != nil && !errors.Is(err, errCorruptCache) {
 			return 0, err
 		} else if ok {
 			if err := mg.mc.LoadObject(obj); err != nil {
@@ -157,6 +192,12 @@ func (mg *Manager) Run(entry string, args ...uint64) (uint64, error) {
 			}
 			mg.tele.Counter(MetricCacheHits).Inc()
 			mg.tele.Events().Emit(telemetry.EvCacheHit, mg.cacheKey(), 0)
+			// Keep the decoded functions: write-back merges against
+			// them instead of re-reading and re-decoding storage.
+			mg.cached = make(map[string]*codegen.NativeFunc, len(obj.Funcs))
+			for _, nf := range obj.Funcs {
+				mg.cached[nf.Name] = nf
+			}
 			loaded = true
 		} else {
 			mg.tele.Counter(MetricCacheMisses).Inc()
@@ -174,11 +215,18 @@ func (mg *Manager) Run(entry string, args ...uint64) (uint64, error) {
 		// Online translation: every call goes through a stub so SMC
 		// invalidation can take effect between invocations.
 		mg.mc.CallsViaStubs(true)
+		if mg.speculate {
+			mg.spec = pipeline.NewSpeculator(mg.tr, mg.translateWorkers, mg.tele)
+		}
 		if err := mg.prepareJIT(); err != nil {
 			return 0, err
 		}
 	}
 	v, err := mg.mc.Run(entry, args...)
+	if mg.spec != nil {
+		mg.specLeftover = mg.spec.Close()
+		mg.spec = nil
+	}
 	if werr := mg.writeBack(); werr != nil && err == nil {
 		err = werr
 	}
@@ -194,20 +242,34 @@ func (mg *Manager) prepareJIT() error {
 // TranslateOffline compiles the whole module and stores it in the cache
 // without executing anything — the paper's "initiating execution ... but
 // flagging it for translation and not actual execution" during OS idle
-// time.
+// time. Translation runs on the pipeline worker pool (one worker per
+// core by default); the output is byte-identical to sequential
+// translation.
 func (mg *Manager) TranslateOffline() error {
 	if mg.storage == nil {
 		return fmt.Errorf("llee: offline translation requires the storage API")
 	}
 	mg.tele.Events().Emit(telemetry.EvTranslateStart, mg.Module.Name, int64(len(mg.Module.Functions)))
 	start := time.Now()
-	nobj, err := mg.tr.TranslateModule()
+	nobj, err := pipeline.TranslateModule(mg.tr, mg.translateWorkers, mg.tele)
 	if err != nil {
 		return err
 	}
 	mg.recordTranslate(mg.Module.Name, time.Since(start).Nanoseconds(), len(nobj.Funcs))
 	mg.syncStats()
 	return mg.writeCache(nobj.Funcs)
+}
+
+// evictCache deletes a dead (stale or corrupt) cache blob so garbage
+// does not accumulate across recompiles. Best-effort: a failed delete
+// is surfaced through telemetry, never as an execution error.
+func (mg *Manager) evictCache(key string) {
+	if err := mg.storage.Delete(key); err != nil {
+		mg.tele.Events().Emit(telemetry.EvCacheEvicted, key+": "+err.Error(), -1)
+		return
+	}
+	mg.tele.Counter(MetricCacheEvictions).Inc()
+	mg.tele.Events().Emit(telemetry.EvCacheEvicted, key, 0)
 }
 
 func (mg *Manager) readCache() (*codegen.NativeObject, bool, error) {
@@ -217,14 +279,18 @@ func (mg *Manager) readCache() (*codegen.NativeObject, bool, error) {
 	}
 	if stamp != mg.objStamp {
 		// Out-of-date translation: ignore it (the paper's timestamp
-		// check failing).
+		// check failing) and evict the dead blob.
 		mg.tele.Counter(MetricStampMismatches).Inc()
 		mg.tele.Events().Emit(telemetry.EvStampMismatch, mg.cacheKey(), 0)
+		mg.evictCache(mg.cacheKey())
 		return nil, false, nil
 	}
-	var co cachedObject
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&co); err != nil {
-		return nil, false, fmt.Errorf("llee: corrupt cached translation: %w", err)
+	co, err := decodeCachedObject(data)
+	if err != nil {
+		mg.tele.Counter(MetricCacheCorrupt).Inc()
+		mg.tele.Events().Emit(telemetry.EvCacheCorrupt, mg.cacheKey(), 0)
+		mg.evictCache(mg.cacheKey())
+		return nil, false, fmt.Errorf("llee: %w", err)
 	}
 	nobj := &codegen.NativeObject{TargetName: co.TargetName, Module: co.Module}
 	for _, f := range co.Funcs {
@@ -234,25 +300,26 @@ func (mg *Manager) readCache() (*codegen.NativeObject, bool, error) {
 }
 
 func (mg *Manager) writeCache(funcs []*codegen.NativeFunc) error {
-	var buf bytes.Buffer
 	co := cachedObject{TargetName: mg.desc.Name, Module: mg.Module.Name, Funcs: funcs}
-	if err := gob.NewEncoder(&buf).Encode(&co); err != nil {
-		return err
-	}
-	return mg.storage.Write(mg.cacheKey(), mg.objStamp, buf.Bytes())
+	return mg.storage.Write(mg.cacheKey(), mg.objStamp, encodeCachedObject(&co))
 }
 
-// writeBack stores this session's JIT output (merged with any previously
-// cached functions) when storage is available and something new exists.
+// writeBack stores this session's JIT output — demand translations plus
+// unconsumed speculative ones — merged with the cache contents decoded
+// at Run start, when storage is available and something new exists. It
+// never re-reads storage: mg.cached is this run's view of the cache
+// (empty on a miss, where the stale/corrupt entry was already evicted),
+// so previously cached functions survive the merge.
 func (mg *Manager) writeBack() error {
-	if mg.storage == nil || len(mg.translated) == 0 {
+	if mg.storage == nil || (len(mg.translated) == 0 && len(mg.specLeftover) == 0) {
 		return nil
 	}
-	merged := make(map[string]*codegen.NativeFunc)
-	if old, ok, err := mg.readCache(); err == nil && ok {
-		for _, f := range old.Funcs {
-			merged[f.Name] = f
-		}
+	merged := make(map[string]*codegen.NativeFunc, len(mg.cached)+len(mg.translated))
+	for n, f := range mg.cached {
+		merged[n] = f
+	}
+	for n, f := range mg.specLeftover {
+		merged[n] = f
 	}
 	for n, f := range mg.translated {
 		merged[n] = f
@@ -267,7 +334,12 @@ func (mg *Manager) writeBack() error {
 }
 
 // onJIT translates one function on demand (honoring SMC redirects) and
-// installs its code.
+// installs its code. With speculation active the demand either finds a
+// ready background translation, joins the in-flight one, or translates
+// inline under single-flight; either way it then queues the function's
+// static callees (hottest-first when a profile is loaded) for
+// ahead-of-time translation. Installation always happens here, on the
+// machine's goroutine.
 func (mg *Manager) onJIT(name string) (uint64, error) {
 	body := name
 	if r, ok := mg.redirect[name]; ok {
@@ -280,10 +352,20 @@ func (mg *Manager) onJIT(name string) (uint64, error) {
 	mg.tele.Events().Emit(telemetry.EvJITRequest, name, 0)
 	mg.tele.Events().Emit(telemetry.EvTranslateStart, body, 0)
 	start := time.Now()
-	nf, err := mg.tr.TranslateFunction(f)
+	var nf *codegen.NativeFunc
+	var err error
+	if mg.spec != nil && body == name {
+		nf, err = mg.spec.Demand(name, f)
+	} else {
+		// SMC-redirected bodies bypass speculation: their translation
+		// is keyed by the callee's name but built from another body.
+		nf, err = mg.tr.TranslateFunction(f)
+	}
 	if err != nil {
 		return 0, err
 	}
+	// The demand-path histogram records the stall the program actually
+	// saw: near zero on a speculation hit, full translate time inline.
 	mg.recordTranslate(name, time.Since(start).Nanoseconds(), 1)
 	nf.Name = name // install the (possibly replacement) body under the callee's name
 	addr, err := mg.mc.InstallCode(nf)
@@ -292,6 +374,9 @@ func (mg *Manager) onJIT(name string) (uint64, error) {
 	}
 	if body == name {
 		mg.translated[name] = nf
+	}
+	if mg.spec != nil {
+		mg.spec.EnqueueCallees(f, mg.callWeights)
 	}
 	return addr, nil
 }
@@ -314,6 +399,11 @@ func (mg *Manager) onIntrinsic(name string, args []uint64) (uint64, error) {
 			return 0, fmt.Errorf("llva.smc.replace: signature mismatch %%%s vs %%%s", tgt, src)
 		}
 		mg.redirect[tgt] = src
+		if mg.spec != nil {
+			// Drop any speculative translation of the old body so it is
+			// neither installed nor written back under the new binding.
+			mg.spec.Invalidate(tgt)
+		}
 		mg.tele.Counter(MetricInvalidations).Inc()
 		mg.tele.Events().Emit(telemetry.EvInvalidate, tgt, 0)
 		// Mark the generated code invalid; regenerated on next invocation

@@ -1,0 +1,223 @@
+package llee
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"llva/internal/codegen"
+	"llva/internal/llee/pipeline"
+	"llva/internal/minic"
+	"llva/internal/target"
+	"llva/internal/telemetry"
+)
+
+const chainProg = `
+int leaf(int x) { return x * 3 + 1; }
+int mid(int x) { return leaf(x) + x; }
+int top(int x) { return mid(x) - 2; }
+int main() {
+	print_int(top(10)); print_nl();
+	return 0;
+}
+`
+
+// TestCorruptCacheFallsBackToJIT: a cache blob with a valid stamp but
+// garbage contents must be treated as a miss — surfaced through
+// telemetry, evicted, and replaced by online translation — never as an
+// execution failure.
+func TestCorruptCacheFallsBackToJIT(t *testing.T) {
+	m := compileTest(t)
+	st := NewMemStorage()
+	reg := telemetry.New()
+	var out strings.Builder
+	mg, err := NewManager(m, target.VX86, &out, WithStorage(st), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plant garbage under the real key with the real stamp, so only the
+	// decode step can reject it.
+	if err := st.Write(mg.cacheKey(), mg.objStamp, []byte("\x00not a cache blob")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg.Run("main"); err != nil {
+		t.Fatalf("run with corrupt cache: %v", err)
+	}
+	if out.String() != "328350\n" {
+		t.Errorf("output = %q", out.String())
+	}
+	if mg.Stats.CacheHit {
+		t.Error("corrupt entry counted as a cache hit")
+	}
+	if mg.Stats.Translations == 0 {
+		t.Error("corrupt cache did not fall back to JIT")
+	}
+	if got := reg.CounterValue(MetricCacheCorrupt); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricCacheCorrupt, got)
+	}
+	if got := reg.CounterValue(MetricCacheEvictions); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricCacheEvictions, got)
+	}
+	// The run's write-back must have replaced the garbage with a valid
+	// blob: the next run is a clean warm hit.
+	var out2 strings.Builder
+	mg2, err := NewManager(compileTest(t), target.VX86, &out2, WithStorage(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mg2.Run("main"); err != nil {
+		t.Fatalf("warm run after corruption recovery: %v", err)
+	}
+	if !mg2.Stats.CacheHit {
+		t.Error("recovered cache entry missed")
+	}
+	if out2.String() != out.String() {
+		t.Errorf("outputs differ: %q vs %q", out2.String(), out.String())
+	}
+}
+
+// TestStaleCacheEvicted: a stamp mismatch must delete the dead blob, not
+// just ignore it.
+func TestStaleCacheEvicted(t *testing.T) {
+	m := compileTest(t)
+	st := NewMemStorage()
+	reg := telemetry.New()
+	var out strings.Builder
+	mg, err := NewManager(m, target.VSPARC, &out, WithStorage(st), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write(mg.cacheKey(), "stale-stamp", []byte("old translation")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := mg.readCache(); err != nil || ok {
+		t.Fatalf("stale entry: ok=%v err=%v, want miss", ok, err)
+	}
+	if _, _, ok, _ := st.Read(mg.cacheKey()); ok {
+		t.Error("stale blob survived the stamp mismatch")
+	}
+	if got := reg.CounterValue(MetricStampMismatches); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricStampMismatches, got)
+	}
+	if got := reg.CounterValue(MetricCacheEvictions); got != 1 {
+		t.Errorf("%s = %d, want 1", MetricCacheEvictions, got)
+	}
+}
+
+// TestWriteBackMergesWithoutRereading: write-back must preserve cached
+// functions this session never retranslated, prefer the fresh demand
+// translation on collision, and include salvaged speculative output —
+// all from the in-memory view, even after the storage copy is destroyed
+// (the old implementation re-read storage and silently dropped it on
+// error).
+func TestWriteBackMergesWithoutRereading(t *testing.T) {
+	m := compileTest(t)
+	st := NewMemStorage()
+	mg, err := NewManager(m, target.VX86, io.Discard, WithStorage(st))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := func(name string, fill byte) *codegen.NativeFunc {
+		return &codegen.NativeFunc{Name: name, Code: []byte{fill, fill}}
+	}
+	mg.cached = map[string]*codegen.NativeFunc{
+		"work": nf("work", 1), // only in the old cache: must survive
+		"main": nf("main", 2), // superseded by this session's translation
+	}
+	mg.translated = map[string]*codegen.NativeFunc{"main": nf("main", 3)}
+	mg.specLeftover = map[string]*codegen.NativeFunc{"ghost": nf("ghost", 4)} // not a module function: dropped
+	// Destroy the storage copy: the merge must not depend on re-reading it.
+	if err := st.Delete(mg.cacheKey()); err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.writeBack(); err != nil {
+		t.Fatal(err)
+	}
+	data, stamp, ok, err := st.Read(mg.cacheKey())
+	if err != nil || !ok || stamp != mg.objStamp {
+		t.Fatalf("read back: ok=%v stamp=%q err=%v", ok, stamp, err)
+	}
+	co, err := decodeCachedObject(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]byte{}
+	for _, f := range co.Funcs {
+		got[f.Name] = f.Code[0]
+	}
+	if len(co.Funcs) != 2 || got["work"] != 1 || got["main"] != 3 {
+		t.Errorf("merged cache = %v, want work:1 main:3", got)
+	}
+}
+
+// TestConcurrentSpeculativeRun exercises the full online path with
+// speculation across a call chain: background workers race the machine's
+// demand translations while the program runs. Run under -race by CI.
+func TestConcurrentSpeculativeRun(t *testing.T) {
+	m, err := minic.Compile("chain.c", chainProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+		reg := telemetry.New()
+		var out strings.Builder
+		mg, err := NewManager(m, d, &out,
+			WithTelemetry(reg), WithTranslateWorkers(4), WithSpeculation(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := mg.Run("main"); err != nil {
+			t.Fatalf("%s: %v\n%s", d.Name, err, out.String())
+		}
+		if out.String() != "39\n" { // leaf(10)=31, mid=41, top=39
+			t.Errorf("%s: output = %q, want %q", d.Name, out.String(), "39\n")
+		}
+		// main's callees were queued; translation happened exactly once
+		// per executed function no matter how demand and speculation raced.
+		if reg.CounterValue(pipeline.MetricSpecEnqueued) == 0 {
+			t.Errorf("%s: speculation enqueued nothing", d.Name)
+		}
+		spec := reg.CounterValue(pipeline.MetricSpecTranslated)
+		inline := reg.CounterValue(pipeline.MetricDemandInline)
+		if spec+inline != 4 { // main, top, mid, leaf
+			t.Errorf("%s: spec=%d inline=%d, want total 4", d.Name, spec, inline)
+		}
+	}
+}
+
+// TestSpeculativeAndSequentialRunsAgree: the same program with
+// speculation on and off must behave identically, and the write-back of
+// a speculative run must be a valid warm cache for a sequential one.
+func TestSpeculativeAndSequentialRunsAgree(t *testing.T) {
+	m, err := minic.Compile("chain.c", chainProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewMemStorage()
+	var outSpec strings.Builder
+	mgS, err := NewManager(m, target.VX86, &outSpec,
+		WithStorage(st), WithTranslateWorkers(4), WithSpeculation(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgS.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	var outSeq strings.Builder
+	mgQ, err := NewManager(m, target.VX86, &outSeq, WithStorage(st), WithSpeculation(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgQ.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	if outSpec.String() != outSeq.String() {
+		t.Errorf("outputs differ: %q vs %q", outSpec.String(), outSeq.String())
+	}
+	if !mgQ.Stats.CacheHit {
+		t.Error("speculative run's write-back was not a usable warm cache")
+	}
+	if mgQ.Stats.Translations != 0 {
+		t.Errorf("warm sequential run translated %d functions, want 0", mgQ.Stats.Translations)
+	}
+}

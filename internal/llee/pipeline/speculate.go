@@ -1,0 +1,211 @@
+package pipeline
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/telemetry"
+)
+
+// specQueueCap bounds the speculation backlog; enqueues beyond it are
+// dropped (and counted) rather than blocking the demand path.
+const specQueueCap = 256
+
+// flight is one function's translation, demanded or speculative.
+// Exactly one goroutine translates; everyone else waits on done.
+type flight struct {
+	done        chan struct{}
+	nf          *codegen.NativeFunc
+	err         error
+	speculative bool // started by a background worker
+	consumed    atomic.Bool
+}
+
+// Speculator runs ahead-of-time JIT translation on background workers
+// (paper Section 4.1: use otherwise-idle resources to hide translator
+// cost). The demand path calls Demand; callees of demanded functions are
+// queued via EnqueueCallees, ordered by persisted-profile call counts
+// when available (Section 4.2). Single-flight bookkeeping guarantees
+// each function is translated at most once no matter how demand and
+// speculation interleave.
+type Speculator struct {
+	tr  *codegen.Translator
+	reg *telemetry.Registry
+
+	mu      sync.Mutex
+	flights map[string]*flight
+	closed  bool
+	depth   int64 // queued-but-not-started entries, mirrors the gauge
+	peak    int64
+
+	queue chan *core.Function
+	wg    sync.WaitGroup
+}
+
+// NewSpeculator starts workers background translation workers over tr.
+// A nil registry records into a private one.
+func NewSpeculator(tr *codegen.Translator, workers int, reg *telemetry.Registry) *Speculator {
+	if reg == nil {
+		reg = telemetry.New()
+	}
+	s := &Speculator{
+		tr:      tr,
+		reg:     reg,
+		flights: make(map[string]*flight),
+		queue:   make(chan *core.Function, specQueueCap),
+	}
+	workers = Workers(workers)
+	reg.Gauge(MetricWorkers).Set(int64(workers))
+	for i := 0; i < workers; i++ {
+		s.wg.Add(1)
+		go s.worker(i)
+	}
+	return s
+}
+
+func (s *Speculator) worker(id int) {
+	defer s.wg.Done()
+	h := s.reg.Histogram(MetricTranslateNS, "worker", strconv.Itoa(id))
+	depth := s.reg.Gauge(MetricSpecQueueDepth)
+	translated := s.reg.Counter(MetricSpecTranslated)
+	for f := range s.queue {
+		depth.Add(-1)
+		name := f.Name()
+		s.mu.Lock()
+		s.depth--
+		if s.flights[name] != nil || s.closed {
+			// Demanded (or already speculated) since it was queued, or
+			// shutting down: skip.
+			s.mu.Unlock()
+			continue
+		}
+		fl := &flight{done: make(chan struct{}), speculative: true}
+		s.flights[name] = fl
+		s.mu.Unlock()
+		start := time.Now()
+		fl.nf, fl.err = s.tr.TranslateFunction(f)
+		h.Observe(time.Since(start).Nanoseconds())
+		translated.Inc()
+		close(fl.done)
+	}
+}
+
+// Demand translates f (registered under name) for immediate
+// installation. If a speculative translation is ready it is returned
+// without translating (hit); if one is in flight the caller joins it
+// instead of duplicating the work; otherwise the caller translates
+// inline, excluding background workers from picking the same function.
+func (s *Speculator) Demand(name string, f *core.Function) (*codegen.NativeFunc, error) {
+	s.mu.Lock()
+	fl := s.flights[name]
+	if fl == nil {
+		fl = &flight{done: make(chan struct{})}
+		s.flights[name] = fl
+		s.mu.Unlock()
+		fl.nf, fl.err = s.tr.TranslateFunction(f)
+		s.reg.Counter(MetricDemandInline).Inc()
+		close(fl.done)
+	} else {
+		s.mu.Unlock()
+		select {
+		case <-fl.done:
+			s.reg.Counter(MetricSpecHits).Inc()
+			s.reg.Events().Emit(telemetry.EvSpecHit, name, 0)
+		default:
+			s.reg.Counter(MetricSpecJoins).Inc()
+			<-fl.done
+		}
+	}
+	fl.consumed.Store(true)
+	return fl.nf, fl.err
+}
+
+// EnqueueCallees queues f's static callees for ahead-of-time
+// translation, hottest-first when profile call counts are available.
+func (s *Speculator) EnqueueCallees(f *core.Function, weights map[string]uint64) {
+	callees := Callees(f)
+	if len(weights) > 0 {
+		sort.SliceStable(callees, func(i, j int) bool {
+			return weights[callees[i].Name()] > weights[callees[j].Name()]
+		})
+	}
+	s.Enqueue(callees)
+}
+
+// Enqueue queues functions for speculative translation. Functions
+// already translated, in flight, or not fitting the queue are skipped.
+func (s *Speculator) Enqueue(fns []*core.Function) {
+	depth := s.reg.Gauge(MetricSpecQueueDepth)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for _, f := range fns {
+		if s.flights[f.Name()] != nil {
+			continue
+		}
+		select {
+		case s.queue <- f:
+			s.depth++
+			if s.depth > s.peak {
+				s.peak = s.depth
+				s.reg.Gauge(MetricSpecQueuePeak).Set(s.peak)
+			}
+			depth.Add(1)
+			s.reg.Counter(MetricSpecEnqueued).Inc()
+			s.reg.Events().Emit(telemetry.EvSpecEnqueued, f.Name(), s.depth)
+		default:
+			s.reg.Counter(MetricSpecDropped).Inc()
+		}
+	}
+}
+
+// Invalidate drops any completed or in-flight translation of name (SMC
+// replacement, Section 3.4): the next Demand retranslates and an
+// orphaned in-flight result is discarded.
+func (s *Speculator) Invalidate(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.flights[name] != nil {
+		delete(s.flights, name)
+		s.reg.Counter(MetricSpecInvalidated).Inc()
+	}
+}
+
+// Close discards the remaining queue, stops the workers, and returns the successful
+// speculative translations no Demand ever consumed — counted as waste,
+// but still valid stamp-keyed translations the manager can write back
+// to the offline cache (turning "wasted" speculation into a warmer next
+// start). Close is idempotent; after it, Enqueue is a no-op.
+func (s *Speculator) Close() map[string]*codegen.NativeFunc {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.reg.Gauge(MetricSpecQueueDepth).Set(0)
+	out := make(map[string]*codegen.NativeFunc)
+	for name, fl := range s.flights {
+		<-fl.done // all settled: workers exited, demands are synchronous
+		if fl.err != nil || !fl.speculative || fl.consumed.Load() {
+			continue
+		}
+		s.reg.Counter(MetricSpecWaste).Inc()
+		s.reg.Events().Emit(telemetry.EvSpecWaste, name, 0)
+		out[name] = fl.nf
+	}
+	return out
+}

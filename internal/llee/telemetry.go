@@ -11,6 +11,8 @@ const (
 	MetricCacheHits       = "llee.cache.hits"
 	MetricCacheMisses     = "llee.cache.misses"
 	MetricStampMismatches = "llee.cache.stamp_mismatches"
+	MetricCacheEvictions  = "llee.cache.evictions"
+	MetricCacheCorrupt    = "llee.cache.corrupt"
 	MetricTranslations    = "llee.translations"
 	MetricTranslateNS     = "llee.translate_ns"
 	MetricInvalidations   = "llee.invalidations"

@@ -21,6 +21,11 @@ const (
 	EvProfileLoaded
 	EvProfileStored
 	EvJITRequest
+	EvSpecEnqueued
+	EvSpecHit
+	EvSpecWaste
+	EvCacheEvicted
+	EvCacheCorrupt
 )
 
 var eventNames = [...]string{
@@ -35,6 +40,11 @@ var eventNames = [...]string{
 	EvProfileLoaded:  "ProfileLoaded",
 	EvProfileStored:  "ProfileStored",
 	EvJITRequest:     "JITRequest",
+	EvSpecEnqueued:   "SpecEnqueued",
+	EvSpecHit:        "SpecHit",
+	EvSpecWaste:      "SpecWaste",
+	EvCacheEvicted:   "CacheEvicted",
+	EvCacheCorrupt:   "CacheCorrupt",
 }
 
 func (k EventKind) String() string {
