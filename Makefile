@@ -30,10 +30,11 @@ race-concurrent:
 bench:
 	$(GO) run ./cmd/llva-bench -json
 
-# bench-smoke compiles and runs each pipeline benchmark once, as a
-# CI-cheap check that the benchmarks themselves stay green.
+# bench-smoke compiles and runs the Table 2 and pipeline benchmarks
+# once, as a CI-cheap check that the benchmarks themselves stay green
+# (in particular the block-engine execution path under Table2RunTime).
 bench-smoke:
-	$(GO) test -run xxx -bench 'ParallelTranslate|SpeculativeColdStart|CacheCodec' -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench 'Table2|ParallelTranslate|SpeculativeColdStart|CacheCodec' -benchtime 1x ./...
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

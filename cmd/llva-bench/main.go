@@ -74,6 +74,12 @@ type TelemetryRow struct {
 	Cycles        uint64 `json:"cycles"`
 	Branches      uint64 `json:"branches"`
 
+	// Block-engine counters: predecoded blocks built, chained (map-free)
+	// block transitions, and blocks evicted by SMC invalidation.
+	BlockBuilds      uint64 `json:"block_builds"`
+	BlockChains      uint64 `json:"block_chains"`
+	BlockInvalidates uint64 `json:"block_invalidate"`
+
 	SpecEnqueued   uint64 `json:"spec_enqueued"`
 	SpecTranslated uint64 `json:"spec_translated"`
 	SpecHits       uint64 `json:"spec_hits"`
@@ -111,6 +117,10 @@ func measureTelemetry(m *core.Module, workers int) (*TelemetryRow, error) {
 		InstrsRetired: reg.CounterValue("machine.instrs"),
 		Cycles:        reg.CounterValue("machine.cycles"),
 		Branches:      reg.CounterValue("machine.branches"),
+
+		BlockBuilds:      reg.CounterValue("machine.block_builds"),
+		BlockChains:      reg.CounterValue("machine.block_chains"),
+		BlockInvalidates: reg.CounterValue("machine.block_invalidate"),
 
 		SpecEnqueued:   reg.CounterValue(pipeline.MetricSpecEnqueued),
 		SpecTranslated: reg.CounterValue(pipeline.MetricSpecTranslated),

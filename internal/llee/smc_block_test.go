@@ -1,0 +1,71 @@
+package llee
+
+import (
+	"io"
+	"testing"
+
+	"llva/internal/asm"
+	"llva/internal/core"
+	"llva/internal/target"
+	"llva/internal/telemetry"
+)
+
+// TestSMCReplaceEvictsPredecodedBlocks drives llva.smc.replace through a
+// full manager run: main executes v1's blocks (predecoding and chaining
+// them on the simulated processor), replaces v1 with v2 mid-run, and
+// calls v1 again — the call must re-enter the JIT and execute v2, and
+// the machine must report evicted blocks, not serve stale predecode.
+func TestSMCReplaceEvictsPredecodedBlocks(t *testing.T) {
+	src := `
+declare void %llva.smc.replace(sbyte* %t, sbyte* %s)
+int %v1(int %x) {
+entry:
+    %r = add int %x, 1
+    ret int %r
+}
+int %v2(int %x) {
+entry:
+    %r = add int %x, 2
+    ret int %r
+}
+int %main() {
+entry:
+    %a = call int %v1(int 1)
+    %t = cast int (int)* %v1 to sbyte*
+    %s = cast int (int)* %v2 to sbyte*
+    call void %llva.smc.replace(sbyte* %t, sbyte* %s)
+    %b = call int %v1(int 1)
+    %r = add int %a, %b
+    ret int %r
+}
+`
+	m, err := asm.Parse("smc", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+		reg := telemetry.New()
+		mg, err := NewManager(m, d, io.Discard, WithTelemetry(reg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := mg.Run("main")
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		// v1(1)=2 before the replace, v1(1)→v2(1)=3 after: 5.
+		if int32(v) != 5 {
+			t.Errorf("%s: main = %d, want 5 (stale code executed after smc.replace?)",
+				d.Name, int32(v))
+		}
+		if n := reg.CounterValue("machine.block_invalidate"); n == 0 {
+			t.Errorf("%s: smc.replace evicted no predecoded blocks", d.Name)
+		}
+		if n := reg.CounterValue("machine.block_builds"); n == 0 {
+			t.Errorf("%s: no blocks predecoded", d.Name)
+		}
+	}
+}

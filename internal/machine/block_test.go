@@ -1,0 +1,266 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"llva/internal/asm"
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/target"
+)
+
+// nativeFor translates src for d and returns its function named fn.
+func nativeFor(t *testing.T, src, fn string, d *target.Desc) *codegen.NativeFunc {
+	t.Helper()
+	m, err := asm.Parse("t", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := codegen.New(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := tr.TranslateModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nf := range obj.Funcs {
+		if nf.Name == fn {
+			return nf
+		}
+	}
+	t.Fatalf("no native function %q", fn)
+	return nil
+}
+
+// TestBlockChaining: steady-state loop execution must run on chained
+// block pointers, not per-PC lookups: far fewer blocks built than
+// instructions retired, and most block transitions chained.
+func TestBlockChaining(t *testing.T) {
+	src := `
+long %f(long %n) {
+entry:
+    br label %loop
+loop:
+    %i = phi long [ 0, %entry ], [ %i2, %loop ]
+    %i2 = add long %i, 1
+    %done = setge long %i2, %n
+    br bool %done, label %exit, label %loop
+exit:
+    ret long %i2
+}
+`
+	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+		mc, _ := loadProgram(t, src, d)
+		v, err := mc.Run("f", 10_000)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if v != 10_000 {
+			t.Errorf("%s: f(10000) = %d, want 10000", d.Name, v)
+		}
+		st := mc.Stats
+		if st.BlockBuilds == 0 || st.BlockBuilds > 64 {
+			t.Errorf("%s: %d block builds for a 3-block function", d.Name, st.BlockBuilds)
+		}
+		if st.BlockChains < st.Instrs/100 {
+			t.Errorf("%s: only %d chained transitions for %d instructions",
+				d.Name, st.BlockChains, st.Instrs)
+		}
+		// The predecode fills must stay the I-cache analog: decoded once,
+		// executed thousands of times.
+		if st.ICacheFills >= st.Instrs/10 {
+			t.Errorf("%s: %d predecode fills for %d instructions",
+				d.Name, st.ICacheFills, st.Instrs)
+		}
+	}
+}
+
+// TestSMCInvalidationEvictsBlocks executes a function (building and
+// chaining its blocks), patches it — InvalidateFunction then a fresh
+// InstallCode under the same name — and re-executes: the new body must
+// run, and the old body's predecoded blocks must have been evicted.
+func TestSMCInvalidationEvictsBlocks(t *testing.T) {
+	const v1 = `
+long %f(long %x) {
+entry:
+    br label %loop
+loop:
+    %i = phi long [ 0, %entry ], [ %i2, %loop ]
+    %i2 = add long %i, 1
+    %done = setge long %i2, 8
+    br bool %done, label %exit, label %loop
+exit:
+    %r = add long %x, 1
+    ret long %r
+}
+`
+	v2 := strings.Replace(v1, "add long %x, 1", "add long %x, 2", 1)
+	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+		mc, _ := loadProgram(t, v1, d)
+		got, err := mc.Run("f", 40)
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if got != 41 {
+			t.Fatalf("%s: v1 f(40) = %d, want 41", d.Name, got)
+		}
+		if mc.Stats.BlockChains == 0 {
+			t.Fatalf("%s: no chained blocks before invalidation", d.Name)
+		}
+
+		evicted := mc.Stats.BlockInvalidations
+		if err := mc.InvalidateFunction("f"); err != nil {
+			t.Fatalf("%s: invalidate: %v", d.Name, err)
+		}
+		if mc.Stats.BlockInvalidations <= evicted {
+			t.Errorf("%s: InvalidateFunction evicted no blocks", d.Name)
+		}
+		if _, err := mc.InstallCode(nativeFor(t, v2, "f", d)); err != nil {
+			t.Fatalf("%s: reinstall: %v", d.Name, err)
+		}
+		got, err = mc.Run("f", 40)
+		if err != nil {
+			t.Fatalf("%s: rerun: %v", d.Name, err)
+		}
+		if got != 42 {
+			t.Errorf("%s: patched f(40) = %d, want 42 (stale block executed?)",
+				d.Name, got)
+		}
+	}
+}
+
+// walkTo decodes straight-line code from entry until pc, returning the
+// instruction count and cycle sum through the instruction AT pc
+// (inclusive). It is the trap-accounting oracle for branch-free code.
+func walkTo(t *testing.T, mc *Machine, entry, pc uint64) (instrs uint64, cycles uint64, at target.MInstr) {
+	t.Helper()
+	a := entry
+	for {
+		raw, err := mc.mem.Bytes(a, 16)
+		if err != nil {
+			t.Fatalf("walk: %v", err)
+		}
+		in, n, err := mc.desc.Decode(raw)
+		if err != nil {
+			t.Fatalf("walk decode at 0x%x: %v", a, err)
+		}
+		instrs++
+		cycles += mc.desc.Cycles(&in)
+		if a == pc {
+			return instrs, cycles, in
+		}
+		if a > pc {
+			t.Fatalf("walk overshot trap pc 0x%x (at 0x%x)", pc, a)
+		}
+		a += uint64(n)
+	}
+}
+
+// TestPreciseMidBlockTraps: a fault in the middle of a predecoded block
+// must report the exact faulting PC, and the batched Instrs/Cycles
+// accounting must equal the per-instruction sum up to and including the
+// faulting instruction.
+func TestPreciseMidBlockTraps(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		trap uint64
+		arg2 uint64
+	}{
+		{
+			name: "memory-fault",
+			src: `
+long %f(long* %p, long %x) {
+entry:
+    %a = add long %x, 1
+    %b = add long %a, 2
+    %v = load long* %p
+    %c = add long %b, %v
+    ret long %c
+}
+`,
+			trap: TrapMemoryFault,
+			arg2: 7,
+		},
+		{
+			name: "div-by-zero",
+			src: `
+long %f(long %a, long %b) {
+entry:
+    %s = add long %a, 3
+    %t = mul long %s, 2
+    %q = div long %t, %b
+    %u = add long %q, 1
+    ret long %u
+}
+`,
+			trap: TrapDivByZero,
+			arg2: 0,
+		},
+	}
+	for _, tc := range cases {
+		for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+			mc, _ := loadProgram(t, tc.src, d)
+			_, err := mc.Run("f", 0, tc.arg2)
+			te, ok := err.(*TrapError)
+			if !ok || te.Num != tc.trap {
+				t.Fatalf("%s/%s: err = %v, want trap %d", tc.name, d.Name, err, tc.trap)
+			}
+			entry, _ := mc.FuncAddr("f")
+			if te.PC == entry {
+				t.Errorf("%s/%s: trap PC is the block entry, not the faulting instruction",
+					tc.name, d.Name)
+			}
+			// The function is branch-free up to the fault, so a decode
+			// walk from its entry is an exact accounting oracle.
+			wantInstrs, wantCycles, in := walkTo(t, mc, entry, te.PC)
+			switch {
+			case tc.trap == TrapMemoryFault && !(in.Op == target.MLoad || (in.Op == target.MALU && in.HasMem)):
+				t.Errorf("%s/%s: instruction at trap PC is %s, not a load",
+					tc.name, d.Name, in.Op)
+			case tc.trap == TrapDivByZero && !(in.Op == target.MALU && in.Alu == target.ADiv):
+				t.Errorf("%s/%s: instruction at trap PC is %s, not a div",
+					tc.name, d.Name, in.Op)
+			}
+			if mc.Stats.Instrs != wantInstrs {
+				t.Errorf("%s/%s: Stats.Instrs = %d, want %d (through the faulting instruction)",
+					tc.name, d.Name, mc.Stats.Instrs, wantInstrs)
+			}
+			if mc.Stats.Cycles != wantCycles {
+				t.Errorf("%s/%s: Stats.Cycles = %d, want %d",
+					tc.name, d.Name, mc.Stats.Cycles, wantCycles)
+			}
+			if mc.Stats.Traps != 1 {
+				t.Errorf("%s/%s: Stats.Traps = %d, want 1", tc.name, d.Name, mc.Stats.Traps)
+			}
+		}
+	}
+}
+
+// TestDecodeBoundaryLazyError: a block cut short by the end of the code
+// segment reports the fetch fault only when execution actually reaches
+// the bad PC, like the old per-instruction fetch did.
+func TestDecodeBoundaryLazyError(t *testing.T) {
+	src := `
+long %f(long %x) {
+entry:
+    %r = add long %x, 1
+    ret long %r
+}
+`
+	mc, _ := loadProgram(t, src, target.VX86)
+	if _, err := mc.Run("f", 1); err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+	// Jumping straight past the code end must fault with the precise PC.
+	_, err := mc.blockFor(mc.codeEnd + 32)
+	te, ok := err.(*TrapError)
+	if !ok || te.Num != TrapMemoryFault || te.PC != mc.codeEnd+32 {
+		t.Errorf("fetch outside code segment: err = %v", err)
+	}
+}

@@ -27,29 +27,30 @@ const (
 	TrapPrivilege   = 3
 )
 
-// reg reads a register from the correct bank.
+// unifiedRegs is the size of the machine's single register file: the
+// Reg encoding already carries bank+index (integer registers in
+// [0, 64), FP registers in [FPBase, FPBase+64)), so both banks live in
+// one array and the hot loop indexes it directly — no IsFP re-test per
+// operand access. Every Reg ≥ unifiedRegs (only NoReg in decoded code)
+// is the absent operand.
+const unifiedRegs = 128
+
+// reg reads a register from the unified file.
 func (mc *Machine) reg(r target.Reg) uint64 {
-	if r == target.NoReg {
-		return 0
+	if r < unifiedRegs {
+		return mc.regs[r]
 	}
-	if r.IsFP() {
-		return mc.freg[r-target.FPBase]
-	}
-	return mc.ireg[r]
+	return 0 // NoReg
 }
 
 func (mc *Machine) setReg(r target.Reg, v uint64) {
-	if r == target.NoReg {
-		return
-	}
-	if r.IsFP() {
-		mc.freg[r-target.FPBase] = v
-		return
-	}
-	mc.ireg[r] = v
-	// r0 is hardwired to zero on vsparc.
-	if r == 0 && mc.desc.WordSize == 4 {
-		mc.ireg[0] = 0
+	if r < unifiedRegs {
+		mc.regs[r] = v
+		// r0 is hardwired to zero on vsparc: r0mask is 0 there (and
+		// all-ones on vx86, where r0 is a live register), so the
+		// invariant regs[0] == 0 is restored branch-free after every
+		// write instead of re-testing the destination.
+		mc.regs[0] &= mc.r0mask
 	}
 }
 
@@ -105,8 +106,8 @@ func (mc *Machine) Run(entry string, args ...uint64) (uint64, error) {
 
 	// Establish the initial stack and arguments.
 	sp := mc.mem.Size() - 64
-	mc.ireg[d.SP] = sp
-	mc.ireg[d.FP] = sp
+	mc.regs[d.SP] = sp
+	mc.regs[d.FP] = sp
 	if d.StackArgs {
 		for i := len(args) - 1; i >= 0; i-- {
 			sp -= 8
@@ -118,7 +119,7 @@ func (mc *Machine) Run(entry string, args ...uint64) (uint64, error) {
 		if err := mc.mem.Store(sp, 8, mc.haltAddr); err != nil {
 			return 0, err
 		}
-		mc.ireg[d.SP] = sp
+		mc.regs[d.SP] = sp
 	} else {
 		// Distribute arguments per the register convention, consulting
 		// the entry function's signature for the FP/integer split.
@@ -132,100 +133,64 @@ func (mc *Machine) Run(entry string, args ...uint64) (uint64, error) {
 		for i, a := range args {
 			if i < len(isFP) && isFP[i] {
 				if fpIdx < len(d.FPArgRegs) {
-					mc.freg[d.FPArgRegs[fpIdx]-target.FPBase] = a
+					mc.regs[d.FPArgRegs[fpIdx]] = a
 					fpIdx++
 					continue
 				}
 			} else if intIdx < len(d.ArgRegs) {
-				mc.ireg[d.ArgRegs[intIdx]] = a
+				mc.regs[d.ArgRegs[intIdx]] = a
 				intIdx++
 				continue
 			}
 			// overflow arguments at [SP + 8k], matching the callee's
 			// expectation of [FP + 8k]
-			if err := mc.mem.Store(mc.ireg[d.SP]+uint64(8*stackIdx), 8, a); err != nil {
+			if err := mc.mem.Store(mc.regs[d.SP]+uint64(8*stackIdx), 8, a); err != nil {
 				return 0, err
 			}
 			stackIdx++
 		}
-		mc.ireg[3] = mc.haltAddr // RA
+		mc.regs[3] = mc.haltAddr // RA
 	}
 	mc.pc = addr
 
 	err := mc.loop()
-	mc.env.Clock = func() uint64 { return mc.Stats.Cycles }
 	mc.recordRunEnd(err)
 	if err != nil {
-		return mc.ireg[d.RetReg], err
+		return mc.regs[d.RetReg], err
 	}
-	return mc.ireg[d.RetReg], nil
+	return mc.regs[d.RetReg], nil
 }
 
 // FPResult returns the FP return register (for FP-returning entry points).
-func (mc *Machine) FPResult() uint64 { return mc.freg[mc.desc.FPRetReg-target.FPBase] }
+func (mc *Machine) FPResult() uint64 { return mc.regs[mc.desc.FPRetReg] }
 
-// fetch decodes the instruction at pc (with a decoded-instruction cache,
-// the machine's I-cache analog).
-func (mc *Machine) fetch(pc uint64) (decoded, error) {
-	if d, ok := mc.icache[pc]; ok {
-		return d, nil
-	}
-	if pc < mc.codeBase || pc >= mc.codeEnd {
-		return decoded{}, &TrapError{Num: TrapMemoryFault, PC: pc,
-			Detail: "instruction fetch outside code segment"}
-	}
-	window := uint64(16)
-	if pc+window > mc.codeEnd {
-		window = mc.codeEnd - pc
-	}
-	b, err := mc.mem.Bytes(pc, window)
-	if err != nil {
-		return decoded{}, err
-	}
-	in, n, err := mc.desc.Decode(b)
-	if err != nil {
-		return decoded{}, fmt.Errorf("machine: decode at 0x%x: %w", pc, err)
-	}
-	d := decoded{in: in, n: n}
-	mc.icache[pc] = d
-	mc.Stats.ICacheFills++
-	return d, nil
-}
-
+// loop drives the block engine: fetch (or chain to) the block at the
+// current PC and execute it whole. The instruction limit is checked at
+// block granularity — a block is at most maxBlockInstrs long, so the
+// overshoot is bounded and the per-instruction compare is gone.
 func (mc *Machine) loop() error {
 	max := mc.MaxInstrs
 	if max == 0 {
 		max = 2_000_000_000
 	}
-	mc.env.Clock = func() uint64 { return mc.Stats.Cycles }
-	for mc.pc != mc.haltAddr {
-		dd, err := mc.fetch(mc.pc)
-		if err != nil {
-			return err
+	var b *block
+	var err error
+	for {
+		if b == nil {
+			if mc.pc == mc.haltAddr {
+				return nil
+			}
+			if b, err = mc.blockFor(mc.pc); err != nil {
+				return err
+			}
 		}
-		mc.Stats.Instrs++
-		mc.Stats.Cycles += mc.desc.Cycles(&dd.in)
-		if mc.Stats.Instrs > max {
+		if mc.Stats.Instrs >= max {
 			return fmt.Errorf("machine: instruction limit exceeded (%d)", max)
 		}
-		next := mc.pc + uint64(dd.n)
-		jumped, err := mc.exec(&dd.in, dd.n)
-		if err != nil {
+		if b, err = mc.runBlock(b); err != nil {
 			return err
 		}
-		if dd.in.Op == target.MJmp || dd.in.Op == target.MJcc {
-			mc.Stats.Branches++
-		}
-		if !jumped {
-			mc.pc = next
-		} else if dd.in.Op == target.MJmp || dd.in.Op == target.MJcc {
-			// Taken branches redirect the fetch stream: +1 cycle. This is
-			// what makes trace-driven code layout measurable (Section 4.2).
-			mc.Stats.BranchesTaken++
-			mc.Stats.Cycles++
-		}
 	}
-	return nil
 }
 
 // exec executes one instruction; it returns true if it set the PC.
@@ -327,38 +292,37 @@ func (mc *Machine) exec(in *target.MInstr, size int) (bool, error) {
 		return mc.execCallExt(in, size)
 	case target.MRet:
 		if d.StackArgs {
-			sp := mc.ireg[d.SP]
+			sp := mc.regs[d.SP]
 			v, err := mc.mem.Load(sp, 8)
 			if err != nil {
 				return false, &TrapError{Num: TrapMemoryFault, PC: mc.pc, Detail: "ret: " + err.Error()}
 			}
-			mc.ireg[d.SP] = sp + 8
+			mc.regs[d.SP] = sp + 8
 			mc.pc = v
 		} else {
-			mc.pc = mc.ireg[3] // RA
+			mc.pc = mc.regs[3] // RA
 		}
 		return true, nil
 	case target.MPush:
-		sp := mc.ireg[d.SP] - 8
+		sp := mc.regs[d.SP] - 8
 		v := mc.reg(in.Rs1)
 		if err := mc.mem.Store(sp, 8, v); err != nil {
 			return false, &TrapError{Num: TrapMemoryFault, PC: mc.pc, Detail: err.Error()}
 		}
-		mc.ireg[d.SP] = sp
+		mc.regs[d.SP] = sp
 	case target.MPop:
-		sp := mc.ireg[d.SP]
+		sp := mc.regs[d.SP]
 		v, err := mc.mem.Load(sp, 8)
 		if err != nil {
 			return false, &TrapError{Num: TrapMemoryFault, PC: mc.pc, Detail: err.Error()}
 		}
 		mc.setReg(in.Rd, v)
-		mc.ireg[d.SP] = sp + 8
+		mc.regs[d.SP] = sp + 8
 	case target.MCvt:
 		mc.execCvt(in)
 	case target.MInvokePush:
 		fr := invokeFrame{handler: mc.relTarget(in, size)}
-		fr.ireg = mc.ireg
-		fr.freg = mc.freg
+		fr.regs = mc.regs
 		mc.invokeStack = append(mc.invokeStack, fr)
 	case target.MInvokePop:
 		if len(mc.invokeStack) == 0 {
@@ -373,14 +337,13 @@ func (mc *Machine) exec(in *target.MInstr, size int) (bool, error) {
 		mc.invokeStack = mc.invokeStack[:len(mc.invokeStack)-1]
 		// Restore the complete register state captured at the invoke
 		// (setjmp-style), which also restores SP and FP.
-		mc.ireg = fr.ireg
-		mc.freg = fr.freg
+		mc.regs = fr.regs
 		mc.pc = fr.handler
 		return true, nil
 	case target.MTrap:
 		return false, &TrapError{Num: uint64(in.Imm), PC: mc.pc, Detail: "explicit trap"}
 	case target.MAdjSP:
-		mc.ireg[d.SP] = mc.ireg[d.SP] + uint64(in.Imm)
+		mc.regs[d.SP] = mc.regs[d.SP] + uint64(in.Imm)
 	default:
 		return false, fmt.Errorf("machine: unimplemented op %s", in.Op)
 	}
@@ -390,13 +353,13 @@ func (mc *Machine) exec(in *target.MInstr, size int) (bool, error) {
 func (mc *Machine) callTo(tgt, ret uint64) error {
 	d := mc.desc
 	if d.StackArgs {
-		sp := mc.ireg[d.SP] - 8
+		sp := mc.regs[d.SP] - 8
 		if err := mc.mem.Store(sp, 8, ret); err != nil {
 			return &TrapError{Num: TrapMemoryFault, PC: mc.pc, Detail: "call: " + err.Error()}
 		}
-		mc.ireg[d.SP] = sp
+		mc.regs[d.SP] = sp
 	} else {
-		mc.ireg[3] = ret // RA
+		mc.regs[3] = ret // RA
 	}
 	mc.pc = tgt
 	return nil
@@ -642,7 +605,7 @@ func (mc *Machine) execCallExt(in *target.MInstr, size int) (bool, error) {
 
 	args := make([]uint64, in.NArgs)
 	if mc.desc.StackArgs {
-		sp := mc.ireg[mc.desc.SP]
+		sp := mc.regs[mc.desc.SP]
 		for i := range args {
 			v, err := mc.mem.Load(sp+uint64(8*i), 8)
 			if err != nil {
@@ -653,7 +616,7 @@ func (mc *Machine) execCallExt(in *target.MInstr, size int) (bool, error) {
 	} else {
 		for i := range args {
 			if i < len(mc.desc.ArgRegs) {
-				args[i] = mc.ireg[mc.desc.ArgRegs[i]]
+				args[i] = mc.regs[mc.desc.ArgRegs[i]]
 			}
 		}
 	}
@@ -667,7 +630,7 @@ func (mc *Machine) execCallExt(in *target.MInstr, size int) (bool, error) {
 	}
 	if err != nil {
 		if _, isExit := err.(*rt.ExitError); isExit {
-			mc.ireg[mc.desc.RetReg] = res
+			mc.regs[mc.desc.RetReg] = res
 			return false, err
 		}
 		if flt, isFault := err.(*mem.Fault); isFault {
@@ -675,8 +638,8 @@ func (mc *Machine) execCallExt(in *target.MInstr, size int) (bool, error) {
 		}
 		return false, err
 	}
-	mc.ireg[mc.desc.RetReg] = res
-	mc.freg[mc.desc.FPRetReg-target.FPBase] = res
+	mc.regs[mc.desc.RetReg] = res
+	mc.regs[mc.desc.FPRetReg] = res
 	return false, nil
 }
 
@@ -688,7 +651,7 @@ func isIntrinsicName(name string) bool {
 // the first scratch register; control transfers to the (possibly freshly
 // translated) code.
 func (mc *Machine) handleJIT() error {
-	id := int(mc.ireg[mc.desc.Scratch[0]])
+	id := int(mc.regs[mc.desc.Scratch[0]])
 	if id < 0 || id >= len(mc.stubNames) {
 		return fmt.Errorf("machine: bad JIT stub id %d", id)
 	}

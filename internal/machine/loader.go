@@ -37,15 +37,29 @@ type Machine struct {
 	mem  *mem.Memory
 	env  *rt.Env
 
-	ireg [64]uint64
-	freg [64]uint64
-	pc   uint64
+	// regs is the unified register file: integer bank at [0, 64), FP
+	// bank at [64, 128) — exactly the Reg numbering, so decoded
+	// operands index it directly (see exec.go).
+	regs   [unifiedRegs]uint64
+	r0mask uint64 // 0 on vsparc (r0 hardwired to zero), ^0 on vx86
+	pc     uint64
 
 	flagEQ, flagLT bool
 
-	icache map[uint64]decoded
+	// blocks is the predecoded basic-block cache (block.go), the
+	// machine's I-cache/trace-cache analog. code is a direct view of
+	// the code segment [codeBase, codeLimit) used by the predecoder.
+	blocks map[uint64]*block
+	code   []byte
+	// pendCycles is the executing block's not-yet-flushed cycle prefix,
+	// added to Stats.Cycles by the virtual clock (telemetry.go).
+	pendCycles uint64
 
 	codeBase, codeEnd, codeLimit uint64
+
+	// funcCode records each installed function's code range so
+	// InvalidateFunction can evict its predecoded blocks.
+	funcCode []codeRange
 
 	funcAddr map[string]uint64
 	addrFunc map[uint64]string
@@ -84,15 +98,15 @@ type Machine struct {
 	callsViaStubs bool
 }
 
-type decoded struct {
-	in target.MInstr
-	n  int
+// codeRange is one installed function body's extent in code memory.
+type codeRange struct {
+	name   string
+	lo, hi uint64
 }
 
 type invokeFrame struct {
 	handler uint64
-	ireg    [64]uint64
-	freg    [64]uint64
+	regs    [unifiedRegs]uint64
 }
 
 // New creates a machine for the given target over fresh memory, loading
@@ -102,13 +116,20 @@ func New(d *target.Desc, m *core.Module, env *rt.Env) (*Machine, error) {
 		desc:       d,
 		mem:        env.Mem,
 		env:        env,
-		icache:     make(map[uint64]decoded),
+		blocks:     make(map[uint64]*block),
+		r0mask:     ^uint64(0),
 		funcAddr:   make(map[string]uint64),
 		addrFunc:   make(map[uint64]string),
 		externIdx:  make(map[string]int),
 		privileged: true,
 		MaxInstrs:  2_000_000_000,
 	}
+	if d.WordSize == 4 {
+		mc.r0mask = 0 // vsparc: r0 reads as zero, writes are discarded
+	}
+	// The virtual clock is installed once; the per-run hot path never
+	// rebuilds the closure.
+	env.Clock = func() uint64 { return mc.Stats.Cycles + mc.pendCycles }
 	data, err := image.Build(m, mem.NullGuard)
 	if err != nil {
 		return nil, err
@@ -121,6 +142,14 @@ func New(d *target.Desc, m *core.Module, env *rt.Env) (*Machine, error) {
 	mc.codeLimit = mc.codeBase + CodeReserve
 	if mc.codeLimit > mc.mem.Size()/2 {
 		mc.codeLimit = mc.mem.Size() / 2
+	}
+	// One persistent view of the whole code segment: the predecoder
+	// reads instructions in place instead of cutting a bounds-checked
+	// fetch window per instruction. Memory never reallocates its
+	// backing array, so the view stays valid as code is installed.
+	mc.code, err = mc.mem.Bytes(mc.codeBase, mc.codeLimit-mc.codeBase)
+	if err != nil {
+		return nil, fmt.Errorf("machine: code segment does not fit: %w", err)
 	}
 	mc.mem.SetHeapStart(mc.codeLimit)
 	mc.globals = data.GlobalAddr
@@ -175,14 +204,21 @@ func (mc *Machine) stubFor(name string) (uint64, error) {
 }
 
 // InvalidateFunction discards the current translation binding of a
-// function: the next call through its stub re-enters the JIT. This is the
-// machine half of llva.smc.replace.
+// function: the next call through its stub re-enters the JIT, and every
+// predecoded block of the function's installed bodies is evicted so no
+// chained block can re-enter the stale code. This is the machine half of
+// llva.smc.replace.
 func (mc *Machine) InvalidateFunction(name string) error {
 	stub, err := mc.stubFor(name)
 	if err != nil {
 		return err
 	}
 	mc.bind(name, stub)
+	for _, r := range mc.funcCode {
+		if r.name == name {
+			mc.invalidateBlocks(r.lo, r.hi)
+		}
+	}
 	return nil
 }
 
@@ -221,10 +257,12 @@ func (mc *Machine) InstallCode(nf *codegen.NativeFunc) (uint64, error) {
 	if err := mc.mem.WriteBytes(addr, code); err != nil {
 		return 0, fmt.Errorf("machine: code segment overflow loading %s", nf.Name)
 	}
-	// Invalidate stale decoded instructions in the installed range.
-	for a := addr; a < mc.codeEnd; a++ {
-		delete(mc.icache, a)
-	}
+	// Drop any predecoded blocks overlapping the installed range — new
+	// bytes must never execute through a stale predecode (§3.5's
+	// function-granularity SMC contract) — and remember the function's
+	// extent so InvalidateFunction can evict its blocks later.
+	mc.invalidateBlocks(addr, mc.codeEnd)
+	mc.funcCode = append(mc.funcCode, codeRange{name: nf.Name, lo: addr, hi: mc.codeEnd})
 	return addr, nil
 }
 

@@ -19,6 +19,13 @@ type ExecStats struct {
 	Branches       uint64
 	BranchesTaken  uint64
 	Traps          uint64
+
+	// Block-engine counters (block.go): blocks predecoded, block
+	// transitions that followed a cached chain pointer (map-free), and
+	// blocks evicted by SMC/code-install invalidation.
+	BlockBuilds        uint64
+	BlockChains        uint64
+	BlockInvalidations uint64
 }
 
 // SetTelemetry attaches a metric registry. After every Run the machine
@@ -61,5 +68,8 @@ func (mc *Machine) flushTelemetry() {
 	add("machine.jit_requests", cur.JITRequests, last.JITRequests)
 	add("machine.icache_fills", cur.ICacheFills, last.ICacheFills)
 	add("machine.traps", cur.Traps, last.Traps)
+	add("machine.block_builds", cur.BlockBuilds, last.BlockBuilds)
+	add("machine.block_chains", cur.BlockChains, last.BlockChains)
+	add("machine.block_invalidate", cur.BlockInvalidations, last.BlockInvalidations)
 	mc.teleFlushed = cur
 }

@@ -279,7 +279,18 @@ func (r *decoder) u64() uint64 {
 // slots read as zero), which the translator relies on when inspecting
 // raw native objects.
 func (d *Desc) Decode(b []byte) (MInstr, int, error) {
-	r := &decoder{b: b}
+	return d.DecodeFrom(b, 0)
+}
+
+// DecodeFrom reads one instruction at offset pos of b, returning it and
+// its encoded length. It is the processor's predecode entry point: the
+// machine holds a single view of its whole code segment and decodes in
+// place, instead of cutting a fresh fetch window per instruction.
+func (d *Desc) DecodeFrom(b []byte, pos int) (MInstr, int, error) {
+	if pos < 0 || pos > len(b) {
+		return MInstr{}, 0, errTruncated
+	}
+	r := &decoder{b: b, pos: pos}
 	var in MInstr
 	op := MOp(r.u8())
 	if op >= mOpCount {
@@ -398,7 +409,7 @@ func (d *Desc) Decode(b []byte) (MInstr, int, error) {
 	if r.err != nil {
 		return in, 0, r.err
 	}
-	return in, r.pos, nil
+	return in, r.pos - pos, nil
 }
 
 // Patch applies one relocation value to encoded code at offset.
