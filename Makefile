@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent tier1 bench bench-smoke fmt-check
+.PHONY: all build vet test race race-concurrent race-llee tier1 bench bench-smoke fmt-check
 
 all: tier1
 
@@ -25,6 +25,13 @@ tier1: vet build race
 # detector, fast enough to run on every push.
 race-concurrent:
 	$(GO) test -race -run Concurrent ./...
+
+# race-llee exercises the session API's sharing surface — the llee
+# System/Session split and the machine it drives — under the race
+# detector: shared native-code cache, single-flight demands, context
+# cancellation at block boundaries.
+race-llee:
+	$(GO) test -race ./internal/llee/... ./internal/machine/...
 
 # Regenerate the paper's Table 2 with registry-sourced telemetry.
 bench:

@@ -22,7 +22,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -88,24 +90,27 @@ type TelemetryRow struct {
 	SpecQueuePeak  int64  `json:"spec_queue_peak"`
 }
 
-// measureTelemetry runs the workload twice through an execution manager
-// backed by an in-memory storage API — cold (speculative JIT, cache
-// write-back) then warm (stamp-validated cache hit) — and reads the
-// results out of the shared telemetry registry.
+// measureTelemetry runs the workload through two llee.Systems sharing
+// one in-memory storage API and one registry — modelling a cold process
+// (speculative JIT, cache write-back at Close) followed by a warm one
+// (stamp-validated cache hit) — and reads the results out of the shared
+// telemetry registry.
 func measureTelemetry(m *core.Module, workers int) (*TelemetryRow, error) {
 	reg := telemetry.New()
 	st := llee.NewMemStorage()
 	for i := 0; i < 2; i++ {
-		mg, err := llee.NewManager(m, target.VX86, io.Discard,
-			llee.WithStorage(st), llee.WithTelemetry(reg),
+		sys := llee.NewSystem(llee.WithStorage(st), llee.WithTelemetry(reg),
 			llee.WithTranslateWorkers(workers))
+		sess, err := sys.NewSession(m, target.VX86, io.Discard)
 		if err != nil {
 			return nil, err
 		}
-		if _, err := mg.Run("main"); err != nil {
-			if _, isExit := err.(*rt.ExitError); !isExit {
-				return nil, err
-			}
+		if _, err := sess.Run(context.Background(), "main"); err != nil && !errors.Is(err, llee.ErrExit) {
+			sys.Close()
+			return nil, err
+		}
+		if err := sys.Close(); err != nil {
+			return nil, err
 		}
 	}
 	snap := reg.Snapshot()

@@ -11,8 +11,7 @@ import (
 	"fmt"
 	"os"
 
-	"llva/internal/codegen"
-	"llva/internal/llee/pipeline"
+	"llva/internal/llee"
 	"llva/internal/obj"
 	"llva/internal/target"
 )
@@ -43,11 +42,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tr, err := codegen.New(d, m)
-	if err != nil {
-		fatal(err)
-	}
-	nobj, err := pipeline.TranslateModule(tr, *workers, nil)
+	sys := llee.NewSystem(llee.WithTranslateWorkers(*workers))
+	nobj, err := sys.Translate(m, d)
 	if err != nil {
 		fatal(err)
 	}

@@ -5,11 +5,13 @@
 //
 // Usage: llva-run [-target vx86|vsparc] [-cache DIR] [-interp] [-stats]
 //
-//	[-translate-workers N] [-speculate=false]
+//	[-translate-workers N] [-speculate=false] [-timeout D]
 //	[-metrics-addr HOST:PORT] [-trace-log FILE] prog.bc
 package main
 
 import (
+	"context"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -17,6 +19,8 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"llva/internal/interp"
@@ -77,6 +81,7 @@ func main() {
 	traceLog := flag.String("trace-log", "", "write the structured event log as JSON lines to FILE at exit")
 	workers := flag.Int("translate-workers", 0, "translation worker-pool size for offline and speculative JIT translation (0: one per CPU)")
 	speculate := flag.Bool("speculate", true, "speculatively JIT-translate static callees on background workers")
+	timeout := flag.Duration("timeout", 0, "abort execution after this long on the wall clock (0: no limit)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: llva-run [-target T] [-cache DIR] [-interp] prog.bc")
@@ -150,55 +155,82 @@ func main() {
 		}
 		opts = append(opts, llee.WithStorage(st))
 	}
-	mg, err := llee.NewManager(m, d, os.Stdout, opts...)
+	sys := llee.NewSystem(opts...)
+	// Close flushes pending cache write-back (including speculative
+	// translations) on every exit path.
+	exitHooks = append(exitHooks, func() {
+		if err := sys.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "llva-run: close:", err)
+		}
+	})
+	sess, err := sys.NewSession(m, d, os.Stdout, opts...)
 	if err != nil {
 		fatal(err)
 	}
 	if *offline {
-		if err := mg.TranslateOffline(); err != nil {
+		if err := sess.TranslateOffline(); err != nil {
 			fatal(err)
 		}
 		if *stats {
+			st := sess.Stats()
 			fmt.Fprintf(os.Stderr, "offline: translated %d functions in %v\n",
-				mg.Stats.Translations, time.Duration(mg.Stats.TranslateNS))
+				st.Translations, time.Duration(st.TranslateNS))
 		}
 		exit(0)
 	}
 	if *idleOpt {
-		ts, err := mg.IdleTimeOptimize()
+		ts, err := sess.IdleTimeOptimize()
 		if err != nil {
 			fatal(err)
 		}
 		if *stats {
 			fmt.Fprintf(os.Stderr, "idle-time: %d traces, %.0f%% coverage, %d functions retranslated\n",
-				ts.Traces, ts.Coverage*100, mg.Stats.Translations)
+				ts.Traces, ts.Coverage*100, sess.Stats().Translations)
 		}
 		exit(0)
 	}
-	start := time.Now()
-	v, err := mg.Run("main")
-	code := int(int32(v))
+
+	// SIGINT/SIGTERM cancel the run's context: the machine stops at the
+	// next basic-block boundary and llva-run exits 130, the shell
+	// convention for interrupted programs. -timeout does the same on a
+	// deadline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, err := sess.Run(ctx, "main")
+	code := int(int32(res.Value))
 	if err != nil {
-		if ee, ok := err.(*rt.ExitError); ok {
+		var ee *rt.ExitError
+		switch {
+		case errors.As(err, &ee):
 			code = ee.Code
-		} else {
+		case errors.Is(err, llee.ErrCanceled):
+			fmt.Fprintln(os.Stderr, "llva-run:", err)
+			exit(130)
+		default:
 			fatal(err)
 		}
 	}
 	if *profile {
-		if perr := mg.GatherProfile("main"); perr != nil {
+		if perr := sess.GatherProfile("main"); perr != nil {
 			fatal(perr)
 		}
 	}
 	if *stats {
-		mc := mg.Machine()
+		mc := sess.Machine()
+		st := sess.Stats()
 		fmt.Fprintf(os.Stderr,
 			"target=%s cacheHit=%v translated=%d translateTime=%v\n"+
 				"instrs=%d cycles=%d calls=%d externs=%d wall=%v\n",
-			d.Name, mg.Stats.CacheHit, mg.Stats.Translations,
-			time.Duration(mg.Stats.TranslateNS),
+			d.Name, st.CacheHit, st.Translations,
+			time.Duration(st.TranslateNS),
 			mc.Stats.Instrs, mc.Stats.Cycles, mc.Stats.Calls,
-			mc.Stats.ExternCalls, time.Since(start))
+			mc.Stats.ExternCalls, res.Wall)
 	}
 	exit(code)
 }

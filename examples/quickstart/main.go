@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -96,17 +97,22 @@ func main() {
 	}
 	fmt.Printf("(%d LLVA instructions executed)\n", ip.Stats.Instructions)
 
+	// One System per process; one Session per execution. Sessions of the
+	// same module share the system's translation cache.
+	sys := llee.NewSystem()
+	defer sys.Close()
 	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
 		fmt.Printf("\n=== LLEE + JIT on %s ===\n", d.Name)
-		mg, err := llee.NewManager(m, d, os.Stdout)
+		sess, err := sys.NewSession(m, d, os.Stdout)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := mg.Run("main"); err != nil {
+		before := sess.Stats().Translations // counters aggregate system-wide
+		res, err := sess.Run(context.Background(), "main")
+		if err != nil {
 			log.Fatal(err)
 		}
-		mc := mg.Machine()
 		fmt.Printf("(%d native instructions, %d cycles, %d functions JIT-translated)\n",
-			mc.Stats.Instrs, mc.Stats.Cycles, mg.Stats.Translations)
+			res.Instrs, res.Cycles, sess.Stats().Translations-before)
 	}
 }

@@ -3,9 +3,9 @@ package llee
 import (
 	"bytes"
 	"encoding/gob"
-	"io"
 	"testing"
 
+	"llva/internal/codegen"
 	"llva/internal/target"
 	"llva/internal/workloads"
 )
@@ -19,11 +19,11 @@ func benchCachedObject(b *testing.B) *cachedObject {
 	if err != nil {
 		b.Fatal(err)
 	}
-	mg, err := NewManager(m, target.VX86, io.Discard)
+	tr, err := codegen.New(target.VX86, m)
 	if err != nil {
 		b.Fatal(err)
 	}
-	nobj, err := mg.tr.TranslateModule()
+	nobj, err := tr.TranslateModule()
 	if err != nil {
 		b.Fatal(err)
 	}

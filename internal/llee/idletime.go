@@ -16,7 +16,7 @@ import (
 // information in LLVA also enables 'idle-time' profile-guided
 // optimization using the translator's optimization and code generation
 // capabilities ... using profile information gathered from executions on
-// an end-user's system." The manager gathers a profile from a
+// an end-user's system." The system gathers a profile from a
 // representative execution, persists it through the storage API, forms
 // hot traces, re-lays out the virtual object code so hot paths fall
 // through, and installs the retranslated code in the offline cache — all
@@ -31,123 +31,126 @@ type profileBlob struct {
 	Call  map[string]uint64
 }
 
-func (mg *Manager) profileKey() string {
-	return "profile:" + mg.Module.Name + ":" + mg.desc.Name
+func (ms *moduleState) profileKey() string {
+	return "profile:" + ms.module.Name + ":" + ms.desc.Name
 }
 
-// GatherProfile executes the program once on the instrumented reference
+// gatherProfile executes the program once on the instrumented reference
 // interpreter (the paper's static-instrumentation-assisted profiling) and
 // stores the profile in the offline cache.
-func (mg *Manager) GatherProfile(entry string, args ...uint64) error {
-	if mg.storage == nil {
+func (ms *moduleState) gatherProfile(entry string, args ...uint64) error {
+	if ms.sys.storage == nil {
 		return fmt.Errorf("llee: profile persistence requires the storage API")
 	}
 	prof := interp.NewProfile()
-	ip, err := interp.New(mg.Module, io.Discard, interp.WithProfile(prof))
+	ip, err := interp.New(ms.module, io.Discard, interp.WithProfile(prof))
 	if err != nil {
 		return err
 	}
 	if _, err := ip.Run(entry, args...); err != nil {
 		return err
 	}
-	blob := encodeProfile(mg.Module, prof)
+	blob := encodeProfile(ms.module, prof)
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(blob); err != nil {
 		return err
 	}
-	if err := mg.storage.Write(mg.profileKey(), mg.objStamp, buf.Bytes()); err != nil {
+	if err := ms.sys.storage.Write(ms.profileKey(), ms.stamp, buf.Bytes()); err != nil {
 		return err
 	}
-	prof.Export(mg.tele)
-	mg.tele.Counter(MetricProfileStores).Inc()
-	mg.tele.Events().Emit(telemetry.EvProfileStored, mg.profileKey(), int64(buf.Len()))
+	tele := ms.sys.tele
+	prof.Export(tele)
+	tele.Counter(MetricProfileStores).Inc()
+	tele.Events().Emit(telemetry.EvProfileStored, ms.profileKey(), int64(buf.Len()))
 	return nil
 }
 
 // loadProfile reads and decodes the persisted profile, validating its
 // stamp against the current virtual object code. A missing or stale
 // profile is not an error (ok=false); a corrupt one is.
-func (mg *Manager) loadProfile() (*interp.Profile, bool, error) {
-	data, stamp, ok, err := mg.storage.Read(mg.profileKey())
+func (ms *moduleState) loadProfile() (*interp.Profile, bool, error) {
+	tele := ms.sys.tele
+	data, stamp, ok, err := ms.sys.storage.Read(ms.profileKey())
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	if stamp != mg.objStamp {
-		mg.tele.Counter(MetricStampMismatches).Inc()
-		mg.tele.Events().Emit(telemetry.EvStampMismatch, mg.profileKey(), 0)
+	if stamp != ms.stamp {
+		tele.Counter(MetricStampMismatches).Inc()
+		tele.Events().Emit(telemetry.EvStampMismatch, ms.profileKey(), 0)
 		// A profile for different object code is dead weight: evict it
 		// so the cache does not accumulate garbage across recompiles.
-		mg.evictCache(mg.profileKey())
+		ms.evictCache(ms.profileKey())
 		return nil, false, nil
 	}
 	var blob profileBlob
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&blob); err != nil {
 		return nil, false, fmt.Errorf("llee: corrupt profile: %w", err)
 	}
-	prof := decodeProfile(mg.Module, &blob)
-	mg.tele.Counter(MetricProfileLoads).Inc()
-	mg.tele.Events().Emit(telemetry.EvProfileLoaded, mg.profileKey(), int64(len(prof.Block)))
+	prof := decodeProfile(ms.module, &blob)
+	tele.Counter(MetricProfileLoads).Inc()
+	tele.Events().Emit(telemetry.EvProfileLoaded, ms.profileKey(), int64(len(prof.Block)))
 	return prof, true, nil
 }
 
-// seedTraceCache reloads the persisted profile at startup and rebuilds
-// the software trace cache from it without re-profiling. When relayout
-// is true (the online-translation path) the hot traces also re-lay out
-// the virtual object code so the JIT emits straight-line hot paths; a
-// cache hit must not relayout, since the cached native code was built
-// against the stored block order.
-func (mg *Manager) seedTraceCache(relayout bool) error {
-	prof, ok, err := mg.loadProfile()
+// seedTraceCache reloads the persisted profile and rebuilds the software
+// trace cache from it without re-profiling. It runs once per module
+// state — before any session machine exists. When relayout is true (the
+// online-translation path) the hot traces also re-lay out the virtual
+// object code so the JIT emits straight-line hot paths; a cache hit
+// must not relayout, since the cached native code was built against the
+// stored block order.
+func (ms *moduleState) seedTraceCache(relayout bool) error {
+	prof, ok, err := ms.loadProfile()
 	if err != nil || !ok {
 		return err
 	}
 	// Call counts order speculative JIT hottest-first (Section 4.2's
 	// profile information guiding the §4.1 translate-ahead machinery).
-	mg.callWeights = make(map[string]uint64, len(prof.Call))
+	ms.callWeights = make(map[string]uint64, len(prof.Call))
 	for f, n := range prof.Call {
-		mg.callWeights[f.Name()] = n
+		ms.callWeights[f.Name()] = n
 	}
-	traces := trace.Form(mg.Module, prof, trace.Options{})
-	mg.traceStats = trace.Summarize(prof, traces)
-	mg.profileSeeded = true
-	mg.recordTraceStats(mg.traceStats)
+	traces := trace.Form(ms.module, prof, trace.Options{})
+	ms.traceStats = trace.Summarize(prof, traces)
+	ms.profileSeeded = true
+	ms.recordTraceStats(ms.traceStats)
 	if relayout && len(traces) > 0 {
-		relaid := trace.ApplyLayout(mg.Module, traces)
-		mg.tele.Gauge(MetricTraceRelaid).Set(int64(relaid))
-		if err := core.Verify(mg.Module); err != nil {
+		relaid := trace.ApplyLayout(ms.module, traces)
+		ms.sys.tele.Gauge(MetricTraceRelaid).Set(int64(relaid))
+		if err := core.Verify(ms.module); err != nil {
 			return fmt.Errorf("llee: relayout broke the module: %w", err)
 		}
 	}
 	return nil
 }
 
-// IdleTimeOptimize performs the between-executions step: it loads the
+// idleTimeOptimize performs the between-executions step: it loads the
 // stored profile (failing softly to a plain offline translation when none
 // is valid), applies trace-driven relayout to the virtual object code,
 // retranslates the whole module, and replaces the cached translation.
 // It returns trace statistics for reporting.
-func (mg *Manager) IdleTimeOptimize() (trace.Stats, error) {
+func (ms *moduleState) idleTimeOptimize() (trace.Stats, error) {
 	var st trace.Stats
-	if mg.storage == nil {
+	if ms.sys.storage == nil {
 		return st, fmt.Errorf("llee: idle-time optimization requires the storage API")
 	}
-	prof, ok, err := mg.loadProfile()
+	prof, ok, err := ms.loadProfile()
 	if err != nil {
 		return st, err
 	}
 	if ok {
-		traces := trace.Form(mg.Module, prof, trace.Options{})
+		traces := trace.Form(ms.module, prof, trace.Options{})
 		st = trace.Summarize(prof, traces)
-		mg.traceStats = st
-		mg.profileSeeded = true
-		mg.recordTraceStats(st)
-		relaid := trace.ApplyLayout(mg.Module, traces)
-		mg.tele.Gauge(MetricTraceRelaid).Set(int64(relaid))
-		if err := core.Verify(mg.Module); err != nil {
+		ms.traceStats = st
+		ms.profileSeeded = true
+		ms.recordTraceStats(st)
+		relaid := trace.ApplyLayout(ms.module, traces)
+		ms.sys.tele.Gauge(MetricTraceRelaid).Set(int64(relaid))
+		if err := core.Verify(ms.module); err != nil {
 			return st, fmt.Errorf("llee: relayout broke the module: %w", err)
 		}
 	}
-	return st, mg.TranslateOffline()
+	return st, ms.translateOffline()
 }
 
 func encodeProfile(m *core.Module, prof *interp.Profile) *profileBlob {

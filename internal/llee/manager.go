@@ -1,429 +1,125 @@
 package llee
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"io"
-	"time"
 
-	"llva/internal/codegen"
 	"llva/internal/core"
-	"llva/internal/llee/pipeline"
 	"llva/internal/machine"
-	"llva/internal/mem"
-	"llva/internal/obj"
 	"llva/internal/rt"
 	"llva/internal/target"
 	"llva/internal/telemetry"
 	"llva/internal/trace"
 )
 
-// Manager is one LLEE instance managing the execution of one LLVA program
-// on one simulated processor. It implements the paper's translation
-// strategy: look for a cached translation, validate its stamp, load and
-// relocate it, and fall back to the JIT compiler on the entry function
-// when any condition fails; newly translated code is written back to the
-// offline cache when the storage API is available (Section 4.1).
+// Manager is the original single-object LLEE API, kept as a thin shim
+// over the System/Session split so existing callers keep building.
+//
+// Deprecated: use NewSystem + System.NewSession. A Manager is exactly a
+// private System with one Session: nothing is shared across Managers,
+// so concurrent executions of one module re-translate per Manager —
+// the problem the System API exists to solve. New code also gets
+// context cancellation and the typed error taxonomy via Session.Run.
 type Manager struct {
+	// Module is the canonical module under execution (profile-driven
+	// relayout may have reordered its blocks at construction).
 	Module *core.Module
-	desc   *target.Desc
 
-	storage Storage // nil: no OS storage API registered
-	tr      *codegen.Translator
-	env     *rt.Env
-	mc      *machine.Machine
+	sys  *System
+	sess *Session
 
-	objStamp string
-	// redirect implements llva.smc.replace: function -> replacement body.
-	redirect map[string]string
-	// translated accumulates this session's JIT output for write-back.
-	translated map[string]*codegen.NativeFunc
-	// storageAPIAddr records the address registered via
-	// llva.storage.register (exposed to trap handlers/tools).
-	storageAPIAddr uint64
-
-	// translateWorkers is the pipeline worker-pool size (0: GOMAXPROCS).
-	translateWorkers int
-	// speculate enables background ahead-of-time JIT of static callees.
-	speculate bool
-	// spec is the live speculation pipeline of the current online run.
-	spec *pipeline.Speculator
-	// cached holds the decoded cache contents of this run's readCache
-	// (nil on a miss), so write-back merges without re-reading storage.
-	cached map[string]*codegen.NativeFunc
-	// specLeftover holds speculative translations never demanded by the
-	// run; they are still valid and merged into write-back.
-	specLeftover map[string]*codegen.NativeFunc
-	// callWeights orders speculation hottest-first when a persisted
-	// profile (Section 4.2) was loaded: function name -> call count.
-	callWeights map[string]uint64
-
-	// tele records everything the manager, its machine, and the trace
-	// cache do; the Stats struct below is a snapshot of it.
-	tele *telemetry.Registry
-	// traceStats/profileSeeded describe the software trace cache seeded
-	// from the persisted profile (Section 4.2).
-	traceStats    trace.Stats
-	profileSeeded bool
-
-	// Stats describes what the execution manager did. It is refreshed
-	// from the telemetry registry after Run/TranslateOffline/
-	// IdleTimeOptimize; the registry is the authoritative source.
-	Stats struct {
-		CacheHit      bool
-		CacheMisses   int
-		Translations  int
-		TranslateNS   int64
-		Invalidations int
-	}
+	// Stats mirrors Session.Stats after Run/TranslateOffline/
+	// IdleTimeOptimize.
+	//
+	// Deprecated: call Session.Stats (or keep reading this field; it is
+	// refreshed for compatibility). The telemetry registry is the
+	// authoritative source.
+	Stats Stats
 }
 
-// Option configures a Manager.
-type Option func(*config)
-
-type config struct {
-	storage          Storage
-	memSize          uint64
-	tele             *telemetry.Registry
-	translateWorkers int
-	speculate        bool
-}
-
-// WithStorage registers the OS storage API implementation. Without it
-// the manager always translates online, exactly like DAISY and Crusoe
-// (paper, Section 4.1).
-func WithStorage(s Storage) Option { return func(c *config) { c.storage = s } }
-
-// WithMemSize sets the simulated machine's address-space size.
-func WithMemSize(n uint64) Option { return func(c *config) { c.memSize = n } }
-
-// WithTelemetry aggregates this manager's metrics and events into an
-// existing registry (for multi-run tools such as llva-bench). Without
-// it every manager gets a private registry.
-func WithTelemetry(reg *telemetry.Registry) Option { return func(c *config) { c.tele = reg } }
-
-// WithTranslateWorkers sets the translation worker-pool size used by
-// offline translation and speculative JIT (0 or unset: GOMAXPROCS).
-func WithTranslateWorkers(n int) Option { return func(c *config) { c.translateWorkers = n } }
-
-// WithSpeculation toggles speculative background JIT: when a function
-// is translated on demand, its static callees are queued for
-// ahead-of-time translation on background workers (default on).
-func WithSpeculation(on bool) Option { return func(c *config) { c.speculate = on } }
-
-// NewManager creates an execution manager for module m on target d,
-// writing program output to out.
+// NewManager creates a single-session execution manager for module m on
+// target d, writing program output to out.
+//
+// Deprecated: use NewSystem(opts...).NewSession(m, d, out, opts...).
 func NewManager(m *core.Module, d *target.Desc, out io.Writer, opts ...Option) (*Manager, error) {
-	cfg := config{speculate: true}
-	for _, o := range opts {
-		o(&cfg)
-	}
-	tr, err := codegen.New(d, m)
+	sys := NewSystem(opts...)
+	sess, err := sys.NewSession(m, d, out, opts...)
 	if err != nil {
 		return nil, err
 	}
-	env := rt.NewEnv(mem.New(cfg.memSize, m.LittleEndian), out)
-	mc, err := machine.New(d, m, env)
-	if err != nil {
-		return nil, err
-	}
-	// The module stamp ties cached translations to this exact virtual
-	// object code.
-	enc, err := obj.Encode(m)
-	if err != nil {
-		return nil, err
-	}
-	mg := &Manager{
-		Module:           m,
-		desc:             d,
-		storage:          cfg.storage,
-		tr:               tr,
-		env:              env,
-		mc:               mc,
-		objStamp:         Stamp(enc),
-		redirect:         make(map[string]string),
-		translated:       make(map[string]*codegen.NativeFunc),
-		tele:             cfg.tele,
-		translateWorkers: cfg.translateWorkers,
-		speculate:        cfg.speculate,
-	}
-	if mg.tele == nil {
-		mg.tele = telemetry.New()
-	}
-	mc.SetTelemetry(mg.tele)
-	mc.OnJIT = mg.onJIT
-	mc.OnIntrinsic = mg.onIntrinsic
-	return mg, nil
-}
-
-// Machine exposes the underlying simulated processor (for statistics).
-func (mg *Manager) Machine() *machine.Machine { return mg.mc }
-
-// Env exposes the runtime environment.
-func (mg *Manager) Env() *rt.Env { return mg.env }
-
-func (mg *Manager) cacheKey() string {
-	return "native:" + mg.Module.Name + ":" + mg.desc.Name
-}
-
-// cachedObject is the gob-serialized cache payload.
-type cachedObject struct {
-	TargetName string
-	Module     string
-	Funcs      []*codegen.NativeFunc
+	return &Manager{Module: sess.Module(), sys: sys, sess: sess}, nil
 }
 
 // Run executes the entry function: cached translation when valid,
-// JIT-on-demand otherwise, with write-back of new translations. A
-// corrupt cache entry is treated as a miss — evicted, surfaced through
-// telemetry, and replaced by online translation — never as an
-// execution failure (the paper's "online translation whenever
-// necessary").
+// JIT-on-demand otherwise, with write-back of new translations.
+//
+// Deprecated: use Session.Run, which takes a context and returns a
+// Result. This shim preserves the old per-run pipeline lifecycle:
+// background speculation is stopped after the run and its unconsumed
+// translations are counted as waste and written back.
 func (mg *Manager) Run(entry string, args ...uint64) (uint64, error) {
-	loaded := false
-	mg.cached = nil
-	mg.specLeftover = nil
-	if mg.storage != nil {
-		if obj, ok, err := mg.readCache(); err != nil && !errors.Is(err, errCorruptCache) {
-			return 0, err
-		} else if ok {
-			if err := mg.mc.LoadObject(obj); err != nil {
-				return 0, err
-			}
-			mg.tele.Counter(MetricCacheHits).Inc()
-			mg.tele.Events().Emit(telemetry.EvCacheHit, mg.cacheKey(), 0)
-			// Keep the decoded functions: write-back merges against
-			// them instead of re-reading and re-decoding storage.
-			mg.cached = make(map[string]*codegen.NativeFunc, len(obj.Funcs))
-			for _, nf := range obj.Funcs {
-				mg.cached[nf.Name] = nf
-			}
-			loaded = true
-		} else {
-			mg.tele.Counter(MetricCacheMisses).Inc()
-			mg.tele.Events().Emit(telemetry.EvCacheMiss, mg.cacheKey(), 0)
-		}
-		// A persisted profile (Section 4.2) seeds the software trace
-		// cache on every start without re-profiling; on the online-
-		// translation path it also re-lays out the virtual object code
-		// before the JIT sees it.
-		if err := mg.seedTraceCache(!loaded); err != nil {
-			return 0, err
-		}
-	}
-	if !loaded {
-		// Online translation: every call goes through a stub so SMC
-		// invalidation can take effect between invocations.
-		mg.mc.CallsViaStubs(true)
-		if mg.speculate {
-			mg.spec = pipeline.NewSpeculator(mg.tr, mg.translateWorkers, mg.tele)
-		}
-		if err := mg.prepareJIT(); err != nil {
-			return 0, err
-		}
-	}
-	v, err := mg.mc.Run(entry, args...)
-	if mg.spec != nil {
-		mg.specLeftover = mg.spec.Close()
-		mg.spec = nil
-	}
-	if werr := mg.writeBack(); werr != nil && err == nil {
+	res, err := mg.sess.Run(context.Background(), entry, args...)
+	mg.sess.ms.spec.Close()
+	if werr := mg.sess.ms.writeBack(); werr != nil && err == nil {
 		err = werr
 	}
 	mg.syncStats()
-	return v, err
+	return res.Value, err
 }
 
-// prepareJIT resolves data-segment function pointers to stubs.
-func (mg *Manager) prepareJIT() error {
-	return mg.mc.PrepareLazy()
-}
+// Session returns the shim's underlying session (migration aid).
+func (mg *Manager) Session() *Session { return mg.sess }
 
-// TranslateOffline compiles the whole module and stores it in the cache
-// without executing anything — the paper's "initiating execution ... but
-// flagging it for translation and not actual execution" during OS idle
-// time. Translation runs on the pipeline worker pool (one worker per
-// core by default); the output is byte-identical to sequential
-// translation.
-func (mg *Manager) TranslateOffline() error {
-	if mg.storage == nil {
-		return fmt.Errorf("llee: offline translation requires the storage API")
-	}
-	mg.tele.Events().Emit(telemetry.EvTranslateStart, mg.Module.Name, int64(len(mg.Module.Functions)))
-	start := time.Now()
-	nobj, err := pipeline.TranslateModule(mg.tr, mg.translateWorkers, mg.tele)
-	if err != nil {
-		return err
-	}
-	mg.recordTranslate(mg.Module.Name, time.Since(start).Nanoseconds(), len(nobj.Funcs))
-	mg.syncStats()
-	return mg.writeCache(nobj.Funcs)
-}
+// System returns the shim's underlying private system (migration aid).
+func (mg *Manager) System() *System { return mg.sys }
 
-// evictCache deletes a dead (stale or corrupt) cache blob so garbage
-// does not accumulate across recompiles. Best-effort: a failed delete
-// is surfaced through telemetry, never as an execution error.
-func (mg *Manager) evictCache(key string) {
-	if err := mg.storage.Delete(key); err != nil {
-		mg.tele.Events().Emit(telemetry.EvCacheEvicted, key+": "+err.Error(), -1)
-		return
-	}
-	mg.tele.Counter(MetricCacheEvictions).Inc()
-	mg.tele.Events().Emit(telemetry.EvCacheEvicted, key, 0)
-}
+// Machine exposes the underlying simulated processor (for statistics).
+func (mg *Manager) Machine() *machine.Machine { return mg.sess.Machine() }
 
-func (mg *Manager) readCache() (*codegen.NativeObject, bool, error) {
-	data, stamp, ok, err := mg.storage.Read(mg.cacheKey())
-	if err != nil || !ok {
-		return nil, false, err
-	}
-	if stamp != mg.objStamp {
-		// Out-of-date translation: ignore it (the paper's timestamp
-		// check failing) and evict the dead blob.
-		mg.tele.Counter(MetricStampMismatches).Inc()
-		mg.tele.Events().Emit(telemetry.EvStampMismatch, mg.cacheKey(), 0)
-		mg.evictCache(mg.cacheKey())
-		return nil, false, nil
-	}
-	co, err := decodeCachedObject(data)
-	if err != nil {
-		mg.tele.Counter(MetricCacheCorrupt).Inc()
-		mg.tele.Events().Emit(telemetry.EvCacheCorrupt, mg.cacheKey(), 0)
-		mg.evictCache(mg.cacheKey())
-		return nil, false, fmt.Errorf("llee: %w", err)
-	}
-	nobj := &codegen.NativeObject{TargetName: co.TargetName, Module: co.Module}
-	for _, f := range co.Funcs {
-		nobj.Add(f)
-	}
-	return nobj, true, nil
-}
+// Env exposes the runtime environment.
+func (mg *Manager) Env() *rt.Env { return mg.sess.Env() }
 
-func (mg *Manager) writeCache(funcs []*codegen.NativeFunc) error {
-	co := cachedObject{TargetName: mg.desc.Name, Module: mg.Module.Name, Funcs: funcs}
-	return mg.storage.Write(mg.cacheKey(), mg.objStamp, encodeCachedObject(&co))
-}
+// Telemetry returns the manager's metric registry (shared with its
+// machine). Pass WithTelemetry to aggregate several managers into one.
+func (mg *Manager) Telemetry() *telemetry.Registry { return mg.sys.tele }
 
-// writeBack stores this session's JIT output — demand translations plus
-// unconsumed speculative ones — merged with the cache contents decoded
-// at Run start, when storage is available and something new exists. It
-// never re-reads storage: mg.cached is this run's view of the cache
-// (empty on a miss, where the stale/corrupt entry was already evicted),
-// so previously cached functions survive the merge.
-func (mg *Manager) writeBack() error {
-	if mg.storage == nil || (len(mg.translated) == 0 && len(mg.specLeftover) == 0) {
-		return nil
-	}
-	merged := make(map[string]*codegen.NativeFunc, len(mg.cached)+len(mg.translated))
-	for n, f := range mg.cached {
-		merged[n] = f
-	}
-	for n, f := range mg.specLeftover {
-		merged[n] = f
-	}
-	for n, f := range mg.translated {
-		merged[n] = f
-	}
-	funcs := make([]*codegen.NativeFunc, 0, len(merged))
-	for _, f := range mg.Module.Functions {
-		if nf, ok := merged[f.Name()]; ok {
-			funcs = append(funcs, nf)
-		}
-	}
-	return mg.writeCache(funcs)
-}
+// TraceCacheStats reports the state of the software trace cache seeded
+// from the persisted profile (zero value when no profile was loaded).
+func (mg *Manager) TraceCacheStats() trace.Stats { return mg.sess.TraceCacheStats() }
 
-// onJIT translates one function on demand (honoring SMC redirects) and
-// installs its code. With speculation active the demand either finds a
-// ready background translation, joins the in-flight one, or translates
-// inline under single-flight; either way it then queues the function's
-// static callees (hottest-first when a profile is loaded) for
-// ahead-of-time translation. Installation always happens here, on the
-// machine's goroutine.
-func (mg *Manager) onJIT(name string) (uint64, error) {
-	body := name
-	if r, ok := mg.redirect[name]; ok {
-		body = r
-	}
-	f := mg.Module.Function(body)
-	if f == nil || f.IsDeclaration() {
-		return 0, fmt.Errorf("llee: no body for %%%s", body)
-	}
-	mg.tele.Events().Emit(telemetry.EvJITRequest, name, 0)
-	mg.tele.Events().Emit(telemetry.EvTranslateStart, body, 0)
-	start := time.Now()
-	var nf *codegen.NativeFunc
-	var err error
-	if mg.spec != nil && body == name {
-		nf, err = mg.spec.Demand(name, f)
-	} else {
-		// SMC-redirected bodies bypass speculation: their translation
-		// is keyed by the callee's name but built from another body.
-		nf, err = mg.tr.TranslateFunction(f)
-	}
-	if err != nil {
-		return 0, err
-	}
-	// The demand-path histogram records the stall the program actually
-	// saw: near zero on a speculation hit, full translate time inline.
-	mg.recordTranslate(name, time.Since(start).Nanoseconds(), 1)
-	nf.Name = name // install the (possibly replacement) body under the callee's name
-	addr, err := mg.mc.InstallCode(nf)
-	if err != nil {
-		return 0, err
-	}
-	if body == name {
-		mg.translated[name] = nf
-	}
-	if mg.spec != nil {
-		mg.spec.EnqueueCallees(f, mg.callWeights)
-	}
-	return addr, nil
-}
-
-// onIntrinsic handles the intrinsics the machine delegates to the
-// execution manager: self-modifying code and the storage API registration.
-func (mg *Manager) onIntrinsic(name string, args []uint64) (uint64, error) {
-	switch name {
-	case "llva.smc.replace":
-		if len(args) < 2 {
-			return 0, fmt.Errorf("llva.smc.replace: missing arguments")
-		}
-		tgt, ok1 := mg.mc.NameAt(args[0])
-		src, ok2 := mg.mc.NameAt(args[1])
-		if !ok1 || !ok2 {
-			return 0, fmt.Errorf("llva.smc.replace: arguments are not functions")
-		}
-		ft, fs := mg.Module.Function(tgt), mg.Module.Function(src)
-		if ft == nil || fs == nil || ft.Signature() != fs.Signature() {
-			return 0, fmt.Errorf("llva.smc.replace: signature mismatch %%%s vs %%%s", tgt, src)
-		}
-		mg.redirect[tgt] = src
-		if mg.spec != nil {
-			// Drop any speculative translation of the old body so it is
-			// neither installed nor written back under the new binding.
-			mg.spec.Invalidate(tgt)
-		}
-		mg.tele.Counter(MetricInvalidations).Inc()
-		mg.tele.Events().Emit(telemetry.EvInvalidate, tgt, 0)
-		// Mark the generated code invalid; regenerated on next invocation
-		// (paper, Section 3.4).
-		return 0, mg.mc.InvalidateFunction(tgt)
-	case "llva.storage.register":
-		if len(args) > 0 {
-			mg.storageAPIAddr = args[0]
-		}
-		return 0, nil
-	case "llva.storage.get":
-		return mg.storageAPIAddr, nil
-	case "llva.trap.register":
-		// Recorded only: machine-level trap vectoring is outside the
-		// simulated processor's scope (the interpreter implements full
-		// handler dispatch).
-		return 0, nil
-	}
-	return 0, fmt.Errorf("llee: unhandled intrinsic %%%s", name)
-}
+// ProfileSeeded reports whether a valid persisted profile was reloaded.
+func (mg *Manager) ProfileSeeded() bool { return mg.sess.ProfileSeeded() }
 
 // StorageAPIAddr reports the address registered via llva.storage.register.
-func (mg *Manager) StorageAPIAddr() uint64 { return mg.storageAPIAddr }
+func (mg *Manager) StorageAPIAddr() uint64 { return mg.sess.StorageAPIAddr() }
+
+// TranslateOffline compiles the whole module and stores it in the cache
+// without executing anything (idle-time translation, Section 4.1).
+func (mg *Manager) TranslateOffline() error {
+	err := mg.sess.TranslateOffline()
+	mg.syncStats()
+	return err
+}
+
+// GatherProfile executes the program once on the instrumented reference
+// interpreter and persists the profile through the storage API.
+func (mg *Manager) GatherProfile(entry string, args ...uint64) error {
+	return mg.sess.GatherProfile(entry, args...)
+}
+
+// IdleTimeOptimize reoptimizes the cached translation from the
+// persisted profile (Section 4.2).
+func (mg *Manager) IdleTimeOptimize() (trace.Stats, error) {
+	st, err := mg.sess.IdleTimeOptimize()
+	mg.syncStats()
+	return st, err
+}
+
+// syncStats refreshes the API-compatible Stats snapshot from the
+// telemetry registry — the registry is the single source of truth. The
+// legacy CacheHit semantics (any hit recorded in the registry) are
+// preserved.
+func (mg *Manager) syncStats() {
+	mg.Stats = mg.sess.Stats()
+	mg.Stats.CacheHit = mg.sys.tele.CounterValue(MetricCacheHits) > 0
+}

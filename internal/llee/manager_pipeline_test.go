@@ -6,11 +6,25 @@ import (
 	"testing"
 
 	"llva/internal/codegen"
+	"llva/internal/core"
 	"llva/internal/llee/pipeline"
 	"llva/internal/minic"
+	"llva/internal/obj"
 	"llva/internal/target"
 	"llva/internal/telemetry"
 )
+
+// cacheKeyStamp computes the storage key and content stamp a System
+// would use for m on d, so tests can plant blobs BEFORE construction
+// (the cache is read once, when the module state is created).
+func cacheKeyStamp(t *testing.T, m *core.Module, d *target.Desc) (string, string) {
+	t.Helper()
+	enc, err := obj.Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return "native:" + m.Name + ":" + d.Name, Stamp(enc)
+}
 
 const chainProg = `
 int leaf(int x) { return x * 3 + 1; }
@@ -30,14 +44,15 @@ func TestCorruptCacheFallsBackToJIT(t *testing.T) {
 	m := compileTest(t)
 	st := NewMemStorage()
 	reg := telemetry.New()
+	// Plant garbage under the real key with the real stamp, so only the
+	// decode step can reject it.
+	key, stamp := cacheKeyStamp(t, m, target.VX86)
+	if err := st.Write(key, stamp, []byte("\x00not a cache blob")); err != nil {
+		t.Fatal(err)
+	}
 	var out strings.Builder
 	mg, err := NewManager(m, target.VX86, &out, WithStorage(st), WithTelemetry(reg))
 	if err != nil {
-		t.Fatal(err)
-	}
-	// Plant garbage under the real key with the real stamp, so only the
-	// decode step can reject it.
-	if err := st.Write(mg.cacheKey(), mg.objStamp, []byte("\x00not a cache blob")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := mg.Run("main"); err != nil {
@@ -82,18 +97,21 @@ func TestStaleCacheEvicted(t *testing.T) {
 	m := compileTest(t)
 	st := NewMemStorage()
 	reg := telemetry.New()
-	var out strings.Builder
-	mg, err := NewManager(m, target.VSPARC, &out, WithStorage(st), WithTelemetry(reg))
+	key, _ := cacheKeyStamp(t, m, target.VSPARC)
+	if err := st.Write(key, "stale-stamp", []byte("old translation")); err != nil {
+		t.Fatal(err)
+	}
+	// Creating the session validates the cache entry: the stale blob must
+	// be detected and evicted right there.
+	sys := NewSystem(WithStorage(st), WithTelemetry(reg))
+	sess, err := sys.NewSession(m, target.VSPARC, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := st.Write(mg.cacheKey(), "stale-stamp", []byte("old translation")); err != nil {
-		t.Fatal(err)
+	if sess.CacheHit() {
+		t.Error("stale entry counted as a cache hit")
 	}
-	if _, ok, err := mg.readCache(); err != nil || ok {
-		t.Fatalf("stale entry: ok=%v err=%v, want miss", ok, err)
-	}
-	if _, _, ok, _ := st.Read(mg.cacheKey()); ok {
+	if _, _, ok, _ := st.Read(key); ok {
 		t.Error("stale blob survived the stamp mismatch")
 	}
 	if got := reg.CounterValue(MetricStampMismatches); got != 1 {
@@ -104,49 +122,47 @@ func TestStaleCacheEvicted(t *testing.T) {
 	}
 }
 
-// TestWriteBackMergesWithoutRereading: write-back must preserve cached
-// functions this session never retranslated, prefer the fresh demand
-// translation on collision, and include salvaged speculative output —
-// all from the in-memory view, even after the storage copy is destroyed
-// (the old implementation re-read storage and silently dropped it on
-// error).
-func TestWriteBackMergesWithoutRereading(t *testing.T) {
-	m := compileTest(t)
-	st := NewMemStorage()
-	mg, err := NewManager(m, target.VX86, io.Discard, WithStorage(st))
-	if err != nil {
-		t.Fatal(err)
-	}
+// TestMergeForWriteBack: the write-back merge must preserve cached
+// functions no session retranslated, prefer the fresh translation on
+// collision, keep module function order, and drop names that are not
+// module functions — all from the in-memory view, never re-reading
+// storage.
+func TestMergeForWriteBack(t *testing.T) {
+	m := compileTest(t) // defines work and main, in that order
 	nf := func(name string, fill byte) *codegen.NativeFunc {
 		return &codegen.NativeFunc{Name: name, Code: []byte{fill, fill}}
 	}
-	mg.cached = map[string]*codegen.NativeFunc{
+	cached := map[string]*codegen.NativeFunc{
 		"work": nf("work", 1), // only in the old cache: must survive
-		"main": nf("main", 2), // superseded by this session's translation
+		"main": nf("main", 2), // superseded by a fresh translation
 	}
-	mg.translated = map[string]*codegen.NativeFunc{"main": nf("main", 3)}
-	mg.specLeftover = map[string]*codegen.NativeFunc{"ghost": nf("ghost", 4)} // not a module function: dropped
-	// Destroy the storage copy: the merge must not depend on re-reading it.
-	if err := st.Delete(mg.cacheKey()); err != nil {
-		t.Fatal(err)
+	fresh := map[string]*codegen.NativeFunc{
+		"main":  nf("main", 3),
+		"ghost": nf("ghost", 4), // not a module function: dropped
 	}
-	if err := mg.writeBack(); err != nil {
-		t.Fatal(err)
-	}
-	data, stamp, ok, err := st.Read(mg.cacheKey())
-	if err != nil || !ok || stamp != mg.objStamp {
-		t.Fatalf("read back: ok=%v stamp=%q err=%v", ok, stamp, err)
-	}
-	co, err := decodeCachedObject(data)
-	if err != nil {
-		t.Fatal(err)
-	}
+	funcs := mergeForWriteBack(m, cached, fresh)
 	got := map[string]byte{}
-	for _, f := range co.Funcs {
+	for _, f := range funcs {
 		got[f.Name] = f.Code[0]
 	}
-	if len(co.Funcs) != 2 || got["work"] != 1 || got["main"] != 3 {
+	if len(funcs) != 2 || got["work"] != 1 || got["main"] != 3 {
 		t.Errorf("merged cache = %v, want work:1 main:3", got)
+	}
+	// Deterministic layout: module order, whatever map iteration did.
+	var order []string
+	for _, f := range funcs {
+		order = append(order, f.Name)
+	}
+	var want []string
+	for _, f := range m.Functions {
+		if _, ok := got[f.Name()]; ok {
+			want = append(want, f.Name())
+		}
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("function order = %v, want %v (module order)", order, want)
+		}
 	}
 }
 

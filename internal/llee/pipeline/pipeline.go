@@ -21,6 +21,8 @@
 package pipeline
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
 	"strconv"
 	"sync"
@@ -31,6 +33,16 @@ import (
 	"llva/internal/core"
 	"llva/internal/telemetry"
 )
+
+// ErrTranslate marks every translation failure surfaced by this package
+// (and by the llee demand path), so callers can classify them with
+// errors.Is across layers without knowing the translator's error types.
+var ErrTranslate = errors.New("pipeline: translation failed")
+
+// translateErr tags a translator failure for fn with ErrTranslate.
+func translateErr(fn string, err error) error {
+	return fmt.Errorf("%w: %%%s: %v", ErrTranslate, fn, err)
+}
 
 // Metric families recorded by the translation pipeline. README.md's
 // Observability section documents the full schema.
@@ -92,7 +104,7 @@ func TranslateModule(tr *codegen.Translator, workers int, reg *telemetry.Registr
 			nf, err := tr.TranslateFunction(f)
 			h.Observe(time.Since(start).Nanoseconds())
 			if err != nil {
-				return nil, err
+				return nil, translateErr(f.Name(), err)
 			}
 			obj.Add(nf)
 		}
@@ -125,7 +137,7 @@ func TranslateModule(tr *codegen.Translator, workers int, reg *telemetry.Registr
 	wg.Wait()
 	for i := range fns {
 		if errs[i] != nil {
-			return nil, errs[i]
+			return nil, translateErr(fns[i].Name(), errs[i])
 		}
 		obj.Add(results[i])
 	}

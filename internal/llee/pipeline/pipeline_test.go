@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -127,16 +128,20 @@ func TestConcurrentDemandSingleFlight(t *testing.T) {
 	// goroutines at once.
 	s.Enqueue(fns)
 	results := make([][]*codegen.NativeFunc, 8)
+	performed := make([]atomic.Int64, len(fns))
 	var wg sync.WaitGroup
 	for g := 0; g < 8; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			for _, f := range fns {
-				nf, err := s.Demand(f.Name(), f)
+			for i, f := range fns {
+				nf, did, err := s.Demand(f.Name(), f)
 				if err != nil {
 					t.Errorf("demand %%%s: %v", f.Name(), err)
 					return
+				}
+				if did {
+					performed[i].Add(1)
 				}
 				results[g] = append(results[g], nf)
 				s.EnqueueCallees(f, nil)
@@ -145,6 +150,14 @@ func TestConcurrentDemandSingleFlight(t *testing.T) {
 	}
 	wg.Wait()
 	leftover := s.Close()
+
+	// At most one of the 8 demanders of each function performed the
+	// translation itself; the rest hit or joined the shared flight.
+	for i := range fns {
+		if n := performed[i].Load(); n > 1 {
+			t.Errorf("%%%s: %d demanders performed the translation, want <= 1", fns[i].Name(), n)
+		}
+	}
 
 	// Single-flight: one translation per function, no matter how demand
 	// and speculation raced.
@@ -232,14 +245,20 @@ func TestSpeculatorInvalidate(t *testing.T) {
 	reg := telemetry.New()
 	s := NewSpeculator(tr, 1, reg)
 	f := m.Function("f1")
-	nf1, err := s.Demand("f1", f)
+	nf1, performed1, err := s.Demand("f1", f)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if !performed1 {
+		t.Error("first demand did not perform the translation")
+	}
 	s.Invalidate("f1")
-	nf2, err := s.Demand("f1", f)
+	nf2, performed2, err := s.Demand("f1", f)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !performed2 {
+		t.Error("post-invalidate demand did not retranslate")
 	}
 	if nf1 == nf2 {
 		t.Error("invalidated translation was reused")

@@ -32,7 +32,8 @@ type flight struct {
 // queued via EnqueueCallees, ordered by persisted-profile call counts
 // when available (Section 4.2). Single-flight bookkeeping guarantees
 // each function is translated at most once no matter how demand and
-// speculation interleave.
+// speculation interleave — the flights map doubles as the shared
+// native-code cache when many sessions demand from one Speculator.
 type Speculator struct {
 	tr  *codegen.Translator
 	reg *telemetry.Registry
@@ -40,6 +41,8 @@ type Speculator struct {
 	mu      sync.Mutex
 	flights map[string]*flight
 	closed  bool
+	started bool // background workers spawned (first Enqueue)
+	workers int
 	depth   int64 // queued-but-not-started entries, mirrors the gauge
 	peak    int64
 
@@ -47,8 +50,10 @@ type Speculator struct {
 	wg    sync.WaitGroup
 }
 
-// NewSpeculator starts workers background translation workers over tr.
-// A nil registry records into a private one.
+// NewSpeculator creates a speculation pipeline with the given worker
+// pool size over tr. Workers are spawned lazily on the first Enqueue, so
+// a Speculator used purely as a single-flight demand cache costs no
+// goroutines. A nil registry records into a private one.
 func NewSpeculator(tr *codegen.Translator, workers int, reg *telemetry.Registry) *Speculator {
 	if reg == nil {
 		reg = telemetry.New()
@@ -57,15 +62,23 @@ func NewSpeculator(tr *codegen.Translator, workers int, reg *telemetry.Registry)
 		tr:      tr,
 		reg:     reg,
 		flights: make(map[string]*flight),
+		workers: Workers(workers),
 		queue:   make(chan *core.Function, specQueueCap),
 	}
-	workers = Workers(workers)
-	reg.Gauge(MetricWorkers).Set(int64(workers))
-	for i := 0; i < workers; i++ {
+	reg.Gauge(MetricWorkers).Set(int64(s.workers))
+	return s
+}
+
+// start spawns the background workers; callers hold s.mu.
+func (s *Speculator) start() {
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.workers; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
 	}
-	return s
 }
 
 func (s *Speculator) worker(id int) {
@@ -88,7 +101,11 @@ func (s *Speculator) worker(id int) {
 		s.flights[name] = fl
 		s.mu.Unlock()
 		start := time.Now()
-		fl.nf, fl.err = s.tr.TranslateFunction(f)
+		nf, err := s.tr.TranslateFunction(f)
+		fl.nf = nf
+		if err != nil {
+			fl.err = translateErr(name, err)
+		}
 		h.Observe(time.Since(start).Nanoseconds())
 		translated.Inc()
 		close(fl.done)
@@ -96,33 +113,60 @@ func (s *Speculator) worker(id int) {
 }
 
 // Demand translates f (registered under name) for immediate
-// installation. If a speculative translation is ready it is returned
-// without translating (hit); if one is in flight the caller joins it
-// instead of duplicating the work; otherwise the caller translates
-// inline, excluding background workers from picking the same function.
-func (s *Speculator) Demand(name string, f *core.Function) (*codegen.NativeFunc, error) {
+// installation. If a translation is ready — speculative, or demanded
+// earlier by another session — it is returned without translating
+// (hit); if one is in flight the caller joins it instead of duplicating
+// the work; otherwise the caller translates inline, excluding everyone
+// else from picking the same function. The second result reports
+// whether THIS call performed the translation (exactly one caller per
+// name sees true, however demands interleave).
+func (s *Speculator) Demand(name string, f *core.Function) (*codegen.NativeFunc, bool, error) {
 	s.mu.Lock()
 	fl := s.flights[name]
 	if fl == nil {
 		fl = &flight{done: make(chan struct{})}
 		s.flights[name] = fl
 		s.mu.Unlock()
-		fl.nf, fl.err = s.tr.TranslateFunction(f)
+		nf, err := s.tr.TranslateFunction(f)
+		fl.nf = nf
+		if err != nil {
+			fl.err = translateErr(name, err)
+		}
 		s.reg.Counter(MetricDemandInline).Inc()
 		close(fl.done)
-	} else {
-		s.mu.Unlock()
-		select {
-		case <-fl.done:
-			s.reg.Counter(MetricSpecHits).Inc()
-			s.reg.Events().Emit(telemetry.EvSpecHit, name, 0)
-		default:
-			s.reg.Counter(MetricSpecJoins).Inc()
-			<-fl.done
-		}
+		fl.consumed.Store(true)
+		return fl.nf, true, fl.err
+	}
+	s.mu.Unlock()
+	select {
+	case <-fl.done:
+		s.reg.Counter(MetricSpecHits).Inc()
+		s.reg.Events().Emit(telemetry.EvSpecHit, name, 0)
+	default:
+		s.reg.Counter(MetricSpecJoins).Inc()
+		<-fl.done
 	}
 	fl.consumed.Store(true)
-	return fl.nf, fl.err
+	return fl.nf, false, fl.err
+}
+
+// Completed returns the successfully settled translations — demanded
+// and speculative alike — without stopping the pipeline or blocking on
+// in-flight work. This is the write-back view of the shared cache.
+func (s *Speculator) Completed() map[string]*codegen.NativeFunc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*codegen.NativeFunc, len(s.flights))
+	for name, fl := range s.flights {
+		select {
+		case <-fl.done:
+			if fl.err == nil && fl.nf != nil {
+				out[name] = fl.nf
+			}
+		default:
+		}
+	}
+	return out
 }
 
 // EnqueueCallees queues f's static callees for ahead-of-time
@@ -143,9 +187,10 @@ func (s *Speculator) Enqueue(fns []*core.Function) {
 	depth := s.reg.Gauge(MetricSpecQueueDepth)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed || len(fns) == 0 {
 		return
 	}
+	s.start()
 	for _, f := range fns {
 		if s.flights[f.Name()] != nil {
 			continue

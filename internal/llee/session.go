@@ -1,0 +1,320 @@
+package llee
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/machine"
+	"llva/internal/mem"
+	"llva/internal/rt"
+	"llva/internal/target"
+	"llva/internal/telemetry"
+	"llva/internal/trace"
+)
+
+// Session is one execution of a module on one simulated processor,
+// created by System.NewSession. Sessions of the same module share the
+// system's translation cache — a demanded function is JIT-compiled once
+// no matter how many sessions demand it — but each session owns its
+// machine, memory image, runtime environment, and SMC redirect state,
+// so concurrent sessions never observe each other's execution. A
+// Session's methods must not be called concurrently with each other;
+// different Sessions are independent.
+type Session struct {
+	sys *System
+	ms  *moduleState
+	env *rt.Env
+	mc  *machine.Machine
+
+	// redirect implements llva.smc.replace for this session only:
+	// function -> replacement body. Redirected demands translate
+	// privately, bypassing the shared cache, so one session's
+	// self-modification never leaks into another's code.
+	redirect map[string]string
+	// storageAPIAddr records the address registered via
+	// llva.storage.register (exposed to trap handlers/tools).
+	storageAPIAddr uint64
+	cacheHit       bool
+
+	runMu sync.Mutex
+}
+
+// Result describes one Session.Run: the entry function's return value
+// and what the run cost on the simulated processor and the wall clock.
+type Result struct {
+	Value  uint64        // the entry function's return value
+	Instrs uint64        // simulated instructions retired by this run
+	Cycles uint64        // simulated cycles consumed by this run
+	Wall   time.Duration // host wall-clock time of this run
+}
+
+// Stats is a point-in-time snapshot of what the execution manager did,
+// taken from the telemetry registry (the authoritative source).
+type Stats struct {
+	CacheHit      bool
+	CacheMisses   int
+	Translations  int
+	TranslateNS   int64
+	Invalidations int
+}
+
+// NewSession prepares an execution of module m on target d, writing
+// program output to out. Only session-scoped options (WithMemSize) are
+// consulted; system-scoped ones were fixed by NewSystem. The first
+// session of a module pays for cache validation and profile seeding;
+// later sessions of the same module reuse that work.
+func (sys *System) NewSession(m *core.Module, d *target.Desc, out io.Writer, opts ...Option) (*Session, error) {
+	cfg := config{}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ms, err := sys.state(m, d)
+	if err != nil {
+		return nil, err
+	}
+	// The canonical module copy (possibly relaid-out by a persisted
+	// profile) is what every session executes — never the caller's m,
+	// which may be a structurally identical duplicate.
+	env := rt.NewEnv(mem.New(cfg.memSize, ms.module.LittleEndian), out)
+	mc, err := machine.New(d, ms.module, env)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModule, err)
+	}
+	s := &Session{
+		sys:      sys,
+		ms:       ms,
+		env:      env,
+		mc:       mc,
+		redirect: make(map[string]string),
+	}
+	mc.SetTelemetry(sys.tele)
+	mc.OnJIT = s.onJIT
+	mc.OnIntrinsic = s.onIntrinsic
+	if ms.online {
+		// Online translation: every call goes through a stub so SMC
+		// invalidation can take effect between invocations.
+		mc.CallsViaStubs(true)
+		if err := mc.PrepareLazy(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := mc.LoadObject(ms.nobj); err != nil {
+			return nil, err
+		}
+		s.cacheHit = true
+	}
+	return s, nil
+}
+
+// Run executes the entry function until it returns, the program exits,
+// an unhandled trap fires, or ctx is done. Cancellation is honored at
+// basic-block boundaries: an uncancellable context costs one nil
+// comparison per block, so cycle counts are bit-identical with and
+// without a context. Errors classify under the package taxonomy
+// (ErrCanceled, ErrTranslate, ErrBadModule, ErrExit, *ErrTrap) via
+// errors.Is/As. New translations are written back to the offline cache
+// before returning when the storage API is available.
+func (s *Session) Run(ctx context.Context, entry string, args ...uint64) (Result, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if f := s.ms.module.Function(entry); f == nil || f.IsDeclaration() {
+		return Result{}, fmt.Errorf("%w: no entry function %%%s", ErrBadModule, entry)
+	}
+	instrs0, cycles0 := s.mc.Stats.Instrs, s.mc.Stats.Cycles
+	start := time.Now()
+	v, err := s.mc.RunContext(ctx, entry, args...)
+	res := Result{
+		Value:  v,
+		Instrs: s.mc.Stats.Instrs - instrs0,
+		Cycles: s.mc.Stats.Cycles - cycles0,
+		Wall:   time.Since(start),
+	}
+	err = mapRunError(err)
+	if werr := s.ms.writeBack(); werr != nil && err == nil {
+		err = werr
+	}
+	return res, err
+}
+
+// mapRunError lifts machine-level failures into the session taxonomy.
+// Exit and translation errors already carry their sentinels from the
+// owning layer and pass through unchanged.
+func mapRunError(err error) error {
+	if err == nil {
+		return nil
+	}
+	var te *machine.TrapError
+	if errors.As(err, &te) {
+		return &ErrTrap{Num: te.Num, PC: te.PC, Cause: err}
+	}
+	var ce *machine.CancelError
+	if errors.As(err, &ce) {
+		return fmt.Errorf("llee: %w", err)
+	}
+	return err
+}
+
+// Stats snapshots the system's telemetry registry into the legacy
+// counter struct. CacheHit reports whether THIS session loaded a cached
+// translation; the counters aggregate over the whole system (exact
+// per-session attribution lives in the event trace).
+func (s *Session) Stats() Stats {
+	t := s.sys.tele
+	return Stats{
+		CacheHit:      s.cacheHit,
+		CacheMisses:   int(t.CounterValue(MetricCacheMisses)),
+		Translations:  int(t.CounterValue(MetricTranslations)),
+		TranslateNS:   t.Histogram(MetricTranslateNS).Sum(),
+		Invalidations: int(t.CounterValue(MetricInvalidations)),
+	}
+}
+
+// Machine exposes the underlying simulated processor (for statistics).
+func (s *Session) Machine() *machine.Machine { return s.mc }
+
+// Env exposes the session's runtime environment.
+func (s *Session) Env() *rt.Env { return s.env }
+
+// Module returns the canonical module this session executes (the
+// system's copy, which profile-driven relayout may have reordered).
+func (s *Session) Module() *core.Module { return s.ms.module }
+
+// System returns the owning system.
+func (s *Session) System() *System { return s.sys }
+
+// CacheHit reports whether this session loaded a valid cached
+// translation instead of translating online.
+func (s *Session) CacheHit() bool { return s.cacheHit }
+
+// StorageAPIAddr reports the address registered via llva.storage.register.
+func (s *Session) StorageAPIAddr() uint64 { return s.storageAPIAddr }
+
+// TraceCacheStats reports the state of the software trace cache seeded
+// from the persisted profile (zero value when no profile was loaded).
+func (s *Session) TraceCacheStats() trace.Stats { return s.ms.traceStats }
+
+// ProfileSeeded reports whether a valid persisted profile was reloaded.
+func (s *Session) ProfileSeeded() bool { return s.ms.profileSeeded }
+
+// GatherProfile executes the program once on the instrumented reference
+// interpreter and persists the profile through the storage API.
+func (s *Session) GatherProfile(entry string, args ...uint64) error {
+	return s.ms.gatherProfile(entry, args...)
+}
+
+// TranslateOffline compiles the whole module into the offline cache
+// without executing anything (idle-time translation, Section 4.1).
+func (s *Session) TranslateOffline() error { return s.ms.translateOffline() }
+
+// IdleTimeOptimize reoptimizes the cached translation from the
+// persisted profile (Section 4.2). It re-lays out the shared module, so
+// call it between executions, not while other sessions run.
+func (s *Session) IdleTimeOptimize() (trace.Stats, error) { return s.ms.idleTimeOptimize() }
+
+// onJIT translates one function on demand (honoring SMC redirects) and
+// installs its code in this session's machine. The unredirected path
+// goes through the system's shared single-flight cache: the demand
+// finds a ready translation, joins the in-flight one, or translates
+// inline — each function is translated once per system, however many
+// sessions demand it. Installation always happens here, on the
+// machine's goroutine.
+func (s *Session) onJIT(name string) (uint64, error) {
+	body := name
+	if r, ok := s.redirect[name]; ok {
+		body = r
+	}
+	f := s.ms.module.Function(body)
+	if f == nil || f.IsDeclaration() {
+		return 0, fmt.Errorf("%w: no body for %%%s", ErrBadModule, body)
+	}
+	tele := s.sys.tele
+	tele.Events().Emit(telemetry.EvJITRequest, name, 0)
+	tele.Events().Emit(telemetry.EvTranslateStart, body, 0)
+	start := time.Now()
+	var nf *codegen.NativeFunc
+	var err error
+	performed := true
+	if body == name {
+		nf, performed, err = s.ms.spec.Demand(name, f)
+	} else {
+		// SMC-redirected bodies bypass the shared cache: their
+		// translation is keyed by the callee's name but built from
+		// another body, and must stay private to this session.
+		nf, err = s.ms.tr.TranslateFunction(f)
+	}
+	if err != nil {
+		return 0, err
+	}
+	// The demand-path histogram records the stall the program actually
+	// saw: near zero on a shared-cache hit, full translate time inline.
+	// The translation counter moves only for the demand that performed
+	// the work, so N sessions of one module count each function once.
+	ns := time.Since(start).Nanoseconds()
+	tele.Histogram(MetricTranslateNS).Observe(ns)
+	tele.Events().Emit(telemetry.EvTranslateEnd, name, ns)
+	if performed {
+		tele.Counter(MetricTranslations).Inc()
+	}
+	if body != name {
+		// Install the replacement body under the callee's name. Only the
+		// private redirect translation is renamed: shared translations
+		// are immutable once published.
+		nf.Name = name
+	}
+	addr, err := s.mc.InstallCode(nf)
+	if err != nil {
+		return 0, err
+	}
+	if s.sys.speculate && body == name {
+		s.ms.spec.EnqueueCallees(f, s.ms.callWeights)
+	}
+	return addr, nil
+}
+
+// onIntrinsic handles the intrinsics the machine delegates to the
+// execution manager: self-modifying code and the storage API registration.
+func (s *Session) onIntrinsic(name string, args []uint64) (uint64, error) {
+	switch name {
+	case "llva.smc.replace":
+		if len(args) < 2 {
+			return 0, fmt.Errorf("llva.smc.replace: missing arguments")
+		}
+		tgt, ok1 := s.mc.NameAt(args[0])
+		src, ok2 := s.mc.NameAt(args[1])
+		if !ok1 || !ok2 {
+			return 0, fmt.Errorf("llva.smc.replace: arguments are not functions")
+		}
+		ft, fs := s.ms.module.Function(tgt), s.ms.module.Function(src)
+		if ft == nil || fs == nil || ft.Signature() != fs.Signature() {
+			return 0, fmt.Errorf("llva.smc.replace: signature mismatch %%%s vs %%%s", tgt, src)
+		}
+		s.redirect[tgt] = src
+		s.sys.tele.Counter(MetricInvalidations).Inc()
+		s.sys.tele.Events().Emit(telemetry.EvInvalidate, tgt, 0)
+		// Mark this session's generated code invalid; regenerated on the
+		// next invocation (paper, Section 3.4). The shared cache keeps
+		// the original body's translation: it is still the correct
+		// translation of that function for every other session and for
+		// write-back (a fresh process starts with no redirects).
+		return 0, s.mc.InvalidateFunction(tgt)
+	case "llva.storage.register":
+		if len(args) > 0 {
+			s.storageAPIAddr = args[0]
+		}
+		return 0, nil
+	case "llva.storage.get":
+		return s.storageAPIAddr, nil
+	case "llva.trap.register":
+		// Recorded only: machine-level trap vectoring is outside the
+		// simulated processor's scope (the interpreter implements full
+		// handler dispatch).
+		return 0, nil
+	}
+	return 0, fmt.Errorf("llee: unhandled intrinsic %%%s", name)
+}

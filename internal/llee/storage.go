@@ -111,15 +111,81 @@ func NewDirStorage(dir string) (*DirStorage, error) {
 	return &DirStorage{Dir: dir}, nil
 }
 
-func (s *DirStorage) path(key string) string {
-	safe := strings.NewReplacer("/", "_", ":", "_", " ", "_").Replace(key)
-	return filepath.Join(s.Dir, safe+".llvacache")
+// encodeKey maps a cache key to a filesystem-safe name, injectively:
+// bytes outside [A-Za-z0-9._-] become %XX hex escapes ('%' itself
+// included), so distinct keys such as "a/b" and "a_b" can never collide
+// on one file name.
+func encodeKey(key string) string {
+	var b strings.Builder
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "%%%02X", c)
+		}
+	}
+	return b.String()
 }
 
-// Write implements Storage: the stamp occupies the first line.
+// decodeKey inverts encodeKey; malformed escapes are kept literally (a
+// foreign file in the cache directory, not one of ours).
+func decodeKey(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		if name[i] == '%' && i+2 < len(name) {
+			if hi, lo := unhex(name[i+1]), unhex(name[i+2]); hi >= 0 && lo >= 0 {
+				b.WriteByte(byte(hi<<4 | lo))
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(name[i])
+	}
+	return b.String()
+}
+
+func unhex(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	}
+	return -1
+}
+
+func (s *DirStorage) path(key string) string {
+	return filepath.Join(s.Dir, encodeKey(key)+".llvacache")
+}
+
+// Write implements Storage: the stamp occupies the first line. The
+// entry is written to a temporary file in the cache directory and
+// renamed into place, so a reader (or a crash) can never observe a
+// torn half-written entry — it sees either the old blob or the new one.
 func (s *DirStorage) Write(key, stamp string, data []byte) error {
 	blob := append([]byte(stamp+"\n"), data...)
-	return os.WriteFile(s.path(key), blob, 0o644)
+	tmp, err := os.CreateTemp(s.Dir, ".llvacache-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), s.path(key))
 }
 
 // Read implements Storage.
@@ -156,7 +222,7 @@ func (s *DirStorage) Keys() ([]string, error) {
 	var out []string
 	for _, e := range ents {
 		if strings.HasSuffix(e.Name(), ".llvacache") {
-			out = append(out, strings.TrimSuffix(e.Name(), ".llvacache"))
+			out = append(out, decodeKey(strings.TrimSuffix(e.Name(), ".llvacache")))
 		}
 	}
 	sort.Strings(out)

@@ -1,0 +1,356 @@
+package llee
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/llee/pipeline"
+	"llva/internal/obj"
+	"llva/internal/target"
+	"llva/internal/telemetry"
+	"llva/internal/trace"
+)
+
+// System is the process-wide half of the LLEE: it owns the storage API
+// binding, the telemetry registry, the translation worker-pool size,
+// and — per module and target — a shared native-code cache with
+// single-flight deduplication, so N concurrent sessions of the same
+// module JIT each demanded function exactly once. Per-run state
+// (machine, memory, runtime environment) lives in Session objects
+// created with NewSession. A System is safe for concurrent use.
+type System struct {
+	storage   Storage // nil: no OS storage API registered
+	tele      *telemetry.Registry
+	workers   int
+	speculate bool
+
+	mu     sync.Mutex
+	mods   map[string]*moduleState // stamp + ":" + target name
+	closed bool
+}
+
+// Option configures a System (storage, telemetry, worker pool,
+// speculation) or a Session (memory size); options outside a call's
+// scope are ignored by it, so one option list can serve both.
+type Option func(*config)
+
+type config struct {
+	storage          Storage
+	memSize          uint64
+	tele             *telemetry.Registry
+	translateWorkers int
+	speculate        bool
+}
+
+// WithStorage registers the OS storage API implementation. Without it
+// the system always translates online, exactly like DAISY and Crusoe
+// (paper, Section 4.1).
+func WithStorage(s Storage) Option { return func(c *config) { c.storage = s } }
+
+// WithMemSize sets a session's simulated address-space size.
+func WithMemSize(n uint64) Option { return func(c *config) { c.memSize = n } }
+
+// WithTelemetry aggregates the system's metrics and events into an
+// existing registry (for multi-run tools such as llva-bench). Without
+// it every system gets a private registry.
+func WithTelemetry(reg *telemetry.Registry) Option { return func(c *config) { c.tele = reg } }
+
+// WithTranslateWorkers sets the translation worker-pool size used by
+// offline translation and speculative JIT (0 or unset: GOMAXPROCS).
+func WithTranslateWorkers(n int) Option { return func(c *config) { c.translateWorkers = n } }
+
+// WithSpeculation toggles speculative background JIT: when a function
+// is translated on demand, its static callees are queued for
+// ahead-of-time translation on background workers (default on).
+func WithSpeculation(on bool) Option { return func(c *config) { c.speculate = on } }
+
+// NewSystem creates a process-wide execution-manager instance.
+func NewSystem(opts ...Option) *System {
+	cfg := config{speculate: true}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sys := &System{
+		storage:   cfg.storage,
+		tele:      cfg.tele,
+		workers:   cfg.translateWorkers,
+		speculate: cfg.speculate,
+		mods:      make(map[string]*moduleState),
+	}
+	if sys.tele == nil {
+		sys.tele = telemetry.New()
+	}
+	return sys
+}
+
+// Telemetry returns the system's metric registry (shared by all of its
+// sessions and their machines).
+func (sys *System) Telemetry() *telemetry.Registry { return sys.tele }
+
+// Storage returns the registered storage API (nil when none).
+func (sys *System) Storage() Storage { return sys.storage }
+
+// Translate compiles every defined function of m for d on the system's
+// worker pool and returns the native object, without executing anything
+// or touching storage — the static half of llva-llc. The output is
+// byte-identical to sequential translation.
+func (sys *System) Translate(m *core.Module, d *target.Desc) (*codegen.NativeObject, error) {
+	ms, err := sys.state(m, d)
+	if err != nil {
+		return nil, err
+	}
+	return ms.translateModule()
+}
+
+// Close flushes every module's pending write-back and stops background
+// speculation (counting unconsumed speculative translations as waste —
+// they are still persisted, turning them into a warmer next start).
+// Existing sessions stay usable afterwards: demands translate inline.
+// Close is idempotent; the first storage error is returned.
+func (sys *System) Close() error {
+	sys.mu.Lock()
+	if sys.closed {
+		sys.mu.Unlock()
+		return nil
+	}
+	sys.closed = true
+	mods := make([]*moduleState, 0, len(sys.mods))
+	for _, ms := range sys.mods {
+		mods = append(mods, ms)
+	}
+	sys.mu.Unlock()
+	var first error
+	for _, ms := range mods {
+		ms.spec.Close()
+		if err := ms.writeBack(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// moduleState is the system-wide state of one module on one target,
+// keyed by content stamp: the translator, the shared single-flight
+// translation cache, the decoded offline-cache contents, and the
+// profile-seeded trace-cache state. It is created once — under the
+// system lock, before any session's machine exists — so the
+// profile-driven relayout of the module happens exactly once.
+type moduleState struct {
+	sys    *System
+	module *core.Module // the canonical (possibly relaid-out) module copy
+	desc   *target.Desc
+	stamp  string
+
+	tr   *codegen.Translator
+	spec *pipeline.Speculator
+
+	// online reports no valid cached translation existed at creation:
+	// sessions JIT on demand and write translations back.
+	online bool
+	// nobj/loaded hold the decoded offline-cache contents on a hit.
+	nobj   *codegen.NativeObject
+	loaded map[string]*codegen.NativeFunc
+
+	// callWeights orders speculation hottest-first when a persisted
+	// profile (Section 4.2) was loaded: function name -> call count.
+	callWeights   map[string]uint64
+	traceStats    trace.Stats
+	profileSeeded bool
+
+	mu      sync.Mutex
+	flushed int // settled translations persisted by the last write-back
+}
+
+// state returns (creating on first use) the shared per-module state for
+// m on d. Modules are identified by content stamp, so two separately
+// compiled but identical modules share one state; the first caller's
+// module object becomes the canonical copy every session executes.
+func (sys *System) state(m *core.Module, d *target.Desc) (*moduleState, error) {
+	enc, err := obj.Encode(m)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModule, err)
+	}
+	stamp := Stamp(enc)
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
+	if sys.closed {
+		return nil, errors.New("llee: system is closed")
+	}
+	key := stamp + ":" + d.Name
+	if ms := sys.mods[key]; ms != nil {
+		return ms, nil
+	}
+	tr, err := codegen.New(d, m)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModule, err)
+	}
+	ms := &moduleState{sys: sys, module: m, desc: d, stamp: stamp, tr: tr, online: true}
+	if sys.storage != nil {
+		// The paper's translation strategy: look for a cached
+		// translation, validate its stamp, and fall back to online
+		// translation when any condition fails. A corrupt entry is a
+		// miss — evicted and surfaced through telemetry, never an error.
+		nobj, ok, err := ms.readCache()
+		if err != nil && !errors.Is(err, errCorruptCache) {
+			return nil, err
+		}
+		if ok {
+			ms.nobj = nobj
+			ms.loaded = make(map[string]*codegen.NativeFunc, len(nobj.Funcs))
+			for _, nf := range nobj.Funcs {
+				ms.loaded[nf.Name] = nf
+			}
+			ms.online = false
+			sys.tele.Counter(MetricCacheHits).Inc()
+			sys.tele.Events().Emit(telemetry.EvCacheHit, ms.cacheKey(), 0)
+		} else {
+			sys.tele.Counter(MetricCacheMisses).Inc()
+			sys.tele.Events().Emit(telemetry.EvCacheMiss, ms.cacheKey(), 0)
+		}
+		// A persisted profile (Section 4.2) seeds the software trace
+		// cache once per module state; on the online path it also
+		// re-lays out the virtual object code — here, before any session
+		// machine or translation exists, so every session sees one
+		// consistent block order.
+		if err := ms.seedTraceCache(ms.online); err != nil {
+			return nil, err
+		}
+	}
+	ms.spec = pipeline.NewSpeculator(tr, sys.workers, sys.tele)
+	sys.mods[key] = ms
+	return ms, nil
+}
+
+func (ms *moduleState) cacheKey() string {
+	return "native:" + ms.module.Name + ":" + ms.desc.Name
+}
+
+// cachedObject is the serialized cache payload.
+type cachedObject struct {
+	TargetName string
+	Module     string
+	Funcs      []*codegen.NativeFunc
+}
+
+// evictCache deletes a dead (stale or corrupt) cache blob so garbage
+// does not accumulate across recompiles. Best-effort: a failed delete
+// is surfaced through telemetry, never as an execution error.
+func (ms *moduleState) evictCache(key string) {
+	tele := ms.sys.tele
+	if err := ms.sys.storage.Delete(key); err != nil {
+		tele.Events().Emit(telemetry.EvCacheEvicted, key+": "+err.Error(), -1)
+		return
+	}
+	tele.Counter(MetricCacheEvictions).Inc()
+	tele.Events().Emit(telemetry.EvCacheEvicted, key, 0)
+}
+
+func (ms *moduleState) readCache() (*codegen.NativeObject, bool, error) {
+	tele := ms.sys.tele
+	data, stamp, ok, err := ms.sys.storage.Read(ms.cacheKey())
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if stamp != ms.stamp {
+		// Out-of-date translation: ignore it (the paper's timestamp
+		// check failing) and evict the dead blob.
+		tele.Counter(MetricStampMismatches).Inc()
+		tele.Events().Emit(telemetry.EvStampMismatch, ms.cacheKey(), 0)
+		ms.evictCache(ms.cacheKey())
+		return nil, false, nil
+	}
+	co, err := decodeCachedObject(data)
+	if err != nil {
+		tele.Counter(MetricCacheCorrupt).Inc()
+		tele.Events().Emit(telemetry.EvCacheCorrupt, ms.cacheKey(), 0)
+		ms.evictCache(ms.cacheKey())
+		return nil, false, fmt.Errorf("llee: %w", err)
+	}
+	nobj := &codegen.NativeObject{TargetName: co.TargetName, Module: co.Module}
+	for _, f := range co.Funcs {
+		nobj.Add(f)
+	}
+	return nobj, true, nil
+}
+
+func (ms *moduleState) writeCache(funcs []*codegen.NativeFunc) error {
+	co := cachedObject{TargetName: ms.desc.Name, Module: ms.module.Name, Funcs: funcs}
+	return ms.sys.storage.Write(ms.cacheKey(), ms.stamp, encodeCachedObject(&co))
+}
+
+// writeBack persists the shared cache's settled translations — demanded
+// by any session plus unconsumed speculative ones — merged with the
+// offline-cache contents decoded at creation. It never re-reads
+// storage, and skips the write when nothing settled since the last
+// flush. Called after every online run and at System.Close.
+func (ms *moduleState) writeBack() error {
+	if ms.sys.storage == nil {
+		return nil
+	}
+	done := ms.spec.Completed()
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if len(done) == 0 || len(done) == ms.flushed {
+		return nil
+	}
+	if err := ms.writeCache(mergeForWriteBack(ms.module, ms.loaded, done)); err != nil {
+		return err
+	}
+	ms.flushed = len(done)
+	return nil
+}
+
+// mergeForWriteBack merges previously cached translations with fresh
+// ones (fresh wins on collision) and returns them in module function
+// order — the deterministic cache layout. Names that are not module
+// functions are dropped.
+func mergeForWriteBack(m *core.Module, cached, fresh map[string]*codegen.NativeFunc) []*codegen.NativeFunc {
+	merged := make(map[string]*codegen.NativeFunc, len(cached)+len(fresh))
+	for n, f := range cached {
+		merged[n] = f
+	}
+	for n, f := range fresh {
+		merged[n] = f
+	}
+	funcs := make([]*codegen.NativeFunc, 0, len(merged))
+	for _, f := range m.Functions {
+		if nf, ok := merged[f.Name()]; ok {
+			funcs = append(funcs, nf)
+		}
+	}
+	return funcs
+}
+
+// translateModule compiles the whole module on the worker pool and
+// records the batch in telemetry.
+func (ms *moduleState) translateModule() (*codegen.NativeObject, error) {
+	tele := ms.sys.tele
+	tele.Events().Emit(telemetry.EvTranslateStart, ms.module.Name, int64(len(ms.module.Functions)))
+	start := time.Now()
+	nobj, err := pipeline.TranslateModule(ms.tr, ms.sys.workers, tele)
+	if err != nil {
+		return nil, err
+	}
+	ms.sys.recordTranslate(ms.module.Name, time.Since(start).Nanoseconds(), len(nobj.Funcs))
+	return nobj, nil
+}
+
+// translateOffline compiles the whole module and stores it in the cache
+// without executing anything — the paper's "flagging it for translation
+// and not actual execution" during OS idle time.
+func (ms *moduleState) translateOffline() error {
+	if ms.sys.storage == nil {
+		return fmt.Errorf("llee: offline translation requires the storage API")
+	}
+	nobj, err := ms.translateModule()
+	if err != nil {
+		return err
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.writeCache(nobj.Funcs)
+}

@@ -26,37 +26,15 @@ const (
 	MetricTraceRelaid    = "llee.trace.relaid_functions"
 )
 
-// Telemetry returns the manager's metric registry (shared with its
-// machine). Pass WithTelemetry to aggregate several managers into one.
-func (mg *Manager) Telemetry() *telemetry.Registry { return mg.tele }
-
-// TraceCacheStats reports the state of the software trace cache seeded
-// from the persisted profile (zero value when no profile was loaded).
-func (mg *Manager) TraceCacheStats() trace.Stats { return mg.traceStats }
-
-// ProfileSeeded reports whether a valid persisted profile was reloaded.
-func (mg *Manager) ProfileSeeded() bool { return mg.profileSeeded }
-
-// syncStats refreshes the API-compatible Stats snapshot from the
-// telemetry registry — the registry is the single source of truth.
-func (mg *Manager) syncStats() {
-	t := mg.tele
-	mg.Stats.CacheHit = t.CounterValue(MetricCacheHits) > 0
-	mg.Stats.CacheMisses = int(t.CounterValue(MetricCacheMisses))
-	mg.Stats.Translations = int(t.CounterValue(MetricTranslations))
-	mg.Stats.TranslateNS = t.Histogram(MetricTranslateNS).Sum()
-	mg.Stats.Invalidations = int(t.CounterValue(MetricInvalidations))
-}
-
 // recordTranslate accounts one translation batch (n functions, ns total).
-func (mg *Manager) recordTranslate(name string, ns int64, n int) {
-	mg.tele.Histogram(MetricTranslateNS).Observe(ns)
-	mg.tele.Counter(MetricTranslations).Add(uint64(n))
-	mg.tele.Events().Emit(telemetry.EvTranslateEnd, name, ns)
+func (sys *System) recordTranslate(name string, ns int64, n int) {
+	sys.tele.Histogram(MetricTranslateNS).Observe(ns)
+	sys.tele.Counter(MetricTranslations).Add(uint64(n))
+	sys.tele.Events().Emit(telemetry.EvTranslateEnd, name, ns)
 }
 
 // recordTraceStats publishes software-trace-cache state.
-func (mg *Manager) recordTraceStats(st trace.Stats) {
-	st.Export(mg.tele)
-	mg.tele.Events().Emit(telemetry.EvTraceFormed, mg.Module.Name, int64(st.Traces))
+func (ms *moduleState) recordTraceStats(st trace.Stats) {
+	st.Export(ms.sys.tele)
+	ms.sys.tele.Events().Emit(telemetry.EvTraceFormed, ms.module.Name, int64(st.Traces))
 }

@@ -1,0 +1,28 @@
+package machine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCanceled reports that RunContext stopped because its context was
+// done. The concrete error is always a *CancelError; the returned chain
+// matches both errors.Is(err, ErrCanceled) and errors.Is(err, ctx.Err()).
+var ErrCanceled = errors.New("machine: execution canceled")
+
+// CancelError is returned when a context stops execution. Cancellation
+// is honored only at basic-block boundaries, so the machine state is
+// consistent: the block at PC either ran to completion or never
+// started, every retired instruction is accounted, and the virtual
+// clock (Stats.Cycles) is exact.
+type CancelError struct {
+	PC  uint64 // the next program counter at the boundary
+	Err error  // the context's verdict: context.Canceled or context.DeadlineExceeded
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("machine: run canceled at pc=0x%x: %v", e.PC, e.Err)
+}
+
+// Unwrap makes the error match both ErrCanceled and the context error.
+func (e *CancelError) Unwrap() []error { return []error{ErrCanceled, e.Err} }

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -85,8 +86,20 @@ func canonFloat(size uint8, bits uint64) uint64 {
 }
 
 // Run executes the named function to completion and returns the integer
-// return register value.
+// return register value. It is RunContext with a background context:
+// uncancellable, and byte-for-byte the same execution.
 func (mc *Machine) Run(entry string, args ...uint64) (uint64, error) {
+	return mc.RunContext(context.Background(), entry, args...)
+}
+
+// RunContext executes the named function to completion or until ctx is
+// done. Cancellation is polled at basic-block boundaries only — a nil
+// Done channel (context.Background) costs one pointer compare per
+// block, a live one a non-blocking select — so cycle and instruction
+// counts of uncancellable runs are identical to Run. On cancellation
+// the returned error is a *CancelError matching both ErrCanceled and
+// ctx.Err() under errors.Is.
+func (mc *Machine) RunContext(ctx context.Context, entry string, args ...uint64) (uint64, error) {
 	addr, ok := mc.funcAddr[entry]
 	if !ok {
 		// Entry may need a lazy stub (JIT mode).
@@ -153,7 +166,9 @@ func (mc *Machine) Run(entry string, args ...uint64) (uint64, error) {
 	}
 	mc.pc = addr
 
+	mc.runCtx = ctx
 	err := mc.loop()
+	mc.runCtx = nil
 	mc.recordRunEnd(err)
 	if err != nil {
 		return mc.regs[d.RetReg], err
@@ -165,13 +180,21 @@ func (mc *Machine) Run(entry string, args ...uint64) (uint64, error) {
 func (mc *Machine) FPResult() uint64 { return mc.regs[mc.desc.FPRetReg] }
 
 // loop drives the block engine: fetch (or chain to) the block at the
-// current PC and execute it whole. The instruction limit is checked at
-// block granularity — a block is at most maxBlockInstrs long, so the
-// overshoot is bounded and the per-instruction compare is gone.
+// current PC and execute it whole. The instruction limit and context
+// cancellation are checked at block granularity — a block is at most
+// maxBlockInstrs long, so the overshoot is bounded and the
+// per-instruction compares are gone.
 func (mc *Machine) loop() error {
 	max := mc.MaxInstrs
 	if max == 0 {
 		max = 2_000_000_000
+	}
+	// Done() of an uncancellable context is nil: the poll degenerates to
+	// one nil compare per block and execution is bit-identical to a run
+	// without a context.
+	var done <-chan struct{}
+	if mc.runCtx != nil {
+		done = mc.runCtx.Done()
 	}
 	var b *block
 	var err error
@@ -182,6 +205,13 @@ func (mc *Machine) loop() error {
 			}
 			if b, err = mc.blockFor(mc.pc); err != nil {
 				return err
+			}
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return &CancelError{PC: mc.pc, Err: mc.runCtx.Err()}
+			default:
 			}
 		}
 		if mc.Stats.Instrs >= max {

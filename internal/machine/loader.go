@@ -8,6 +8,7 @@
 package machine
 
 import (
+	"context"
 	"fmt"
 
 	"llva/internal/codegen"
@@ -86,6 +87,10 @@ type Machine struct {
 
 	// MaxInstrs bounds execution (0 = 2 billion).
 	MaxInstrs uint64
+
+	// runCtx is the active RunContext's context, polled at block
+	// boundaries by loop(); nil outside a run.
+	runCtx context.Context
 
 	haltAddr uint64
 

@@ -9,6 +9,7 @@
 package rt
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -16,11 +17,19 @@ import (
 	"llva/internal/mem"
 )
 
+// ErrExit matches any ExitError under errors.Is — for callers that only
+// need "the program exited" without the concrete type (the exit code is
+// still reachable with errors.As).
+var ErrExit = errors.New("rt: program exited")
+
 // ExitError signals that the program called exit(); it unwinds execution
 // engines without being a fault.
 type ExitError struct{ Code int }
 
 func (e *ExitError) Error() string { return fmt.Sprintf("program exited with status %d", e.Code) }
+
+// Is makes every ExitError match the ErrExit sentinel.
+func (e *ExitError) Is(target error) bool { return target == ErrExit }
 
 // Fn is a native function callable from LLVA code.
 type Fn func(e *Env, args []uint64) (uint64, error)
