@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent race-llee tier1 bench bench-smoke fmt-check
+.PHONY: all build vet test race race-concurrent race-llee race-codegen tier1 bench bench-compare bench-smoke fmt-check
 
 all: tier1
 
@@ -33,9 +33,23 @@ race-concurrent:
 race-llee:
 	$(GO) test -race ./internal/llee/... ./internal/machine/...
 
-# Regenerate the paper's Table 2 with registry-sourced telemetry.
+# race-codegen runs the translator tests — including the randomized
+# allocator differential test — under the race detector; TranslateFunction
+# must stay safe to call concurrently on one Translator.
+race-codegen:
+	$(GO) test -race ./internal/codegen/...
+
+# Regenerate the paper's Table 2 with registry-sourced telemetry,
+# archived under bench/ with the run date.
 bench:
-	$(GO) run ./cmd/llva-bench -json
+	$(GO) run ./cmd/llva-bench -json | tee bench/BENCH_$$(date +%Y-%m-%d).json
+
+# bench-compare re-measures the deterministic Table 2 columns and diffs
+# them against the committed baseline; exits non-zero on any code-size,
+# instruction-count or cycle regression.
+BENCH_BASELINE ?= bench/BENCH_2026-08-05_regalloc.json
+bench-compare:
+	$(GO) run ./cmd/llva-bench -compare $(BENCH_BASELINE)
 
 # bench-smoke compiles and runs the Table 2 and pipeline benchmarks
 # once, as a CI-cheap check that the benchmarks themselves stay green

@@ -33,6 +33,7 @@ import (
 
 	"llva/internal/codegen"
 	"llva/internal/core"
+	"llva/internal/image"
 	"llva/internal/llee"
 	"llva/internal/llee/pipeline"
 	"llva/internal/machine"
@@ -46,10 +47,18 @@ import (
 
 // Row is one Table 2 line.
 type Row struct {
-	Name        string  `json:"name"`
-	PaperName   string  `json:"paper_name"`
-	LOC         int     `json:"loc"`
-	NativeKB    float64 `json:"native_kb"` // vsparc native size
+	Name      string  `json:"name"`
+	PaperName string  `json:"paper_name"`
+	LOC       int     `json:"loc"`
+	NativeKB  float64 `json:"native_kb"` // vsparc native code size
+	// DataKB is the built static data segment, reported separately so
+	// data-dominated modules are visible: the .bc size (LLVAKB) embeds
+	// initialized global data while NativeKB counts code only, which
+	// distorts the size ratio for programs like anagram whose dictionary
+	// rivals their code. (The segment can't simply be added to the native
+	// side: it materializes zero-initialized arrays the .bc encodes in a
+	// few bytes.)
+	DataKB      float64 `json:"data_kb"`
 	LLVAKB      float64 `json:"llva_kb"`
 	NumLLVA     int     `json:"llva_instrs"`
 	NumX86      int     `json:"vx86_instrs"`
@@ -88,6 +97,12 @@ type TelemetryRow struct {
 	SpecJoins      uint64 `json:"spec_joins"`
 	SpecWaste      uint64 `json:"spec_waste"`
 	SpecQueuePeak  int64  `json:"spec_queue_peak"`
+
+	// Register-allocator counters: spill stores / reloads emitted and
+	// total allocation time across the cold run's translations.
+	Spills     uint64 `json:"codegen_spills"`
+	Reloads    uint64 `json:"codegen_reloads"`
+	RegallocNS int64  `json:"codegen_regalloc_ns"`
 }
 
 // measureTelemetry runs the workload through two llee.Systems sharing
@@ -133,6 +148,10 @@ func measureTelemetry(m *core.Module, workers int) (*TelemetryRow, error) {
 		SpecJoins:      reg.CounterValue(pipeline.MetricSpecJoins),
 		SpecWaste:      reg.CounterValue(pipeline.MetricSpecWaste),
 		SpecQueuePeak:  snap.Gauges[pipeline.MetricSpecQueuePeak],
+
+		Spills:     reg.CounterValue(codegen.MetricSpills),
+		Reloads:    reg.CounterValue(codegen.MetricReloads),
+		RegallocNS: reg.Histogram(codegen.MetricRegallocNS).Sum(),
 	}, nil
 }
 
@@ -151,12 +170,18 @@ func Measure(w *workloads.Workload, optimize bool, workers int) (*Row, error) {
 	}
 	row := &Row{Name: w.Name, PaperName: w.PaperName, LOC: w.LOC()}
 
-	// Virtual object code size (paper column 4).
+	// Virtual object code size (paper column 4) and the static data
+	// segment, reported separately so code compares with code (E1).
 	enc, err := obj.Encode(m)
 	if err != nil {
 		return nil, err
 	}
 	row.LLVAKB = float64(len(enc)) / 1024
+	img, err := image.Build(m, mem.NullGuard)
+	if err != nil {
+		return nil, err
+	}
+	row.DataKB = float64(len(img.Bytes)) / 1024
 
 	for _, f := range m.Functions {
 		row.NumLLVA += f.NumInstructions()
@@ -213,12 +238,73 @@ func Measure(w *workloads.Workload, optimize bool, workers int) (*Row, error) {
 	return row, nil
 }
 
+// compareRows diffs freshly measured rows against a baseline on the
+// deterministic Table 2 columns. Identity columns (LOC, #LLVA, LLVA KB)
+// changing at all means the workloads or front end drifted and the
+// baseline must be re-recorded; native columns (#vx86, #vsparc, native
+// size, virtual cycles) increasing means a code-quality regression.
+// Decreases are improvements: reported, not fatal.
+func compareRows(old, cur []*Row) (bad bool) {
+	oldBy := make(map[string]*Row, len(old))
+	for _, r := range old {
+		oldBy[r.Name] = r
+	}
+	flag := func(name, col string, o, n float64, fatal bool) {
+		if n == o {
+			return
+		}
+		mark := "improved"
+		if n > o {
+			if fatal {
+				mark = "REGRESSION"
+				bad = true
+			} else {
+				mark = "DRIFT"
+				bad = true
+			}
+		} else if fatal {
+			mark = "improved"
+		} else {
+			mark = "DRIFT"
+			bad = true
+		}
+		fmt.Printf("%-12s %-14s %12.4f -> %12.4f  %+8.2f%%  %s\n",
+			name, col, o, n, 100*(n-o)/o, mark)
+	}
+	for _, r := range cur {
+		o := oldBy[r.Name]
+		if o == nil {
+			fmt.Printf("%-12s not in baseline\n", r.Name)
+			bad = true
+			continue
+		}
+		delete(oldBy, r.Name)
+		flag(r.Name, "loc", float64(o.LOC), float64(r.LOC), false)
+		flag(r.Name, "llva_kb", o.LLVAKB, r.LLVAKB, false)
+		flag(r.Name, "llva_instrs", float64(o.NumLLVA), float64(r.NumLLVA), false)
+		flag(r.Name, "data_kb", o.DataKB, r.DataKB, false)
+		flag(r.Name, "native_kb", o.NativeKB, r.NativeKB, true)
+		flag(r.Name, "vx86_instrs", float64(o.NumX86), float64(r.NumX86), true)
+		flag(r.Name, "vsparc_instrs", float64(o.NumSparc), float64(r.NumSparc), true)
+		flag(r.Name, "cycles", o.RunVirtualS*1e9, r.RunVirtualS*1e9, true)
+	}
+	for name := range oldBy {
+		fmt.Printf("%-12s in baseline but not measured\n", name)
+		bad = true
+	}
+	if !bad {
+		fmt.Printf("compare: %d workloads match the baseline on all deterministic columns\n", len(cur))
+	}
+	return bad
+}
+
 func main() {
 	one := flag.String("workload", "", "measure a single workload")
 	noOpt := flag.Bool("O0", false, "skip the link-time O2 pipeline")
 	md := flag.Bool("md", false, "emit a Markdown table")
 	jsonOut := flag.Bool("json", false, "emit machine-readable rows with manager telemetry")
 	workers := flag.Int("translate-workers", 0, "translation worker-pool size (0: one per CPU; 1: serial, the paper's setup)")
+	compare := flag.String("compare", "", "baseline bench JSON: diff deterministic columns against a fresh measurement and exit non-zero on regression")
 	flag.Parse()
 
 	suite := workloads.All()
@@ -256,6 +342,23 @@ func main() {
 		rows = append(rows, row)
 	}
 
+	if *compare != "" {
+		data, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llva-bench: %v\n", err)
+			os.Exit(2)
+		}
+		var old []*Row
+		if err := json.Unmarshal(data, &old); err != nil {
+			fmt.Fprintf(os.Stderr, "llva-bench: %s: %v\n", *compare, err)
+			os.Exit(2)
+		}
+		if compareRows(old, rows) {
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -267,24 +370,24 @@ func main() {
 	}
 
 	if *md {
-		fmt.Println("| Program | LOC | Native KB | LLVA KB | #LLVA | #vx86 | Ratio | #vsparc | Ratio | Translate (s) | Run (s, virtual) | Tr/Run |")
-		fmt.Println("|---|---|---|---|---|---|---|---|---|---|---|---|")
+		fmt.Println("| Program | LOC | Native KB | Data KB | LLVA KB | #LLVA | #vx86 | Ratio | #vsparc | Ratio | Translate (s) | Run (s, virtual) | Tr/Run |")
+		fmt.Println("|---|---|---|---|---|---|---|---|---|---|---|---|---|")
 		for _, r := range rows {
-			fmt.Printf("| %s | %d | %.1f | %.1f | %d | %d | %.2f | %d | %.2f | %.4f | %.4f | %.3f |\n",
-				r.PaperName, r.LOC, r.NativeKB, r.LLVAKB, r.NumLLVA,
+			fmt.Printf("| %s | %d | %.1f | %.1f | %.1f | %d | %d | %.2f | %d | %.2f | %.4f | %.4f | %.3f |\n",
+				r.PaperName, r.LOC, r.NativeKB, r.DataKB, r.LLVAKB, r.NumLLVA,
 				r.NumX86, r.RatioX86, r.NumSparc, r.RatioSparc,
 				r.TranslateS, r.RunVirtualS, r.Ratio)
 		}
 		return
 	}
 
-	fmt.Printf("%-18s %5s %9s %8s %7s %7s %6s %8s %6s %10s %10s %7s\n",
-		"Program", "LOC", "NativeKB", "LLVAKB", "#LLVA", "#vx86", "ratio",
+	fmt.Printf("%-18s %5s %9s %7s %8s %7s %7s %6s %8s %6s %10s %10s %7s\n",
+		"Program", "LOC", "NativeKB", "DataKB", "LLVAKB", "#LLVA", "#vx86", "ratio",
 		"#vsparc", "ratio", "Transl(s)", "Run(s)", "Tr/Run")
 	var sumRX, sumRS float64
 	for _, r := range rows {
-		fmt.Printf("%-18s %5d %9.1f %8.1f %7d %7d %6.2f %8d %6.2f %10.4f %10.4f %7.3f\n",
-			r.PaperName, r.LOC, r.NativeKB, r.LLVAKB, r.NumLLVA,
+		fmt.Printf("%-18s %5d %9.1f %7.1f %8.1f %7d %7d %6.2f %8d %6.2f %10.4f %10.4f %7.3f\n",
+			r.PaperName, r.LOC, r.NativeKB, r.DataKB, r.LLVAKB, r.NumLLVA,
 			r.NumX86, r.RatioX86, r.NumSparc, r.RatioSparc,
 			r.TranslateS, r.RunVirtualS, r.Ratio)
 		sumRX += r.RatioX86
@@ -298,5 +401,6 @@ func main() {
 		nat += r.NativeKB
 		llva += r.LLVAKB
 	}
-	fmt.Printf("aggregate native/LLVA size ratio: %.2fx (paper: 1.3-2x for large programs)\n", nat/llva)
+	fmt.Printf("aggregate native-code/LLVA size ratio: %.2fx (paper: 1.3-2x for large programs; the LLVA side embeds initialized data — see the DataKB column)\n",
+		nat/llva)
 }

@@ -7,11 +7,14 @@
 // fixed-size allocas in the stack frame, Section 3.2), calling-convention
 // lowering, and register allocation.
 //
-// Two allocators mirror the paper's back-ends: a naive spill-everything
-// allocator ("the x86 back-end performs virtually no optimization and very
-// simple register allocation resulting in significant spill code") and a
-// linear-scan allocator used for vsparc ("the Sparc back-end produces
-// higher quality code").
+// Register allocation is a global linear scan (allocLinear) shared by
+// both back-ends, parameterised over the target's caller-saved and
+// callee-saved register pools and safe across invoke/unwind (values live
+// into an unwind handler are spilled to frame slots, since the unwinder
+// restores only SP and FP). The paper's naive spill-everything allocator
+// ("the x86 back-end performs virtually no optimization and very simple
+// register allocation resulting in significant spill code") survives as
+// a differential-testing oracle behind UseSpillAllocator.
 //
 // The translator runs in offline mode (whole module) or JIT mode (one
 // function at a time, on demand) — both produce identical code.
@@ -19,9 +22,11 @@ package codegen
 
 import (
 	"fmt"
+	"time"
 
 	"llva/internal/core"
 	"llva/internal/target"
+	"llva/internal/telemetry"
 )
 
 // NativeFunc is the translated native code of one function.
@@ -77,11 +82,25 @@ func (o *NativeObject) NumInstrs() int {
 	return n
 }
 
+// Metric names published to a shared registry via SetTelemetry.
+const (
+	MetricSpills     = "codegen.spills"
+	MetricReloads    = "codegen.reloads"
+	MetricRegallocNS = "codegen.regalloc_ns"
+)
+
 // Translator compiles a module's functions for one target.
 type Translator struct {
 	desc *target.Desc
 	m    *core.Module
 	lay  core.Layout
+
+	// spillOnly forces the naive allocator (test oracle).
+	spillOnly bool
+
+	// telemetry handles; nil until SetTelemetry wires them
+	spills, reloads *telemetry.Counter
+	regallocNS      *telemetry.Histogram
 }
 
 // New creates a translator for module m targeting desc. The simulated
@@ -102,6 +121,22 @@ func New(desc *target.Desc, m *core.Module) (*Translator, error) {
 
 // Target returns the target description.
 func (t *Translator) Target() *target.Desc { return t.desc }
+
+// SetTelemetry publishes the translator's counters into reg: spill
+// stores and reloads emitted by register allocation (codegen.spills /
+// codegen.reloads) and per-function allocation time
+// (codegen.regalloc_ns). Call it before translation begins; the handles
+// are atomic, so concurrent TranslateFunction calls remain safe.
+func (t *Translator) SetTelemetry(reg *telemetry.Registry) {
+	t.spills = reg.Counter(MetricSpills)
+	t.reloads = reg.Counter(MetricReloads)
+	t.regallocNS = reg.Histogram(MetricRegallocNS)
+}
+
+// UseSpillAllocator forces the paper's naive spill-everything allocator
+// for every function. It survives as the differential-testing oracle for
+// the global linear-scan allocator.
+func (t *Translator) UseSpillAllocator(on bool) { t.spillOnly = on }
 
 // Module returns the module being translated.
 func (t *Translator) Module() *core.Module { return t.m }
@@ -135,14 +170,20 @@ func (t *Translator) TranslateFunction(f *core.Function) (nf *NativeFunc, err er
 	sel := newSelector(t, f)
 	sel.run()
 
-	// Register allocation: linear scan where the target has registers to
-	// spare, spill-everything otherwise. Functions containing invoke fall
-	// back to spill-everything even on vsparc, because the unwinder
-	// restores SP/FP but not callee-saved registers (DESIGN.md).
-	if t.desc.StackArgs || sel.hasInvoke {
+	// Register allocation: the global linear scan handles both targets
+	// and invoke-containing functions (values live into an unwind handler
+	// are force-spilled; see allocLinear). The naive allocator runs only
+	// as the differential-testing oracle.
+	start := time.Now()
+	if t.spillOnly {
 		allocSpill(sel)
 	} else {
 		allocLinear(sel)
+	}
+	if t.regallocNS != nil {
+		t.regallocNS.Observe(time.Since(start).Nanoseconds())
+		t.spills.Add(uint64(sel.nSpillStores))
+		t.reloads.Add(uint64(sel.nSpillLoads))
 	}
 
 	addFrame(sel)

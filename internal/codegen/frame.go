@@ -18,7 +18,7 @@ func addFrame(s *selector) {
 
 func addFrameVX86(s *selector) {
 	d := s.desc
-	frame := int64(s.allocaBytes + s.spillBytes)
+	frame := int64(s.saveArea) + int64(s.allocaBytes+s.spillBytes)
 	frame = (frame + 15) &^ 15
 
 	prologue := []target.MInstr{
@@ -28,11 +28,20 @@ func addFrameVX86(s *selector) {
 	if frame > 0 {
 		prologue = append(prologue, target.MInstr{Op: target.MAdjSP, Imm: -frame})
 	}
-	epilogue := []target.MInstr{
-		{Op: target.MMovRR, Rd: d.SP, Rs1: d.FP},
-		{Op: target.MPop, Rd: d.FP},
-		{Op: target.MRet},
+	// Callee-saved registers actually used by this function, in the save
+	// area directly below FP.
+	for i, r := range s.savedRegs {
+		prologue = frameInstrs(prologue, d, target.MStore, r, int32(-8*(i+1)), r.IsFP())
 	}
+	var epilogue []target.MInstr
+	for i, r := range s.savedRegs {
+		epilogue = frameInstrs(epilogue, d, target.MLoad, r, int32(-8*(i+1)), r.IsFP())
+	}
+	epilogue = append(epilogue,
+		target.MInstr{Op: target.MMovRR, Rd: d.SP, Rs1: d.FP},
+		target.MInstr{Op: target.MPop, Rd: d.FP},
+		target.MInstr{Op: target.MRet},
+	)
 	s.code = append(prologue, s.code...)
 	for i := range s.blockStart {
 		s.blockStart[i] += len(prologue)
@@ -57,46 +66,23 @@ func addFrameVSPARC(s *selector) {
 	prologue = append(prologue, synthImmInto(target.Reg(31), frame, d)...)
 	prologue = append(prologue, target.MInstr{Op: target.MALU, Alu: target.AAdd,
 		Rd: d.FP, Rs1: d.SP, Rs2: 31, Size: 8})
-	// frameAccess emits a save-area access, synthesizing the address via
-	// the assembler temporary when the displacement exceeds disp9 range
-	// (save slots can reach -288 with many callee-saved registers).
-	frameAccess := func(list []target.MInstr, op target.MOp, r target.Reg, disp int32) []target.MInstr {
-		if disp >= -256 && disp <= 255 {
-			mi := target.MInstr{Op: op, Base: d.FP, Index: target.NoReg,
-				Disp: disp, Size: 8, FP: r.IsFP()}
-			if op == target.MLoad {
-				mi.Rd = r
-			} else {
-				mi.Rs1 = r
-			}
-			return append(list, mi)
-		}
-		list = append(list, synthImmInto(target.Reg(31), int64(disp), d)...)
-		list = append(list, target.MInstr{Op: target.MALU, Alu: target.AAdd,
-			Rd: 31, Rs1: d.FP, Rs2: 31, Size: 8})
-		mi := target.MInstr{Op: op, Base: 31, Index: target.NoReg, Size: 8, FP: r.IsFP()}
-		if op == target.MLoad {
-			mi.Rd = r
-		} else {
-			mi.Rs1 = r
-		}
-		return append(list, mi)
-	}
-
-	// Save return address and the caller's FP at the top of the frame.
-	prologue = frameAccess(prologue, target.MStore, target.Reg(3), -8) // RA
-	prologue = frameAccess(prologue, target.MStore, oldFPTmp, -16)
+	// Save return address and the caller's FP at the top of the frame
+	// (frameInstrs synthesizes the address via the assembler temporary
+	// when a save slot exceeds disp9 range; slots can reach -288 with
+	// many callee-saved registers).
+	prologue = frameInstrs(prologue, d, target.MStore, target.Reg(3), -8, false) // RA
+	prologue = frameInstrs(prologue, d, target.MStore, oldFPTmp, -16, false)
 	// Callee-saved registers actually used by this function.
 	for i, r := range s.savedRegs {
-		prologue = frameAccess(prologue, target.MStore, r, int32(-24-8*i))
+		prologue = frameInstrs(prologue, d, target.MStore, r, int32(-24-8*i), r.IsFP())
 	}
 
 	var epilogue []target.MInstr
 	for i, r := range s.savedRegs {
-		epilogue = frameAccess(epilogue, target.MLoad, r, int32(-24-8*i))
+		epilogue = frameInstrs(epilogue, d, target.MLoad, r, int32(-24-8*i), r.IsFP())
 	}
-	epilogue = frameAccess(epilogue, target.MLoad, target.Reg(3), -8)
-	epilogue = frameAccess(epilogue, target.MLoad, oldFPTmp, -16)
+	epilogue = frameInstrs(epilogue, d, target.MLoad, target.Reg(3), -8, false)
+	epilogue = frameInstrs(epilogue, d, target.MLoad, oldFPTmp, -16, false)
 	epilogue = append(epilogue,
 		target.MInstr{Op: target.MMovRR, Rd: d.SP, Rs1: d.FP},
 		target.MInstr{Op: target.MMovRR, Rd: d.FP, Rs1: oldFPTmp},

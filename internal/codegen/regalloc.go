@@ -115,28 +115,12 @@ func rewriteWithSlots(s *selector, slotOf map[target.Reg]int32, assigned map[tar
 
 	emitFrame := func(op target.MOp, reg target.Reg, disp int32, fp bool) {
 		// Spill slots always hold the full canonical 64-bit value.
-		if d.WordSize == 4 && (disp < -256 || disp > 255) {
-			at := target.Reg(31)
-			out = append(out, synthImmInto(at, int64(disp), d)...)
-			out = append(out, target.MInstr{Op: target.MALU, Alu: target.AAdd,
-				Rd: at, Rs1: d.FP, Rs2: at, Size: 8})
-			mi := target.MInstr{Op: op, Base: at, Index: target.NoReg, Size: 8, FP: fp}
-			if op == target.MLoad {
-				mi.Rd = reg
-			} else {
-				mi.Rs1 = reg
-			}
-			out = append(out, mi)
-			return
-		}
-		mi := target.MInstr{Op: op, Base: d.FP, Index: target.NoReg,
-			Disp: disp, Size: 8, FP: fp}
 		if op == target.MLoad {
-			mi.Rd = reg
+			s.nSpillLoads++
 		} else {
-			mi.Rs1 = reg
+			s.nSpillStores++
 		}
-		out = append(out, mi)
+		out = frameInstrs(out, d, op, reg, disp, fp)
 	}
 
 	// One-instruction forwarding window: the most recent definition stays
@@ -157,15 +141,14 @@ func rewriteWithSlots(s *selector, slotOf map[target.Reg]int32, assigned map[tar
 		}
 		in := s.code[i] // copy
 
-		// Spill-path peepholes (vx86 CISC shapes):
+		// Post-allocation peepholes over values still in slots (a vreg is
+		// never both spilled and assigned, so slotOf membership decides):
 		// 1. A register-register move between two spilled values is a
 		//    load + store, not load + mov + store.
 		if in.Op == target.MMovRR && in.Rd.IsVirtual() && in.Rs1.IsVirtual() {
 			_, dSp := slotOf[in.Rd]
 			_, sSp := slotOf[in.Rs1]
-			_, dAs := assigned[in.Rd]
-			_, sAs := assigned[in.Rs1]
-			if dSp && sSp && !dAs && !sAs {
+			if dSp && sSp {
 				sc := d.Scratch[0]
 				if s.isFPReg(in.Rs1) {
 					sc = d.FPScratch[0]
@@ -184,13 +167,12 @@ func rewriteWithSlots(s *selector, slotOf map[target.Reg]int32, assigned map[tar
 		if in.Op == target.MALU && d.MemOperands && !in.HasImm && !in.HasMem &&
 			in.Rs2.IsVirtual() && !(in.FP && in.Size == 4) {
 			if sl, sp := slotOf[in.Rs2]; sp {
-				if _, as := assigned[in.Rs2]; !as {
-					in.HasMem = true
-					in.Base = d.FP
-					in.Index = target.NoReg
-					in.Disp = s.slotDisp(sl)
-					in.Rs2 = target.NoReg
-				}
+				in.HasMem = true
+				in.Base = d.FP
+				in.Index = target.NoReg
+				in.Disp = s.slotDisp(sl)
+				in.Rs2 = target.NoReg
+				s.nSpillLoads++
 			}
 		}
 
@@ -275,6 +257,14 @@ func rewriteWithSlots(s *selector, slotOf map[target.Reg]int32, assigned map[tar
 		}
 		def := instrDef(&in)
 		replaceRegs(&in, mapReg)
+		// Coalescing: a register-register move whose source and
+		// destination landed in the same physical register is a no-op
+		// (common for phi carriers and their phis with disjoint ranges).
+		if in.Op == target.MMovRR && in.Rd == in.Rs1 {
+			if _, sp := slotOf[def]; !sp {
+				continue
+			}
+		}
 		out = append(out, in)
 		// Store a spilled definition.
 		if def.IsVirtual() {
@@ -319,8 +309,32 @@ func rewriteWithSlots(s *selector, slotOf map[target.Reg]int32, assigned map[tar
 	s.blockStart = newBlockStart
 }
 
-// synthImmInto builds the movi sequence for an immediate outside the
-// rewriting context (mirrors selector.synthImm).
+// frameInstrs appends one 64-bit FP-relative frame-slot access,
+// synthesizing the address through the assembler temporary when the
+// displacement exceeds the target's range (vsparc disp9). All register
+// save/restore and spill traffic in the back-end funnels through here.
+func frameInstrs(list []target.MInstr, d *target.Desc, op target.MOp,
+	reg target.Reg, disp int32, fp bool) []target.MInstr {
+	base := d.FP
+	if d.WordSize == 4 && (disp < -256 || disp > 255) {
+		at := target.Reg(31)
+		list = append(list, synthImmInto(at, int64(disp), d)...)
+		list = append(list, target.MInstr{Op: target.MALU, Alu: target.AAdd,
+			Rd: at, Rs1: base, Rs2: at, Size: 8})
+		base, disp = at, 0
+	}
+	mi := target.MInstr{Op: op, Base: base, Index: target.NoReg, Disp: disp,
+		Size: 8, FP: fp}
+	if op == target.MLoad {
+		mi.Rd = reg
+	} else {
+		mi.Rs1 = reg
+	}
+	return append(list, mi)
+}
+
+// synthImmInto builds the movi sequence for an immediate (selector.synthImm
+// delegates here; the rewriter and frame lowering call it directly).
 func synthImmInto(reg target.Reg, v int64, d *target.Desc) []target.MInstr {
 	if d.WordSize != 4 {
 		return []target.MInstr{{Op: target.MMovRI, Rd: reg, Imm: v}}
@@ -357,13 +371,30 @@ type interval struct {
 	v          target.Reg
 	start, end int
 	fp         bool
+	cross      bool // live across a call: needs a callee-saved register
 }
 
-// allocLinear is the linear-scan register allocator used by the vsparc
-// back-end ("the Sparc back-end produces higher quality code"). All
-// allocatable registers are callee-saved, so values live across calls
-// need no special handling; the prologue saves exactly the registers the
-// function uses.
+// allocLinear is the global linear-scan register allocator, shared by
+// both back-ends. It computes block-level liveness, builds conservative
+// [min,max] live intervals, and walks them in start order over two pools
+// per register class from target.Desc: caller-saved registers for
+// intervals containing no call, callee-saved registers (saved by the
+// prologue) for intervals that cross one. When every pool is exhausted
+// it spills second-chance style: the active interval ending furthest
+// loses its register to the current one and moves to a frame slot — and
+// a non-crossing victim gets a second chance to relocate into a
+// caller-saved register that has freed up since it was allocated.
+//
+// Two invoke-specific rules keep unwinding — which restores only SP and
+// FP — correct:
+//
+//  1. every value live into an unwind handler block is force-spilled to
+//     a frame slot for its whole interval: even a callee-saved register
+//     copy is unreliable on the unwind path, because the unwound
+//     callees' restoring epilogues never run;
+//  2. values live across the invoke only on the normal path follow the
+//     ordinary call-crossing rule — on a normal return the callee's
+//     epilogue has restored every callee-saved register.
 func allocLinear(s *selector) {
 	n := len(s.code)
 	// Block structure for liveness.
@@ -488,6 +519,31 @@ func allocLinear(s *selector) {
 		}
 	}
 
+	// Call sites (which clobber caller-saved registers) and the values
+	// live into any unwind handler block. Every block ends with a
+	// terminator — never a call — so a value live out of a block whose
+	// last call sits at position p is always touched at a position > p,
+	// and the strict start <= p < end test below is sound even for
+	// intervals wrapping a loop back edge.
+	var callPos []int
+	forceSpill := map[target.Reg]bool{}
+	for i := range s.code {
+		switch s.code[i].Op {
+		case target.MCall, target.MCallInd, target.MCallExt:
+			callPos = append(callPos, i)
+		case target.MInvokePush:
+			if h := int(s.code[i].Target); h <= nb {
+				for v := range liveIn[h] {
+					forceSpill[v] = true
+				}
+			}
+		}
+	}
+	for _, iv := range ivals {
+		j := sort.SearchInts(callPos, iv.start)
+		iv.cross = j < len(callPos) && callPos[j] < iv.end
+	}
+
 	sorted := make([]*interval, 0, len(ivals))
 	for _, iv := range ivals {
 		sorted = append(sorted, iv)
@@ -501,71 +557,128 @@ func allocLinear(s *selector) {
 
 	assigned := map[target.Reg]target.Reg{}
 	slotOf := map[target.Reg]int32{}
-	freeInt := append([]target.Reg(nil), s.desc.Allocatable...)
-	freeFP := append([]target.Reg(nil), s.desc.FPAllocatable...)
+	newSlot := func(v target.Reg) { slotOf[v] = int32(len(slotOf)) }
+
+	calleeInt := append([]target.Reg(nil), s.desc.Allocatable...)
+	calleeFP := append([]target.Reg(nil), s.desc.FPAllocatable...)
+	callerInt := append([]target.Reg(nil), s.desc.CallerSaved...)
+	callerFP := append([]target.Reg(nil), s.desc.FPCallerSaved...)
+	callerSet := map[target.Reg]bool{}
+	for _, r := range s.desc.CallerSaved {
+		callerSet[r] = true
+	}
+	for _, r := range s.desc.FPCallerSaved {
+		callerSet[r] = true
+	}
+
 	type activeEntry struct {
 		iv  *interval
 		reg target.Reg
 	}
 	var active []activeEntry
 
+	release := func(r target.Reg) {
+		switch {
+		case callerSet[r] && r.IsFP():
+			callerFP = append(callerFP, r)
+		case callerSet[r]:
+			callerInt = append(callerInt, r)
+		case r.IsFP():
+			calleeFP = append(calleeFP, r)
+		default:
+			calleeInt = append(calleeInt, r)
+		}
+	}
 	expire := func(pos int) {
 		keep := active[:0]
 		for _, a := range active {
 			if a.iv.end < pos {
-				if a.reg.IsFP() {
-					freeFP = append(freeFP, a.reg)
-				} else {
-					freeInt = append(freeInt, a.reg)
-				}
+				release(a.reg)
 			} else {
 				keep = append(keep, a)
 			}
 		}
 		active = keep
 	}
+	take := func(p *[]target.Reg) target.Reg {
+		if len(*p) == 0 {
+			return target.NoReg
+		}
+		r := (*p)[0]
+		*p = (*p)[1:]
+		return r
+	}
 
 	usedSet := map[target.Reg]bool{}
 	for _, iv := range sorted {
-		expire(iv.start)
-		var free *[]target.Reg
-		if iv.fp {
-			free = &freeFP
-		} else {
-			free = &freeInt
+		if forceSpill[iv.v] {
+			newSlot(iv.v)
+			continue
 		}
-		if len(*free) > 0 {
-			reg := (*free)[0]
-			*free = (*free)[1:]
+		expire(iv.start)
+		// Pool preference: non-crossing intervals take caller-saved
+		// registers first (calls clobber them anyway, so they are free);
+		// crossing intervals may only use callee-saved ones.
+		caller, callee := &callerInt, &calleeInt
+		if iv.fp {
+			caller, callee = &callerFP, &calleeFP
+		}
+		reg := target.NoReg
+		if !iv.cross {
+			reg = take(caller)
+		}
+		if reg == target.NoReg {
+			reg = take(callee)
+		}
+		if reg != target.NoReg {
 			assigned[iv.v] = reg
 			usedSet[reg] = true
 			active = append(active, activeEntry{iv: iv, reg: reg})
 			continue
 		}
-		// Spill the interval ending furthest (current or an active one of
-		// the same class).
+		// Pools exhausted: the active interval of the same class ending
+		// furthest yields its register, provided that register is legal
+		// for the current interval.
 		victim := -1
 		for ai, a := range active {
-			if a.reg.IsFP() == iv.fp && a.iv.end > iv.end {
-				if victim == -1 || a.iv.end > active[victim].iv.end {
-					victim = ai
-				}
+			if a.reg.IsFP() != iv.fp || a.iv.end <= iv.end {
+				continue
+			}
+			if iv.cross && callerSet[a.reg] {
+				continue
+			}
+			if victim == -1 || a.iv.end > active[victim].iv.end {
+				victim = ai
 			}
 		}
-		if victim >= 0 {
-			a := active[victim]
-			slotOf[a.iv.v] = int32(len(slotOf))
-			delete(assigned, a.iv.v)
-			assigned[iv.v] = a.reg
-			active[victim] = activeEntry{iv: iv, reg: a.reg}
-		} else {
-			slotOf[iv.v] = int32(len(slotOf))
+		if victim < 0 {
+			newSlot(iv.v)
+			continue
 		}
+		a := active[victim]
+		assigned[iv.v] = a.reg
+		active[victim] = activeEntry{iv: iv, reg: a.reg}
+		// Second chance: a non-crossing victim may relocate into a
+		// caller-saved register freed since it was allocated, instead of
+		// spilling (the victim shares the current interval's class).
+		if !a.iv.cross {
+			if reloc := take(caller); reloc != target.NoReg {
+				assigned[a.iv.v] = reloc
+				usedSet[reloc] = true
+				active = append(active, activeEntry{iv: a.iv, reg: reloc})
+				continue
+			}
+		}
+		newSlot(a.iv.v)
+		delete(assigned, a.iv.v)
 	}
 
 	s.spillBytes = int32(len(slotOf)) * 8
+	// The prologue saves only the callee-saved registers actually used.
 	for r := range usedSet {
-		s.savedRegs = append(s.savedRegs, r)
+		if !callerSet[r] {
+			s.savedRegs = append(s.savedRegs, r)
+		}
 	}
 	sort.Slice(s.savedRegs, func(i, j int) bool { return s.savedRegs[i] < s.savedRegs[j] })
 	rewriteWithSlots(s, slotOf, assigned)

@@ -1,0 +1,200 @@
+package codegen_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"llva/internal/asm"
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/interp"
+	"llva/internal/machine"
+	"llva/internal/mem"
+	"llva/internal/rt"
+	"llva/internal/target"
+)
+
+// allocFuzzHelpers are the fixed callees of every generated function:
+// a plain callee (clobbers caller-saved registers) and one that unwinds
+// for a third of its inputs (exercises the unwind-handler spill rules).
+const allocFuzzHelpers = `
+long %callee(long %x) {
+entry:
+    %a = mul long %x, 3
+    %b = xor long %a, 42
+    ret long %b
+}
+
+long %maybe(long %x) {
+entry:
+    %r = rem long %x, 3 !noexc
+    %z = seteq long %r, 0
+    br bool %z, label %boom, label %ok
+boom:
+    unwind
+ok:
+    %y = add long %x, 7
+    ret long %y
+}
+`
+
+// genAllocSrc generates a random function %f(long, long) stressing the
+// register allocator: straight-line chains whose values stay live to the
+// end (exhausting both register pools), diamonds and bounded loops with
+// phis, calls, and invokes whose handlers use values live across the
+// unwind edge. Deterministic per seed.
+func genAllocSrc(seed int64) (string, []uint64) {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString(allocFuzzHelpers)
+	b.WriteString("long %f(long %p0, long %p1) {\nentry:\n")
+	vals := []string{"%p0", "%p1"}
+	pick := func() string { return vals[rng.Intn(len(vals))] }
+	ops := []string{"add", "sub", "mul", "and", "or", "xor"}
+	cur := "entry"
+	n := 0
+	segs := 8 + rng.Intn(20)
+	for i := 0; i < segs; i++ {
+		n++
+		switch k := rng.Intn(10); {
+		case k < 5: // straight-line arithmetic
+			v := fmt.Sprintf("%%v%d", n)
+			switch rng.Intn(6) {
+			case 0:
+				fmt.Fprintf(&b, "    %s = div long %s, %d !noexc\n", v, pick(), 3+rng.Intn(17))
+			case 1, 2:
+				fmt.Fprintf(&b, "    %s = %s long %s, %d\n", v,
+					ops[rng.Intn(len(ops))], pick(), rng.Intn(1000)-500)
+			default:
+				fmt.Fprintf(&b, "    %s = %s long %s, %s\n", v,
+					ops[rng.Intn(len(ops))], pick(), pick())
+			}
+			vals = append(vals, v)
+		case k < 7: // diamond with phi
+			c, x, y, ph := fmt.Sprintf("%%c%d", n), fmt.Sprintf("%%x%d", n),
+				fmt.Sprintf("%%y%d", n), fmt.Sprintf("%%m%d", n)
+			tl, el, ml := fmt.Sprintf("t%d", n), fmt.Sprintf("e%d", n), fmt.Sprintf("m%d", n)
+			a, a2 := pick(), pick()
+			fmt.Fprintf(&b, "    %s = setlt long %s, %s\n", c, a, a2)
+			fmt.Fprintf(&b, "    br bool %s, label %%%s, label %%%s\n", c, tl, el)
+			fmt.Fprintf(&b, "%s:\n    %s = add long %s, 1\n    br label %%%s\n", tl, x, a, ml)
+			fmt.Fprintf(&b, "%s:\n    %s = mul long %s, 3\n    br label %%%s\n", el, y, a2, ml)
+			fmt.Fprintf(&b, "%s:\n    %s = phi long [ %s, %%%s ], [ %s, %%%s ]\n",
+				ml, ph, x, tl, y, el)
+			cur = ml
+			vals = append(vals, ph)
+		case k < 8: // call
+			v := fmt.Sprintf("%%r%d", n)
+			fmt.Fprintf(&b, "    %s = call long %%callee(long %s)\n", v, pick())
+			vals = append(vals, v)
+		case k < 9: // invoke with a handler that uses a live value
+			iv, alt, ph := fmt.Sprintf("%%iv%d", n), fmt.Sprintf("%%alt%d", n),
+				fmt.Sprintf("%%h%d", n)
+			ok, uh, mg := fmt.Sprintf("ok%d", n), fmt.Sprintf("uh%d", n), fmt.Sprintf("mg%d", n)
+			fmt.Fprintf(&b, "    %s = invoke long %%maybe(long %s) to label %%%s unwind label %%%s\n",
+				iv, pick(), ok, uh)
+			fmt.Fprintf(&b, "%s:\n    %s = add long %s, 11\n    br label %%%s\n", uh, alt, pick(), mg)
+			fmt.Fprintf(&b, "%s:\n    br label %%%s\n", ok, mg)
+			fmt.Fprintf(&b, "%s:\n    %s = phi long [ %s, %%%s ], [ %s, %%%s ]\n",
+				mg, ph, iv, ok, alt, uh)
+			cur = mg
+			vals = append(vals, ph)
+		default: // bounded loop with accumulator phi
+			i0, i1 := fmt.Sprintf("%%i%d", n), fmt.Sprintf("%%j%d", n)
+			ac0, ac1 := fmt.Sprintf("%%a%d", n), fmt.Sprintf("%%b%d", n)
+			c := fmt.Sprintf("%%lc%d", n)
+			lp, af := fmt.Sprintf("lp%d", n), fmt.Sprintf("af%d", n)
+			seedv, stepv := pick(), pick()
+			fmt.Fprintf(&b, "    br label %%%s\n", lp)
+			fmt.Fprintf(&b, "%s:\n", lp)
+			fmt.Fprintf(&b, "    %s = phi long [ 0, %%%s ], [ %s, %%%s ]\n", i0, cur, i1, lp)
+			fmt.Fprintf(&b, "    %s = phi long [ %s, %%%s ], [ %s, %%%s ]\n", ac0, seedv, cur, ac1, lp)
+			fmt.Fprintf(&b, "    %s = add long %s, %s\n", ac1, ac0, stepv)
+			fmt.Fprintf(&b, "    %s = add long %s, 1\n", i1, i0)
+			fmt.Fprintf(&b, "    %s = setlt long %s, %d\n", c, i1, 2+rng.Intn(6))
+			fmt.Fprintf(&b, "    br bool %s, label %%%s, label %%%s\n", c, lp, af)
+			fmt.Fprintf(&b, "%s:\n", af)
+			cur = af
+			vals = append(vals, ac1)
+		}
+	}
+	// Fold a wide sample of values into the result: their long live
+	// ranges are what forces both pools to exhaust and spill.
+	sum := pick()
+	for i, k := 0, 8+rng.Intn(12); i < k; i++ {
+		n++
+		v := fmt.Sprintf("%%s%d", n)
+		fmt.Fprintf(&b, "    %s = add long %s, %s\n", v, sum, pick())
+		sum = v
+	}
+	fmt.Fprintf(&b, "    ret long %s\n}\n", sum)
+	args := []uint64{uint64(rng.Int63n(1000)), uint64(rng.Int63n(1000))}
+	return b.String(), args
+}
+
+// TestAllocatorDifferential cross-checks the global linear-scan
+// allocator against the spill-everything oracle (UseSpillAllocator) on
+// randomized generated functions: every target x allocator configuration
+// must return the reference interpreter's value.
+func TestAllocatorDifferential(t *testing.T) {
+	iters := int64(40)
+	if testing.Short() {
+		iters = 8
+	}
+	for seed := int64(1); seed <= iters; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			src, args := genAllocSrc(seed)
+			m, err := asm.Parse("fuzz", src)
+			if err != nil {
+				t.Fatalf("parse: %v\n%s", err, src)
+			}
+			if err := core.Verify(m); err != nil {
+				t.Fatalf("verify: %v\n%s", err, src)
+			}
+			ip, err := interp.New(m, io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ip.Run("f", args...)
+			if err != nil {
+				t.Fatalf("interp: %v\n%s", err, src)
+			}
+			for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+				for _, oracle := range []bool{false, true} {
+					name := d.Name + "/linear"
+					if oracle {
+						name = d.Name + "/spill-oracle"
+					}
+					tr, err := codegen.New(d, m)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tr.UseSpillAllocator(oracle)
+					obj, err := tr.TranslateModule()
+					if err != nil {
+						t.Fatalf("%s: translate: %v\n%s", name, err, src)
+					}
+					env := rt.NewEnv(mem.New(0, true), io.Discard)
+					mc, err := machine.New(d, m, env)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := mc.LoadObject(obj); err != nil {
+						t.Fatal(err)
+					}
+					got, err := mc.Run("f", args...)
+					if err != nil {
+						t.Fatalf("%s: run: %v\n%s", name, err, src)
+					}
+					if got != want {
+						t.Errorf("%s: got %#x, interp %#x (seed %d)\n%s",
+							name, got, want, seed, src)
+					}
+				}
+			}
+		})
+	}
+}

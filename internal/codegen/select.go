@@ -31,13 +31,17 @@ type selector struct {
 
 	// frame state
 	allocaOff    map[*core.Instruction]int32 // positive offset below FP
-	saveArea     int32                       // reserved register-save area below FP (vsparc)
+	saveArea     int32                       // reserved register-save area below FP
 	allocaBytes  int32
 	spillBytes   int32 // set by the register allocator
 	savedRegs    []target.Reg
 	hasCalls     bool
 	hasInvoke    bool
 	maxStackArgs int
+
+	// spill traffic emitted by the allocator's rewrite (telemetry)
+	nSpillLoads  int
+	nSpillStores int
 }
 
 func newSelector(t *Translator, f *core.Function) *selector {
@@ -58,6 +62,13 @@ func newSelector(t *Translator, f *core.Function) *selector {
 		// return address, caller's FP, and up to 33 callee-saved slots
 		// (17 integer + 15 FP allocatable registers).
 		s.saveArea = 280
+	} else {
+		// vx86: the return address and caller's FP live above FP (pushed
+		// by call and the prologue), so the save area below FP holds only
+		// callee-saved registers. It is sized for the full pool because
+		// alloca offsets are assigned during selection, before allocation
+		// knows which registers the function uses.
+		s.saveArea = int32(8 * (len(t.desc.Allocatable) + len(t.desc.FPAllocatable)))
 	}
 	return s
 }
@@ -231,43 +242,10 @@ func (s *selector) emitFrameAccess(op target.MOp, reg, base target.Reg,
 
 // synthImm materializes a 64-bit immediate into reg. On vx86 this is one
 // movi with an imm64; on vsparc it is a SPARC-style sethi/or chain of
-// 16-bit pieces (1-4 instructions).
+// 16-bit pieces (1-4 instructions). synthImmInto (regalloc.go) is the
+// single implementation.
 func (s *selector) synthImm(reg target.Reg, v int64) {
-	if s.desc.WordSize != 4 {
-		s.emit(target.MInstr{Op: target.MMovRI, Rd: reg, Imm: v})
-		return
-	}
-	// vsparc: find the highest 16-bit chunk; set it (sign-extended),
-	// then or in lower chunks.
-	if v >= -32768 && v <= 32767 {
-		s.emit(target.MInstr{Op: target.MMovRI, Rd: reg, Imm: v & 0xffff})
-		return
-	}
-	top := 3
-	for top > 0 && uint16(uint64(v)>>(16*top)) == 0 {
-		top--
-	}
-	// If the top chunk would sign-extend garbage into higher chunks, we
-	// must start one chunk higher with an explicit zero set.
-	first := top - 1
-	if uint16(uint64(v)>>(16*top))&0x8000 != 0 && top < 3 &&
-		uint64(v)>>(16*(top+1)) == 0 {
-		// The top chunk's sign bit would smear into higher chunks; set a
-		// zero chunk above it and or in everything from top down.
-		s.emit(target.MInstr{Op: target.MMovRI, Rd: reg, Imm: 0, Scale: uint8(top + 1)})
-		first = top
-	} else {
-		s.emit(target.MInstr{Op: target.MMovRI, Rd: reg,
-			Imm: int64(uint16(uint64(v) >> (16 * top))), Scale: uint8(top)})
-	}
-	for c := first; c >= 0; c-- {
-		chunk := int64(uint16(uint64(v) >> (16 * c)))
-		if chunk == 0 {
-			continue
-		}
-		s.emit(target.MInstr{Op: target.MMovRI, Rd: reg, Imm: chunk,
-			Scale: uint8(c), HasImm: true}) // HasImm = "or" form
-	}
+	s.code = append(s.code, synthImmInto(reg, v, s.desc)...)
 }
 
 // synthSym materializes the address of a symbol.

@@ -188,6 +188,7 @@ func (sys *System) state(m *core.Module, d *target.Desc) (*moduleState, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadModule, err)
 	}
+	tr.SetTelemetry(sys.tele)
 	ms := &moduleState{sys: sys, module: m, desc: d, stamp: stamp, tr: tr, online: true}
 	if sys.storage != nil {
 		// The paper's translation strategy: look for a cached

@@ -351,9 +351,11 @@ func (mc *Machine) exec(in *target.MInstr, size int) (bool, error) {
 	case target.MCvt:
 		mc.execCvt(in)
 	case target.MInvokePush:
-		fr := invokeFrame{handler: mc.relTarget(in, size)}
-		fr.regs = mc.regs
-		mc.invokeStack = append(mc.invokeStack, fr)
+		mc.invokeStack = append(mc.invokeStack, invokeFrame{
+			handler: mc.relTarget(in, size),
+			sp:      mc.regs[d.SP],
+			fp:      mc.regs[d.FP],
+		})
 	case target.MInvokePop:
 		if len(mc.invokeStack) == 0 {
 			return false, fmt.Errorf("machine: invoke-pop with empty handler stack")
@@ -365,9 +367,12 @@ func (mc *Machine) exec(in *target.MInstr, size int) (bool, error) {
 		}
 		fr := mc.invokeStack[len(mc.invokeStack)-1]
 		mc.invokeStack = mc.invokeStack[:len(mc.invokeStack)-1]
-		// Restore the complete register state captured at the invoke
-		// (setjmp-style), which also restores SP and FP.
-		mc.regs = fr.regs
+		// Restore only the invoking frame's SP and FP; every other
+		// register keeps whatever the unwound callees left in it. Values
+		// the handler needs must live in the frame (the translator spills
+		// them around invoke).
+		mc.regs[d.SP] = fr.sp
+		mc.regs[d.FP] = fr.fp
 		mc.pc = fr.handler
 		return true, nil
 	case target.MTrap:

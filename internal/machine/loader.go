@@ -109,9 +109,14 @@ type codeRange struct {
 	lo, hi uint64
 }
 
+// invokeFrame is one entry of the unwind-handler stack. It records only
+// the handler address and the invoking frame's SP/FP: unwinding walks
+// frames, it does not checkpoint the register file, so the translator
+// must keep values live into a handler in the frame itself
+// (internal/codegen spills them around invoke).
 type invokeFrame struct {
 	handler uint64
-	regs    [unifiedRegs]uint64
+	sp, fp  uint64
 }
 
 // New creates a machine for the given target over fresh memory, loading

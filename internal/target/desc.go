@@ -25,15 +25,28 @@ type Desc struct {
 	Scratch   [3]Reg // assembler/spill temporaries (integer)
 	FPScratch [3]Reg // assembler/spill temporaries (floating point)
 
-	Allocatable   []Reg // linear-scan pool (callee-managed)
+	// Allocatable/FPAllocatable are the callee-saved linear-scan pools:
+	// the prologue saves exactly the members a function uses, so values
+	// in them survive calls. CallerSaved/FPCallerSaved are allocatable
+	// registers that calls clobber; the allocator prefers them for
+	// values whose live range contains no call. The four pools must be
+	// disjoint from each other and from SP/FP/RetReg/Scratch.
+	Allocatable   []Reg
 	FPAllocatable []Reg
+	CallerSaved   []Reg
+	FPCallerSaved []Reg
 }
 
 // VX86 is the CISC-flavoured target: 64-bit immediates, stack-passed
-// arguments, flags-based compares, memory operands, and no allocatable
-// registers (every virtual register lives in a stack slot; the three
-// scratch registers stage operands). It models the paper's IA-32
-// back-end operating in the translator's simplest mode.
+// arguments, flags-based compares, memory operands, and a 16-register
+// file split x86-64 style between caller-saved and callee-saved
+// allocatable registers. It models the paper's IA-32 back-end once the
+// JIT applies real (if simple) register allocation.
+//
+// Integer file: r0 return + scratch, r1–r2 scratch, r3 caller-saved,
+// r4 SP, r5 FP, r6–r13 callee-saved, r14–r15 caller-saved.
+// FP file: f0 return + scratch, f1–f2 scratch, f3–f4 caller-saved,
+// f5–f12 callee-saved.
 var VX86 = &Desc{
 	Name:     "vx86",
 	WordSize: 8,
@@ -53,6 +66,14 @@ var VX86 = &Desc{
 
 	Scratch:   [3]Reg{Reg(0), Reg(1), Reg(2)},
 	FPScratch: [3]Reg{FPBase, FPBase + 1, FPBase + 2},
+
+	Allocatable: []Reg{6, 7, 8, 9, 10, 11, 12, 13},
+	FPAllocatable: []Reg{
+		FPBase + 5, FPBase + 6, FPBase + 7, FPBase + 8,
+		FPBase + 9, FPBase + 10, FPBase + 11, FPBase + 12,
+	},
+	CallerSaved:   []Reg{3, 14, 15},
+	FPCallerSaved: []Reg{FPBase + 3, FPBase + 4},
 }
 
 // VSPARC is the RISC-flavoured target: register-passed arguments,
