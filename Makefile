@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent race-llee race-codegen tier1 bench bench-compare bench-smoke fmt-check
+.PHONY: all build vet test race race-concurrent race-llee race-codegen race-prof tier1 bench bench-compare bench-smoke fmt-check
 
 all: tier1
 
@@ -39,6 +39,14 @@ race-llee:
 race-codegen:
 	$(GO) test -race ./internal/codegen/...
 
+# race-prof exercises the guest-observability surface under the race
+# detector: the prof package itself, the telemetry event ring's
+# concurrent Emit/Snapshot contract, and the profiler/tracer/flight-
+# recorder paths through the machine and session layers.
+race-prof:
+	$(GO) test -race ./internal/prof/... ./internal/telemetry/...
+	$(GO) test -race -run 'Prof|Ring|Tracing|FlightRecorder|Mnemonic' ./internal/machine/... ./internal/llee/...
+
 # Regenerate the paper's Table 2 with registry-sourced telemetry,
 # archived under bench/ with the run date.
 bench:
@@ -53,9 +61,14 @@ bench-compare:
 
 # bench-smoke compiles and runs the Table 2 and pipeline benchmarks
 # once, as a CI-cheap check that the benchmarks themselves stay green
-# (in particular the block-engine execution path under Table2RunTime).
+# (in particular the block-engine execution path under Table2RunTime),
+# plus the observability smoke: a workload under -trace-out and the
+# sampling profiler whose emitted trace must be valid Perfetto-loadable
+# JSON with a complete span, and a trapping program whose crash report
+# must render.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Table2|ParallelTranslate|SpeculativeColdStart|CacheCodec' -benchtime 1x ./...
+	$(GO) test -run TestTraceSmoke .
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

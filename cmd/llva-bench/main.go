@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"llva/internal/codegen"
@@ -69,6 +70,12 @@ type Row struct {
 	RunVirtualS float64 `json:"run_virtual_s"` // vx86 cycles at 1 GHz
 	RunWallS    float64 `json:"run_wall_s"`    // host wall clock of the simulated run
 	Ratio       float64 `json:"translate_run_ratio"`
+	// Engine-throughput columns (nondeterministic; excluded from
+	// -compare): simulated instructions retired per host second in
+	// millions, and host heap allocations charged to the run — the
+	// steady-state block engine should allocate close to nothing.
+	MIPS        float64 `json:"mips"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
 
 	Telemetry *TelemetryRow `json:"telemetry,omitempty"`
 }
@@ -224,6 +231,8 @@ func Measure(w *workloads.Workload, optimize bool, workers int) (*Row, error) {
 	if err := mc.LoadObject(objX); err != nil {
 		return nil, err
 	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	wall := time.Now()
 	if _, err := mc.Run("main"); err != nil {
 		if _, isExit := err.(*rt.ExitError); !isExit {
@@ -231,9 +240,12 @@ func Measure(w *workloads.Workload, optimize bool, workers int) (*Row, error) {
 		}
 	}
 	row.RunWallS = time.Since(wall).Seconds()
+	runtime.ReadMemStats(&ms1)
+	row.AllocsPerOp = ms1.Mallocs - ms0.Mallocs
 	row.RunVirtualS = float64(mc.Stats.Cycles) / 1e9
 	if row.RunWallS > 0 {
 		row.Ratio = row.TranslateS / row.RunWallS
+		row.MIPS = float64(mc.Stats.Instrs) / row.RunWallS / 1e6
 	}
 	return row, nil
 }

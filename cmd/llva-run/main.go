@@ -6,7 +6,9 @@
 // Usage: llva-run [-target vx86|vsparc] [-cache DIR] [-interp] [-stats]
 //
 //	[-translate-workers N] [-speculate=false] [-timeout D]
-//	[-metrics-addr HOST:PORT] [-trace-log FILE] prog.bc
+//	[-metrics-addr HOST:PORT] [-trace-log FILE] [-trace-out FILE]
+//	[-prof] [-prof-rate N] [-prof-out FILE] [-prof-store]
+//	[-tenant ID] [-flight-events N] prog.bc
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"llva/internal/interp"
 	"llva/internal/llee"
 	"llva/internal/obj"
+	"llva/internal/prof"
 	"llva/internal/rt"
 	"llva/internal/target"
 	"llva/internal/telemetry"
@@ -50,11 +53,23 @@ func fatal(err error) {
 // serveMetrics exposes the registry (and the process's expvar/pprof
 // debug surface) on addr. It listens synchronously so a bad address
 // fails loudly, then serves in the background for the program's life.
-func serveMetrics(reg *telemetry.Registry, addr string) {
+// The guest observability surface rides along: the live span trace at
+// /debug/llva/trace (Chrome trace_event JSON, Perfetto-loadable) and,
+// when sampling is on, the folded guest stacks at /debug/llva/prof.
+func serveMetrics(reg *telemetry.Registry, tracer *prof.Tracer, prober *prof.Profiler, addr string) {
 	reg.Publish("llva")
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.Handle("/metrics/events", reg.EventsHandler())
+	mux.Handle("/debug/llva/trace", tracer.Handler())
+	mux.HandleFunc("/debug/llva/prof", func(w http.ResponseWriter, r *http.Request) {
+		if prober == nil {
+			http.Error(w, "guest profiler not enabled (run with -prof)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = prober.WriteFolded(w)
+	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -77,8 +92,15 @@ func main() {
 	offline := flag.Bool("translate-only", false, "offline-translate into the cache, do not execute")
 	profile := flag.Bool("profile", false, "gather and store a profile after the run (needs -cache)")
 	idleOpt := flag.Bool("idle-optimize", false, "idle-time PGO: re-layout from the stored profile and retranslate into the cache")
-	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics, /metrics/events, /debug/vars, /debug/pprof)")
+	metricsAddr := flag.String("metrics-addr", "", "serve live metrics on this address (/metrics, /metrics/events, /debug/llva/trace, /debug/llva/prof, /debug/vars, /debug/pprof)")
 	traceLog := flag.String("trace-log", "", "write the structured event log as JSON lines to FILE at exit")
+	traceOut := flag.String("trace-out", "", "write the session span trace as Chrome trace_event JSON (Perfetto-loadable) to FILE at exit")
+	profOn := flag.Bool("prof", false, "sample the guest's virtual PC and call stack every -prof-rate retired instructions")
+	profRate := flag.Int("prof-rate", prof.DefaultRate, "guest sampling period in retired virtual instructions")
+	profOut := flag.String("prof-out", "", "write the guest profile as folded stacks to FILE at exit (implies -prof)")
+	profStore := flag.Bool("prof-store", false, "persist the guest profile through the storage API after the run (implies -prof, needs -cache)")
+	tenant := flag.String("tenant", "", "tenant label carried on this session's trace spans")
+	flightEvents := flag.Int("flight-events", 16, "trap-time flight recorder depth in telemetry events (0: disable crash reports)")
 	workers := flag.Int("translate-workers", 0, "translation worker-pool size for offline and speculative JIT translation (0: one per CPU)")
 	speculate := flag.Bool("speculate", true, "speculatively JIT-translate static callees on background workers")
 	timeout := flag.Duration("timeout", 0, "abort execution after this long on the wall clock (0: no limit)")
@@ -89,8 +111,44 @@ func main() {
 	}
 
 	reg := telemetry.New()
+	var prober *prof.Profiler
+	if *profOut != "" || *profStore {
+		*profOn = true
+	}
+	if *profOn {
+		prober = prof.NewProfiler(*profRate)
+	}
+	tracer := prof.NewTracer()
 	if *metricsAddr != "" {
-		serveMetrics(reg, *metricsAddr)
+		serveMetrics(reg, tracer, prober, *metricsAddr)
+	}
+	if *traceOut != "" {
+		path := *traceOut
+		exitHooks = append(exitHooks, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "llva-run: trace-out:", err)
+				return
+			}
+			defer f.Close()
+			if err := tracer.WriteChromeJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "llva-run: trace-out:", err)
+			}
+		})
+	}
+	if *profOut != "" {
+		path := *profOut
+		exitHooks = append(exitHooks, func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "llva-run: prof-out:", err)
+				return
+			}
+			defer f.Close()
+			if err := prober.WriteFolded(f); err != nil {
+				fmt.Fprintln(os.Stderr, "llva-run: prof-out:", err)
+			}
+		})
 	}
 	if *traceLog != "" {
 		path := *traceLog
@@ -147,6 +205,12 @@ func main() {
 		llee.WithTelemetry(reg),
 		llee.WithTranslateWorkers(*workers),
 		llee.WithSpeculation(*speculate),
+		llee.WithTracer(tracer),
+		llee.WithTenant(*tenant),
+		llee.WithFlightRecorder(*flightEvents),
+	}
+	if prober != nil {
+		opts = append(opts, llee.WithProfiler(prober))
 	}
 	if *cacheDir != "" {
 		st, err := llee.NewDirStorage(*cacheDir)
@@ -213,11 +277,25 @@ func main() {
 			fmt.Fprintln(os.Stderr, "llva-run:", err)
 			exit(130)
 		default:
+			// An unhandled trap with the flight recorder on renders the
+			// full post-mortem: registers, virtual backtrace, disassembly
+			// around the faulting PC, and the last engine events.
+			if cr := sess.LastCrash(); cr != nil {
+				fmt.Fprintln(os.Stderr, "llva-run:", err)
+				fmt.Fprintln(os.Stderr)
+				_ = cr.Render(os.Stderr)
+				exit(1)
+			}
 			fatal(err)
 		}
 	}
 	if *profile {
 		if perr := sess.GatherProfile("main"); perr != nil {
+			fatal(perr)
+		}
+	}
+	if *profStore {
+		if perr := sess.StoreGuestProfile(); perr != nil {
 			fatal(perr)
 		}
 	}
@@ -231,6 +309,9 @@ func main() {
 			time.Duration(st.TranslateNS),
 			mc.Stats.Instrs, mc.Stats.Cycles, mc.Stats.Calls,
 			mc.Stats.ExternCalls, res.Wall)
+	}
+	if *stats && prober != nil {
+		_ = prober.WriteReport(os.Stderr)
 	}
 	exit(code)
 }

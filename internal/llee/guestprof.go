@@ -1,0 +1,100 @@
+package llee
+
+import (
+	"fmt"
+
+	"llva/internal/prof"
+	"llva/internal/telemetry"
+)
+
+// Guest-profile persistence: the sampling profiler's aggregate (virtual
+// PCs, virtual call stacks, per-block hotness) survives the process
+// through the same storage API that backs the offline translation cache
+// and the instrumented-interpreter profile. The artifact is stamped with
+// the module's content hash, so a profile gathered against different
+// virtual object code is evicted rather than misattributed, and the
+// artifact carries its own format version so a future encoding change
+// fails loudly instead of decoding garbage.
+
+func (ms *moduleState) guestProfileKey() string {
+	return "guestprof:" + ms.module.Name + ":" + ms.desc.Name
+}
+
+// storeGuestProfile persists the sampler's current aggregate.
+func (ms *moduleState) storeGuestProfile(p *prof.Profiler) error {
+	if ms.sys.storage == nil {
+		return fmt.Errorf("llee: guest-profile persistence requires the storage API")
+	}
+	if p == nil {
+		return fmt.Errorf("llee: no profiler attached")
+	}
+	data, err := p.Artifact(ms.module.Name, ms.desc.Name).Encode()
+	if err != nil {
+		return err
+	}
+	if err := ms.sys.storage.Write(ms.guestProfileKey(), ms.stamp, data); err != nil {
+		return err
+	}
+	tele := ms.sys.tele
+	tele.Counter(MetricProfileStores).Inc()
+	tele.Events().Emit(telemetry.EvProfileStored, ms.guestProfileKey(), int64(len(data)))
+	return nil
+}
+
+// loadGuestProfile reads back a persisted sampling profile, validating
+// both the module stamp and the artifact's format version. A missing or
+// stale profile is not an error (ok=false); a corrupt or
+// wrong-version one is.
+func (ms *moduleState) loadGuestProfile() (*prof.Artifact, bool, error) {
+	if ms.sys.storage == nil {
+		return nil, false, nil
+	}
+	tele := ms.sys.tele
+	data, stamp, ok, err := ms.sys.storage.Read(ms.guestProfileKey())
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if stamp != ms.stamp {
+		tele.Counter(MetricStampMismatches).Inc()
+		tele.Events().Emit(telemetry.EvStampMismatch, ms.guestProfileKey(), 0)
+		ms.evictCache(ms.guestProfileKey())
+		return nil, false, nil
+	}
+	a, err := prof.DecodeArtifact(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("llee: guest profile: %w", err)
+	}
+	tele.Counter(MetricProfileLoads).Inc()
+	tele.Events().Emit(telemetry.EvProfileLoaded, ms.guestProfileKey(), int64(a.Total))
+	return a, true, nil
+}
+
+// ID returns the session's process-unique ID (its pid lane in the span
+// trace).
+func (s *Session) ID() uint64 { return s.id }
+
+// Tenant returns the tenant label carried on this session's spans ("" when
+// unset).
+func (s *Session) Tenant() string { return s.tenant }
+
+// Profiler returns the attached guest sampling profiler (nil when the
+// session was created without WithProfiler).
+func (s *Session) Profiler() *prof.Profiler { return s.profiler }
+
+// LastCrash returns the flight recorder's report for the most recent
+// unhandled trap, or nil when none fired or the recorder is off.
+func (s *Session) LastCrash() *prof.CrashReport { return s.mc.LastCrash() }
+
+// StoreGuestProfile persists the session's sampling-profiler aggregate
+// through the storage API, stamped against the current virtual object
+// code.
+func (s *Session) StoreGuestProfile() error {
+	return s.ms.storeGuestProfile(s.profiler)
+}
+
+// LoadGuestProfile reads back the persisted sampling profile for this
+// session's module and target. ok is false when none is stored or the
+// stored one was built against different object code.
+func (s *Session) LoadGuestProfile() (*prof.Artifact, bool, error) {
+	return s.ms.loadGuestProfile()
+}

@@ -9,6 +9,7 @@ import (
 
 	"llva/internal/codegen"
 	"llva/internal/core"
+	"llva/internal/prof"
 	"llva/internal/telemetry"
 )
 
@@ -35,8 +36,9 @@ type flight struct {
 // speculation interleave — the flights map doubles as the shared
 // native-code cache when many sessions demand from one Speculator.
 type Speculator struct {
-	tr  *codegen.Translator
-	reg *telemetry.Registry
+	tr     *codegen.Translator
+	reg    *telemetry.Registry
+	tracer *prof.Tracer // nil-safe; spans for background translations
 
 	mu      sync.Mutex
 	flights map[string]*flight
@@ -69,6 +71,16 @@ func NewSpeculator(tr *codegen.Translator, workers int, reg *telemetry.Registry)
 	return s
 }
 
+// SetTracer attaches a span tracer; each speculative translation is
+// recorded as a span on a per-worker lane of the system process (pid 0).
+// Must be called before the first Enqueue; a nil tracer is fine (all
+// tracer methods are nil-safe).
+func (s *Speculator) SetTracer(t *prof.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracer = t
+}
+
 // start spawns the background workers; callers hold s.mu.
 func (s *Speculator) start() {
 	if s.started || s.closed {
@@ -81,11 +93,21 @@ func (s *Speculator) start() {
 	}
 }
 
+// Trace lane for speculation workers: worker i reports as thread
+// specWorkerTIDBase+i of the system process (pid 0), keeping background
+// translation visually separate from per-session guest lanes.
+const specWorkerTIDBase = 100
+
 func (s *Speculator) worker(id int) {
 	defer s.wg.Done()
 	h := s.reg.Histogram(MetricTranslateNS, "worker", strconv.Itoa(id))
 	depth := s.reg.Gauge(MetricSpecQueueDepth)
 	translated := s.reg.Counter(MetricSpecTranslated)
+	s.mu.Lock()
+	tracer := s.tracer // published before start(); snapshot under mu for the race detector
+	s.mu.Unlock()
+	tid := specWorkerTIDBase + id
+	tracer.NameThread(0, tid, "spec worker "+strconv.Itoa(id))
 	for f := range s.queue {
 		depth.Add(-1)
 		name := f.Name()
@@ -100,6 +122,7 @@ func (s *Speculator) worker(id int) {
 		fl := &flight{done: make(chan struct{}), speculative: true}
 		s.flights[name] = fl
 		s.mu.Unlock()
+		end := tracer.Begin(0, tid, "pipeline", "speculate:"+name, nil)
 		start := time.Now()
 		nf, err := s.tr.TranslateFunction(f)
 		fl.nf = nf
@@ -107,6 +130,7 @@ func (s *Speculator) worker(id int) {
 			fl.err = translateErr(name, err)
 		}
 		h.Observe(time.Since(start).Nanoseconds())
+		end()
 		translated.Inc()
 		close(fl.done)
 	}

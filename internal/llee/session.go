@@ -12,6 +12,7 @@ import (
 	"llva/internal/core"
 	"llva/internal/machine"
 	"llva/internal/mem"
+	"llva/internal/prof"
 	"llva/internal/rt"
 	"llva/internal/target"
 	"llva/internal/telemetry"
@@ -31,6 +32,13 @@ type Session struct {
 	ms  *moduleState
 	env *rt.Env
 	mc  *machine.Machine
+
+	// id is the session's process-unique ID — the "pid" lane of the
+	// span trace; tenant is the owning tenant's label, carried on
+	// every span; profiler is the attached guest sampler (nil: off).
+	id       uint64
+	tenant   string
+	profiler *prof.Profiler
 
 	// redirect implements llva.smc.replace for this session only:
 	// function -> replacement body. Redirected demands translate
@@ -74,6 +82,15 @@ func (sys *System) NewSession(m *core.Module, d *target.Desc, out io.Writer, opt
 	for _, o := range opts {
 		o(&cfg)
 	}
+	id := sys.sessionSeq.Add(1)
+	label := fmt.Sprintf("session %d", id)
+	if cfg.tenant != "" {
+		label += " (" + cfg.tenant + ")"
+	}
+	sys.tracer.NameProcess(int(id), label)
+	endNew := sys.tracer.Begin(int(id), 0, "llee", "session.new",
+		map[string]any{"session": id, "tenant": cfg.tenant, "module": m.Name})
+	defer endNew()
 	ms, err := sys.state(m, d)
 	if err != nil {
 		return nil, err
@@ -91,9 +108,18 @@ func (sys *System) NewSession(m *core.Module, d *target.Desc, out io.Writer, opt
 		ms:       ms,
 		env:      env,
 		mc:       mc,
+		id:       id,
+		tenant:   cfg.tenant,
+		profiler: cfg.profiler,
 		redirect: make(map[string]string),
 	}
 	mc.SetTelemetry(sys.tele)
+	if cfg.profiler != nil {
+		mc.SetProfiler(cfg.profiler)
+	}
+	if cfg.flightRecorder > 0 {
+		mc.EnableFlightRecorder(cfg.flightRecorder)
+	}
 	mc.OnJIT = s.onJIT
 	mc.OnIntrinsic = s.onIntrinsic
 	if ms.online {
@@ -127,8 +153,10 @@ func (s *Session) Run(ctx context.Context, entry string, args ...uint64) (Result
 		return Result{}, fmt.Errorf("%w: no entry function %%%s", ErrBadModule, entry)
 	}
 	instrs0, cycles0 := s.mc.Stats.Instrs, s.mc.Stats.Cycles
+	endRun := s.sys.tracer.Begin(int(s.id), 0, "guest", "run:"+entry, s.spanArgs())
 	start := time.Now()
 	v, err := s.mc.RunContext(ctx, entry, args...)
+	endRun()
 	res := Result{
 		Value:  v,
 		Instrs: s.mc.Stats.Instrs - instrs0,
@@ -136,10 +164,25 @@ func (s *Session) Run(ctx context.Context, entry string, args ...uint64) (Result
 		Wall:   time.Since(start),
 	}
 	err = mapRunError(err)
-	if werr := s.ms.writeBack(); werr != nil && err == nil {
+	if errors.Is(err, ErrCanceled) {
+		s.sys.tracer.Instant(int(s.id), 0, "guest", "cancel:"+entry, s.spanArgs())
+	}
+	endWB := s.sys.tracer.Begin(int(s.id), 0, "llee", "cache.writeback", s.spanArgs())
+	werr := s.ms.writeBack()
+	endWB()
+	if werr != nil && err == nil {
 		err = werr
 	}
 	return res, err
+}
+
+// spanArgs is the correlation payload every session span carries.
+func (s *Session) spanArgs() map[string]any {
+	a := map[string]any{"session": s.id}
+	if s.tenant != "" {
+		a["tenant"] = s.tenant
+	}
+	return a
 }
 
 // mapRunError lifts machine-level failures into the session taxonomy.
@@ -236,6 +279,7 @@ func (s *Session) onJIT(name string) (uint64, error) {
 	tele := s.sys.tele
 	tele.Events().Emit(telemetry.EvJITRequest, name, 0)
 	tele.Events().Emit(telemetry.EvTranslateStart, body, 0)
+	endTr := s.sys.tracer.Begin(int(s.id), 0, "llee", "translate:"+name, s.spanArgs())
 	start := time.Now()
 	var nf *codegen.NativeFunc
 	var err error
@@ -248,6 +292,7 @@ func (s *Session) onJIT(name string) (uint64, error) {
 		// another body, and must stay private to this session.
 		nf, err = s.ms.tr.TranslateFunction(f)
 	}
+	endTr()
 	if err != nil {
 		return 0, err
 	}
@@ -267,7 +312,9 @@ func (s *Session) onJIT(name string) (uint64, error) {
 		// are immutable once published.
 		nf.Name = name
 	}
+	endIn := s.sys.tracer.Begin(int(s.id), 0, "llee", "install:"+name, s.spanArgs())
 	addr, err := s.mc.InstallCode(nf)
+	endIn()
 	if err != nil {
 		return 0, err
 	}

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"llva/internal/codegen"
 	"llva/internal/core"
 	"llva/internal/llee/pipeline"
 	"llva/internal/obj"
+	"llva/internal/prof"
 	"llva/internal/target"
 	"llva/internal/telemetry"
 	"llva/internal/trace"
@@ -25,8 +27,13 @@ import (
 type System struct {
 	storage   Storage // nil: no OS storage API registered
 	tele      *telemetry.Registry
+	tracer    *prof.Tracer // nil: span tracing off (all hooks no-op)
 	workers   int
 	speculate bool
+
+	// sessionSeq hands out session IDs — the "pid" lane of the span
+	// trace, and the correlation key across run/translate spans.
+	sessionSeq atomic.Uint64
 
 	mu     sync.Mutex
 	mods   map[string]*moduleState // stamp + ":" + target name
@@ -42,6 +49,10 @@ type config struct {
 	storage          Storage
 	memSize          uint64
 	tele             *telemetry.Registry
+	tracer           *prof.Tracer
+	profiler         *prof.Profiler
+	tenant           string
+	flightRecorder   int
 	translateWorkers int
 	speculate        bool
 }
@@ -68,6 +79,32 @@ func WithTranslateWorkers(n int) Option { return func(c *config) { c.translateWo
 // ahead-of-time translation on background workers (default on).
 func WithSpeculation(on bool) Option { return func(c *config) { c.speculate = on } }
 
+// WithTracer attaches a span tracer to the system: the session
+// lifecycle (load, translate, install, run, cancel, write-back) and
+// the pipeline workers record begin/end spans carrying session and
+// tenant IDs, exportable as Chrome trace_event JSON (Perfetto).
+func WithTracer(t *prof.Tracer) Option { return func(c *config) { c.tracer = t } }
+
+// WithProfiler attaches a guest-level sampling profiler to a session's
+// machine (session-scoped; one profiler may be shared by many
+// sessions — it aggregates under its own lock). Sampling is
+// deterministic: simulated instruction and cycle counts are
+// bit-identical with the profiler on or off.
+func WithProfiler(p *prof.Profiler) Option { return func(c *config) { c.profiler = p } }
+
+// WithTenant labels a session with a tenant ID, carried on its trace
+// spans (session-scoped).
+func WithTenant(id string) Option { return func(c *config) { c.tenant = id } }
+
+// WithFlightRecorder arms a session machine's trap-time flight
+// recorder: an unhandled trap snapshots registers, the virtual
+// backtrace, a disassembly window around the faulting PC, and the last
+// events telemetry events into Session.LastCrash (session-scoped;
+// zero steady-state cost).
+func WithFlightRecorder(events int) Option {
+	return func(c *config) { c.flightRecorder = events }
+}
+
 // NewSystem creates a process-wide execution-manager instance.
 func NewSystem(opts ...Option) *System {
 	cfg := config{speculate: true}
@@ -77,6 +114,7 @@ func NewSystem(opts ...Option) *System {
 	sys := &System{
 		storage:   cfg.storage,
 		tele:      cfg.tele,
+		tracer:    cfg.tracer,
 		workers:   cfg.translateWorkers,
 		speculate: cfg.speculate,
 		mods:      make(map[string]*moduleState),
@@ -84,8 +122,13 @@ func NewSystem(opts ...Option) *System {
 	if sys.tele == nil {
 		sys.tele = telemetry.New()
 	}
+	sys.tracer.NameProcess(0, "llee system")
 	return sys
 }
+
+// Tracer returns the attached span tracer (nil when tracing is off;
+// prof.Tracer methods are nil-safe, so the result is always usable).
+func (sys *System) Tracer() *prof.Tracer { return sys.tracer }
 
 // Telemetry returns the system's metric registry (shared by all of its
 // sessions and their machines).
@@ -170,6 +213,9 @@ type moduleState struct {
 // compiled but identical modules share one state; the first caller's
 // module object becomes the canonical copy every session executes.
 func (sys *System) state(m *core.Module, d *target.Desc) (*moduleState, error) {
+	endLoad := sys.tracer.Begin(0, 0, "llee", "module.load",
+		map[string]any{"module": m.Name, "target": d.Name})
+	defer endLoad()
 	enc, err := obj.Encode(m)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadModule, err)
@@ -222,6 +268,7 @@ func (sys *System) state(m *core.Module, d *target.Desc) (*moduleState, error) {
 		}
 	}
 	ms.spec = pipeline.NewSpeculator(tr, sys.workers, sys.tele)
+	ms.spec.SetTracer(sys.tracer)
 	sys.mods[key] = ms
 	return ms, nil
 }

@@ -114,6 +114,11 @@ func (mc *Machine) runBlock(b *block) (*block, error) {
 			mc.Stats.Instrs += uint64(i + 1)
 			mc.Stats.Cycles += dd.cum
 			mc.pendCycles = 0
+			// Surface what was *at* the faulting PC: the predecoded
+			// instruction renders for free on this cold path.
+			if te, ok := err.(*TrapError); ok && te.Mnemonic == "" && te.PC == dd.pc {
+				te.Mnemonic = dd.in.String()
+			}
 			return nil, err
 		}
 		if !jumped {

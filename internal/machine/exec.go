@@ -10,14 +10,21 @@ import (
 	"llva/internal/target"
 )
 
-// TrapError reports an unhandled machine exception.
+// TrapError reports an unhandled machine exception. Mnemonic, when the
+// trap fired mid-block, is the rendered faulting instruction — what was
+// *at* the PC, not just its number (the block engine fills it in from
+// the predecoded instruction, so it costs nothing to produce).
 type TrapError struct {
-	Num    uint64
-	PC     uint64
-	Detail string
+	Num      uint64
+	PC       uint64
+	Detail   string
+	Mnemonic string
 }
 
 func (e *TrapError) Error() string {
+	if e.Mnemonic != "" {
+		return fmt.Sprintf("machine: trap %d at pc=0x%x [%s]: %s", e.Num, e.PC, e.Mnemonic, e.Detail)
+	}
 	return fmt.Sprintf("machine: trap %d at pc=0x%x: %s", e.Num, e.PC, e.Detail)
 }
 
@@ -166,6 +173,13 @@ func (mc *Machine) RunContext(ctx context.Context, entry string, args ...uint64)
 	}
 	mc.pc = addr
 
+	// Arm the observability hooks for this run: a fresh virtual call
+	// stack, and the sampler's first trigger point.
+	mc.callStack = mc.callStack[:0]
+	if mc.prof != nil {
+		mc.profNext = mc.Stats.Instrs + mc.prof.Rate()
+	}
+
 	mc.runCtx = ctx
 	err := mc.loop()
 	mc.runCtx = nil
@@ -219,6 +233,14 @@ func (mc *Machine) loop() error {
 		}
 		if b, err = mc.runBlock(b); err != nil {
 			return err
+		}
+		// Deterministic virtual-PC sampling at block boundaries: the
+		// trigger is the retired-instruction count, never the wall
+		// clock, so runs are bit-identical with the profiler on or off
+		// — only the host-side sample log differs. Disabled, this is
+		// one nil compare per block.
+		if mc.prof != nil && mc.Stats.Instrs >= mc.profNext {
+			mc.takeSample()
 		}
 	}
 }
@@ -332,6 +354,9 @@ func (mc *Machine) exec(in *target.MInstr, size int) (bool, error) {
 		} else {
 			mc.pc = mc.regs[3] // RA
 		}
+		if mc.trackCalls && len(mc.callStack) > 0 {
+			mc.callStack = mc.callStack[:len(mc.callStack)-1]
+		}
 		return true, nil
 	case target.MPush:
 		sp := mc.regs[d.SP] - 8
@@ -355,6 +380,7 @@ func (mc *Machine) exec(in *target.MInstr, size int) (bool, error) {
 			handler: mc.relTarget(in, size),
 			sp:      mc.regs[d.SP],
 			fp:      mc.regs[d.FP],
+			depth:   len(mc.callStack),
 		})
 	case target.MInvokePop:
 		if len(mc.invokeStack) == 0 {
@@ -374,6 +400,11 @@ func (mc *Machine) exec(in *target.MInstr, size int) (bool, error) {
 		mc.regs[d.SP] = fr.sp
 		mc.regs[d.FP] = fr.fp
 		mc.pc = fr.handler
+		// Unwinding pops every virtual frame above the invoking one in
+		// a single step; the shadow call stack follows suit.
+		if mc.trackCalls && fr.depth <= len(mc.callStack) {
+			mc.callStack = mc.callStack[:fr.depth]
+		}
 		return true, nil
 	case target.MTrap:
 		return false, &TrapError{Num: uint64(in.Imm), PC: mc.pc, Detail: "explicit trap"}
@@ -395,6 +426,9 @@ func (mc *Machine) callTo(tgt, ret uint64) error {
 		mc.regs[d.SP] = sp
 	} else {
 		mc.regs[3] = ret // RA
+	}
+	if mc.trackCalls {
+		mc.callStack = append(mc.callStack, ret)
 	}
 	mc.pc = tgt
 	return nil

@@ -15,6 +15,7 @@ import (
 	"llva/internal/core"
 	"llva/internal/image"
 	"llva/internal/mem"
+	"llva/internal/prof"
 	"llva/internal/rt"
 	"llva/internal/target"
 	"llva/internal/telemetry"
@@ -70,6 +71,18 @@ type Machine struct {
 
 	invokeStack []invokeFrame
 
+	// Guest-level observability (prof.go). prof/profNext drive the
+	// deterministic virtual-PC sampler; callStack is the shadow stack
+	// of return addresses maintained while trackCalls is on; the
+	// flight recorder fields capture the trap-time snapshot.
+	prof        *prof.Profiler
+	profNext    uint64
+	trackCalls  bool
+	callStack   []uint64
+	recordCrash bool
+	crashEvents int
+	lastCrash   *prof.CrashReport
+
 	privileged bool
 
 	// OnJIT is invoked when a lazy stub is hit; it must install the
@@ -113,10 +126,13 @@ type codeRange struct {
 // the handler address and the invoking frame's SP/FP: unwinding walks
 // frames, it does not checkpoint the register file, so the translator
 // must keep values live into a handler in the frame itself
-// (internal/codegen spills them around invoke).
+// (internal/codegen spills them around invoke). depth remembers the
+// shadow call stack's length at invoke time so an unwind can cut the
+// backtrace back to the invoking frame.
 type invokeFrame struct {
 	handler uint64
 	sp, fp  uint64
+	depth   int
 }
 
 // New creates a machine for the given target over fresh memory, loading
@@ -253,7 +269,8 @@ func (mc *Machine) InstallCode(nf *codegen.NativeFunc) (uint64, error) {
 	if addr+uint64(len(nf.Code)) > mc.codeLimit {
 		return 0, fmt.Errorf("machine: code segment exhausted loading %s", nf.Name)
 	}
-	mc.codeEnd = addr + uint64(len(nf.Code))
+	hi := addr + uint64(len(nf.Code))
+	mc.codeEnd = hi
 	// Bind early so self-recursive calls resolve to this function.
 	mc.bind(nf.Name, addr)
 	code := append([]byte(nil), nf.Code...)
@@ -270,9 +287,13 @@ func (mc *Machine) InstallCode(nf *codegen.NativeFunc) (uint64, error) {
 	// Drop any predecoded blocks overlapping the installed range — new
 	// bytes must never execute through a stale predecode (§3.5's
 	// function-granularity SMC contract) — and remember the function's
-	// extent so InvalidateFunction can evict its blocks later.
+	// extent so InvalidateFunction can evict its blocks later. The
+	// recorded range is the body's [addr, hi) captured before relocation:
+	// resolving relocations can emit lazy stubs past hi, and those belong
+	// to their own callees (addrFunc), not to this function — recording
+	// codeEnd here would make funcAt misattribute stub PCs to nf.Name.
 	mc.invalidateBlocks(addr, mc.codeEnd)
-	mc.funcCode = append(mc.funcCode, codeRange{name: nf.Name, lo: addr, hi: mc.codeEnd})
+	mc.funcCode = append(mc.funcCode, codeRange{name: nf.Name, lo: addr, hi: hi})
 	return addr, nil
 }
 

@@ -45,6 +45,12 @@ func (mc *Machine) recordRunEnd(err error) {
 		if mc.tele != nil {
 			mc.tele.Events().Emit(telemetry.EvTrapTaken, te.Detail, int64(te.Num))
 		}
+		// The flight recorder snapshots the dying machine after the
+		// trap event lands in the ring, so the report's event tail
+		// includes the trap itself.
+		if mc.recordCrash {
+			mc.lastCrash = mc.buildCrashReport(te)
+		}
 	}
 	mc.flushTelemetry()
 }

@@ -1,0 +1,222 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"llva/internal/telemetry"
+)
+
+func TestProfilerAggregation(t *testing.T) {
+	p := NewProfiler(100)
+	if p.Rate() != 100 {
+		t.Fatalf("Rate() = %d, want 100", p.Rate())
+	}
+	// main->inner twice, main alone once, recursive main->f->f once.
+	p.AddSample([]string{"main", "inner"}, 0x10)
+	p.AddSample([]string{"main", "inner"}, 0x10)
+	p.AddSample([]string{"main"}, 0)
+	p.AddSample([]string{"main", "f", "f"}, 0x20)
+	p.AddSample(nil, 0) // dropped
+	if p.Total() != 4 {
+		t.Fatalf("Total() = %d, want 4", p.Total())
+	}
+	stats := map[string]FuncStat{}
+	for _, s := range p.Funcs() {
+		stats[s.Name] = s
+	}
+	if s := stats["main"]; s.Incl != 4 || s.Excl != 1 {
+		t.Errorf("main: incl=%d excl=%d, want 4/1", s.Incl, s.Excl)
+	}
+	if s := stats["inner"]; s.Incl != 2 || s.Excl != 2 {
+		t.Errorf("inner: incl=%d excl=%d, want 2/2", s.Incl, s.Excl)
+	}
+	// Recursion must not double-count inclusive samples.
+	if s := stats["f"]; s.Incl != 1 || s.Excl != 1 {
+		t.Errorf("f: incl=%d excl=%d, want 1/1 (recursion deduped)", s.Incl, s.Excl)
+	}
+	// Hottest-first order with name tiebreak.
+	fs := p.Funcs()
+	if fs[0].Name != "inner" {
+		t.Errorf("hottest = %q, want inner", fs[0].Name)
+	}
+}
+
+func TestWriteFoldedDeterministic(t *testing.T) {
+	samples := [][]string{
+		{"main", "a"}, {"main", "b"}, {"main"}, {"main", "a"},
+	}
+	render := func(order []int) string {
+		p := NewProfiler(1)
+		for _, i := range order {
+			p.AddSample(samples[i], 0)
+		}
+		var b strings.Builder
+		if err := p.WriteFolded(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	got := render([]int{0, 1, 2, 3})
+	if got != render([]int{3, 2, 1, 0}) {
+		t.Fatalf("folded output depends on insertion order:\n%s", got)
+	}
+	want := "main 1\nmain;a 2\nmain;b 1\n"
+	if got != want {
+		t.Fatalf("folded = %q, want %q", got, want)
+	}
+}
+
+func TestArtifactRoundTrip(t *testing.T) {
+	p := NewProfiler(64)
+	p.AddSample([]string{"main", "hot"}, 0x40)
+	p.AddSample([]string{"main", "hot"}, 0x40)
+	p.AddSample([]string{"main"}, 0x8)
+	a := p.Artifact("prog", "vx86")
+	data, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("llva-guest-profile v1\n")) {
+		t.Fatalf("artifact header missing: %q", data[:32])
+	}
+	back, err := DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, back) {
+		t.Fatalf("round trip mismatch:\nin:  %+v\nout: %+v", a, back)
+	}
+	// Encoding is byte-deterministic for the same sample population.
+	data2, err := p.Artifact("prog", "vx86").Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("artifact encoding is not deterministic")
+	}
+	if hot := back.HotFuncs(0.5); len(hot) != 1 || hot[0].Name != "hot" {
+		t.Errorf("HotFuncs(0.5) = %+v, want [hot]", hot)
+	}
+	if bc := back.BlockCounts("hot"); bc[0x40] != 2 {
+		t.Errorf("BlockCounts(hot) = %v, want {0x40:2}", bc)
+	}
+}
+
+func TestDecodeArtifactRejects(t *testing.T) {
+	good, err := NewProfiler(1).Artifact("m", "t").Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"no header":     []byte("no newline here"),
+		"wrong magic":   []byte("some-other-format v1\n{}"),
+		"wrong version": bytes.Replace(good, []byte(" v1\n"), []byte(" v9\n"), 1),
+		"corrupt body":  []byte("llva-guest-profile v1\n{not json"),
+	}
+	for name, data := range cases {
+		if _, err := DecodeArtifact(data); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+	if _, err := DecodeArtifact(good); err != nil {
+		t.Errorf("control decode failed: %v", err)
+	}
+}
+
+func TestTracerChromeJSON(t *testing.T) {
+	tr := NewTracer()
+	tr.NameProcess(1, "session 1")
+	tr.NameThread(1, 0, "guest")
+	end := tr.Begin(1, 0, "guest", "run:main", map[string]any{"session": 1})
+	tr.Instant(1, 0, "guest", "cancel:main", nil)
+	end()
+	if tr.Spans() != 1 {
+		t.Fatalf("Spans() = %d, want 1", tr.Spans())
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+		Unit        string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, b.String())
+	}
+	if doc.Unit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.Unit)
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		phases[e["ph"].(string)]++
+	}
+	if phases["X"] != 1 || phases["i"] != 1 || phases["M"] != 2 {
+		t.Errorf("phase counts = %v, want X:1 i:1 M:2", phases)
+	}
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	tr.NameProcess(0, "x")
+	tr.NameThread(0, 0, "y")
+	end := tr.Begin(0, 0, "c", "n", nil)
+	end()
+	tr.Instant(0, 0, "c", "n", nil)
+	if tr.Spans() != 0 {
+		t.Fatal("nil tracer recorded spans")
+	}
+	var b bytes.Buffer
+	if err := tr.WriteChromeJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(b.Bytes()) {
+		t.Fatalf("nil tracer wrote invalid JSON: %s", b.String())
+	}
+}
+
+func TestCrashReportRender(t *testing.T) {
+	c := &CrashReport{
+		Target:   "vx86",
+		TrapNum:  5,
+		PC:       0x1234,
+		Detail:   "load outside data segment",
+		Mnemonic: "mload.64 r1, [r2+0]",
+		Func:     "bad_load",
+		FuncBase: 0x1200,
+		Instrs:   4242,
+		Cycles:   9000,
+		Regs:     []RegVal{{Name: "r1", Val: 7}, {Name: "sp", Val: 0xff00}},
+		Backtrace: []Frame{
+			{Func: "main", PC: 0x100},
+			{Func: "bad_load", PC: 0x1234},
+		},
+		Disasm: []DisasmLine{
+			{PC: 0x1230, Text: "mov r2, 0"},
+			{PC: 0x1234, Text: "mload.64 r1, [r2+0]", Fault: true},
+		},
+		Events: []telemetry.Event{{Kind: telemetry.EvTrapTaken, Name: "oops", Value: 5}},
+	}
+	var b strings.Builder
+	if err := c.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"trap 5 at %bad_load+0x34 (pc=0x1234)",
+		"faulting instruction: mload.64",
+		"faulted in",
+		"%main",
+		"r1  = 0x7",
+		"=> 0x00001234",
+		"TrapTaken",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package prof
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Span tracing for the engine's own lifecycle: Session load, verify,
+// per-function translate, install, run, cancel, and the pipeline's
+// background workers. Spans are exported in the Chrome trace_event
+// format (the "JSON Array Format" with a traceEvents wrapper), which
+// Perfetto (ui.perfetto.dev) and chrome://tracing load directly:
+// sessions map to trace "processes" (pid), concurrent actors within a
+// session to "threads" (tid).
+
+// chromeEvent is one trace_event record. Phase "X" is a complete span
+// (ts + dur), "i" an instant, "M" metadata (process/thread names).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`            // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"` // microseconds, "X" only
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// Tracer collects spans. All methods are safe for concurrent use and
+// safe on a nil receiver (no-ops), so instrumentation sites need no
+// "is tracing on?" branches.
+type Tracer struct {
+	mu     sync.Mutex
+	start  time.Time
+	events []chromeEvent
+	named  map[[2]int]bool // (pid,tid<0 for process) already named
+}
+
+// NewTracer creates an empty tracer; timestamps are relative to now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), named: make(map[[2]int]bool)}
+}
+
+func (t *Tracer) us(at time.Time) float64 {
+	return float64(at.Sub(t.start).Nanoseconds()) / 1e3
+}
+
+// NameProcess labels a pid lane in the viewer (e.g. "session 3").
+// The first name for a pid wins.
+func (t *Tracer) NameProcess(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := [2]int{pid, -1}
+	if t.named[k] {
+		return
+	}
+	t.named[k] = true
+	t.events = append(t.events, chromeEvent{
+		Name: "process_name", Ph: "M", PID: pid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// NameThread labels a (pid, tid) lane in the viewer (e.g. "worker 2").
+func (t *Tracer) NameThread(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := [2]int{pid, tid}
+	if t.named[k] {
+		return
+	}
+	t.named[k] = true
+	t.events = append(t.events, chromeEvent{
+		Name: "thread_name", Ph: "M", PID: pid, TID: tid,
+		Args: map[string]any{"name": name},
+	})
+}
+
+// Begin opens a span and returns its closer; the span is recorded as a
+// complete ("X") event when the closer runs. Args may be nil.
+func (t *Tracer) Begin(pid, tid int, cat, name string, args map[string]any) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		end := time.Now()
+		ev := chromeEvent{
+			Name: name, Cat: cat, Ph: "X",
+			TS:  t.us(start),
+			Dur: float64(end.Sub(start).Nanoseconds()) / 1e3,
+			PID: pid, TID: tid, Args: args,
+		}
+		t.mu.Lock()
+		t.events = append(t.events, ev)
+		t.mu.Unlock()
+	}
+}
+
+// Instant records a zero-duration marker (thread-scoped).
+func (t *Tracer) Instant(pid, tid int, cat, name string, args map[string]any) {
+	if t == nil {
+		return
+	}
+	ev := chromeEvent{
+		Name: name, Cat: cat, Ph: "i", S: "t",
+		TS:  t.us(time.Now()),
+		PID: pid, TID: tid, Args: args,
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Spans returns the number of recorded complete ("X") spans.
+func (t *Tracer) Spans() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for i := range t.events {
+		if t.events[i].Ph == "X" {
+			n++
+		}
+	}
+	return n
+}
+
+// chromeTrace is the on-the-wire wrapper Perfetto expects.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeJSON writes the collected events as a Chrome trace_event
+// JSON document. The tracer stays usable afterwards; the write is a
+// snapshot.
+func (t *Tracer) WriteChromeJSON(w io.Writer) error {
+	var evs []chromeEvent
+	if t != nil {
+		t.mu.Lock()
+		evs = append(evs, t.events...)
+		t.mu.Unlock()
+	}
+	if evs == nil {
+		evs = []chromeEvent{} // an empty trace is still a valid document
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// Handler serves the trace snapshot (the /debug/llva/trace endpoint).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = t.WriteChromeJSON(w)
+	})
+}

@@ -1,6 +1,7 @@
 package llva
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -123,5 +124,101 @@ int main() { print_int(fib(20)); print_nl(); return 0; }
 	out3, err3 := runTool(t, bins["llva-run"], "-target", "vsparc", "-cache", cache2, "-stats", bc2)
 	if out3 != want || !strings.Contains(err3, "cacheHit=true") {
 		t.Errorf("offline-translated run: out=%q stats=%s", out3, err3)
+	}
+}
+
+// TestTraceSmoke drives the guest observability surface end to end: a
+// loop-heavy workload runs under -trace-out and the sampling profiler,
+// and the emitted artifacts must be well-formed — the trace a valid
+// Chrome trace_event document with at least one complete span, the
+// profile attributing the known hot function. A second, trapping
+// program must produce the flight recorder's crash report on stderr.
+func TestTraceSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bins := buildTools(t, "minicc", "llva-run")
+	work := t.TempDir()
+
+	src := filepath.Join(work, "spin.c")
+	if err := os.WriteFile(src, []byte(`
+int spin(int n) {
+	int i, s = 0;
+	for (i = 0; i < n; i++) s += i ^ (s >> 2);
+	return s;
+}
+int main() { print_int(spin(20000)); print_nl(); return 0; }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// No -O: the inliner would fold %spin into %main and flatten the
+	// stack this test asserts on.
+	bc := filepath.Join(work, "spin.bc")
+	runTool(t, bins["minicc"], "-o", bc, src)
+
+	traceOut := filepath.Join(work, "trace.json")
+	profOut := filepath.Join(work, "spin.folded")
+	runTool(t, bins["llva-run"],
+		"-trace-out", traceOut, "-prof", "-prof-rate", "256",
+		"-prof-out", profOut, "-tenant", "smoke", bc)
+
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatalf("no trace written: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	spans, runSpan := 0, false
+	for _, e := range doc.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		spans++
+		if e.Name == "run:main" {
+			runSpan = true
+			if e.Args["tenant"] != "smoke" {
+				t.Errorf("run span misses tenant arg: %v", e.Args)
+			}
+		}
+	}
+	if spans < 1 || !runSpan {
+		t.Fatalf("trace has %d complete spans (run:main=%v), want >=1 with run:main", spans, runSpan)
+	}
+
+	folded, err := os.ReadFile(profOut)
+	if err != nil {
+		t.Fatalf("no profile written: %v", err)
+	}
+	if !strings.Contains(string(folded), "main;spin ") {
+		t.Errorf("folded profile misses main;spin:\n%s", folded)
+	}
+
+	// Crash-report smoke: a null deref must render the post-mortem.
+	crashSrc := filepath.Join(work, "crash.c")
+	if err := os.WriteFile(crashSrc, []byte(`
+long poke(long *p) { return *p; }
+int main() { return (int)poke((long*)0); }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	crashBC := filepath.Join(work, "crash.bc")
+	runTool(t, bins["minicc"], "-o", crashBC, crashSrc)
+	_, stderr := runTool(t, bins["llva-run"], crashBC)
+	for _, wantS := range []string{
+		"virtual machine crash report", "faulting instruction:",
+		"virtual backtrace", "%poke", "registers", "disassembly",
+	} {
+		if !strings.Contains(stderr, wantS) {
+			t.Errorf("crash report missing %q:\n%s", wantS, stderr)
+		}
 	}
 }
