@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent race-llee race-codegen race-prof tier1 bench bench-compare bench-smoke fmt-check
+.PHONY: all build vet test race race-concurrent race-llee race-codegen race-prof race-tier2 tier1 bench bench-compare bench-smoke fmt-check
 
 all: tier1
 
@@ -47,17 +47,27 @@ race-prof:
 	$(GO) test -race ./internal/prof/... ./internal/telemetry/...
 	$(GO) test -race -run 'Prof|Ring|Tracing|FlightRecorder|Mnemonic' ./internal/machine/... ./internal/llee/...
 
+# race-tier2 exercises the profile-guided tier-2 path under the race
+# detector: background tier-up racing demand translation and hot-swap
+# installs across sessions, plus the N-way differential oracle holding
+# interpreter, tier-1 and tier-2 output identical on both targets.
+race-tier2:
+	$(GO) test -race -count=1 -run 'Tier2|RegallocDiff' ./internal/codegen/... ./internal/llee/...
+
 # Regenerate the paper's Table 2 with registry-sourced telemetry,
-# archived under bench/ with the run date.
+# archived under bench/ with the run date. Measures the tier-2
+# (profile-warm) configuration; pass BENCH_FLAGS= to drop it.
+BENCH_FLAGS ?= -tier2
 bench:
-	$(GO) run ./cmd/llva-bench -json | tee bench/BENCH_$$(date +%Y-%m-%d).json
+	$(GO) run ./cmd/llva-bench $(BENCH_FLAGS) -json | tee bench/BENCH_$$(date +%Y-%m-%d).json
 
 # bench-compare re-measures the deterministic Table 2 columns and diffs
 # them against the committed baseline; exits non-zero on any code-size,
-# instruction-count or cycle regression.
-BENCH_BASELINE ?= bench/BENCH_2026-08-05_regalloc.json
+# instruction-count or cycle regression. The baseline is profile-warm
+# tier 2, so the compare run measures with -tier2 as well.
+BENCH_BASELINE ?= bench/BENCH_2026-08-07_tier2.json
 bench-compare:
-	$(GO) run ./cmd/llva-bench -compare $(BENCH_BASELINE)
+	$(GO) run ./cmd/llva-bench $(BENCH_FLAGS) -compare $(BENCH_BASELINE)
 
 # bench-smoke compiles and runs the Table 2 and pipeline benchmarks
 # once, as a CI-cheap check that the benchmarks themselves stay green

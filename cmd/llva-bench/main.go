@@ -18,10 +18,13 @@
 // run pair: translate nanoseconds, cache hits/misses, and instructions
 // retired on the simulated processor.
 //
-// Usage: llva-bench [-workload NAME] [-O0] [-md] [-json] [-translate-workers N]
+// Usage: llva-bench [-workload NAME] [-O0] [-md] [-json] [-tier2]
+//
+//	[-translate-workers N] [-compare BASELINE.json]
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -30,6 +33,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"llva/internal/codegen"
@@ -40,11 +44,19 @@ import (
 	"llva/internal/machine"
 	"llva/internal/mem"
 	"llva/internal/obj"
+	"llva/internal/prof"
 	"llva/internal/rt"
 	"llva/internal/target"
 	"llva/internal/telemetry"
 	"llva/internal/workloads"
 )
+
+// profRate is the sampling profiler's period (one sample per N simulated
+// branch events) for every profile-gathering run in the bench. Finer than
+// llva-run's default: block-granular heat drives tier-2 superblock layout
+// and spill-weight eviction, and at coarser rates small hot loops in the
+// mid-size workloads fall below the noise floor.
+const profRate = 25
 
 // Row is one Table 2 line.
 type Row struct {
@@ -110,28 +122,80 @@ type TelemetryRow struct {
 	Spills     uint64 `json:"codegen_spills"`
 	Reloads    uint64 `json:"codegen_reloads"`
 	RegallocNS int64  `json:"codegen_regalloc_ns"`
+
+	// Tier-2 counters (all zero without -tier2): functions re-translated
+	// at tier 2, superblocks formed, instructions added by tail
+	// duplication, and tier-up installations that replaced already-running
+	// tier-1 code.
+	Tier2Funcs       uint64 `json:"tier2_funcs"`
+	Superblocks      uint64 `json:"superblocks"`
+	TailDupInstrs    uint64 `json:"tail_dup_instrs"`
+	CodeReplacements uint64 `json:"code_replacements"`
 }
 
-// measureTelemetry runs the workload through two llee.Systems sharing
-// one in-memory storage API and one registry — modelling a cold process
-// (speculative JIT, cache write-back at Close) followed by a warm one
-// (stamp-validated cache hit) — and reads the results out of the shared
-// telemetry registry.
-func measureTelemetry(m *core.Module, workers int) (*TelemetryRow, error) {
+// measureTelemetry runs the workload through a sequence of llee.Systems
+// sharing one in-memory storage API and one registry — modelling a cold
+// process (speculative JIT, cache write-back at Close) followed by a
+// warm one (stamp-validated cache hit) — and reads the results out of
+// the shared telemetry registry. With tier2, the cold process also
+// samples the guest and persists its profile, and an extra middle
+// process models a profile-warm but code-cold start: its hot functions
+// tier up in the background and hot-swap over the running tier-1 code,
+// after which the final warm process decodes both cache tiers.
+func measureTelemetry(m *core.Module, workers int, tier2 bool) (*TelemetryRow, error) {
 	reg := telemetry.New()
 	st := llee.NewMemStorage()
-	for i := 0; i < 2; i++ {
-		sys := llee.NewSystem(llee.WithStorage(st), llee.WithTelemetry(reg),
-			llee.WithTranslateWorkers(workers))
-		sess, err := sys.NewSession(m, target.VX86, io.Discard)
+	runOne := func(opts []llee.Option, sessOpts []llee.Option, runs int) error {
+		sys := llee.NewSystem(append([]llee.Option{
+			llee.WithStorage(st), llee.WithTelemetry(reg),
+			llee.WithTranslateWorkers(workers)}, opts...)...)
+		sess, err := sys.NewSession(m, target.VX86, io.Discard, sessOpts...)
 		if err != nil {
+			return err
+		}
+		for i := 0; i < runs; i++ {
+			if _, err := sess.Run(context.Background(), "main"); err != nil && !errors.Is(err, llee.ErrExit) {
+				sys.Close()
+				return err
+			}
+			if tier2 && i == 0 && runs > 1 {
+				// Give background tier-up a chance to finish before the
+				// second run, whose pre-run drain installs the results.
+				waitCounterStable(reg, pipeline.MetricTierUps)
+			}
+		}
+		if tier2 && sess.Profiler() != nil {
+			if err := sess.StoreGuestProfile(); err != nil {
+				sys.Close()
+				return err
+			}
+		}
+		return sys.Close()
+	}
+	if !tier2 {
+		for i := 0; i < 2; i++ {
+			if err := runOne(nil, nil, 1); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		// Cold: tier-1 JIT under the sampling profiler; the profile is
+		// persisted, the translations are written back.
+		if err := runOne(nil, []llee.Option{llee.WithProfiler(prof.NewProfiler(profRate))}, 1); err != nil {
 			return nil, err
 		}
-		if _, err := sess.Run(context.Background(), "main"); err != nil && !errors.Is(err, llee.ErrExit) {
-			sys.Close()
+		// Profile-warm, code-cold: the native cache is gone (evicted) but
+		// the profile survives, so the process JITs at tier 1 and the hot
+		// functions tier up in the background and hot-swap mid-flight.
+		if err := st.Delete("native:" + m.Name + ":" + target.VX86.Name); err != nil {
 			return nil, err
 		}
-		if err := sys.Close(); err != nil {
+		if err := runOne([]llee.Option{llee.WithTier2(true)}, nil, 2); err != nil {
+			return nil, err
+		}
+		// Fully warm: both the tier-1 and the profile-stamped tier-2 cache
+		// decode from storage; nothing is translated.
+		if err := runOne([]llee.Option{llee.WithTier2(true)}, nil, 1); err != nil {
 			return nil, err
 		}
 	}
@@ -159,12 +223,38 @@ func measureTelemetry(m *core.Module, workers int) (*TelemetryRow, error) {
 		Spills:     reg.CounterValue(codegen.MetricSpills),
 		Reloads:    reg.CounterValue(codegen.MetricReloads),
 		RegallocNS: reg.Histogram(codegen.MetricRegallocNS).Sum(),
+
+		Tier2Funcs:       reg.CounterValue(codegen.MetricTier2Funcs),
+		Superblocks:      reg.CounterValue(codegen.MetricSuperblocks),
+		TailDupInstrs:    reg.CounterValue(codegen.MetricTailDupInstrs),
+		CodeReplacements: reg.CounterValue("machine.code_replacements"),
 	}, nil
 }
 
+// waitCounterStable polls a counter until it stops moving (three
+// consecutive reads 20ms apart) or a 3s deadline passes — enough for
+// the background tier-up workers to drain on every workload size
+// without coupling the bench to pipeline internals.
+func waitCounterStable(reg *telemetry.Registry, name string) {
+	deadline := time.Now().Add(3 * time.Second)
+	last, same := reg.CounterValue(name), 0
+	for same < 3 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+		if v := reg.CounterValue(name); v == last {
+			same++
+		} else {
+			last, same = v, 0
+		}
+	}
+}
+
 // Measure computes one row; whole-module translations run on the
-// pipeline worker pool (workers=1 reproduces the serial timings).
-func Measure(w *workloads.Workload, optimize bool, workers int) (*Row, error) {
+// pipeline worker pool (workers=1 reproduces the serial timings). With
+// tier2, the vx86 run-time columns (#vx86, cycles, run time) reflect
+// profile-guided tier-2 code: the tier-1 run's deterministic sampling
+// profile guides a whole-module re-translation, and the tier-2 run must
+// produce byte-identical program output or the measurement fails.
+func Measure(w *workloads.Workload, optimize bool, workers int, tier2 bool) (*Row, error) {
 	var m *core.Module
 	var err error
 	if optimize {
@@ -219,11 +309,33 @@ func Measure(w *workloads.Workload, optimize bool, workers int) (*Row, error) {
 		return nil, err
 	}
 	row.TranslateS = time.Since(start).Seconds()
+
+	var tier1Out bytes.Buffer
+	if tier2 {
+		// Profile run on the tier-1 code: deterministic sampling, so the
+		// guiding artifact — and with it the tier-2 code — is reproducible.
+		p := prof.NewProfiler(profRate)
+		if _, _, err := runObject(m, objX, &tier1Out, p); err != nil {
+			return nil, fmt.Errorf("%s: %w", w.Name, err)
+		}
+		tr2 := trX.WithTier2(p.Artifact(m.Name, target.VX86.Name))
+		objX, err = pipeline.TranslateModule(tr2, workers, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
 	row.NumX86 = objX.NumInstrs()
 	row.RatioX86 = float64(row.NumX86) / float64(row.NumLLVA)
 
-	// Run time (column 11) on the simulated vx86 processor.
-	env := rt.NewEnv(mem.New(0, true), io.Discard)
+	// Run time (column 11) on the simulated vx86 processor. With -tier2
+	// this is the profile-warm tier-2 run; its output must match the
+	// tier-1 profile run byte for byte.
+	var outSink io.Writer = io.Discard
+	var tier2Out bytes.Buffer
+	if tier2 {
+		outSink = &tier2Out
+	}
+	env := rt.NewEnv(mem.New(0, true), outSink)
 	mc, err := machine.New(target.VX86, m, env)
 	if err != nil {
 		return nil, err
@@ -240,6 +352,10 @@ func Measure(w *workloads.Workload, optimize bool, workers int) (*Row, error) {
 		}
 	}
 	row.RunWallS = time.Since(wall).Seconds()
+	if tier2 && !bytes.Equal(tier1Out.Bytes(), tier2Out.Bytes()) {
+		return nil, fmt.Errorf("%s: tier-2 output differs from tier-1 (%d vs %d bytes)",
+			w.Name, tier2Out.Len(), tier1Out.Len())
+	}
 	runtime.ReadMemStats(&ms1)
 	row.AllocsPerOp = ms1.Mallocs - ms0.Mallocs
 	row.RunVirtualS = float64(mc.Stats.Cycles) / 1e9
@@ -248,6 +364,80 @@ func Measure(w *workloads.Workload, optimize bool, workers int) (*Row, error) {
 		row.MIPS = float64(mc.Stats.Instrs) / row.RunWallS / 1e6
 	}
 	return row, nil
+}
+
+// runObject executes a translated object on a fresh simulated vx86
+// machine, optionally under the sampling profiler, and returns the
+// simulated cycle and instruction counts.
+func runObject(m *core.Module, nobj *codegen.NativeObject, out io.Writer, p *prof.Profiler) (cycles, instrs uint64, err error) {
+	env := rt.NewEnv(mem.New(0, true), out)
+	mc, err := machine.New(target.VX86, m, env)
+	if err != nil {
+		return 0, 0, err
+	}
+	if p != nil {
+		mc.SetProfiler(p)
+	}
+	if err := mc.LoadObject(nobj); err != nil {
+		return 0, 0, err
+	}
+	if _, err := mc.Run("main"); err != nil {
+		if _, isExit := err.(*rt.ExitError); !isExit {
+			return 0, 0, err
+		}
+	}
+	return mc.Stats.Cycles, mc.Stats.Instrs, nil
+}
+
+// columnSet collects the JSON column names a bench row array carries,
+// including the telemetry sub-columns as "telemetry.<name>".
+func columnSet(data []byte) (map[string]bool, error) {
+	var objs []map[string]json.RawMessage
+	if err := json.Unmarshal(data, &objs); err != nil {
+		return nil, err
+	}
+	keys := make(map[string]bool)
+	for _, o := range objs {
+		for k, v := range o {
+			keys[k] = true
+			if k == "telemetry" {
+				var sub map[string]json.RawMessage
+				if err := json.Unmarshal(v, &sub); err == nil {
+					for sk := range sub {
+						keys["telemetry."+sk] = true
+					}
+				}
+			}
+		}
+	}
+	return keys, nil
+}
+
+// missingBaselineColumns reports the columns the current rows emit that
+// the baseline JSON lacks. A non-empty result means the baseline
+// predates the current schema: comparing against it would silently read
+// zeros for the new columns, so the caller must fail loudly instead.
+func missingBaselineColumns(baseline []byte, rows []*Row) ([]string, error) {
+	cur, err := json.Marshal(rows)
+	if err != nil {
+		return nil, err
+	}
+	curKeys, err := columnSet(cur)
+	if err != nil {
+		return nil, err
+	}
+	oldKeys, err := columnSet(baseline)
+	if err != nil {
+		return nil, err
+	}
+	var missing []string
+	for k := range curKeys {
+		if !oldKeys[k] {
+			missing = append(missing, k)
+		}
+	}
+	sort.Strings(missing)
+	return missing, nil
 }
 
 // compareRows diffs freshly measured rows against a baseline on the
@@ -317,6 +507,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit machine-readable rows with manager telemetry")
 	workers := flag.Int("translate-workers", 0, "translation worker-pool size (0: one per CPU; 1: serial, the paper's setup)")
 	compare := flag.String("compare", "", "baseline bench JSON: diff deterministic columns against a fresh measurement and exit non-zero on regression")
+	tier2 := flag.Bool("tier2", false, "profile-guided tier-2 measurement: the vx86 run columns reflect superblock-optimized code built from a deterministic profile run (output must stay byte-identical)")
 	flag.Parse()
 
 	suite := workloads.All()
@@ -331,7 +522,7 @@ func main() {
 
 	var rows []*Row
 	for _, w := range suite {
-		row, err := Measure(w, !*noOpt, *workers)
+		row, err := Measure(w, !*noOpt, *workers, *tier2)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "llva-bench: %v\n", err)
 			os.Exit(1)
@@ -344,7 +535,7 @@ func main() {
 				m, err = w.CompileOptimized()
 			}
 			if err == nil {
-				row.Telemetry, err = measureTelemetry(m, *workers)
+				row.Telemetry, err = measureTelemetry(m, *workers, *tier2)
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "llva-bench: %s telemetry: %v\n", w.Name, err)
@@ -359,6 +550,23 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "llva-bench: %v\n", err)
 			os.Exit(2)
+		}
+		// A baseline that predates the current column schema would compare
+		// the new columns against silent zeros; refuse it by name instead.
+		missing, err := missingBaselineColumns(data, rows)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "llva-bench: %s: %v\n", *compare, err)
+			os.Exit(2)
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr,
+				"llva-bench: baseline %s lacks %d column(s) the current run emits:\n",
+				*compare, len(missing))
+			for _, c := range missing {
+				fmt.Fprintf(os.Stderr, "  %s\n", c)
+			}
+			fmt.Fprintln(os.Stderr, "re-record the baseline with the current llva-bench before comparing")
+			os.Exit(1)
 		}
 		var old []*Row
 		if err := json.Unmarshal(data, &old); err != nil {

@@ -7,7 +7,7 @@
 //
 //	[-translate-workers N] [-speculate=false] [-timeout D]
 //	[-metrics-addr HOST:PORT] [-trace-log FILE] [-trace-out FILE]
-//	[-prof] [-prof-rate N] [-prof-out FILE] [-prof-store]
+//	[-prof] [-prof-rate N] [-prof-out FILE] [-prof-store] [-tier2]
 //	[-tenant ID] [-flight-events N] prog.bc
 package main
 
@@ -103,6 +103,7 @@ func main() {
 	flightEvents := flag.Int("flight-events", 16, "trap-time flight recorder depth in telemetry events (0: disable crash reports)")
 	workers := flag.Int("translate-workers", 0, "translation worker-pool size for offline and speculative JIT translation (0: one per CPU)")
 	speculate := flag.Bool("speculate", true, "speculatively JIT-translate static callees on background workers")
+	tier2 := flag.Bool("tier2", false, "profile-guided tier-2 translation: re-translate hot functions with superblocks and inlining when a stored guest profile exists (needs -cache; store one with -prof-store)")
 	timeout := flag.Duration("timeout", 0, "abort execution after this long on the wall clock (0: no limit)")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -208,6 +209,7 @@ func main() {
 		llee.WithTracer(tracer),
 		llee.WithTenant(*tenant),
 		llee.WithFlightRecorder(*flightEvents),
+		llee.WithTier2(*tier2),
 	}
 	if prober != nil {
 		opts = append(opts, llee.WithProfiler(prober))

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"llva/internal/core"
+	"llva/internal/prof"
 	"llva/internal/target"
 	"llva/internal/telemetry"
 )
@@ -84,9 +85,12 @@ func (o *NativeObject) NumInstrs() int {
 
 // Metric names published to a shared registry via SetTelemetry.
 const (
-	MetricSpills     = "codegen.spills"
-	MetricReloads    = "codegen.reloads"
-	MetricRegallocNS = "codegen.regalloc_ns"
+	MetricSpills        = "codegen.spills"
+	MetricReloads       = "codegen.reloads"
+	MetricRegallocNS    = "codegen.regalloc_ns"
+	MetricTier2Funcs    = "codegen.tier2_funcs"
+	MetricSuperblocks   = "codegen.superblocks"
+	MetricTailDupInstrs = "codegen.tail_dup_instrs"
 )
 
 // Translator compiles a module's functions for one target.
@@ -98,9 +102,18 @@ type Translator struct {
 	// spillOnly forces the naive allocator (test oracle).
 	spillOnly bool
 
+	// tier is 1 (fast, profile-free, the default) or 2 (profile-guided
+	// superblock formation + hot inlining; see tier2.go). Tier 2 carries
+	// the guiding profile in art.
+	tier int
+	art  *prof.Artifact
+
 	// telemetry handles; nil until SetTelemetry wires them
 	spills, reloads *telemetry.Counter
 	regallocNS      *telemetry.Histogram
+	tier2Funcs      *telemetry.Counter
+	superblocks     *telemetry.Counter
+	tailDupInstrs   *telemetry.Counter
 }
 
 // New creates a translator for module m targeting desc. The simulated
@@ -131,6 +144,9 @@ func (t *Translator) SetTelemetry(reg *telemetry.Registry) {
 	t.spills = reg.Counter(MetricSpills)
 	t.reloads = reg.Counter(MetricReloads)
 	t.regallocNS = reg.Histogram(MetricRegallocNS)
+	t.tier2Funcs = reg.Counter(MetricTier2Funcs)
+	t.superblocks = reg.Counter(MetricSuperblocks)
+	t.tailDupInstrs = reg.Counter(MetricTailDupInstrs)
 }
 
 // UseSpillAllocator forces the paper's naive spill-everything allocator
@@ -160,14 +176,43 @@ func (t *Translator) TranslateModule() (*NativeObject, error) {
 // TranslateFunction compiles a single function (JIT mode unit). It only
 // reads the module and builds per-call state, so independent functions
 // may be translated concurrently on one Translator (internal/llee/pipeline
-// relies on this).
+// relies on this). On a tier-2 translator (WithTier2), functions with
+// profile coverage go through the superblock pipeline; functions the
+// profile never sampled fall back to tier-1 lowering.
 func (t *Translator) TranslateFunction(f *core.Function) (nf *NativeFunc, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("codegen: %%%s: %v", f.Name(), r)
 		}
 	}()
+	if t.tier >= 2 {
+		if nf, ok := t.tryTier2(f); ok {
+			return nf, nil
+		}
+	}
+	nf, _ = t.lower(f, false, nil, nil)
+	return nf, nil
+}
+
+// lower runs the common back half of translation: selection, register
+// allocation, frame lowering, fallthrough elision and final layout. With
+// tier2 set, the allocator A/Bs heat-weighted eviction (allocBest) and
+// post-allocation peepholes (branch-polarity inversion for trace
+// fallthrough, jump threading) run before elision. A non-nil perm places
+// blocks in trace order at the machine level — after register
+// allocation, so live intervals (and therefore spills) are measured in
+// the stable IR order the profile was gathered against. A non-nil hm
+// feeds per-block heat to the allocator for interval weights and spill
+// pricing; with tier2 false it only prices (the returned selector's
+// spillCost), producing code identical to the profile-free path.
+func (t *Translator) lower(f *core.Function, tier2 bool, perm []int, hm map[*core.BasicBlock]uint64) (*NativeFunc, *selector) {
 	sel := newSelector(t, f)
+	if hm != nil {
+		sel.blockHeat = make([]uint64, len(f.Blocks))
+		for i, bb := range f.Blocks {
+			sel.blockHeat[i] = hm[bb]
+		}
+	}
 	sel.run()
 
 	// Register allocation: the global linear scan handles both targets
@@ -175,9 +220,12 @@ func (t *Translator) TranslateFunction(f *core.Function) (nf *NativeFunc, err er
 	// are force-spilled; see allocLinear). The naive allocator runs only
 	// as the differential-testing oracle.
 	start := time.Now()
-	if t.spillOnly {
+	switch {
+	case t.spillOnly:
 		allocSpill(sel)
-	} else {
+	case tier2 && sel.blockHeat != nil:
+		allocBest(sel)
+	default:
 		allocLinear(sel)
 	}
 	if t.regallocNS != nil {
@@ -187,6 +235,13 @@ func (t *Translator) TranslateFunction(f *core.Function) (nf *NativeFunc, err er
 	}
 
 	addFrame(sel)
+	if perm != nil {
+		reorderBlocks(sel, perm)
+	}
+	if tier2 {
+		invertBranches(sel)
+		threadJumps(sel)
+	}
 	elideFallthroughs(sel)
 	code, relocs := layout(sel)
 	return &NativeFunc{
@@ -195,41 +250,73 @@ func (t *Translator) TranslateFunction(f *core.Function) (nf *NativeFunc, err er
 		Relocs:    relocs,
 		NumInstrs: len(sel.code),
 		NumLLVA:   f.NumInstructions(),
-	}, nil
+	}, sel
+}
+
+// reorderBlocks rearranges the machine code into the block order given
+// by perm (a permutation of the selector's block indices, entry first).
+// Branch targets are block indices, so only the start table changes;
+// every block ends in an explicit branch — ret lowers to a jump to the
+// epilogue label, invoke to a jump to its normal successor — so no
+// implicit fallthrough is broken. The prologue stays ahead of the entry
+// block and the epilogue stays last.
+func reorderBlocks(s *selector, perm []int) {
+	n := len(s.blockStart) - 1 // the final entry is the epilogue label
+	out := make([]target.MInstr, 0, len(s.code))
+	out = append(out, s.code[:s.blockStart[0]]...) // prologue
+	newStart := make([]int, len(s.blockStart))
+	for _, bi := range perm {
+		newStart[bi] = len(out)
+		out = append(out, s.code[s.blockStart[bi]:s.blockStart[bi+1]]...)
+	}
+	newStart[n] = len(out)
+	out = append(out, s.code[s.blockStart[n]:]...) // epilogue
+	s.code = out
+	s.blockStart = newStart
 }
 
 // elideFallthroughs removes an unconditional jump whose target is the
 // block that immediately follows it in layout order. Taken branches cost
 // an extra cycle on the simulated processor, so block placement — and in
 // particular trace-driven relayout (Section 4.2) — directly affects the
-// measured cycle counts.
+// measured cycle counts. blockStart need not be monotonic here:
+// reorderBlocks places trace-ordered code with the original indices.
 func elideFallthroughs(s *selector) {
-	var out []target.MInstr
-	newStart := make([]int, len(s.blockStart))
-	bi := 0
+	startsAt := make(map[int][]int, len(s.blockStart))
+	for bi, p := range s.blockStart {
+		startsAt[p] = append(startsAt[p], bi)
+	}
+	drop := make([]bool, len(s.code))
 	for i := range s.code {
-		for bi < len(s.blockStart) && s.blockStart[bi] == i {
-			newStart[bi] = len(out)
-			bi++
+		in := &s.code[i]
+		if in.Op != target.MJmp {
+			continue
 		}
-		in := s.code[i]
-		if in.Op == target.MJmp {
-			// Block index of the next instruction boundary.
-			for nb := 0; nb < len(s.blockStart); nb++ {
-				if s.blockStart[nb] == i+1 && int32(nb) == in.Target {
-					goto skip
-				}
+		for _, nb := range startsAt[i+1] {
+			if int32(nb) == in.Target {
+				drop[i] = true
 			}
 		}
-		out = append(out, in)
-	skip:
 	}
-	for bi < len(s.blockStart) {
-		newStart[bi] = len(out)
-		bi++
+	newPos := make([]int, len(s.code)+1)
+	n := 0
+	for i := range s.code {
+		newPos[i] = n
+		if !drop[i] {
+			n++
+		}
+	}
+	newPos[len(s.code)] = n
+	out := make([]target.MInstr, 0, n)
+	for i := range s.code {
+		if !drop[i] {
+			out = append(out, s.code[i])
+		}
+	}
+	for bi, p := range s.blockStart {
+		s.blockStart[bi] = newPos[p]
 	}
 	s.code = out
-	s.blockStart = newStart
 }
 
 // layout assigns byte offsets, resolves PC-relative branch targets and

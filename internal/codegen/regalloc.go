@@ -113,6 +113,22 @@ func rewriteWithSlots(s *selector, slotOf map[target.Reg]int32, assigned map[tar
 	bi := 0
 	var usesBuf []target.Reg
 
+	// heatAt prices one spill access at the current block's profile heat
+	// (+1 so unsampled blocks still count); allocBest compares allocations
+	// by this total.
+	heatAt := func() uint64 {
+		if s.blockHeat == nil {
+			return 0
+		}
+		b := bi - 1
+		if b < 0 {
+			b = 0
+		}
+		if b >= len(s.blockHeat) {
+			b = len(s.blockHeat) - 1
+		}
+		return s.blockHeat[b] + 1
+	}
 	emitFrame := func(op target.MOp, reg target.Reg, disp int32, fp bool) {
 		// Spill slots always hold the full canonical 64-bit value.
 		if op == target.MLoad {
@@ -120,6 +136,7 @@ func rewriteWithSlots(s *selector, slotOf map[target.Reg]int32, assigned map[tar
 		} else {
 			s.nSpillStores++
 		}
+		s.spillCost += heatAt()
 		out = frameInstrs(out, d, op, reg, disp, fp)
 	}
 
@@ -173,6 +190,7 @@ func rewriteWithSlots(s *selector, slotOf map[target.Reg]int32, assigned map[tar
 				in.Disp = s.slotDisp(sl)
 				in.Rs2 = target.NoReg
 				s.nSpillLoads++
+				s.spillCost += heatAt()
 			}
 		}
 
@@ -372,6 +390,11 @@ type interval struct {
 	start, end int
 	fp         bool
 	cross      bool // live across a call: needs a callee-saved register
+	// weight is the heat-weighted use count, accumulated only when the
+	// selector carries per-block profile heat (tier 2): spilling this
+	// value costs ~2 cycles per weighted use, so eviction prefers the
+	// cheapest victim instead of the furthest-ending one.
+	weight uint64
 }
 
 // allocLinear is the global linear-scan register allocator, shared by
@@ -380,10 +403,14 @@ type interval struct {
 // per register class from target.Desc: caller-saved registers for
 // intervals containing no call, callee-saved registers (saved by the
 // prologue) for intervals that cross one. When every pool is exhausted
-// it spills second-chance style: the active interval ending furthest
-// loses its register to the current one and moves to a frame slot — and
-// a non-crossing victim gets a second chance to relocate into a
-// caller-saved register that has freed up since it was allocated.
+// it spills second-chance style: a victim interval loses its register
+// to the current one and moves to a frame slot — and a non-crossing
+// victim gets a second chance to relocate into a caller-saved register
+// that has been free since before the victim itself began. Without
+// profile heat the victim is the interval ending furthest (classic
+// linear scan); with per-block heat (tier 2) it is the interval with
+// the lowest heat-weighted use count, so hot-loop values keep their
+// registers.
 //
 // Two invoke-specific rules keep unwinding — which restores only SP and
 // FP — correct:
@@ -497,6 +524,17 @@ func allocLinear(s *selector) {
 			iv.end = pos
 		}
 	}
+	weigh := func(v target.Reg, b int) {
+		if s.blockHeat == nil || !v.IsVirtual() {
+			return
+		}
+		if iv, ok := ivals[v]; ok {
+			if b < len(s.blockHeat) {
+				iv.weight += s.blockHeat[b]
+			}
+			iv.weight++
+		}
+	}
 	for b := 0; b < nb; b++ {
 		end := n
 		if b+1 < len(s.blockStart) {
@@ -512,9 +550,11 @@ func allocLinear(s *selector) {
 			ub = instrUses(&s.code[i], ub[:0])
 			for _, r := range ub {
 				touch(r, i)
+				weigh(r, b)
 			}
 			if d := instrDef(&s.code[i]); d != target.NoReg {
 				touch(d, i)
+				weigh(d, b)
 			}
 		}
 	}
@@ -577,6 +617,11 @@ func allocLinear(s *selector) {
 	}
 	var active []activeEntry
 
+	// freeAt records, per register, the end position of its last owner.
+	// A register in a pool is only guaranteed free after that point: safe
+	// for the interval being scanned (which starts later), but not
+	// automatically for an evicted victim that started earlier.
+	freeAt := map[target.Reg]int{}
 	release := func(r target.Reg) {
 		switch {
 		case callerSet[r] && r.IsFP():
@@ -593,6 +638,9 @@ func allocLinear(s *selector) {
 		keep := active[:0]
 		for _, a := range active {
 			if a.iv.end < pos {
+				if a.iv.end > freeAt[a.reg] {
+					freeAt[a.reg] = a.iv.end
+				}
 				release(a.reg)
 			} else {
 				keep = append(keep, a)
@@ -607,6 +655,20 @@ func allocLinear(s *selector) {
 		r := (*p)[0]
 		*p = (*p)[1:]
 		return r
+	}
+	// takeFreeBefore pops the first pool register whose last owner ended
+	// before pos — the legality condition for relocating an already-live
+	// victim (registers never handed out are absent from freeAt and
+	// always qualify).
+	takeFreeBefore := func(p *[]target.Reg, pos int) target.Reg {
+		for i, r := range *p {
+			if e, used := freeAt[r]; used && e >= pos {
+				continue
+			}
+			*p = append((*p)[:i], (*p)[i+1:]...)
+			return r
+		}
+		return target.NoReg
 	}
 
 	usedSet := map[target.Reg]bool{}
@@ -636,18 +698,39 @@ func allocLinear(s *selector) {
 			active = append(active, activeEntry{iv: iv, reg: reg})
 			continue
 		}
-		// Pools exhausted: the active interval of the same class ending
-		// furthest yields its register, provided that register is legal
-		// for the current interval.
+		// Pools exhausted: an active interval of the same class yields its
+		// register, provided that register is legal for the current
+		// interval. Without profile heat the victim is the interval ending
+		// furthest (classic linear scan); with it (tier 2) the victim is
+		// the cheapest to spill — lowest heat-weighted use count — and only
+		// if it is both cheaper than the current interval and ends later,
+		// so hot-loop values keep their registers. (The ends-later filter
+		// is a measured heuristic, not a soundness condition: evicting an
+		// interval shorter than the current one trades a long register
+		// occupancy for little gain.)
 		victim := -1
+		useWeight := s.evictByWeight
 		for ai, a := range active {
-			if a.reg.IsFP() != iv.fp || a.iv.end <= iv.end {
+			if a.reg.IsFP() != iv.fp {
 				continue
 			}
 			if iv.cross && callerSet[a.reg] {
 				continue
 			}
-			if victim == -1 || a.iv.end > active[victim].iv.end {
+			if !useWeight {
+				if a.iv.end <= iv.end {
+					continue
+				}
+				if victim == -1 || a.iv.end > active[victim].iv.end {
+					victim = ai
+				}
+				continue
+			}
+			if a.iv.weight >= iv.weight || a.iv.end <= iv.end {
+				continue
+			}
+			if victim == -1 || a.iv.weight < active[victim].iv.weight ||
+				(a.iv.weight == active[victim].iv.weight && a.iv.end > active[victim].iv.end) {
 				victim = ai
 			}
 		}
@@ -659,10 +742,13 @@ func allocLinear(s *selector) {
 		assigned[iv.v] = a.reg
 		active[victim] = activeEntry{iv: iv, reg: a.reg}
 		// Second chance: a non-crossing victim may relocate into a
-		// caller-saved register freed since it was allocated, instead of
-		// spilling (the victim shares the current interval's class).
+		// caller-saved register instead of spilling — but only one whose
+		// previous owner died before the victim began. The pool invariant
+		// (owners dead before the current position) is not enough here:
+		// the victim has been live since a.iv.start < iv.start, and an
+		// owner that died in between would overlap it.
 		if !a.iv.cross {
-			if reloc := take(caller); reloc != target.NoReg {
+			if reloc := takeFreeBefore(caller, a.iv.start); reloc != target.NoReg {
 				assigned[a.iv.v] = reloc
 				usedSet[reloc] = true
 				active = append(active, activeEntry{iv: a.iv, reg: reloc})
@@ -682,4 +768,35 @@ func allocLinear(s *selector) {
 	}
 	sort.Slice(s.savedRegs, func(i, j int) bool { return s.savedRegs[i] < s.savedRegs[j] })
 	rewriteWithSlots(s, slotOf, assigned)
+}
+
+// allocBest runs the linear scan twice on a profiled function — once
+// with heat-weighted eviction, once with the classic furthest-end rule —
+// and keeps whichever allocation emits the cheaper heat-weighted spill
+// traffic (spillCost). Weighted eviction wins big on functions dominated
+// by one hot loop, but on flat profiles its weight ties resolve
+// arbitrarily and can cost more than the classic rule saves; measuring
+// both settles it per function. The extra pass runs only on the tier-2
+// path, where translation is background work.
+func allocBest(s *selector) {
+	code0 := append([]target.MInstr(nil), s.code...)
+	bs0 := append([]int(nil), s.blockStart...)
+
+	s.evictByWeight = true
+	allocLinear(s)
+	wCode, wBS := s.code, s.blockStart
+	wBytes, wSaved := s.spillBytes, s.savedRegs
+	wLoads, wStores, wCost := s.nSpillLoads, s.nSpillStores, s.spillCost
+
+	s.code, s.blockStart = code0, bs0
+	s.spillBytes, s.savedRegs = 0, nil
+	s.nSpillLoads, s.nSpillStores, s.spillCost = 0, 0, 0
+	s.evictByWeight = false
+	allocLinear(s)
+
+	if wCost < s.spillCost {
+		s.code, s.blockStart = wCode, wBS
+		s.spillBytes, s.savedRegs = wBytes, wSaved
+		s.nSpillLoads, s.nSpillStores, s.spillCost = wLoads, wStores, wCost
+	}
 }

@@ -1,8 +1,8 @@
 package codegen_test
 
 import (
+	"bytes"
 	"fmt"
-	"io"
 	"math/rand"
 	"strings"
 	"testing"
@@ -13,6 +13,7 @@ import (
 	"llva/internal/interp"
 	"llva/internal/machine"
 	"llva/internal/mem"
+	"llva/internal/prof"
 	"llva/internal/rt"
 	"llva/internal/target"
 )
@@ -135,10 +136,37 @@ func genAllocSrc(seed int64) (string, []uint64) {
 	return b.String(), args
 }
 
-// TestAllocatorDifferential cross-checks the global linear-scan
-// allocator against the spill-everything oracle (UseSpillAllocator) on
-// randomized generated functions: every target x allocator configuration
-// must return the reference interpreter's value.
+// runNative loads obj into a fresh machine and runs %f, optionally with
+// a sampling profiler attached, returning the result and program output.
+func runNative(t *testing.T, d *target.Desc, m *core.Module, obj *codegen.NativeObject,
+	args []uint64, p *prof.Profiler) (uint64, string) {
+	t.Helper()
+	var out bytes.Buffer
+	env := rt.NewEnv(mem.New(0, true), &out)
+	mc, err := machine.New(d, m, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != nil {
+		mc.SetProfiler(p)
+	}
+	if err := mc.LoadObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mc.Run("f", args...)
+	if err != nil {
+		t.Fatalf("%s: run: %v", d.Name, err)
+	}
+	return got, out.String()
+}
+
+// TestAllocatorDifferential is the N-way differential oracle: on
+// randomized generated functions, the reference interpreter, tier-1 with
+// the global linear-scan allocator, tier-1 with the spill-everything
+// oracle (UseSpillAllocator), and tier-2 profile-guided translation
+// (superblocks + hot inlining, driven by a profile gathered from a real
+// tier-1 run) must all agree on the result and the program output, on
+// both targets.
 func TestAllocatorDifferential(t *testing.T) {
 	iters := int64(40)
 	if testing.Short() {
@@ -154,7 +182,8 @@ func TestAllocatorDifferential(t *testing.T) {
 			if err := core.Verify(m); err != nil {
 				t.Fatalf("verify: %v\n%s", err, src)
 			}
-			ip, err := interp.New(m, io.Discard)
+			var iout bytes.Buffer
+			ip, err := interp.New(m, &iout)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -162,7 +191,9 @@ func TestAllocatorDifferential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("interp: %v\n%s", err, src)
 			}
+			wantOut := iout.String()
 			for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+				var linear *codegen.NativeObject
 				for _, oracle := range []bool{false, true} {
 					name := d.Name + "/linear"
 					if oracle {
@@ -177,22 +208,36 @@ func TestAllocatorDifferential(t *testing.T) {
 					if err != nil {
 						t.Fatalf("%s: translate: %v\n%s", name, err, src)
 					}
-					env := rt.NewEnv(mem.New(0, true), io.Discard)
-					mc, err := machine.New(d, m, env)
-					if err != nil {
-						t.Fatal(err)
+					if !oracle {
+						linear = obj
 					}
-					if err := mc.LoadObject(obj); err != nil {
-						t.Fatal(err)
-					}
-					got, err := mc.Run("f", args...)
-					if err != nil {
-						t.Fatalf("%s: run: %v\n%s", name, err, src)
-					}
-					if got != want {
+					got, out := runNative(t, d, m, obj, args, nil)
+					if got != want || out != wantOut {
 						t.Errorf("%s: got %#x, interp %#x (seed %d)\n%s",
 							name, got, want, seed, src)
 					}
+				}
+
+				// Tier 2: profile a tier-1 run, then re-translate guided by
+				// the gathered artifact and cross-check the optimized code.
+				p := prof.NewProfiler(50)
+				if got, out := runNative(t, d, m, linear, args, p); got != want || out != wantOut {
+					t.Fatalf("%s/profiled: got %#x, interp %#x (seed %d)", d.Name, got, want, seed)
+				}
+				art := p.Artifact(m.Name, d.Name)
+				tr, err := codegen.New(d, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				tr2 := tr.WithTier2(art)
+				obj2, err := tr2.TranslateModule()
+				if err != nil {
+					t.Fatalf("%s/tier2: translate: %v\n%s", d.Name, err, src)
+				}
+				got, out := runNative(t, d, m, obj2, args, nil)
+				if got != want || out != wantOut {
+					t.Errorf("%s/tier2: got %#x, interp %#x (seed %d)\n%s",
+						d.Name, got, want, seed, src)
 				}
 			}
 		})

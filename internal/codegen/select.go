@@ -42,6 +42,16 @@ type selector struct {
 	// spill traffic emitted by the allocator's rewrite (telemetry)
 	nSpillLoads  int
 	nSpillStores int
+
+	// blockHeat is per-block profile heat (indexed like blockStart), set
+	// only on the tier-2 path. It weighs the allocator's live intervals
+	// and prices emitted spill traffic (spillCost); evictByWeight switches
+	// the linear scan from furthest-end to lowest-heat-weight eviction so
+	// hot-loop values keep registers (allocBest tries both and keeps the
+	// cheaper allocation).
+	blockHeat     []uint64
+	evictByWeight bool
+	spillCost     uint64
 }
 
 func newSelector(t *Translator, f *core.Function) *selector {

@@ -1,0 +1,629 @@
+package codegen
+
+import (
+	"sort"
+	"sync"
+
+	"llva/internal/core"
+	"llva/internal/passes"
+	"llva/internal/prof"
+	"llva/internal/target"
+)
+
+// Tier-2 profile-guided translation (paper, Section 4.2): the persisted
+// guest profile's per-block sample counts drive superblock formation —
+// extended traces along hot taken-branch paths, with side-entry blocks
+// tail-duplicated so the trace stays private — plus translate-time
+// inlining of small hot callees and post-layout branch peepholes. The
+// hot path then falls through in layout order, which the simulated
+// processor rewards directly: a taken branch costs one extra cycle.
+//
+// Tier 2 never changes observable behavior; the N-way differential
+// oracle (regalloc_diff_test.go) holds interpreter, tier-1 and tier-2
+// output to the same result and program output on both targets.
+
+const (
+	// tier2InlineThreshold is the max callee size (LLVA instructions) for
+	// profile-driven inlining. Deliberately above passes.InlineThreshold
+	// (40): -O2 already folded the tiny callees, so tier 2 must reach
+	// further to find work — but only on blocks the profile proved hot.
+	tier2InlineThreshold = 96
+
+	// tier2GrowthBudget caps total instructions added by inlining into
+	// one function, keeping clone+translate time bounded.
+	tier2GrowthBudget = 256
+
+	// tier2MaxDupInstrs caps the size of a block worth tail-duplicating.
+	tier2MaxDupInstrs = 12
+)
+
+// tier2Mu serializes all tier-2 IR transformation. Cloning, inlining and
+// tail duplication mutate use lists on *shared* module-level values
+// (functions, globals), which tier-1 translation never touches — so
+// demand translation stays fully concurrent while background tier-up
+// runs one function at a time.
+var tier2Mu sync.Mutex
+
+// WithTier2 derives a tier-2 translator guided by art, sharing the
+// module, target and telemetry handles of t. The receiver is unchanged:
+// tier-1 demand translation and tier-2 background translation coexist on
+// their respective translators. Call after SetTelemetry so the derived
+// translator inherits the counter handles.
+func (t *Translator) WithTier2(art *prof.Artifact) *Translator {
+	nt := *t
+	nt.tier = 2
+	nt.art = art
+	return &nt
+}
+
+// Tier reports the translator's optimization tier (1 or 2).
+func (t *Translator) Tier() int {
+	if t.tier < 2 {
+		return 1
+	}
+	return t.tier
+}
+
+// Profile returns the guiding artifact of a tier-2 translator (nil at
+// tier 1).
+func (t *Translator) Profile() *prof.Artifact { return t.art }
+
+// tryTier2 translates f through the superblock pipeline. It reports
+// ok=false — fall back to tier-1 lowering — when the profile has no
+// samples for f or a transformed body fails verification. When the
+// tier-2 candidate's estimated dynamic cost does not beat a tier-1
+// lowering, the tier-1 code is returned (ok=true); tier2_funcs still
+// counts the translation — it mirrors pipeline.tierups one-for-one —
+// but only shipped transformations count superblocks and duplicated
+// instructions.
+func (t *Translator) tryTier2(f *core.Function) (*NativeFunc, bool) {
+	counts := t.art.BlockCounts(f.Name())
+	if len(counts) == 0 {
+		return nil, false
+	}
+
+	tier2Mu.Lock()
+	defer tier2Mu.Unlock()
+
+	// Map the sampled native offsets — recorded against the tier-1 code
+	// this profile was gathered on — back to MIR blocks: a sample belongs
+	// to the block with the greatest start offset ≤ it.
+	offs := t.tier1BlockOffsets(f)
+	heat := make([]uint64, len(f.Blocks))
+	for off, n := range counts {
+		bi := sort.Search(len(offs), func(i int) bool { return uint64(offs[i]) > off }) - 1
+		if bi < 0 {
+			bi = 0 // in the prologue: attribute to the entry block
+		}
+		if bi >= len(heat) {
+			bi = len(heat) - 1 // in the epilogue: attribute to the last block
+		}
+		heat[bi] += n
+	}
+	// Samples are time-proportional, but every consumer downstream —
+	// branch frequencies in layoutCost, spill-access pricing, interval
+	// weights — wants entry frequency: a branch or a spill executes once
+	// per block entry, however long the block is. Normalizing by block
+	// length converts one to the other and stops long blocks from
+	// looking hotter than they run. The ×8 fixed-point scale keeps
+	// sparse profiles (one sample in a long block) from truncating to
+	// zero; it cancels in every comparison, which only ever weighs
+	// heats against each other.
+	for i, bb := range f.Blocks {
+		if n := bb.Len(); n > 0 {
+			heat[i] = heat[i] * 8 / uint64(n)
+		}
+	}
+
+	clone := core.CloneFunctionBody(f)
+	defer core.DiscardFunctionBody(clone)
+	hm := make(map[*core.BasicBlock]uint64, len(clone.Blocks))
+	for i, bb := range clone.Blocks {
+		hm[bb] = heat[i]
+	}
+
+	hmOrig := make(map[*core.BasicBlock]uint64, len(f.Blocks))
+	for i, bb := range f.Blocks {
+		hmOrig[bb] = heat[i]
+	}
+
+	t.inlineHot(clone, hm)
+	perm, nSuper, nDup := formSuperblocks(clone, hm)
+
+	if core.VerifyFunction(clone) != nil {
+		// A transform produced invalid IR; tier-1 output is always safe.
+		return nil, false
+	}
+	nf2, sel2 := t.lower(clone, true, perm, hm)
+	nf2.NumLLVA = f.NumInstructions()
+
+	// Final gate: estimate each candidate's dynamic cost — heat-priced
+	// spill traffic (~2 cycles per access) plus the layout's branch cost —
+	// and ship tier-2 only if it beats a heat-priced tier-1 lowering of
+	// the untouched function. Inlining and tail duplication can raise
+	// register pressure faster than they retire branches (the per-pass
+	// gates see only their own axis), and block-granular samples are
+	// noisy; a candidate that cannot beat the code the profile was
+	// measured on is not an optimization.
+	nf1, sel1 := t.lower(f, false, nil, hmOrig)
+	order2 := clone.Blocks
+	if perm != nil {
+		order2 = make([]*core.BasicBlock, len(perm))
+		for i, bi := range perm {
+			order2[i] = clone.Blocks[bi]
+		}
+	}
+	est2 := 2*sel2.spillCost + layoutCost(order2, hm) + callCost(order2, hm)
+	est1 := 2*sel1.spillCost + layoutCost(f.Blocks, hmOrig) + callCost(f.Blocks, hmOrig)
+	if t.tier2Funcs != nil {
+		t.tier2Funcs.Inc()
+	}
+	if est2 >= est1 {
+		return nf1, true
+	}
+	if t.tier2Funcs != nil {
+		t.superblocks.Add(uint64(nSuper))
+		t.tailDupInstrs.Add(uint64(nDup))
+	}
+	return nf2, true
+}
+
+// tier1BlockOffsets replays the tier-1 pipeline for f and measures the
+// byte offset of each MIR block's first instruction — the address space
+// the profile's block counts were sampled in. No telemetry is recorded;
+// this is a measurement pass, not a translation.
+func (t *Translator) tier1BlockOffsets(f *core.Function) []int {
+	sel := newSelector(t, f)
+	sel.run()
+	if t.spillOnly {
+		allocSpill(sel)
+	} else {
+		allocLinear(sel)
+	}
+	addFrame(sel)
+	elideFallthroughs(sel)
+	offs := make([]int, len(sel.code)+1)
+	var probe []byte
+	for i := range sel.code {
+		probe = probe[:0]
+		b, _ := t.desc.Encode(&sel.code[i], probe)
+		offs[i+1] = offs[i] + len(b)
+	}
+	out := make([]int, len(sel.blockStart))
+	for b, idx := range sel.blockStart {
+		out[b] = offs[idx]
+	}
+	return out
+}
+
+// inlineHot repeatedly inlines the hottest eligible call site in clone:
+// direct calls in profiled-hot blocks whose callee is small, defined,
+// non-recursive and exception-free. Blocks created by each inline (the
+// split continuation plus the cloned callee body) inherit the call
+// site's heat, so superblock formation extends traces through them.
+func (t *Translator) inlineHot(clone *core.Function, heat map[*core.BasicBlock]uint64) {
+	budget := tier2GrowthBudget
+	for {
+		var call *core.Instruction
+		var hottest uint64
+		for _, bb := range clone.Blocks {
+			h := heat[bb]
+			if h == 0 || h < hottest {
+				continue
+			}
+			for _, in := range bb.Instructions() {
+				if in.Op() != core.OpCall {
+					continue
+				}
+				callee := in.CalledFunction()
+				if callee == nil || callee.IsDeclaration() || callee.IsIntrinsic() ||
+					callee.Name() == clone.Name() || !passes.CanInline(callee) ||
+					hasCycle(callee) {
+					continue
+				}
+				if n := callee.NumInstructions(); n > tier2InlineThreshold || n > budget {
+					continue
+				}
+				if h > hottest || call == nil {
+					hottest, call = h, in
+				}
+			}
+		}
+		if call == nil {
+			return
+		}
+		site := call.Parent()
+		n0 := len(clone.Blocks)
+		budget -= call.CalledFunction().NumInstructions()
+		passes.InlineCall(clone, call)
+		for _, nb := range clone.Blocks[n0:] {
+			heat[nb] = heat[site]
+		}
+	}
+}
+
+// hasCycle reports whether f's CFG contains a loop. Tier-2 inlining
+// refuses such callees: the inlined copy's blocks inherit the call
+// site's heat, which is exact for loop-free bodies (each block runs at
+// most once per call) but understates a loop body arbitrarily — and
+// everything downstream of the lie (spill weights, the eviction policy,
+// the final cost gate) would optimize the wrong blocks.
+func hasCycle(f *core.Function) bool {
+	const (
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*core.BasicBlock]int, len(f.Blocks))
+	var visit func(bb *core.BasicBlock) bool
+	visit = func(bb *core.BasicBlock) bool {
+		color[bb] = gray
+		for _, s := range bb.Successors() {
+			switch color[s] {
+			case gray:
+				return true
+			case black:
+			default:
+				if visit(s) {
+					return true
+				}
+			}
+		}
+		color[bb] = black
+		return false
+	}
+	return len(f.Blocks) > 0 && visit(f.Blocks[0])
+}
+
+// callCost prices the fixed per-call overhead of direct calls to
+// defined functions — call and ret (2 cycles each) plus argument and
+// frame traffic, ~2 cycles per argument — weighted by block heat. The
+// cost gate adds it to both candidates so calls present in both cancel;
+// what remains is the overhead hot inlining actually removed.
+func callCost(order []*core.BasicBlock, heat map[*core.BasicBlock]uint64) uint64 {
+	var cost uint64
+	for _, b := range order {
+		for _, in := range b.Instructions() {
+			if in.Op() != core.OpCall && in.Op() != core.OpInvoke {
+				continue
+			}
+			callee := in.CalledFunction()
+			if callee == nil || callee.IsDeclaration() {
+				continue
+			}
+			cost += callSiteCost(callee, heat[b], len(in.CallArgs()), 3)
+		}
+	}
+	return cost
+}
+
+// callSiteCost prices one call site: the call/return and argument-move
+// overhead, plus an estimate of the callee body's own branch cost per
+// invocation, with every callee block priced at the site's heat — the
+// same inheritance rule inlineHot applies to inlined blocks. Pricing
+// the body on both sides of the tier-2 gate lets the terms cancel,
+// whether the call stays out of line or its body now sits in the
+// caller, so inlining competes on its real savings: the retired call
+// overhead and whatever layout improvement superblock formation finds
+// in the inlined copy. Nested defined calls are chased to a fixed
+// depth — mirroring inlineHot's reach — which also bounds mutually
+// recursive call graphs.
+func callSiteCost(callee *core.Function, h uint64, nargs, depth int) uint64 {
+	cost := (h + 1) * uint64(4+2*nargs)
+	if depth == 0 {
+		return cost
+	}
+	bh := make(map[*core.BasicBlock]uint64, len(callee.Blocks))
+	for _, bb := range callee.Blocks {
+		bh[bb] = h
+	}
+	cost += layoutCost(callee.Blocks, bh)
+	for _, bb := range callee.Blocks {
+		for _, in := range bb.Instructions() {
+			if in.Op() != core.OpCall && in.Op() != core.OpInvoke {
+				continue
+			}
+			inner := in.CalledFunction()
+			if inner == nil || inner.IsDeclaration() || inner == callee {
+				continue
+			}
+			cost += callSiteCost(inner, h, len(in.CallArgs()), depth-1)
+		}
+	}
+	return cost
+}
+
+// layoutCost estimates the dynamic branch cost of laying blocks out in
+// the given order, mirroring the simulated processors' cycle model: a
+// fallthrough unconditional branch is elided (free), a taken branch
+// pays its instruction cycle plus the taken penalty, and a conditional
+// pair costs 1/2 cycles when one side falls through (branch-polarity
+// inversion handles either side) and 2/3 when neither does. Per-block
+// heat approximates execution frequency; two-way edges split
+// proportionally to successor heat (+1 so unsampled blocks keep
+// plausible, order-preserving weights). Only plain branches are
+// modeled — calls, switches and invokes cost the same in any order.
+func layoutCost(order []*core.BasicBlock, heat map[*core.BasicBlock]uint64) uint64 {
+	pos := make(map[*core.BasicBlock]int, len(order))
+	for i, b := range order {
+		pos[b] = i
+	}
+	var cost uint64
+	for i, b := range order {
+		term := b.Terminator()
+		if term == nil || term.Op() != core.OpBr {
+			continue
+		}
+		succs := b.Successors()
+		h := heat[b] + 1
+		switch len(succs) {
+		case 1:
+			if pos[succs[0]] != i+1 {
+				cost += 2 * h
+			}
+		case 2:
+			t0, f0 := succs[0], succs[1]
+			ht, hf := heat[t0]+1, heat[f0]+1
+			ft := h * ht / (ht + hf)
+			ff := h - ft
+			switch {
+			case pos[f0] == i+1:
+				cost += 2*ft + ff
+			case pos[t0] == i+1:
+				cost += ft + 2*ff
+			default:
+				cost += 2*ft + 3*ff
+			}
+		}
+	}
+	return cost
+}
+
+// formSuperblocks plans a trace-order relayout of clone.Blocks. Traces
+// are seeded at the entry (always first, so the function still begins
+// there) and at hot blocks in descending heat, and grown by following
+// the hottest unvisited successor. When the hot continuation was
+// already claimed by an earlier trace — a join, or a loop header — the
+// trace may tail-duplicate it once (core.TailDuplicate) so the hot path
+// keeps falling through. Cold blocks follow in their original order.
+//
+// The result is a permutation over the (possibly grown) f.Blocks, to be
+// applied to the machine code after register allocation — never to the
+// IR block list itself: the linear-scan allocator measures live
+// intervals in block order, and reordering its input tears hot loops'
+// intervals across cold code, buying fallthroughs with spills. A nil
+// permutation means the candidate order lost to the original: the
+// branch-cost model must score it strictly better, since
+// block-granular sampling is noisy evidence and a relayout that breaks
+// more fallthroughs than it makes must lose to the layout the profile
+// was actually measured on.
+func formSuperblocks(f *core.Function, heat map[*core.BasicBlock]uint64) (perm []int, nSuper, nDupInstrs int) {
+	orig := append([]*core.BasicBlock(nil), f.Blocks...)
+	idx := make(map[*core.BasicBlock]int, len(orig))
+	for i, bb := range orig {
+		idx[bb] = i
+	}
+	seeds := make([]*core.BasicBlock, 0, len(orig))
+	for i, bb := range orig {
+		if i == 0 || heat[bb] > 0 {
+			seeds = append(seeds, bb)
+		}
+	}
+	sort.SliceStable(seeds, func(a, b int) bool {
+		if idx[seeds[a]] == 0 || idx[seeds[b]] == 0 {
+			return idx[seeds[a]] == 0
+		}
+		if heat[seeds[a]] != heat[seeds[b]] {
+			return heat[seeds[a]] > heat[seeds[b]]
+		}
+		return idx[seeds[a]] < idx[seeds[b]]
+	})
+
+	// Plan pass: grow the traces without touching f (no tail duplication)
+	// and score the candidate. Tail duplication only ever removes taken
+	// branches on top of this, so a plan that does not beat the original
+	// order will not be rescued by it.
+	plan := buildTraceOrder(nil, orig, seeds, heat, idx, nil, nil)
+	if layoutCost(plan, heat) >= layoutCost(orig, heat) {
+		return nil, 0, 0
+	}
+	order := buildTraceOrder(f, orig, seeds, heat, idx, &nSuper, &nDupInstrs)
+	// Tail duplication appended its copies to f.Blocks; order holds the
+	// same set of blocks in trace order. Express it as a permutation.
+	pos := make(map[*core.BasicBlock]int, len(f.Blocks))
+	for i, bb := range f.Blocks {
+		pos[bb] = i
+	}
+	perm = make([]int, len(order))
+	for i, bb := range order {
+		perm[i] = pos[bb]
+	}
+	return perm, nSuper, nDupInstrs
+}
+
+// buildTraceOrder grows a trace from each seed and appends the never-hot
+// remainder in original order. With f nil it is a pure planning pass;
+// with f set, traces may tail-duplicate their continuation into f and
+// nSuper/nDupInstrs are recorded.
+func buildTraceOrder(f *core.Function, orig, seeds []*core.BasicBlock,
+	heat map[*core.BasicBlock]uint64, idx map[*core.BasicBlock]int,
+	nSuper, nDupInstrs *int) []*core.BasicBlock {
+	visited := make(map[*core.BasicBlock]bool, len(orig))
+	var order []*core.BasicBlock
+	for _, sb := range seeds {
+		if visited[sb] {
+			continue
+		}
+		trace := growTrace(f, sb, heat, idx, visited, nDupInstrs)
+		if len(trace) >= 2 && nSuper != nil {
+			*nSuper++
+		}
+		order = append(order, trace...)
+	}
+	for _, bb := range orig {
+		if !visited[bb] {
+			visited[bb] = true
+			order = append(order, bb)
+		}
+	}
+	return order
+}
+
+func growTrace(f *core.Function, start *core.BasicBlock, heat map[*core.BasicBlock]uint64,
+	idx map[*core.BasicBlock]int, visited map[*core.BasicBlock]bool, nDupInstrs *int) []*core.BasicBlock {
+	trace := []*core.BasicBlock{start}
+	visited[start] = true
+	cur := start
+	dupped := false
+	for {
+		term := cur.Terminator()
+		if term == nil {
+			return trace
+		}
+		var next, taken *core.BasicBlock
+		var nextHeat, takenHeat uint64
+		for _, s := range cur.Successors() {
+			if visited[s] {
+				if heat[s] > takenHeat {
+					takenHeat, taken = heat[s], s
+				}
+				continue
+			}
+			if heat[s] == 0 {
+				continue
+			}
+			switch {
+			case next == nil || heat[s] > nextHeat:
+				nextHeat, next = heat[s], s
+			case heat[s] == nextHeat:
+				// Tie: the samples cannot tell the sides apart, so keep
+				// the successor that already fell through at tier 1.
+				if ci, ok := idx[cur]; ok && idx[s] == ci+1 {
+					next = s
+				}
+			}
+		}
+		if next == nil {
+			// The hot continuation is already placed elsewhere. Duplicate
+			// it (at most once per trace, and only small SSA-private
+			// blocks) so this trace ends in a private copy that falls
+			// through; otherwise the trace ends here. The planning pass
+			// (f nil) never duplicates.
+			if f == nil || dupped || taken == nil || takenHeat == 0 || taken.Len() > tier2MaxDupInstrs {
+				return trace
+			}
+			dup, ok := core.TailDuplicate(f, cur, taken)
+			if !ok {
+				return trace
+			}
+			// NewBlock appended dup at the end of f.Blocks; move it right
+			// after its only predecessor so the linear scan sees a tight
+			// interval — at the end it would stretch every value live into
+			// the duplicated tail across the whole function.
+			for i, bb := range f.Blocks {
+				if bb == dup {
+					copy(f.Blocks[i:], f.Blocks[i+1:])
+					f.Blocks = f.Blocks[:len(f.Blocks)-1]
+					break
+				}
+			}
+			for i, bb := range f.Blocks {
+				if bb == cur {
+					f.Blocks = append(f.Blocks, nil)
+					copy(f.Blocks[i+2:], f.Blocks[i+1:])
+					f.Blocks[i+1] = dup
+					break
+				}
+			}
+			dupped = true
+			heat[dup] = heat[taken]
+			*nDupInstrs += dup.Len()
+			visited[dup] = true
+			trace = append(trace, dup)
+			cur = dup
+			continue
+		}
+		visited[next] = true
+		trace = append(trace, next)
+		cur = next
+	}
+}
+
+// invertCond returns the exact complement of c. Complements are exact on
+// the simulated processor for FP too: conditions are decoded from the
+// (eq, lt) flag pair, so c holds iff its complement does not — NaN
+// compares set neither flag and land on the "greater" side consistently
+// for both polarities.
+func invertCond(c target.Cond) (target.Cond, bool) {
+	switch c {
+	case target.CondEQ:
+		return target.CondNE, true
+	case target.CondNE:
+		return target.CondEQ, true
+	case target.CondLT:
+		return target.CondGE, true
+	case target.CondGE:
+		return target.CondLT, true
+	case target.CondGT:
+		return target.CondLE, true
+	case target.CondLE:
+		return target.CondGT, true
+	}
+	return c, false
+}
+
+// invertBranches rewrites the fused `jcc T; jmp F` pattern when block T
+// starts immediately after the pair: inverting the condition and
+// swapping targets lets elideFallthroughs delete the jump, so the path
+// to T costs one branch fewer (2 cycles → 1) and the path to F replaces
+// a fallthrough-plus-taken-jump with one taken jcc (3 → 2). Both sides
+// win, so no profile guard is needed; after trace-order layout the hot
+// successor is the fallthrough, which is where the savings concentrate.
+func invertBranches(s *selector) {
+	for i := 0; i+1 < len(s.code); i++ {
+		jcc := &s.code[i]
+		jmp := &s.code[i+1]
+		if jcc.Op != target.MJcc || jmp.Op != target.MJmp || jcc.Target == jmp.Target {
+			continue
+		}
+		tt := int(jcc.Target)
+		if tt < 0 || tt >= len(s.blockStart) || s.blockStart[tt] != i+2 {
+			continue
+		}
+		inv, ok := invertCond(jcc.Cnd)
+		if !ok {
+			continue
+		}
+		jcc.Cnd = inv
+		jcc.Target, jmp.Target = jmp.Target, jcc.Target
+	}
+}
+
+// threadJumps retargets branches that land on a block whose first
+// executed instruction is an unconditional jump — a shape trace reorder
+// leaves behind when a cold block holds nothing but a jump to the join.
+// Each threaded branch saves the intermediate jump's 2 cycles. Chains
+// are followed to a fixed point; a visited set breaks degenerate cycles.
+func threadJumps(s *selector) {
+	resolve := func(t0 int32) int32 {
+		t := t0
+		seen := map[int32]bool{t: true}
+		for {
+			bi := int(t)
+			if bi < 0 || bi >= len(s.blockStart) || s.blockStart[bi] >= len(s.code) {
+				return t
+			}
+			in := s.code[s.blockStart[bi]]
+			if in.Op != target.MJmp || seen[in.Target] {
+				return t
+			}
+			t = in.Target
+			seen[t] = true
+		}
+	}
+	for i := range s.code {
+		switch s.code[i].Op {
+		case target.MJmp, target.MJcc:
+			s.code[i].Target = resolve(s.code[i].Target)
+		}
+	}
+}

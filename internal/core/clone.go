@@ -1,0 +1,225 @@
+package core
+
+import "fmt"
+
+// Function cloning and restricted tail duplication for the tier-2
+// optimizing translator. The clone is detached — it carries the original
+// name, signature and parent module (so types and symbol references
+// resolve) but is NOT registered in the module, so it can be transformed
+// and discarded without the module ever observing an intermediate state.
+//
+// A clone's instructions hold tracked uses on shared module-level values
+// (functions, globals), so cloning and discarding mutate those shared
+// use lists: callers that clone concurrently with other IR mutation must
+// serialize (codegen holds a package mutex around all tier-2 transforms).
+
+// CloneFunctionBody returns a detached private copy of f: same name,
+// signature and parent module, fresh blocks/instructions/arguments.
+// Blocks keep their order, so index-based metadata (per-block profile
+// heat) transfers directly. Operands that are module-level values —
+// constants, globals, functions (including recursive references to f
+// itself) — are shared, not copied. Discard the clone with
+// DiscardFunctionBody when done.
+func CloneFunctionBody(f *Function) *Function {
+	nf := &Function{
+		name:     f.name,
+		sig:      f.sig,
+		ty:       f.ty,
+		parent:   f.parent,
+		Internal: f.Internal,
+		nextID:   f.nextID,
+	}
+	vmap := make(map[Value]Value)
+	for _, p := range f.Params {
+		np := &Argument{name: p.name, ty: p.ty, parent: nf, index: p.index}
+		nf.Params = append(nf.Params, np)
+		vmap[p] = np
+	}
+	bmap := make(map[*BasicBlock]*BasicBlock, len(f.Blocks))
+	for _, bb := range f.Blocks {
+		nb := &BasicBlock{name: bb.name, parent: nf}
+		nf.Blocks = append(nf.Blocks, nb)
+		bmap[bb] = nb
+	}
+	// Two passes: create all clones first so forward references (phis,
+	// back edges) resolve, then wire operands and block references.
+	var clones, origs []*Instruction
+	for _, bb := range f.Blocks {
+		for _, in := range bb.instrs {
+			cl := NewInstruction(in.op, in.ty)
+			cl.ExceptionsEnabled = in.ExceptionsEnabled
+			cl.Allocated = in.Allocated
+			cl.Cases = append([]int64(nil), in.Cases...)
+			cl.name = in.name
+			bmap[bb].Append(cl)
+			vmap[in] = cl
+			clones = append(clones, cl)
+			origs = append(origs, in)
+		}
+	}
+	for k, cl := range clones {
+		for _, op := range origs[k].ops {
+			if nv, ok := vmap[op]; ok {
+				cl.AddOperand(nv)
+			} else {
+				cl.AddOperand(op)
+			}
+		}
+		for _, ob := range origs[k].blocks {
+			cl.AddBlock(bmap[ob])
+		}
+	}
+	return nf
+}
+
+// DiscardFunctionBody releases a detached clone: every operand use the
+// body holds — including uses on shared functions and globals — is
+// untracked, and the block list is cleared. The clone must not be used
+// afterwards.
+func DiscardFunctionBody(f *Function) {
+	for _, bb := range f.Blocks {
+		for _, in := range bb.instrs {
+			in.dropOperands()
+			in.blocks = nil
+			in.parent = nil
+		}
+		bb.instrs = nil
+		bb.parent = nil
+	}
+	f.Blocks = nil
+}
+
+// canTailDuplicate reports whether bb may be duplicated for one
+// predecessor without breaking SSA. The restriction: every value defined
+// in bb is used only inside bb, or as a phi incoming in a successor
+// attributed to an edge leaving bb. Then the duplicate's values need no
+// new dominance relationships — the only repairs are phi incomings on
+// bb's successors.
+func canTailDuplicate(bb *BasicBlock) bool {
+	if bb == bb.parent.Blocks[0] {
+		return false // duplicating the entry makes no sense
+	}
+	term := bb.Terminator()
+	if term == nil {
+		return false
+	}
+	switch term.op {
+	case OpBr, OpMbr, OpRet:
+	default:
+		return false // invoke/unwind: frame bookkeeping is not worth duplicating
+	}
+	succs := make(map[*BasicBlock]bool, len(term.blocks))
+	for _, s := range term.blocks {
+		succs[s] = true
+	}
+	for _, in := range bb.instrs {
+		if !in.HasResult() {
+			continue
+		}
+		for _, u := range in.Uses() {
+			if u.User.parent == bb {
+				continue
+			}
+			if u.User.op == OpPhi && succs[u.User.parent] &&
+				u.Index < len(u.User.blocks) && u.User.blocks[u.Index] == bb {
+				continue
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// TailDuplicate clones bb as a private copy reached only from pred,
+// retargeting pred's terminator edge(s) from bb to the copy and
+// repairing phis: bb's own phis lose pred's incoming (the copy starts
+// from that value directly), and every successor phi gains an incoming
+// for the copy. Returns (nil, false) when duplication would break SSA
+// (see canTailDuplicate) or pred does not branch to bb. The caller is
+// expected to verify the function afterwards and fall back on failure.
+func TailDuplicate(f *Function, pred, bb *BasicBlock) (*BasicBlock, bool) {
+	if !canTailDuplicate(bb) {
+		return nil, false
+	}
+	pt := pred.Terminator()
+	if pt == nil {
+		return nil, false
+	}
+	targets := false
+	for _, s := range pt.blocks {
+		if s == bb {
+			targets = true
+		}
+	}
+	if !targets {
+		return nil, false
+	}
+
+	dup := f.NewBlock(fmt.Sprintf("%s.dup%d", bb.name, len(f.Blocks)))
+	vmap := make(map[Value]Value)
+	// Phis collapse: the copy has exactly one predecessor, so each phi
+	// becomes the value flowing in from pred.
+	for _, phi := range bb.Phis() {
+		vmap[phi] = phi.PhiIncomingFor(pred)
+	}
+	mapv := func(v Value) Value {
+		if nv, ok := vmap[v]; ok {
+			return nv
+		}
+		return v
+	}
+	var clones, origs []*Instruction
+	for _, in := range bb.instrs {
+		if in.op == OpPhi {
+			continue
+		}
+		cl := NewInstruction(in.op, in.ty)
+		cl.ExceptionsEnabled = in.ExceptionsEnabled
+		cl.Allocated = in.Allocated
+		cl.Cases = append([]int64(nil), in.Cases...)
+		cl.name = in.name
+		dup.Append(cl)
+		vmap[in] = cl
+		clones = append(clones, cl)
+		origs = append(origs, in)
+	}
+	for k, cl := range clones {
+		for _, op := range origs[k].ops {
+			cl.AddOperand(mapv(op))
+		}
+		for _, ob := range origs[k].blocks {
+			cl.AddBlock(ob) // same successors as the original
+		}
+	}
+
+	// Successor phis: the copy is a new predecessor carrying the same
+	// values bb would have delivered (mapped through the clone).
+	seen := make(map[*BasicBlock]bool)
+	for _, s := range bb.Terminator().blocks {
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		for _, phi := range s.Phis() {
+			if v := phi.PhiIncomingFor(bb); v != nil {
+				phi.AddPhiIncoming(mapv(v), dup)
+			}
+		}
+	}
+
+	// Retarget pred's edge(s) and drop pred's incomings from bb's phis.
+	for i, s := range pt.blocks {
+		if s == bb {
+			pt.SetBlock(i, dup)
+		}
+	}
+	for _, phi := range bb.Phis() {
+		for i := 0; i < len(phi.blocks); i++ {
+			if phi.blocks[i] == pred {
+				phi.RemovePhiIncoming(i)
+				break
+			}
+		}
+	}
+	return dup, true
+}

@@ -20,7 +20,11 @@ func (ms *moduleState) guestProfileKey() string {
 	return "guestprof:" + ms.module.Name + ":" + ms.desc.Name
 }
 
-// storeGuestProfile persists the sampler's current aggregate.
+// storeGuestProfile persists the sampler's current aggregate, merged
+// into any stamp-valid profile already stored (prof.Artifact.Merge sums
+// the counts), so repeated runs accumulate hotness instead of the last
+// run winning. A stale, corrupt, or incompatible (version/rate) stored
+// profile is simply overwritten.
 func (ms *moduleState) storeGuestProfile(p *prof.Profiler) error {
 	if ms.sys.storage == nil {
 		return fmt.Errorf("llee: guest-profile persistence requires the storage API")
@@ -28,7 +32,13 @@ func (ms *moduleState) storeGuestProfile(p *prof.Profiler) error {
 	if p == nil {
 		return fmt.Errorf("llee: no profiler attached")
 	}
-	data, err := p.Artifact(ms.module.Name, ms.desc.Name).Encode()
+	art := p.Artifact(ms.module.Name, ms.desc.Name)
+	if old, stamp, ok, _ := ms.sys.storage.Read(ms.guestProfileKey()); ok && stamp == ms.stamp {
+		if prev, err := prof.DecodeArtifact(old); err == nil && prev.Merge(art) == nil {
+			art = prev
+		}
+	}
+	data, err := art.Encode()
 	if err != nil {
 		return err
 	}

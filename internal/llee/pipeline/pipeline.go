@@ -60,6 +60,7 @@ const (
 	MetricSpecWaste       = "pipeline.spec.waste"
 	MetricSpecInvalidated = "pipeline.spec.invalidated"
 	MetricDemandInline    = "pipeline.demand_inline"
+	MetricTierUps         = "pipeline.tierups"
 )
 
 // Workers resolves a worker-count setting: n <= 0 means one worker per

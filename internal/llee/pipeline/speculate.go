@@ -24,8 +24,22 @@ type flight struct {
 	nf          *codegen.NativeFunc
 	err         error
 	speculative bool // started by a background worker
+	tier2       bool // profile-guided retranslation (key "tier2:<name>")
 	consumed    atomic.Bool
 }
+
+// specJob is one queued background translation: a speculative tier-1
+// translation of a not-yet-demanded function, or a tier-2 re-translation
+// of a hot, already-running one.
+type specJob struct {
+	f     *core.Function
+	tier2 bool
+}
+
+// tier2Key is the flights-map key of a tier-2 translation; tier-1 and
+// tier-2 code of one function are distinct cache entries with their own
+// singleflight.
+func tier2Key(name string) string { return "tier2:" + name }
 
 // Speculator runs ahead-of-time JIT translation on background workers
 // (paper Section 4.1: use otherwise-idle resources to hide translator
@@ -48,7 +62,13 @@ type Speculator struct {
 	depth   int64 // queued-but-not-started entries, mirrors the gauge
 	peak    int64
 
-	queue chan *core.Function
+	// Background tier-up (SetTier2): tr2 is the profile-guided
+	// translator, onTierUp delivers each finished tier-2 translation for
+	// hot-swap installation. Both nil until a profile exists.
+	tr2      *codegen.Translator
+	onTierUp func(name string, nf *codegen.NativeFunc)
+
+	queue chan specJob
 	wg    sync.WaitGroup
 }
 
@@ -65,7 +85,7 @@ func NewSpeculator(tr *codegen.Translator, workers int, reg *telemetry.Registry)
 		reg:     reg,
 		flights: make(map[string]*flight),
 		workers: Workers(workers),
-		queue:   make(chan *core.Function, specQueueCap),
+		queue:   make(chan specJob, specQueueCap),
 	}
 	reg.Gauge(MetricWorkers).Set(int64(s.workers))
 	return s
@@ -108,23 +128,31 @@ func (s *Speculator) worker(id int) {
 	s.mu.Unlock()
 	tid := specWorkerTIDBase + id
 	tracer.NameThread(0, tid, "spec worker "+strconv.Itoa(id))
-	for f := range s.queue {
+	for j := range s.queue {
 		depth.Add(-1)
-		name := f.Name()
+		name := j.f.Name()
+		key, span := name, "speculate:"
+		if j.tier2 {
+			key, span = tier2Key(name), "tierup:"
+		}
 		s.mu.Lock()
 		s.depth--
-		if s.flights[name] != nil || s.closed {
+		tr, deliver := s.tr, (func(string, *codegen.NativeFunc))(nil)
+		if j.tier2 {
+			tr, deliver = s.tr2, s.onTierUp
+		}
+		if s.flights[key] != nil || s.closed || tr == nil {
 			// Demanded (or already speculated) since it was queued, or
 			// shutting down: skip.
 			s.mu.Unlock()
 			continue
 		}
-		fl := &flight{done: make(chan struct{}), speculative: true}
-		s.flights[name] = fl
+		fl := &flight{done: make(chan struct{}), speculative: true, tier2: j.tier2}
+		s.flights[key] = fl
 		s.mu.Unlock()
-		end := tracer.Begin(0, tid, "pipeline", "speculate:"+name, nil)
+		end := tracer.Begin(0, tid, "pipeline", span+name, nil)
 		start := time.Now()
-		nf, err := s.tr.TranslateFunction(f)
+		nf, err := tr.TranslateFunction(j.f)
 		fl.nf = nf
 		if err != nil {
 			fl.err = translateErr(name, err)
@@ -132,6 +160,13 @@ func (s *Speculator) worker(id int) {
 		h.Observe(time.Since(start).Nanoseconds())
 		end()
 		translated.Inc()
+		if j.tier2 && err == nil && deliver != nil {
+			// Hand the optimized code to the system for hot-swap; the
+			// callback owns delivery, so a tier-2 flight is never waste.
+			s.reg.Counter(MetricTierUps).Inc()
+			fl.consumed.Store(true)
+			deliver(name, nf)
+		}
 		close(fl.done)
 	}
 }
@@ -174,14 +209,19 @@ func (s *Speculator) Demand(name string, f *core.Function) (*codegen.NativeFunc,
 	return fl.nf, false, fl.err
 }
 
-// Completed returns the successfully settled translations — demanded
-// and speculative alike — without stopping the pipeline or blocking on
-// in-flight work. This is the write-back view of the shared cache.
+// Completed returns the successfully settled tier-1 translations —
+// demanded and speculative alike — without stopping the pipeline or
+// blocking on in-flight work. This is the write-back view of the shared
+// cache; tier-2 results live under their own profile-stamped cache key
+// and are reported by CompletedTier2.
 func (s *Speculator) Completed() map[string]*codegen.NativeFunc {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string]*codegen.NativeFunc, len(s.flights))
 	for name, fl := range s.flights {
+		if fl.tier2 {
+			continue
+		}
 		select {
 		case <-fl.done:
 			if fl.err == nil && fl.nf != nil {
@@ -191,6 +231,49 @@ func (s *Speculator) Completed() map[string]*codegen.NativeFunc {
 		}
 	}
 	return out
+}
+
+// CompletedTier2 returns the settled tier-2 translations, keyed by
+// plain function name.
+func (s *Speculator) CompletedTier2() map[string]*codegen.NativeFunc {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out map[string]*codegen.NativeFunc
+	for name, fl := range s.flights {
+		if !fl.tier2 {
+			continue
+		}
+		select {
+		case <-fl.done:
+			if fl.err == nil && fl.nf != nil {
+				if out == nil {
+					out = make(map[string]*codegen.NativeFunc)
+				}
+				out[name[len("tier2:"):]] = fl.nf
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// SetTier2 arms background tier-up: hot functions passed to TierUp are
+// re-translated on the worker pool with tr2 (a profile-guided
+// translator) and each result is delivered through onTierUp, from the
+// worker goroutine, for hot-swap installation. Passing nil disarms.
+func (s *Speculator) SetTier2(tr2 *codegen.Translator, onTierUp func(name string, nf *codegen.NativeFunc)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tr2 = tr2
+	s.onTierUp = onTierUp
+}
+
+// TierUp queues functions for background tier-2 re-translation.
+// Singleflight holds per function across every session of the System:
+// a function already tiered-up or in flight is skipped. No-op until
+// SetTier2 armed the pipeline.
+func (s *Speculator) TierUp(fns []*core.Function) {
+	s.enqueue(fns, true)
 }
 
 // EnqueueCallees queues f's static callees for ahead-of-time
@@ -208,19 +291,27 @@ func (s *Speculator) EnqueueCallees(f *core.Function, weights map[string]uint64)
 // Enqueue queues functions for speculative translation. Functions
 // already translated, in flight, or not fitting the queue are skipped.
 func (s *Speculator) Enqueue(fns []*core.Function) {
+	s.enqueue(fns, false)
+}
+
+func (s *Speculator) enqueue(fns []*core.Function, tier2 bool) {
 	depth := s.reg.Gauge(MetricSpecQueueDepth)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.closed || len(fns) == 0 {
+	if s.closed || len(fns) == 0 || (tier2 && s.tr2 == nil) {
 		return
 	}
 	s.start()
 	for _, f := range fns {
-		if s.flights[f.Name()] != nil {
+		key := f.Name()
+		if tier2 {
+			key = tier2Key(key)
+		}
+		if s.flights[key] != nil {
 			continue
 		}
 		select {
-		case s.queue <- f:
+		case s.queue <- specJob{f: f, tier2: tier2}:
 			s.depth++
 			if s.depth > s.peak {
 				s.peak = s.depth
@@ -269,7 +360,7 @@ func (s *Speculator) Close() map[string]*codegen.NativeFunc {
 	out := make(map[string]*codegen.NativeFunc)
 	for name, fl := range s.flights {
 		<-fl.done // all settled: workers exited, demands are synchronous
-		if fl.err != nil || !fl.speculative || fl.consumed.Load() {
+		if fl.err != nil || !fl.speculative || fl.tier2 || fl.consumed.Load() {
 			continue
 		}
 		s.reg.Counter(MetricSpecWaste).Inc()

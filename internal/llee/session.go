@@ -50,6 +50,15 @@ type Session struct {
 	storageAPIAddr uint64
 	cacheHit       bool
 
+	// Tier-up hot-swap state: pending holds tier-2 code delivered by
+	// background workers (any goroutine, guarded by pendMu) until the
+	// machine installs it at a block boundary; installed2 guards against
+	// reinstalling a function this session already swapped (touched only
+	// on the machine/run goroutine).
+	pendMu     sync.Mutex
+	pending    []*codegen.NativeFunc
+	installed2 map[string]bool
+
 	runMu sync.Mutex
 }
 
@@ -129,13 +138,68 @@ func (sys *System) NewSession(m *core.Module, d *target.Desc, out io.Writer, opt
 		if err := mc.PrepareLazy(); err != nil {
 			return nil, err
 		}
+		if ms.tr2 != nil {
+			// Background tier-up can hot-swap this session's code: the
+			// machine runs the installs at block boundaries, and finished
+			// translations (including ones that predate this session) are
+			// queued for it.
+			s.installed2 = make(map[string]bool)
+			mc.OnSwap = s.installPending
+			ms.subscribe(s)
+		}
 	} else {
-		if err := mc.LoadObject(ms.nobj); err != nil {
+		nobj := ms.nobj
+		if len(ms.loaded2) > 0 {
+			// Offline mode binds direct calls at install, so tier-2 code
+			// must be merged in before loading, not swapped in after.
+			nobj = &codegen.NativeObject{TargetName: nobj.TargetName, Module: nobj.Module}
+			for _, nf := range ms.nobj.Funcs {
+				if nf2 := ms.loaded2[nf.Name]; nf2 != nil {
+					nf = nf2
+				}
+				nobj.Add(nf)
+			}
+		}
+		if err := mc.LoadObject(nobj); err != nil {
 			return nil, err
 		}
 		s.cacheHit = true
 	}
 	return s, nil
+}
+
+// enqueueSwap queues one tier-2 translation for installation and pokes
+// the machine; called from background worker goroutines.
+func (s *Session) enqueueSwap(nf *codegen.NativeFunc) {
+	s.pendMu.Lock()
+	s.pending = append(s.pending, nf)
+	s.pendMu.Unlock()
+	s.mc.RequestSwap()
+}
+
+// installPending installs queued tier-2 code. It runs with the machine
+// quiescent — at a block boundary mid-run (machine.OnSwap) or before a
+// Run — so replacement is the PR 3 SMC path: InstallCode rebinds the
+// name and every later call through the stub lands in optimized code,
+// while code already on the virtual stack keeps running validly to
+// completion. Each function swaps at most once per session, and
+// SMC-redirected functions are skipped (the session's own replacement
+// wins over the shared profile).
+func (s *Session) installPending() {
+	s.pendMu.Lock()
+	pend := s.pending
+	s.pending = nil
+	s.pendMu.Unlock()
+	for _, nf := range pend {
+		if s.installed2[nf.Name] || s.redirect[nf.Name] != "" {
+			continue
+		}
+		if _, err := s.mc.InstallCode(nf); err != nil {
+			// Code segment exhausted: tier-1 code keeps running.
+			continue
+		}
+		s.installed2[nf.Name] = true
+	}
 }
 
 // Run executes the entry function until it returns, the program exits,
@@ -151,6 +215,11 @@ func (s *Session) Run(ctx context.Context, entry string, args ...uint64) (Result
 	defer s.runMu.Unlock()
 	if f := s.ms.module.Function(entry); f == nil || f.IsDeclaration() {
 		return Result{}, fmt.Errorf("%w: no entry function %%%s", ErrBadModule, entry)
+	}
+	if s.installed2 != nil {
+		// Drain tier-up deliveries that arrived while the machine was
+		// idle, so this run starts on the freshest code.
+		s.installPending()
 	}
 	instrs0, cycles0 := s.mc.Stats.Instrs, s.mc.Stats.Cycles
 	endRun := s.sys.tracer.Begin(int(s.id), 0, "guest", "run:"+entry, s.spanArgs())
@@ -278,6 +347,21 @@ func (s *Session) onJIT(name string) (uint64, error) {
 	}
 	tele := s.sys.tele
 	tele.Events().Emit(telemetry.EvJITRequest, name, 0)
+	if body == name {
+		// Tier-2 code already translated (by background tier-up in this
+		// System, or decoded from the profile-stamped cache) is served
+		// directly: the demand skips tier-1 entirely.
+		if nf2 := s.ms.tier2For(name); nf2 != nil {
+			addr, err := s.mc.InstallCode(nf2)
+			if err != nil {
+				return 0, err
+			}
+			if s.installed2 != nil {
+				s.installed2[name] = true
+			}
+			return addr, nil
+		}
+	}
 	tele.Events().Emit(telemetry.EvTranslateStart, body, 0)
 	endTr := s.sys.tracer.Begin(int(s.id), 0, "llee", "translate:"+name, s.spanArgs())
 	start := time.Now()
@@ -320,6 +404,13 @@ func (s *Session) onJIT(name string) (uint64, error) {
 	}
 	if s.sys.speculate && body == name {
 		s.ms.spec.EnqueueCallees(f, s.ms.callWeights)
+	}
+	if body == name && s.ms.tr2 != nil && s.ms.hot[name] {
+		// The function just started running at tier 1 and the profile
+		// says it is hot: queue its tier-2 re-translation. Singleflight
+		// in the Speculator makes this once per System no matter how
+		// many sessions demand it.
+		s.ms.spec.TierUp([]*core.Function{f})
 	}
 	return addr, nil
 }

@@ -30,6 +30,7 @@ type System struct {
 	tracer    *prof.Tracer // nil: span tracing off (all hooks no-op)
 	workers   int
 	speculate bool
+	tier2     bool
 
 	// sessionSeq hands out session IDs — the "pid" lane of the span
 	// trace, and the correlation key across run/translate spans.
@@ -55,7 +56,12 @@ type config struct {
 	flightRecorder   int
 	translateWorkers int
 	speculate        bool
+	tier2            bool
 }
+
+// tier2MinShare is the exclusive-sample share above which a function is
+// considered hot enough for background tier-2 re-translation.
+const tier2MinShare = 0.02
 
 // WithStorage registers the OS storage API implementation. Without it
 // the system always translates online, exactly like DAISY and Crusoe
@@ -78,6 +84,15 @@ func WithTranslateWorkers(n int) Option { return func(c *config) { c.translateWo
 // is translated on demand, its static callees are queued for
 // ahead-of-time translation on background workers (default on).
 func WithSpeculation(on bool) Option { return func(c *config) { c.speculate = on } }
+
+// WithTier2 toggles profile-guided tier-2 translation (default off,
+// system-scoped; requires the storage API). When a stamp-valid guest
+// profile exists for a module, its hot functions are re-translated with
+// superblock formation and hot inlining: eagerly on cache-warm offline
+// starts, and in the background — hot-swapped at block boundaries while
+// tier-1 code keeps running — on online starts. Tier-2 code is cached
+// under a profile-stamped key, so later starts skip straight to it.
+func WithTier2(on bool) Option { return func(c *config) { c.tier2 = on } }
 
 // WithTracer attaches a span tracer to the system: the session
 // lifecycle (load, translate, install, run, cancel, write-back) and
@@ -117,6 +132,7 @@ func NewSystem(opts ...Option) *System {
 		tracer:    cfg.tracer,
 		workers:   cfg.translateWorkers,
 		speculate: cfg.speculate,
+		tier2:     cfg.tier2,
 		mods:      make(map[string]*moduleState),
 	}
 	if sys.tele == nil {
@@ -204,8 +220,29 @@ type moduleState struct {
 	traceStats    trace.Stats
 	profileSeeded bool
 
+	// Tier-2 state, armed by initTier2 when WithTier2 is on and a
+	// stamp-valid guest profile exists. These four are written once under
+	// the system lock, before any session exists, then only read:
+	// guestArt is the guiding profile, profStamp its content stamp (the
+	// tier-2 cache qualifier), tr2 the profile-guided translator and hot
+	// the HotFuncs(tier2MinShare) candidate set.
+	guestArt  *prof.Artifact
+	profStamp string
+	tr2       *codegen.Translator
+	hot       map[string]bool
+	// loaded2 holds tier-2 code decoded from the profile-stamped cache
+	// (or translated eagerly on a warm tier-1 start); written once in
+	// initTier2, read-only after.
+	loaded2 map[string]*codegen.NativeFunc
+
 	mu      sync.Mutex
 	flushed int // settled translations persisted by the last write-back
+	// done2 collects tier-2 translations delivered by the background
+	// workers; subs are the online sessions hot-swap deliveries fan out
+	// to. Both guarded by mu.
+	done2    map[string]*codegen.NativeFunc
+	subs     []*Session
+	flushed2 int
 }
 
 // state returns (creating on first use) the shared per-module state for
@@ -266,11 +303,170 @@ func (sys *System) state(m *core.Module, d *target.Desc) (*moduleState, error) {
 		if err := ms.seedTraceCache(ms.online); err != nil {
 			return nil, err
 		}
+		// Tier-2 arms only when a stamp-valid guest profile exists: the
+		// first run of a fresh module is always plain tier-1, and the
+		// profile a session stores pays off from the next System on.
+		if sys.tier2 {
+			if err := ms.initTier2(); err != nil {
+				return nil, err
+			}
+		}
 	}
 	ms.spec = pipeline.NewSpeculator(tr, sys.workers, sys.tele)
 	ms.spec.SetTracer(sys.tracer)
+	if ms.tr2 != nil {
+		ms.spec.SetTier2(ms.tr2, ms.onTierUp)
+	}
 	sys.mods[key] = ms
 	return ms, nil
+}
+
+// initTier2 loads the persisted guest profile and prepares the tier-2
+// translator, hot set, and code: from the profile-stamped native2 cache
+// when valid, or — on a warm tier-1 start, where demand translation
+// never runs and background tier-up would have nothing to swap into a
+// direct-call object — by eagerly translating the hot functions now,
+// under the system lock, so every session of this module state sees the
+// same optimized code. Runs once per module state.
+func (ms *moduleState) initTier2() error {
+	art, ok, err := ms.loadGuestProfile()
+	if err != nil || !ok {
+		return err
+	}
+	enc, err := art.Encode()
+	if err != nil {
+		return err
+	}
+	ms.guestArt = art
+	ms.profStamp = Stamp(enc)
+	ms.tr2 = ms.tr.WithTier2(art)
+	ms.hot = make(map[string]bool)
+	for _, fs := range art.HotFuncs(tier2MinShare) {
+		ms.hot[fs.Name] = true
+	}
+	nobj2, ok, err := ms.readCache2()
+	if err != nil && !errors.Is(err, errCorruptCache) {
+		return err
+	}
+	if ok {
+		ms.loaded2 = make(map[string]*codegen.NativeFunc, len(nobj2.Funcs))
+		for _, nf := range nobj2.Funcs {
+			ms.loaded2[nf.Name] = nf
+		}
+		ms.sys.tele.Counter(MetricCacheHits).Inc()
+		ms.sys.tele.Events().Emit(telemetry.EvCacheHit, ms.cacheKey2(), 0)
+		return nil
+	}
+	if !ms.online {
+		ms.loaded2 = make(map[string]*codegen.NativeFunc, len(ms.hot))
+		for _, f := range ms.module.Functions {
+			if f.IsDeclaration() || !ms.hot[f.Name()] {
+				continue
+			}
+			nf, err := ms.tr2.TranslateFunction(f)
+			if err != nil {
+				// Tier-1 code is always a correct stand-in.
+				continue
+			}
+			ms.loaded2[f.Name()] = nf
+		}
+		if len(ms.loaded2) > 0 {
+			return ms.writeCache2(ms.tier2Funcs(ms.loaded2, nil))
+		}
+	}
+	return nil
+}
+
+// cacheKey2 / stamp2 qualify the tier-2 cache entry by both the module
+// content and the guiding profile: new object code or a different
+// profile each invalidate it.
+func (ms *moduleState) cacheKey2() string {
+	return "native2:" + ms.module.Name + ":" + ms.desc.Name
+}
+
+func (ms *moduleState) stamp2() string { return ms.stamp + "+" + ms.profStamp }
+
+func (ms *moduleState) readCache2() (*codegen.NativeObject, bool, error) {
+	tele := ms.sys.tele
+	data, stamp, ok, err := ms.sys.storage.Read(ms.cacheKey2())
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if stamp != ms.stamp2() {
+		tele.Counter(MetricStampMismatches).Inc()
+		tele.Events().Emit(telemetry.EvStampMismatch, ms.cacheKey2(), 0)
+		ms.evictCache(ms.cacheKey2())
+		return nil, false, nil
+	}
+	co, err := decodeCachedObject(data)
+	if err != nil {
+		tele.Counter(MetricCacheCorrupt).Inc()
+		tele.Events().Emit(telemetry.EvCacheCorrupt, ms.cacheKey2(), 0)
+		ms.evictCache(ms.cacheKey2())
+		return nil, false, fmt.Errorf("llee: %w", err)
+	}
+	nobj := &codegen.NativeObject{TargetName: co.TargetName, Module: co.Module}
+	for _, f := range co.Funcs {
+		nobj.Add(f)
+	}
+	return nobj, true, nil
+}
+
+func (ms *moduleState) writeCache2(funcs []*codegen.NativeFunc) error {
+	co := cachedObject{TargetName: ms.desc.Name, Module: ms.module.Name, Funcs: funcs}
+	return ms.sys.storage.Write(ms.cacheKey2(), ms.stamp2(), encodeCachedObject(&co))
+}
+
+// tier2Funcs merges two tier-2 code maps (fresh wins) into module
+// function order — the deterministic cache layout.
+func (ms *moduleState) tier2Funcs(cached, fresh map[string]*codegen.NativeFunc) []*codegen.NativeFunc {
+	return mergeForWriteBack(ms.module, cached, fresh)
+}
+
+// onTierUp receives one finished background tier-2 translation (on a
+// worker goroutine) and fans it out to every subscribed session for
+// hot-swap at its machine's next block boundary.
+func (ms *moduleState) onTierUp(name string, nf *codegen.NativeFunc) {
+	ms.mu.Lock()
+	if ms.done2 == nil {
+		ms.done2 = make(map[string]*codegen.NativeFunc)
+	}
+	ms.done2[name] = nf
+	subs := append([]*Session(nil), ms.subs...)
+	ms.mu.Unlock()
+	ms.sys.tele.Events().Emit(telemetry.EvTranslateEnd, "tier2:"+name, 0)
+	for _, s := range subs {
+		s.enqueueSwap(nf)
+	}
+}
+
+// subscribe registers a session for tier-up hot-swap delivery and
+// replays any translations that finished before it existed.
+func (ms *moduleState) subscribe(s *Session) {
+	ms.mu.Lock()
+	ms.subs = append(ms.subs, s)
+	ready := make([]*codegen.NativeFunc, 0, len(ms.done2))
+	for _, nf := range ms.done2 {
+		ready = append(ready, nf)
+	}
+	ms.mu.Unlock()
+	for _, nf := range ready {
+		s.enqueueSwap(nf)
+	}
+}
+
+// tier2For returns the best available tier-2 code for name, or nil.
+func (ms *moduleState) tier2For(name string) *codegen.NativeFunc {
+	if ms.tr2 == nil {
+		return nil
+	}
+	ms.mu.Lock()
+	nf := ms.done2[name]
+	ms.mu.Unlock()
+	if nf == nil {
+		nf = ms.loaded2[name]
+	}
+	return nf
 }
 
 func (ms *moduleState) cacheKey() string {
@@ -339,16 +535,41 @@ func (ms *moduleState) writeBack() error {
 	if ms.sys.storage == nil {
 		return nil
 	}
+	var first error
 	done := ms.spec.Completed()
 	ms.mu.Lock()
-	defer ms.mu.Unlock()
-	if len(done) == 0 || len(done) == ms.flushed {
+	if len(done) != 0 && len(done) != ms.flushed {
+		if err := ms.writeCache(mergeForWriteBack(ms.module, ms.loaded, done)); err != nil {
+			first = err
+		} else {
+			ms.flushed = len(done)
+		}
+	}
+	ms.mu.Unlock()
+	if err := ms.writeBack2(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+// writeBack2 persists background tier-up results under the
+// profile-stamped tier-2 cache key, merged with what was already loaded,
+// so the next start of this module+profile skips straight to optimized
+// code.
+func (ms *moduleState) writeBack2() error {
+	if ms.tr2 == nil {
 		return nil
 	}
-	if err := ms.writeCache(mergeForWriteBack(ms.module, ms.loaded, done)); err != nil {
+	done2 := ms.spec.CompletedTier2()
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if len(done2) == 0 || len(done2) == ms.flushed2 {
+		return nil
+	}
+	if err := ms.writeCache2(ms.tier2Funcs(ms.loaded2, done2)); err != nil {
 		return err
 	}
-	ms.flushed = len(done)
+	ms.flushed2 = len(done2)
 	return nil
 }
 

@@ -1,0 +1,318 @@
+package llee
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"llva/internal/codegen"
+	"llva/internal/llee/pipeline"
+	"llva/internal/minic"
+	"llva/internal/prof"
+	"llva/internal/target"
+	"llva/internal/telemetry"
+)
+
+// seedGuestProfile runs hotProg once under the sampling profiler and
+// persists the guest profile (plus, as a side effect of Close, the
+// tier-1 native cache). It returns the reference output and the tier-1
+// simulated cycle count.
+func seedGuestProfile(t *testing.T, st Storage, d *target.Desc) (string, uint64) {
+	t.Helper()
+	m, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(WithStorage(st))
+	var out strings.Builder
+	s, err := sys.NewSession(m, d, &out, WithProfiler(prof.NewProfiler(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), "main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.StoreGuestProfile(); err != nil {
+		t.Fatal(err)
+	}
+	cycles := s.Machine().Stats.Cycles
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out.String(), cycles
+}
+
+// hotFuncCount decodes the persisted guest profile and reports how many
+// functions clear the tier-2 hotness bar — the expected number of
+// background tier-ups.
+func hotFuncCount(t *testing.T, st Storage, module string, d *target.Desc) int {
+	t.Helper()
+	data, _, ok, err := st.Read("guestprof:" + module + ":" + d.Name)
+	if err != nil || !ok {
+		t.Fatalf("guest profile read: ok=%v err=%v", ok, err)
+	}
+	art, err := prof.DecodeArtifact(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(art.HotFuncs(tier2MinShare))
+}
+
+// TestTier2WarmStartUsesOptimizedCode: with both the tier-1 cache and a
+// guest profile persisted, a WithTier2 system eagerly re-translates the
+// hot functions at tier 2 and loads them with the cached object — same
+// output, fewer simulated cycles — and a third system skips straight to
+// the profile-stamped tier-2 cache without translating anything.
+func TestTier2WarmStartUsesOptimizedCode(t *testing.T) {
+	st := NewMemStorage()
+	ref, baseCycles := seedGuestProfile(t, st, target.VX86)
+
+	m2, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := telemetry.New()
+	sys2 := NewSystem(WithStorage(st), WithTelemetry(reg2), WithTier2(true))
+	var out2 strings.Builder
+	s2, err := sys2.NewSession(m2, target.VX86, &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.CacheHit() {
+		t.Fatal("tier-2 warm start missed the tier-1 cache")
+	}
+	if _, err := s2.Run(context.Background(), "main"); err != nil {
+		t.Fatal(err)
+	}
+	if out2.String() != ref {
+		t.Errorf("tier-2 output = %q, want %q", out2.String(), ref)
+	}
+	if got := reg2.CounterValue(codegen.MetricTier2Funcs); got == 0 {
+		t.Error("warm start translated no tier-2 functions")
+	}
+	if got := reg2.CounterValue(codegen.MetricSuperblocks); got == 0 {
+		t.Error("tier-2 translation formed no superblocks")
+	}
+	optCycles := s2.Machine().Stats.Cycles
+	if optCycles >= baseCycles {
+		t.Errorf("tier-2 did not reduce cycles: %d -> %d", baseCycles, optCycles)
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third start: the profile-stamped tier-2 cache is valid, so the hot
+	// functions decode from storage — no tier-2 translation at all — and
+	// execution is cycle-identical to the second start.
+	m3, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg3 := telemetry.New()
+	sys3 := NewSystem(WithStorage(st), WithTelemetry(reg3), WithTier2(true))
+	defer sys3.Close()
+	var out3 strings.Builder
+	s3, err := sys3.NewSession(m3, target.VX86, &out3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s3.Run(context.Background(), "main"); err != nil {
+		t.Fatal(err)
+	}
+	if out3.String() != ref {
+		t.Errorf("cached tier-2 output = %q, want %q", out3.String(), ref)
+	}
+	if got := reg3.CounterValue(codegen.MetricTier2Funcs); got != 0 {
+		t.Errorf("cached tier-2 start translated %d functions, want 0", got)
+	}
+	if got := s3.Machine().Stats.Cycles; got != optCycles {
+		t.Errorf("cached tier-2 cycles = %d, want %d (byte-identical code)", got, optCycles)
+	}
+	t.Logf("cycles: tier-1 %d -> tier-2 %d", baseCycles, optCycles)
+}
+
+// waitTierUps blocks until the background workers finished n tier-up
+// translations (they run on, and synchronize through, the speculator's
+// worker pool; the machine installs them later, at block boundaries).
+func waitTierUps(t *testing.T, reg *telemetry.Registry, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.CounterValue(pipeline.MetricTierUps) < uint64(n) {
+		if time.Now().After(deadline) {
+			t.Fatalf("tier-ups stalled: %d of %d after 10s",
+				reg.CounterValue(pipeline.MetricTierUps), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTier2HotSwapReplacesTier1: on an online start (guest profile
+// present, no tier-1 cache), the first run JIT-compiles at tier 1 and
+// queues the hot functions for background tier-up; the finished
+// translations hot-swap over the installed tier-1 code, so the second
+// run of the same session is cheaper — with byte-identical output.
+func TestTier2HotSwapReplacesTier1(t *testing.T) {
+	st := NewMemStorage()
+	ref, _ := seedGuestProfile(t, st, target.VX86)
+	m, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the tier-1 cache so the next system starts online.
+	if err := st.Delete("native:" + m.Name + ":" + target.VX86.Name); err != nil {
+		t.Fatal(err)
+	}
+	hot := hotFuncCount(t, st, m.Name, target.VX86)
+	if hot == 0 {
+		t.Fatal("no hot functions in the seeded profile")
+	}
+
+	reg := telemetry.New()
+	sys := NewSystem(WithStorage(st), WithTelemetry(reg), WithTier2(true))
+	defer sys.Close()
+	var out strings.Builder
+	s, err := sys.NewSession(m, target.VX86, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Run(context.Background(), "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTierUps(t, reg, hot)
+	r2, err := s.Run(context.Background(), "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != ref+ref {
+		t.Errorf("output across hot-swap = %q, want %q", out.String(), ref+ref)
+	}
+	if s.Machine().Stats.Replacements == 0 {
+		t.Error("hot-swap never replaced installed tier-1 code")
+	}
+	if r2.Cycles >= r1.Cycles {
+		t.Errorf("post-swap run is not cheaper: %d -> %d cycles", r1.Cycles, r2.Cycles)
+	}
+	if got := reg.CounterValue(codegen.MetricTier2Funcs); got != uint64(hot) {
+		t.Errorf("%s = %d, want %d", codegen.MetricTier2Funcs, got, hot)
+	}
+	t.Logf("run cycles: %d -> %d (%d hot funcs, %d replacements)",
+		r1.Cycles, r2.Cycles, hot, s.Machine().Stats.Replacements)
+}
+
+// TestTier2ConcurrentSessions: 8 sessions racing background tier-up
+// must each keep producing the reference output, while the system
+// translates each hot function at tier 2 exactly once (singleflight),
+// and no session installs a given tier-2 function more than once.
+// Run under -race by CI (make race-tier2).
+func TestTier2ConcurrentSessions(t *testing.T) {
+	st := NewMemStorage()
+	ref, _ := seedGuestProfile(t, st, target.VX86)
+	m, err := minic.Compile("hot.c", hotProg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Delete("native:" + m.Name + ":" + target.VX86.Name); err != nil {
+		t.Fatal(err)
+	}
+	hot := hotFuncCount(t, st, m.Name, target.VX86)
+
+	reg := telemetry.New()
+	sys := NewSystem(WithStorage(st), WithTelemetry(reg), WithTier2(true))
+	const sessions = 8
+	outs := make([]strings.Builder, sessions)
+	sess := make([]*Session, sessions)
+	for i := range sess {
+		s, err := sys.NewSession(m, target.VX86, &outs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess[i] = s
+	}
+	var wg sync.WaitGroup
+	for i := range sess {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Two runs per session: the second drains any tier-up
+			// deliveries that arrived while the machine was idle, so
+			// swapped and unswapped executions interleave freely.
+			for run := 0; run < 2; run++ {
+				if _, err := sess[i].Run(context.Background(), "main"); err != nil {
+					t.Errorf("session %d run %d: %v", i, run, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := range outs {
+		if outs[i].String() != ref+ref {
+			t.Errorf("session %d: output = %q, want %q", i, outs[i].String(), ref+ref)
+		}
+	}
+	// Exactly-once tier-up system-wide: every hot function was demanded
+	// by all 8 sessions, but the singleflight key collapses the 8 TierUp
+	// requests into one background translation each.
+	if got := reg.CounterValue(pipeline.MetricTierUps); got != uint64(hot) {
+		t.Errorf("%s = %d, want %d", pipeline.MetricTierUps, got, hot)
+	}
+	if got := reg.CounterValue(codegen.MetricTier2Funcs); got != uint64(hot) {
+		t.Errorf("%s = %d, want %d", codegen.MetricTier2Funcs, got, hot)
+	}
+	// Exactly-once installation per session: a function is either served
+	// at tier 2 directly on demand (no replacement) or swapped over its
+	// tier-1 installation once — never twice. Which of the two happens
+	// per function is a benign timing race.
+	for i := range sess {
+		if n := sess[i].Machine().Stats.Replacements; n > uint64(hot) {
+			t.Errorf("session %d: %d replacements for %d hot funcs", i, n, hot)
+		}
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreGuestProfileMerges: two processes profiling the same module
+// accumulate — the second StoreGuestProfile merges with the persisted
+// artifact instead of overwriting it.
+func TestStoreGuestProfileMerges(t *testing.T) {
+	st := NewMemStorage()
+	var want uint64
+	for i := 0; i < 2; i++ {
+		m, err := minic.Compile("hot.c", hotProg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys := NewSystem(WithStorage(st))
+		p := prof.NewProfiler(64)
+		s, err := sys.NewSession(m, target.VX86, &strings.Builder{}, WithProfiler(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Run(context.Background(), "main"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.StoreGuestProfile(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Total() == 0 {
+			t.Fatalf("process %d recorded no samples", i)
+		}
+		// The persisted artifact accumulates every process's samples.
+		want += p.Total()
+		a, ok, err := s.LoadGuestProfile()
+		if err != nil || !ok {
+			t.Fatalf("load after store %d: ok=%v err=%v", i, ok, err)
+		}
+		if a.Total != want {
+			t.Errorf("store %d: persisted total = %d, want %d (sum of both processes)", i, a.Total, want)
+		}
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

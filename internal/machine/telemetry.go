@@ -26,6 +26,11 @@ type ExecStats struct {
 	BlockBuilds        uint64
 	BlockChains        uint64
 	BlockInvalidations uint64
+
+	// Replacements counts InstallCode calls that superseded an earlier
+	// installation of the same function (SMC replacement, tier-2
+	// hot-swap).
+	Replacements uint64
 }
 
 // SetTelemetry attaches a metric registry. After every Run the machine
@@ -77,5 +82,6 @@ func (mc *Machine) flushTelemetry() {
 	add("machine.block_builds", cur.BlockBuilds, last.BlockBuilds)
 	add("machine.block_chains", cur.BlockChains, last.BlockChains)
 	add("machine.block_invalidate", cur.BlockInvalidations, last.BlockInvalidations)
+	add("machine.code_replacements", cur.Replacements, last.Replacements)
 	mc.teleFlushed = cur
 }

@@ -50,6 +50,22 @@ func Inline(m *core.Module, s *Stats) bool {
 	return changed
 }
 
+// CanInline reports whether callee's body is structurally eligible for
+// inlining (no exceptional flow, not directly recursive). Size policy is
+// the caller's: Inline applies InlineThreshold, the tier-2 translator
+// uses a larger profile-driven budget.
+func CanInline(callee *core.Function) bool {
+	return !hasExceptionalFlow(callee) && !callsItself(callee)
+}
+
+// InlineCall inlines one eligible direct call site into caller. The
+// callee must satisfy CanInline. New blocks are appended to
+// caller.Blocks: first the split continuation, then the cloned callee
+// body, so callers can attribute them (e.g. carry over profile heat).
+func InlineCall(caller *core.Function, call *core.Instruction) {
+	inlineCall(caller, call, NewStats())
+}
+
 func hasExceptionalFlow(f *core.Function) bool {
 	for _, bb := range f.Blocks {
 		for _, in := range bb.Instructions() {

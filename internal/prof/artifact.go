@@ -119,6 +119,87 @@ func DecodeArtifact(data []byte) (*Artifact, error) {
 	return &a, nil
 }
 
+// Merge folds b's samples into a: totals and per-function, per-stack
+// and per-block counts are summed, so profiles from repeated runs
+// accumulate instead of the last run winning. Both artifacts must be
+// the same version and describe the same module, target and sampling
+// rate — merging across those boundaries would mix incomparable
+// numbers, so it is rejected. All slices are re-sorted, preserving the
+// byte-identical-serialization property.
+func (a *Artifact) Merge(b *Artifact) error {
+	if b.Version != a.Version {
+		return fmt.Errorf("prof: cannot merge artifact version %d into %d", b.Version, a.Version)
+	}
+	if b.Module != a.Module || b.Target != a.Target {
+		return fmt.Errorf("prof: cannot merge profile of %s/%s into %s/%s",
+			b.Module, b.Target, a.Module, a.Target)
+	}
+	if b.Rate != a.Rate {
+		return fmt.Errorf("prof: cannot merge profiles with different sampling rates (%d vs %d)",
+			b.Rate, a.Rate)
+	}
+	a.Total += b.Total
+
+	funcs := make(map[string]int, len(a.Funcs))
+	for i, s := range a.Funcs {
+		funcs[s.Name] = i
+	}
+	for _, s := range b.Funcs {
+		if i, ok := funcs[s.Name]; ok {
+			a.Funcs[i].Incl += s.Incl
+			a.Funcs[i].Excl += s.Excl
+		} else {
+			funcs[s.Name] = len(a.Funcs)
+			a.Funcs = append(a.Funcs, s)
+		}
+	}
+	sort.Slice(a.Funcs, func(i, j int) bool {
+		if a.Funcs[i].Excl != a.Funcs[j].Excl {
+			return a.Funcs[i].Excl > a.Funcs[j].Excl
+		}
+		return a.Funcs[i].Name < a.Funcs[j].Name
+	})
+
+	stacks := make(map[string]int, len(a.Stacks))
+	for i, s := range a.Stacks {
+		stacks[s.Stack] = i
+	}
+	for _, s := range b.Stacks {
+		if i, ok := stacks[s.Stack]; ok {
+			a.Stacks[i].Count += s.Count
+		} else {
+			stacks[s.Stack] = len(a.Stacks)
+			a.Stacks = append(a.Stacks, s)
+		}
+	}
+	sort.Slice(a.Stacks, func(i, j int) bool { return a.Stacks[i].Stack < a.Stacks[j].Stack })
+
+	type blockKey struct {
+		fn  string
+		off uint64
+	}
+	blocks := make(map[blockKey]int, len(a.Blocks))
+	for i, bl := range a.Blocks {
+		blocks[blockKey{bl.Func, bl.Off}] = i
+	}
+	for _, bl := range b.Blocks {
+		k := blockKey{bl.Func, bl.Off}
+		if i, ok := blocks[k]; ok {
+			a.Blocks[i].Count += bl.Count
+		} else {
+			blocks[k] = len(a.Blocks)
+			a.Blocks = append(a.Blocks, bl)
+		}
+	}
+	sort.Slice(a.Blocks, func(i, j int) bool {
+		if a.Blocks[i].Func != a.Blocks[j].Func {
+			return a.Blocks[i].Func < a.Blocks[j].Func
+		}
+		return a.Blocks[i].Off < a.Blocks[j].Off
+	})
+	return nil
+}
+
 // HotFuncs returns the functions carrying at least minShare of the
 // exclusive samples, hottest first — the tier-2 translator's candidate
 // list for superblock formation.

@@ -220,3 +220,62 @@ func TestCrashReportRender(t *testing.T) {
 		}
 	}
 }
+
+func TestArtifactMerge(t *testing.T) {
+	p1 := NewProfiler(64)
+	p1.AddSample([]string{"main", "hot"}, 0x40)
+	p1.AddSample([]string{"main"}, 0x8)
+	p2 := NewProfiler(64)
+	p2.AddSample([]string{"main", "hot"}, 0x40)
+	p2.AddSample([]string{"main", "cold"}, 0x10)
+	a := p1.Artifact("prog", "vx86")
+	b := p2.Artifact("prog", "vx86")
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Total != 4 {
+		t.Errorf("merged Total = %d, want 4", a.Total)
+	}
+	stats := map[string]FuncStat{}
+	for _, s := range a.Funcs {
+		stats[s.Name] = s
+	}
+	if s := stats["hot"]; s.Incl != 2 || s.Excl != 2 {
+		t.Errorf("hot: incl=%d excl=%d, want 2/2", s.Incl, s.Excl)
+	}
+	if s := stats["main"]; s.Incl != 4 || s.Excl != 1 {
+		t.Errorf("main: incl=%d excl=%d, want 4/1", s.Incl, s.Excl)
+	}
+	if bc := a.BlockCounts("hot"); bc[0x40] != 2 {
+		t.Errorf("merged BlockCounts(hot) = %v, want {0x40:2}", bc)
+	}
+	// The merged artifact equals the one a single profiler over both
+	// sample populations would produce: byte-identical encoding.
+	p3 := NewProfiler(64)
+	p3.AddSample([]string{"main", "hot"}, 0x40)
+	p3.AddSample([]string{"main"}, 0x8)
+	p3.AddSample([]string{"main", "hot"}, 0x40)
+	p3.AddSample([]string{"main", "cold"}, 0x10)
+	want, err := p3.Artifact("prog", "vx86").Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("merged encoding differs from single-profiler encoding:\n%s\nvs\n%s", got, want)
+	}
+	// Incompatible artifacts are rejected, left half untouched.
+	for name, bad := range map[string]*Artifact{
+		"module":  {Version: ArtifactVersion, Module: "other", Target: "vx86", Rate: 64},
+		"target":  {Version: ArtifactVersion, Module: "prog", Target: "vsparc", Rate: 64},
+		"rate":    {Version: ArtifactVersion, Module: "prog", Target: "vx86", Rate: 128},
+		"version": {Version: ArtifactVersion + 1, Module: "prog", Target: "vx86", Rate: 64},
+	} {
+		if err := a.Merge(bad); err == nil {
+			t.Errorf("%s mismatch: Merge succeeded, want error", name)
+		}
+	}
+}
