@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent race-llee race-codegen race-prof race-tier2 tier1 bench bench-compare bench-smoke fmt-check
+.PHONY: all build vet test race race-concurrent race-llee race-codegen race-prof race-tier2 race-cache tier1 bench bench-compare bench-smoke fmt-check
 
 all: tier1
 
@@ -47,6 +47,13 @@ race-prof:
 	$(GO) test -race ./internal/prof/... ./internal/telemetry/...
 	$(GO) test -race -run 'Prof|Ring|Tracing|FlightRecorder|Mnemonic' ./internal/machine/... ./internal/llee/...
 
+# race-cache exercises the persistent code cache under the race
+# detector: the content-addressed store's concurrent write/read/delete
+# with eviction, cross-instance dedup through a shared directory, lazy
+# migration of legacy flat entries, and the flat store it supersedes.
+race-cache:
+	$(GO) test -race -count=1 -run 'TestCAS|TestDirStorage|Cache' ./internal/llee/...
+
 # race-tier2 exercises the profile-guided tier-2 path under the race
 # detector: background tier-up racing demand translation and hot-swap
 # installs across sessions, plus the N-way differential oracle holding
@@ -63,9 +70,11 @@ bench:
 
 # bench-compare re-measures the deterministic Table 2 columns and diffs
 # them against the committed baseline; exits non-zero on any code-size,
-# instruction-count or cycle regression. The baseline is profile-warm
+# instruction-count or cycle regression, and on allocs_per_op growing
+# past 10% + 16 over the baseline (the zero-alloc steady state is a
+# guarded property, not a one-time win). The baseline is profile-warm
 # tier 2, so the compare run measures with -tier2 as well.
-BENCH_BASELINE ?= bench/BENCH_2026-08-07_tier2.json
+BENCH_BASELINE ?= bench/BENCH_2026-08-07_zeroalloc.json
 bench-compare:
 	$(GO) run ./cmd/llva-bench $(BENCH_FLAGS) -compare $(BENCH_BASELINE)
 

@@ -445,7 +445,11 @@ func missingBaselineColumns(baseline []byte, rows []*Row) ([]string, error) {
 // changing at all means the workloads or front end drifted and the
 // baseline must be re-recorded; native columns (#vx86, #vsparc, native
 // size, virtual cycles) increasing means a code-quality regression.
-// Decreases are improvements: reported, not fatal.
+// Decreases are improvements: reported, not fatal. allocs_per_op is
+// guarded too, with slack: the count is dominated by the execution
+// engine's deterministic allocations but the Go runtime can add a
+// handful of its own, so only a growth beyond 10% plus a small
+// absolute floor fails the run.
 func compareRows(old, cur []*Row) (bad bool) {
 	oldBy := make(map[string]*Row, len(old))
 	for _, r := range old {
@@ -473,6 +477,19 @@ func compareRows(old, cur []*Row) (bad bool) {
 		fmt.Printf("%-12s %-14s %12.4f -> %12.4f  %+8.2f%%  %s\n",
 			name, col, o, n, 100*(n-o)/o, mark)
 	}
+	// Allocation counts get tolerance instead of exact matching.
+	flagAllocs := func(name string, o, n uint64) {
+		limit := o + o/10 + 16
+		switch {
+		case n > limit:
+			bad = true
+			fmt.Printf("%-12s %-14s %12d -> %12d  %+8.2f%%  REGRESSION (limit %d)\n",
+				name, "allocs_per_op", o, n, 100*(float64(n)-float64(o))/float64(o), limit)
+		case n < o:
+			fmt.Printf("%-12s %-14s %12d -> %12d  %+8.2f%%  improved\n",
+				name, "allocs_per_op", o, n, 100*(float64(n)-float64(o))/float64(o))
+		}
+	}
 	for _, r := range cur {
 		o := oldBy[r.Name]
 		if o == nil {
@@ -489,6 +506,7 @@ func compareRows(old, cur []*Row) (bad bool) {
 		flag(r.Name, "vx86_instrs", float64(o.NumX86), float64(r.NumX86), true)
 		flag(r.Name, "vsparc_instrs", float64(o.NumSparc), float64(r.NumSparc), true)
 		flag(r.Name, "cycles", o.RunVirtualS*1e9, r.RunVirtualS*1e9, true)
+		flagAllocs(r.Name, o.AllocsPerOp, r.AllocsPerOp)
 	}
 	for name := range oldBy {
 		fmt.Printf("%-12s in baseline but not measured\n", name)

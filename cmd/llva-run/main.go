@@ -87,6 +87,7 @@ func serveMetrics(reg *telemetry.Registry, tracer *prof.Tracer, prober *prof.Pro
 func main() {
 	tgt := flag.String("target", "vsparc", "target I-ISA: vx86 or vsparc")
 	cacheDir := flag.String("cache", "", "offline translation cache directory (storage API)")
+	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this many unique bytes (0: unlimited; needs -cache)")
 	useInterp := flag.Bool("interp", false, "run on the reference interpreter instead")
 	stats := flag.Bool("stats", false, "print execution statistics to stderr")
 	offline := flag.Bool("translate-only", false, "offline-translate into the cache, do not execute")
@@ -219,7 +220,11 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		st.SetMaxBytes(*cacheMax)
+		st.SetTelemetry(reg)
 		opts = append(opts, llee.WithStorage(st))
+	} else if *cacheMax != 0 {
+		fatal(fmt.Errorf("-cache-max-bytes requires -cache"))
 	}
 	sys := llee.NewSystem(opts...)
 	// Close flushes pending cache write-back (including speculative

@@ -140,6 +140,19 @@ func (e *encoder) constant(c *core.Constant, off uint64) error {
 	return fmt.Errorf("unencodable constant kind %d", c.CK)
 }
 
+// Clone returns a copy of d whose Bytes are private. PatchFuncAddrs
+// writes resolved function addresses into Bytes, so a prototype image
+// shared across machines must be cloned per machine; the address map
+// and fixup list are never mutated after Build and stay shared.
+func (d *Data) Clone() *Data {
+	return &Data{
+		Base:       d.Base,
+		Bytes:      append([]byte(nil), d.Bytes...),
+		GlobalAddr: d.GlobalAddr,
+		FuncFixups: d.FuncFixups,
+	}
+}
+
 // PatchFuncAddrs resolves all function fixups using the supplied address
 // map, writing pointer-size values with the module's endianness.
 func (d *Data) PatchFuncAddrs(m *core.Module, addrOf func(name string) (uint64, bool)) error {

@@ -1,0 +1,311 @@
+package llee
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"llva/internal/target"
+	"llva/internal/telemetry"
+)
+
+func casObjects(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(filepath.Join(dir, "objects"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if !strings.HasSuffix(e.Name(), ".tmp") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+// TestCASDedup: identical content written under different logical keys
+// — and again through a second store instance sharing the directory —
+// is stored once.
+func TestCASDedup(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	st.SetTelemetry(reg)
+	payload := []byte("identical native code")
+	if err := st.Write("native:a:vx86", "s1", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write("native:b:vx86", "s1", payload); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(casObjects(t, dir)); n != 1 {
+		t.Errorf("objects = %d, want 1 (dedup)", n)
+	}
+	if n := reg.CounterValue(MetricCASDedups); n != 1 {
+		t.Errorf("dedup counter = %d, want 1", n)
+	}
+
+	// A second store instance on the same directory picks the index up
+	// from disk and dedups too.
+	st2, err := NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg2 := telemetry.New()
+	st2.SetTelemetry(reg2)
+	if err := st2.Write("native:c:vsparc", "s1", payload); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(casObjects(t, dir)); n != 1 {
+		t.Errorf("objects after cross-instance write = %d, want 1", n)
+	}
+	if n := reg2.CounterValue(MetricCASDedups); n != 1 {
+		t.Errorf("cross-instance dedup counter = %d, want 1", n)
+	}
+	// All three keys read back, through either instance.
+	for _, k := range []string{"native:a:vx86", "native:b:vx86", "native:c:vsparc"} {
+		data, stamp, ok, err := st.Read(k)
+		if err != nil || !ok || stamp != "s1" || string(data) != string(payload) {
+			t.Errorf("read %q: data=%q stamp=%q ok=%v err=%v", k, data, stamp, ok, err)
+		}
+	}
+	// Distinct content under one of the keys splits it off again, and
+	// the shared object survives for the remaining keys.
+	if err := st.Write("native:b:vx86", "s2", []byte("changed")); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(casObjects(t, dir)); n != 2 {
+		t.Errorf("objects after divergent rewrite = %d, want 2", n)
+	}
+	if data, _, ok, _ := st.Read("native:a:vx86"); !ok || string(data) != string(payload) {
+		t.Errorf("shared object lost after sibling rewrite: ok=%v data=%q", ok, data)
+	}
+}
+
+// TestCASLRUEviction: with a byte cap, writes evict the
+// least-recently-used key — and a Read refreshes recency.
+func TestCASLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	st.SetTelemetry(reg)
+	// Each entry is 1 (stamp) + 1 (newline) + 100 (payload) = 102 bytes;
+	// the cap fits two.
+	st.SetMaxBytes(250)
+	pay := func(c byte) []byte { return []byte(strings.Repeat(string(c), 100)) }
+	for _, k := range []string{"a", "b"} {
+		if err := st.Write(k, "s", pay(k[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Writing c must evict a (the oldest).
+	if err := st.Write("c", "s", pay('c')); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := st.Read("a"); ok {
+		t.Error("a survived eviction; want LRU eviction of the oldest key")
+	}
+	if n := reg.CounterValue(MetricCASEvictions); n != 1 {
+		t.Errorf("eviction counter = %d, want 1", n)
+	}
+	// Touch b, then write d: now c is the LRU victim, not b.
+	if _, _, ok, _ := st.Read("b"); !ok {
+		t.Fatal("b missing before recency test")
+	}
+	if err := st.Write("d", "s", pay('d')); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := st.Read("b"); !ok {
+		t.Error("b evicted despite being recently read")
+	}
+	if _, _, ok, _ := st.Read("c"); ok {
+		t.Error("c survived; want it evicted as least recently used")
+	}
+	// Evicted keys' objects are gone from disk too.
+	if n := len(casObjects(t, dir)); n != 2 {
+		t.Errorf("objects on disk = %d, want 2 after evictions", n)
+	}
+}
+
+// TestCASLegacyMigration: entries written by the flat-format DirStorage
+// are listed, readable, and adopted into the CAS layout on first read.
+func TestCASLegacyMigration(t *testing.T) {
+	dir := t.TempDir()
+	legacy, err := NewFlatDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.Write("native:prog:vx86", "oldstamp", []byte("legacy code")); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	st.SetTelemetry(reg)
+	keys, err := st.Keys()
+	if err != nil || len(keys) != 1 || keys[0] != "native:prog:vx86" {
+		t.Fatalf("Keys() = %v, %v; want the legacy key", keys, err)
+	}
+	data, stamp, ok, err := st.Read("native:prog:vx86")
+	if err != nil || !ok || stamp != "oldstamp" || string(data) != "legacy code" {
+		t.Fatalf("migrating read: data=%q stamp=%q ok=%v err=%v", data, stamp, ok, err)
+	}
+	if n := reg.CounterValue(MetricCASMigrations); n != 1 {
+		t.Errorf("migration counter = %d, want 1", n)
+	}
+	if _, err := os.Stat(filepath.Join(dir, encodeKey("native:prog:vx86")+".llvacache")); !os.IsNotExist(err) {
+		t.Error("legacy flat file still present after migration")
+	}
+	if n := len(casObjects(t, dir)); n != 1 {
+		t.Errorf("objects after migration = %d, want 1", n)
+	}
+	// Second read comes from the CAS, not migration.
+	if _, _, ok, err := st.Read("native:prog:vx86"); !ok || err != nil {
+		t.Fatalf("post-migration read: ok=%v err=%v", ok, err)
+	}
+	if n := reg.CounterValue(MetricCASMigrations); n != 1 {
+		t.Errorf("second read migrated again (counter %d)", n)
+	}
+}
+
+// TestCASCorruptObject: a bit-flipped object fails hash verification
+// and reads as a miss — never as data.
+func TestCASCorruptObject(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	st.SetTelemetry(reg)
+	if err := st.Write("k", "s", []byte("precious bits")); err != nil {
+		t.Fatal(err)
+	}
+	objs := casObjects(t, dir)
+	if len(objs) != 1 {
+		t.Fatal("expected one object")
+	}
+	path := filepath.Join(dir, "objects", objs[0])
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob[len(blob)-1] ^= 0x40
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, _, ok, err := st.Read("k")
+	if err != nil || ok {
+		t.Fatalf("corrupt read: data=%q ok=%v err=%v; want a clean miss", data, ok, err)
+	}
+	if n := reg.CounterValue(MetricCASCorrupt); n != 1 {
+		t.Errorf("corrupt counter = %d, want 1", n)
+	}
+}
+
+// TestCASConcurrent: writers, readers and deleters race on one store
+// under a byte cap; every read that succeeds must return untorn,
+// key-matching content (run under -race via make race-cache).
+func TestCASConcurrent(t *testing.T) {
+	st, err := NewDirStorage(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetMaxBytes(4 * 1024)
+	keys := []string{"k0", "k1", "k2", "k3", "k4", "k5"}
+	pay := func(k string) string { return strings.Repeat(k, 256) }
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				k := keys[(g+i)%len(keys)]
+				switch {
+				case g%4 == 3 && i%10 == 9:
+					if err := st.Delete(k); err != nil {
+						t.Errorf("delete %s: %v", k, err)
+					}
+				case g%2 == 0:
+					if err := st.Write(k, "s", []byte(pay(k))); err != nil {
+						t.Errorf("write %s: %v", k, err)
+					}
+				default:
+					data, stamp, ok, err := st.Read(k)
+					if err != nil {
+						t.Errorf("read %s: %v", k, err)
+					}
+					if ok && (stamp != "s" || string(data) != pay(k)) {
+						t.Errorf("read %s: torn or mismatched content (%d bytes)", k, len(data))
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCASDedupAcrossSystems: two Systems sharing one cache directory
+// through separate store instances translate the same module; the
+// second write-back finds the first one's object and dedups instead of
+// writing a second copy.
+func TestCASDedupAcrossSystems(t *testing.T) {
+	dir := t.TempDir()
+	stA, err := NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stB, err := NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regB := telemetry.New()
+	stB.SetTelemetry(regB)
+
+	// Speculation off keeps each system's write-back content exactly the
+	// demanded translations — deterministic, so the two systems produce
+	// byte-identical cache payloads.
+	sysA := NewSystem(WithStorage(stA), WithSpeculation(false))
+	sysB := NewSystem(WithStorage(stB), WithSpeculation(false))
+	defer sysA.Close()
+	defer sysB.Close()
+
+	var outA, outB strings.Builder
+	// Both sessions exist before either runs, so both start cold and
+	// both write back.
+	sessA, err := sysA.NewSession(compileTest(t), target.VX86, &outA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sessB, err := sysB.NewSession(compileTest(t), target.VX86, &outB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sessA.Run(context.Background(), "main"); err != nil {
+		t.Fatalf("system A run: %v", err)
+	}
+	if _, err := sessB.Run(context.Background(), "main"); err != nil {
+		t.Fatalf("system B run: %v", err)
+	}
+	if outA.String() != "328350\n" || outB.String() != outA.String() {
+		t.Fatalf("outputs differ: %q vs %q", outA.String(), outB.String())
+	}
+	if n := regB.CounterValue(MetricCASDedups); n < 1 {
+		t.Errorf("system B dedup counter = %d, want >= 1", n)
+	}
+	if n := len(casObjects(t, dir)); n != 1 {
+		t.Errorf("shared directory holds %d objects, want 1", n)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"sync"
 
 	"llva/internal/codegen"
 	"llva/internal/target"
@@ -19,6 +20,14 @@ import (
 // magic header; blobs written by older builds (plain gob) don't start
 // with the magic and fall back to the gob decoder, so existing caches
 // keep working.
+//
+// Allocation discipline (DESIGN.md §13): encoding sizes the output
+// exactly (one allocation per blob, no append regrowth), and decoding
+// aliases the input — function code and symbol names are views into the
+// storage blob, never copied out. The caller owns the blob it passes to
+// decodeCachedObject and must not mutate it afterwards; InstallCode
+// honors that by patching relocations in machine memory, not in
+// NativeFunc.Code.
 
 // codecMagic tags binary-codec cache blobs; the byte after it is the
 // format version.
@@ -31,13 +40,39 @@ const codecVersion = 1
 // rather than an execution failure, but record it via telemetry.
 var errCorruptCache = errors.New("corrupt cached translation")
 
-func encodeCachedObject(co *cachedObject) []byte {
-	// Pre-size: headers are small, code dominates.
-	n := 64
+// encodedSize computes the exact byte length encodeCachedObject will
+// produce, so the output buffer is allocated once at final size.
+func encodedSize(co *cachedObject) int {
+	n := len(codecMagic) + 1
+	n += uvarintLen(uint64(len(co.TargetName))) + len(co.TargetName)
+	n += uvarintLen(uint64(len(co.Module))) + len(co.Module)
+	n += uvarintLen(uint64(len(co.Funcs)))
 	for _, f := range co.Funcs {
-		n += len(f.Name) + len(f.Code) + 32*len(f.Relocs) + 32
+		n += uvarintLen(uint64(len(f.Name))) + len(f.Name)
+		n += uvarintLen(uint64(len(f.Code))) + len(f.Code)
+		n += uvarintLen(uint64(len(f.Relocs)))
+		for _, r := range f.Relocs {
+			n += uvarintLen(uint64(r.Offset)) + 1
+			n += uvarintLen(uint64(len(r.Sym))) + len(r.Sym)
+		}
+		n += uvarintLen(uint64(f.NumInstrs))
+		n += uvarintLen(uint64(f.NumLLVA))
 	}
-	buf := make([]byte, 0, n)
+	return n
+}
+
+// uvarintLen is the encoded length of v as a binary uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+func encodeCachedObject(co *cachedObject) []byte {
+	buf := make([]byte, 0, encodedSize(co))
 	buf = append(buf, codecMagic...)
 	buf = append(buf, codecVersion)
 	buf = appendString(buf, co.TargetName)
@@ -59,6 +94,10 @@ func encodeCachedObject(co *cachedObject) []byte {
 	return buf
 }
 
+// codecReaderPool recycles the decode cursors; decodeCachedObject is on
+// the warm-start path of every session and must not allocate scratch.
+var codecReaderPool = sync.Pool{New: func() any { return new(codecReader) }}
+
 func decodeCachedObject(data []byte) (*cachedObject, error) {
 	if !bytes.HasPrefix(data, codecMagic) {
 		// Pre-versioning blob: gob.
@@ -68,7 +107,12 @@ func decodeCachedObject(data []byte) (*cachedObject, error) {
 		}
 		return &co, nil
 	}
-	d := &codecReader{buf: data[len(codecMagic):]}
+	d := codecReaderPool.Get().(*codecReader)
+	defer func() {
+		d.buf, d.err = nil, nil
+		codecReaderPool.Put(d)
+	}()
+	d.buf = data[len(codecMagic):]
 	if v := d.byte(); v != codecVersion {
 		return nil, fmt.Errorf("%w: unknown cache codec version %d", errCorruptCache, v)
 	}
@@ -76,11 +120,23 @@ func decodeCachedObject(data []byte) (*cachedObject, error) {
 	co.TargetName = d.string()
 	co.Module = d.string()
 	nf := d.uvarint()
+	if max := uint64(len(d.buf)); nf > max {
+		// A corrupt count cannot exceed one function per remaining byte;
+		// bounding it keeps the preallocation below from trusting garbage.
+		nf = max
+	}
+	co.Funcs = make([]*codegen.NativeFunc, 0, nf)
 	for i := uint64(0); i < nf && d.err == nil; i++ {
 		f := &codegen.NativeFunc{}
 		f.Name = d.string()
 		f.Code = d.bytes(d.uvarint())
 		nr := d.uvarint()
+		if max := uint64(len(d.buf)); nr > max {
+			nr = max
+		}
+		if nr > 0 {
+			f.Relocs = make([]target.Reloc, 0, nr)
+		}
 		for j := uint64(0); j < nr && d.err == nil; j++ {
 			f.Relocs = append(f.Relocs, target.Reloc{
 				Offset: uint32(d.uvarint()),
@@ -141,15 +197,17 @@ func (d *codecReader) uvarint() uint64 {
 	return v
 }
 
+// bytes returns the next n bytes as a view of the blob (zero copy: the
+// decoded object aliases the caller's data).
 func (d *codecReader) bytes(n uint64) []byte {
-	if d.err != nil {
+	if d.err != nil || n == 0 {
 		return nil
 	}
 	if uint64(len(d.buf)) < n {
 		d.fail()
 		return nil
 	}
-	out := append([]byte(nil), d.buf[:n]...)
+	out := d.buf[:n:n]
 	d.buf = d.buf[n:]
 	return out
 }

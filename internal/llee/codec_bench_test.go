@@ -41,12 +41,14 @@ func BenchmarkCacheCodec(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("encode/binary", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			encodeCachedObject(co)
 		}
 		b.SetBytes(int64(len(bin)))
 	})
 	b.Run("encode/gob", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			var buf bytes.Buffer
 			if err := gob.NewEncoder(&buf).Encode(co); err != nil {
@@ -56,6 +58,7 @@ func BenchmarkCacheCodec(b *testing.B) {
 		b.SetBytes(int64(gobBuf.Len()))
 	})
 	b.Run("decode/binary", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := decodeCachedObject(bin); err != nil {
 				b.Fatal(err)
@@ -64,6 +67,7 @@ func BenchmarkCacheCodec(b *testing.B) {
 		b.SetBytes(int64(len(bin)))
 	})
 	b.Run("decode/gob-fallback", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := decodeCachedObject(gobBuf.Bytes()); err != nil {
 				b.Fatal(err)
@@ -71,4 +75,23 @@ func BenchmarkCacheCodec(b *testing.B) {
 		}
 		b.SetBytes(int64(gobBuf.Len()))
 	})
+}
+
+// BenchmarkCacheCodecRoundTrip measures the full write-side-plus-read-side
+// path a warm cache hit pays: encode on one end, decode on the other.
+// allocs/op is the guarded number — decode is zero-copy (views into the
+// blob) and encode is a single exact-size buffer, so the steady state
+// should stay within a handful of allocations.
+func BenchmarkCacheCodecRoundTrip(b *testing.B) {
+	co := benchCachedObject(b)
+	bin := encodeCachedObject(co)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(bin)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := encodeCachedObject(co)
+		if _, err := decodeCachedObject(blob); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -43,7 +43,9 @@ type Session struct {
 	// redirect implements llva.smc.replace for this session only:
 	// function -> replacement body. Redirected demands translate
 	// privately, bypassing the shared cache, so one session's
-	// self-modification never leaks into another's code.
+	// self-modification never leaks into another's code. Allocated on
+	// the first replace — nil-map reads keep the common (no-SMC) session
+	// from paying for it.
 	redirect map[string]string
 	// storageAPIAddr records the address registered via
 	// llva.storage.register (exposed to trap handlers/tools).
@@ -54,9 +56,12 @@ type Session struct {
 	// background workers (any goroutine, guarded by pendMu) until the
 	// machine installs it at a block boundary; installed2 guards against
 	// reinstalling a function this session already swapped (touched only
-	// on the machine/run goroutine).
+	// on the machine/run goroutine). drain is the second half of the
+	// double buffer: installPending swaps it with pending so repeated
+	// drains reuse both slices' storage.
 	pendMu     sync.Mutex
 	pending    []*codegen.NativeFunc
+	drain      []*codegen.NativeFunc
 	installed2 map[string]bool
 
 	runMu sync.Mutex
@@ -92,23 +97,29 @@ func (sys *System) NewSession(m *core.Module, d *target.Desc, out io.Writer, opt
 		o(&cfg)
 	}
 	id := sys.sessionSeq.Add(1)
-	label := fmt.Sprintf("session %d", id)
-	if cfg.tenant != "" {
-		label += " (" + cfg.tenant + ")"
+	if sys.tracer != nil {
+		// Span labels and args are built only when a tracer is attached;
+		// the default (untraced) session pays no formatting allocations.
+		label := fmt.Sprintf("session %d", id)
+		if cfg.tenant != "" {
+			label += " (" + cfg.tenant + ")"
+		}
+		sys.tracer.NameProcess(int(id), label)
+		endNew := sys.tracer.Begin(int(id), 0, "llee", "session.new",
+			map[string]any{"session": id, "tenant": cfg.tenant, "module": m.Name})
+		defer endNew()
 	}
-	sys.tracer.NameProcess(int(id), label)
-	endNew := sys.tracer.Begin(int(id), 0, "llee", "session.new",
-		map[string]any{"session": id, "tenant": cfg.tenant, "module": m.Name})
-	defer endNew()
 	ms, err := sys.state(m, d)
 	if err != nil {
 		return nil, err
 	}
 	// The canonical module copy (possibly relaid-out by a persisted
 	// profile) is what every session executes — never the caller's m,
-	// which may be a structurally identical duplicate.
+	// which may be a structurally identical duplicate. The data image
+	// was built once with the module state; each session clones the
+	// prototype instead of re-encoding every global initializer.
 	env := rt.NewEnv(mem.New(cfg.memSize, ms.module.LittleEndian), out)
-	mc, err := machine.New(d, ms.module, env)
+	mc, err := machine.NewWithImage(d, ms.module, env, ms.img.Clone())
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadModule, err)
 	}
@@ -120,7 +131,6 @@ func (sys *System) NewSession(m *core.Module, d *target.Desc, out io.Writer, opt
 		id:       id,
 		tenant:   cfg.tenant,
 		profiler: cfg.profiler,
-		redirect: make(map[string]string),
 	}
 	mc.SetTelemetry(sys.tele)
 	if cfg.profiler != nil {
@@ -188,7 +198,8 @@ func (s *Session) enqueueSwap(nf *codegen.NativeFunc) {
 func (s *Session) installPending() {
 	s.pendMu.Lock()
 	pend := s.pending
-	s.pending = nil
+	s.pending = s.drain[:0]
+	s.drain = pend
 	s.pendMu.Unlock()
 	for _, nf := range pend {
 		if s.installed2[nf.Name] || s.redirect[nf.Name] != "" {
@@ -245,8 +256,13 @@ func (s *Session) Run(ctx context.Context, entry string, args ...uint64) (Result
 	return res, err
 }
 
-// spanArgs is the correlation payload every session span carries.
+// spanArgs is the correlation payload every session span carries (nil
+// when tracing is off — spans are no-ops then, so the map would only be
+// per-run allocation noise).
 func (s *Session) spanArgs() map[string]any {
+	if s.sys.tracer == nil {
+		return nil
+	}
 	a := map[string]any{"session": s.id}
 	if s.tenant != "" {
 		a["tenant"] = s.tenant
@@ -431,6 +447,9 @@ func (s *Session) onIntrinsic(name string, args []uint64) (uint64, error) {
 		ft, fs := s.ms.module.Function(tgt), s.ms.module.Function(src)
 		if ft == nil || fs == nil || ft.Signature() != fs.Signature() {
 			return 0, fmt.Errorf("llva.smc.replace: signature mismatch %%%s vs %%%s", tgt, src)
+		}
+		if s.redirect == nil {
+			s.redirect = make(map[string]string)
 		}
 		s.redirect[tgt] = src
 		s.sys.tele.Counter(MetricInvalidations).Inc()

@@ -97,14 +97,18 @@ func (s *MemStorage) Keys() ([]string, error) {
 	return out, nil
 }
 
-// DirStorage persists cache entries as files in a directory — the role
-// played by the user-level disk cache in the paper's prototype.
+// DirStorage persists cache entries as flat files in a directory — the
+// original on-disk format, superseded as the default by CASStorage
+// (cas.go), which NewDirStorage now returns. It remains for
+// compatibility: caches written by older builds read and migrate
+// cleanly, and tests use it to produce legacy layouts.
 type DirStorage struct {
 	Dir string
 }
 
-// NewDirStorage creates the directory if needed.
-func NewDirStorage(dir string) (*DirStorage, error) {
+// NewFlatDirStorage opens a legacy flat-format store (one file per
+// key, no dedup, no eviction), creating the directory if needed.
+func NewFlatDirStorage(dir string) (*DirStorage, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -164,28 +168,15 @@ func (s *DirStorage) path(key string) string {
 }
 
 // Write implements Storage: the stamp occupies the first line. The
-// entry is written to a temporary file in the cache directory and
-// renamed into place, so a reader (or a crash) can never observe a
-// torn half-written entry — it sees either the old blob or the new one.
+// entry is written to a temporary file in the cache directory, fsynced
+// and renamed into place, and the directory is fsynced after the
+// rename — so neither a reader nor a crash (even a power cut between
+// rename and the directory metadata reaching disk) can observe a torn
+// or vanished entry: it sees either the old blob or the complete new
+// one.
 func (s *DirStorage) Write(key, stamp string, data []byte) error {
 	blob := append([]byte(stamp+"\n"), data...)
-	tmp, err := os.CreateTemp(s.Dir, ".llvacache-*.tmp")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(blob); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Chmod(0o644); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), s.path(key))
+	return atomicWriteFile(s.Dir, s.path(key), blob)
 }
 
 // Read implements Storage.

@@ -9,7 +9,9 @@ import (
 
 	"llva/internal/codegen"
 	"llva/internal/core"
+	"llva/internal/image"
 	"llva/internal/llee/pipeline"
+	"llva/internal/mem"
 	"llva/internal/obj"
 	"llva/internal/prof"
 	"llva/internal/target"
@@ -207,6 +209,12 @@ type moduleState struct {
 	tr   *codegen.Translator
 	spec *pipeline.Speculator
 
+	// img is the prototype data image, built once per module state and
+	// cloned per session: repeated NewSession skips global layout and
+	// initializer encoding. Valid for the state's whole lifetime —
+	// relayout reorders blocks, never globals.
+	img *image.Data
+
 	// online reports no valid cached translation existed at creation:
 	// sessions JIT on demand and write translations back.
 	online bool
@@ -312,6 +320,11 @@ func (sys *System) state(m *core.Module, d *target.Desc) (*moduleState, error) {
 			}
 		}
 	}
+	img, err := image.Build(m, mem.NullGuard)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadModule, err)
+	}
+	ms.img = img
 	ms.spec = pipeline.NewSpeculator(tr, sys.workers, sys.tele)
 	ms.spec.SetTracer(sys.tracer)
 	if ms.tr2 != nil {

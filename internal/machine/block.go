@@ -41,6 +41,39 @@ type block struct {
 // (hoisted to block granularity) overshoots by at most one block.
 const maxBlockInstrs = 64
 
+// Arena chunk sizes: blocks and their instruction slices are carved from
+// chunked arenas owned by the machine, so steady-state predecoding costs
+// O(1/chunk) allocations instead of one block struct plus log2(len)
+// append-growth reallocations per block. Invalidated blocks are dropped
+// from the map but their arena storage is reclaimed only when the
+// machine itself dies — bounded by SMC/tier-up activity, which is rare
+// by the §3.5 contract.
+const (
+	blockChunkLen = 64
+	instrChunkLen = 1024
+)
+
+// newBlock carves a zeroed block from the machine's block arena.
+func (mc *Machine) newBlock() *block {
+	if len(mc.blockChunk) == cap(mc.blockChunk) {
+		mc.blockChunk = make([]block, 0, blockChunkLen)
+	}
+	mc.blockChunk = append(mc.blockChunk, block{})
+	return &mc.blockChunk[len(mc.blockChunk)-1]
+}
+
+// sealInstrs copies the predecode scratch into an exact-size slice carved
+// from the instruction arena. The returned slice has no spare capacity,
+// so later carves can never alias it.
+func (mc *Machine) sealInstrs(scratch []decoded) []decoded {
+	if len(scratch) > cap(mc.instrChunk)-len(mc.instrChunk) {
+		mc.instrChunk = make([]decoded, 0, instrChunkLen)
+	}
+	start := len(mc.instrChunk)
+	mc.instrChunk = append(mc.instrChunk, scratch...)
+	return mc.instrChunk[start:len(mc.instrChunk):len(mc.instrChunk)]
+}
+
 // isTerminator reports whether op can redirect the PC (or always traps)
 // and therefore ends a basic block.
 func isTerminator(op target.MOp) bool {
@@ -72,24 +105,33 @@ func (mc *Machine) buildBlock(pc uint64) (*block, error) {
 	// The code view is bounded at codeEnd so a truncated encoding at the
 	// segment's edge errors exactly like the old 16-byte fetch window.
 	view := mc.code[:mc.codeEnd-mc.codeBase]
-	b := &block{entry: pc, valid: true}
+	// Predecode into the machine's scratch buffer (sized for the largest
+	// possible block), then seal the exact-size run into the arena.
+	if mc.decodeScratch == nil {
+		mc.decodeScratch = make([]decoded, 0, maxBlockInstrs)
+	}
+	scratch := mc.decodeScratch[:0]
 	at := pc
 	var cum uint64
-	for len(b.instrs) < maxBlockInstrs && at < mc.codeEnd {
+	for len(scratch) < maxBlockInstrs && at < mc.codeEnd {
 		in, n, err := mc.desc.DecodeFrom(view, int(at-mc.codeBase))
 		if err != nil {
-			if len(b.instrs) == 0 {
+			if len(scratch) == 0 {
 				return nil, fmt.Errorf("machine: decode at 0x%x: %w", at, err)
 			}
 			break
 		}
 		cum += mc.desc.Cycles(&in)
-		b.instrs = append(b.instrs, decoded{in: in, n: n, pc: at, cum: cum})
+		scratch = append(scratch, decoded{in: in, n: n, pc: at, cum: cum})
 		at += uint64(n)
 		if isTerminator(in.Op) {
 			break
 		}
 	}
+	b := mc.newBlock()
+	b.entry = pc
+	b.valid = true
+	b.instrs = mc.sealInstrs(scratch)
 	b.end = at
 	mc.blocks[pc] = b
 	mc.Stats.BlockBuilds++

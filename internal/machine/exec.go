@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"llva/internal/core"
 	"llva/internal/mem"
 	"llva/internal/rt"
 	"llva/internal/target"
@@ -142,16 +143,15 @@ func (mc *Machine) RunContext(ctx context.Context, entry string, args ...uint64)
 		mc.regs[d.SP] = sp
 	} else {
 		// Distribute arguments per the register convention, consulting
-		// the entry function's signature for the FP/integer split.
-		var isFP []bool
+		// the entry function's signature for the FP/integer split
+		// (indexed in place — no per-run scratch slice).
+		var params []*core.Type
 		if f := mc.module.Function(entry); f != nil {
-			for _, p := range f.Signature().Params() {
-				isFP = append(isFP, p.IsFloat())
-			}
+			params = f.Signature().Params()
 		}
 		intIdx, fpIdx, stackIdx := 0, 0, 0
 		for i, a := range args {
-			if i < len(isFP) && isFP[i] {
+			if i < len(params) && params[i].IsFloat() {
 				if fpIdx < len(d.FPArgRegs) {
 					mc.regs[d.FPArgRegs[fpIdx]] = a
 					fpIdx++
@@ -679,7 +679,16 @@ func (mc *Machine) execCallExt(in *target.MInstr, size int) (bool, error) {
 		return true, mc.handleJIT()
 	}
 
-	args := make([]uint64, in.NArgs)
+	// Arguments are marshalled into the machine's persistent buffer:
+	// extern calls are steady-state (print, malloc, math) and must not
+	// allocate per call. Fn implementations receive a view and do not
+	// retain it.
+	var args []uint64
+	if int(in.NArgs) <= len(mc.extArgs) {
+		args = mc.extArgs[:in.NArgs]
+	} else {
+		args = make([]uint64, in.NArgs)
+	}
 	if mc.desc.StackArgs {
 		sp := mc.regs[mc.desc.SP]
 		for i := range args {
@@ -749,14 +758,18 @@ func (mc *Machine) handleJIT() error {
 	return nil
 }
 
+// privilegedIntrinsics names the llva.* intrinsics that require the
+// privileged bit (hoisted to package scope: the per-call map literal
+// used to allocate on every intrinsic dispatch).
+var privilegedIntrinsics = map[string]bool{
+	"llva.priv.set": true, "llva.trap.register": true,
+	"llva.storage.register": true,
+}
+
 // intrinsic implements the machine-level llva.* intrinsics; unknown ones
 // go to the OnIntrinsic hook (the execution manager).
 func (mc *Machine) intrinsic(name string, args []uint64) (uint64, error) {
-	privileged := map[string]bool{
-		"llva.priv.set": true, "llva.trap.register": true,
-		"llva.storage.register": true,
-	}
-	if privileged[name] && !mc.privileged {
+	if privilegedIntrinsics[name] && !mc.privileged {
 		return 0, &TrapError{Num: TrapPrivilege, PC: mc.pc,
 			Detail: "privileged intrinsic " + name}
 	}

@@ -54,6 +54,16 @@ type Machine struct {
 	// the code segment [codeBase, codeLimit) used by the predecoder.
 	blocks map[uint64]*block
 	code   []byte
+	// Predecode storage (block.go): blocks and their instruction slices
+	// are carved from chunked arenas; decodeScratch is the reusable
+	// predecode buffer sealed into the arena at exact size.
+	blockChunk    []block
+	instrChunk    []decoded
+	decodeScratch []decoded
+	// extArgs is the persistent marshalling buffer for external-call
+	// arguments: rt.Fn implementations receive a view of it and must not
+	// retain it past the call (none do — they consume raw words).
+	extArgs [16]uint64
 	// pendCycles is the executing block's not-yet-flushed cycle prefix,
 	// added to Stats.Cycles by the virtual clock (telemetry.go).
 	pendCycles uint64
@@ -148,6 +158,19 @@ type invokeFrame struct {
 // New creates a machine for the given target over fresh memory, loading
 // the module's static data segment.
 func New(d *target.Desc, m *core.Module, env *rt.Env) (*Machine, error) {
+	data, err := image.Build(m, mem.NullGuard)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithImage(d, m, env, data)
+}
+
+// NewWithImage creates a machine over a pre-built data image, taking
+// ownership of it (fixup patching mutates data.Bytes — hand a prototype
+// a Clone, never the prototype itself). The execution manager builds
+// the image once per module and clones it per session, so repeated
+// session setup skips global layout and initializer encoding.
+func NewWithImage(d *target.Desc, m *core.Module, env *rt.Env, data *image.Data) (*Machine, error) {
 	mc := &Machine{
 		desc:       d,
 		mem:        env.Mem,
@@ -166,10 +189,6 @@ func New(d *target.Desc, m *core.Module, env *rt.Env) (*Machine, error) {
 	// The virtual clock is installed once; the per-run hot path never
 	// rebuilds the closure.
 	env.Clock = func() uint64 { return mc.Stats.Cycles + mc.pendCycles }
-	data, err := image.Build(m, mem.NullGuard)
-	if err != nil {
-		return nil, err
-	}
 	if err := mc.mem.WriteBytes(data.Base, data.Bytes); err != nil {
 		return nil, fmt.Errorf("machine: data segment does not fit: %w", err)
 	}
@@ -183,7 +202,8 @@ func New(d *target.Desc, m *core.Module, env *rt.Env) (*Machine, error) {
 	// reads instructions in place instead of cutting a bounds-checked
 	// fetch window per instruction. Memory never reallocates its
 	// backing array, so the view stays valid as code is installed.
-	mc.code, err = mc.mem.Bytes(mc.codeBase, mc.codeLimit-mc.codeBase)
+	code, err := mc.mem.Bytes(mc.codeBase, mc.codeLimit-mc.codeBase)
+	mc.code = code
 	if err != nil {
 		return nil, fmt.Errorf("machine: code segment does not fit: %w", err)
 	}
@@ -283,16 +303,20 @@ func (mc *Machine) InstallCode(nf *codegen.NativeFunc) (uint64, error) {
 	mc.codeEnd = hi
 	// Bind early so self-recursive calls resolve to this function.
 	mc.bind(nf.Name, addr)
-	code := append([]byte(nil), nf.Code...)
+	// Copy the body into code memory first, then patch relocations in
+	// place on the machine's code view: nf.Code itself is shared
+	// (cache-decoded objects alias the storage blob) and is never
+	// mutated, and the old intermediate per-install copy is gone.
+	if err := mc.mem.WriteBytes(addr, nf.Code); err != nil {
+		return 0, fmt.Errorf("machine: code segment overflow loading %s", nf.Name)
+	}
+	installed := mc.code[addr-mc.codeBase : hi-mc.codeBase]
 	for _, rl := range nf.Relocs {
 		val, err := mc.resolveSym(rl)
 		if err != nil {
 			return 0, fmt.Errorf("machine: %s: %w", nf.Name, err)
 		}
-		mc.desc.Patch(code, rl.Offset, rl.Kind, val)
-	}
-	if err := mc.mem.WriteBytes(addr, code); err != nil {
-		return 0, fmt.Errorf("machine: code segment overflow loading %s", nf.Name)
+		mc.desc.Patch(installed, rl.Offset, rl.Kind, val)
 	}
 	// Drop any predecoded blocks overlapping the installed range — new
 	// bytes must never execute through a stale predecode (§3.5's

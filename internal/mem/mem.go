@@ -214,6 +214,26 @@ func (m *Memory) WriteBytes(addr uint64, b []byte) error {
 	return nil
 }
 
+// CBytes returns a direct view of the NUL-terminated byte string at
+// addr (capped at 1 MiB, like CString) without materializing a Go
+// string. The view aliases memory: callers must consume it before the
+// guest runs again.
+func (m *Memory) CBytes(addr uint64) ([]byte, error) {
+	const limit = 1 << 20
+	if err := m.check(addr, 1, "load"); err != nil {
+		return nil, err
+	}
+	end := addr
+	max := addr + limit
+	if max > uint64(len(m.data)) {
+		max = uint64(len(m.data))
+	}
+	for end < max && m.data[end] != 0 {
+		end++
+	}
+	return m.data[addr:end:end], nil
+}
+
 // CString reads a NUL-terminated string at addr (capped at 1 MiB).
 func (m *Memory) CString(addr uint64) (string, error) {
 	const limit = 1 << 20

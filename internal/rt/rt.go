@@ -9,10 +9,13 @@
 package rt
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"io"
 	"math"
+	"strconv"
+	"unicode/utf8"
 
 	"llva/internal/mem"
 )
@@ -43,8 +46,18 @@ type Env struct {
 	// engines set it to their instruction/cycle counter.
 	Clock func() uint64
 
-	rand  uint64
-	fns   map[string]Fn
+	rand uint64
+	// fns is the per-env override table, allocated lazily by Register;
+	// lookups fall back to the shared immutable defaultFns, so plain
+	// environments (every session) never copy the whole extern table.
+	fns map[string]Fn
+	// fmtBuf is the reusable number-formatting scratch of the print_*
+	// externs; memBuf the bounce buffer of memcpy. Both grow to the
+	// program's high-water mark and stay: the steady state of a
+	// print-/copy-heavy guest allocates nothing.
+	fmtBuf []byte
+	memBuf []byte
+
 	Stats struct {
 		Calls  int
 		Allocs int
@@ -55,52 +68,71 @@ type Env struct {
 	}
 }
 
+// defaultFns is the shared extern table every environment starts from.
+// It is built once and never mutated after init: Register writes go to a
+// per-env overlay, so constructing an Env costs no table copy.
+var defaultFns = map[string]Fn{
+	"print_int":   printInt,
+	"print_uint":  printUint,
+	"print_char":  printChar,
+	"print_str":   printStr,
+	"print_float": printFloat,
+	"print_nl":    printNL,
+	"malloc":      doMalloc,
+	"calloc":      doCalloc,
+	"free":        doFree,
+	"memcpy":      doMemcpy,
+	"memset":      doMemset,
+	"strlen":      doStrlen,
+	"strcmp":      doStrcmp,
+	"pool_alloc":  doPoolAlloc,
+	"pool_free":   doPoolFree,
+	"exit":        doExit,
+	"abort":       doAbort,
+	"clock":       doClock,
+	"srand":       doSrand,
+	"rand":        doRand,
+	"sqrt":        doSqrt,
+	"fabs":        doFabs,
+	"exp":         doExp,
+	"log":         doLog,
+	"pow":         doPow,
+	"sin":         doSin,
+	"cos":         doCos,
+}
+
 // NewEnv creates an environment over the given memory writing program
 // output to out.
 func NewEnv(m *mem.Memory, out io.Writer) *Env {
 	e := &Env{Mem: m, Out: out, rand: 88172645463325252}
 	e.Clock = func() uint64 { return 0 }
-	e.fns = map[string]Fn{
-		"print_int":   printInt,
-		"print_uint":  printUint,
-		"print_char":  printChar,
-		"print_str":   printStr,
-		"print_float": printFloat,
-		"print_nl":    printNL,
-		"malloc":      doMalloc,
-		"calloc":      doCalloc,
-		"free":        doFree,
-		"memcpy":      doMemcpy,
-		"memset":      doMemset,
-		"strlen":      doStrlen,
-		"strcmp":      doStrcmp,
-		"pool_alloc":  doPoolAlloc,
-		"pool_free":   doPoolFree,
-		"exit":        doExit,
-		"abort":       doAbort,
-		"clock":       doClock,
-		"srand":       doSrand,
-		"rand":        doRand,
-		"sqrt":        doSqrt,
-		"fabs":        doFabs,
-		"exp":         doExp,
-		"log":         doLog,
-		"pow":         doPow,
-		"sin":         doSin,
-		"cos":         doCos,
-	}
 	return e
 }
 
-// Register adds or overrides a native function.
-func (e *Env) Register(name string, fn Fn) { e.fns[name] = fn }
+// Register adds or overrides a native function (copy-on-write: the
+// shared default table stays untouched).
+func (e *Env) Register(name string, fn Fn) {
+	if e.fns == nil {
+		e.fns = make(map[string]Fn)
+	}
+	e.fns[name] = fn
+}
 
 // Known reports whether name is a registered native function.
-func (e *Env) Known(name string) bool { _, ok := e.fns[name]; return ok }
+func (e *Env) Known(name string) bool {
+	if _, ok := e.fns[name]; ok {
+		return true
+	}
+	_, ok := defaultFns[name]
+	return ok
+}
 
 // Call invokes the named native function.
 func (e *Env) Call(name string, args []uint64) (uint64, error) {
 	fn, ok := e.fns[name]
+	if !ok {
+		fn, ok = defaultFns[name]
+	}
 	if !ok {
 		return 0, fmt.Errorf("rt: call to unknown external function %%%s", name)
 	}
@@ -148,40 +180,52 @@ func arg(args []uint64, i int) uint64 {
 	return 0
 }
 
+// emit writes the formatting scratch and keeps its storage for the next
+// print. All print_* externs format with strconv/utf8 appenders into
+// this buffer — byte-identical to the old fmt verbs (%d, %c, %.4f) but
+// with zero steady-state allocations.
+func (e *Env) emit(buf []byte) (uint64, error) {
+	e.fmtBuf = buf[:0]
+	_, err := e.Out.Write(buf)
+	return 0, err
+}
+
 func printInt(e *Env, a []uint64) (uint64, error) {
-	fmt.Fprintf(e.Out, "%d", int64(arg(a, 0)))
-	return 0, nil
+	return e.emit(strconv.AppendInt(e.fmtBuf, int64(arg(a, 0)), 10))
 }
 
 func printUint(e *Env, a []uint64) (uint64, error) {
-	fmt.Fprintf(e.Out, "%d", arg(a, 0))
-	return 0, nil
+	return e.emit(strconv.AppendUint(e.fmtBuf, arg(a, 0), 10))
 }
 
 func printChar(e *Env, a []uint64) (uint64, error) {
-	fmt.Fprintf(e.Out, "%c", rune(arg(a, 0)))
-	return 0, nil
+	// utf8.AppendRune yields U+FFFD for invalid runes, matching %c.
+	return e.emit(utf8.AppendRune(e.fmtBuf, rune(arg(a, 0))))
 }
 
 func printStr(e *Env, a []uint64) (uint64, error) {
-	s, err := e.Mem.CString(arg(a, 0))
+	s, err := e.Mem.CBytes(arg(a, 0))
 	if err != nil {
 		return 0, err
 	}
-	io.WriteString(e.Out, s)
-	return 0, nil
+	// The view is written directly — no string materialization. Writers
+	// do not retain the slice past Write.
+	_, err = e.Out.Write(s)
+	return 0, err
 }
 
 func printFloat(e *Env, a []uint64) (uint64, error) {
 	// Fixed 4-decimal formatting keeps output deterministic across
-	// engines and easy to diff.
-	fmt.Fprintf(e.Out, "%.4f", math.Float64frombits(arg(a, 0)))
-	return 0, nil
+	// engines and easy to diff ('f' with precision 4 is what %.4f
+	// produces, including NaN/±Inf spellings).
+	return e.emit(strconv.AppendFloat(e.fmtBuf, math.Float64frombits(arg(a, 0)), 'f', 4, 64))
 }
 
+var nlByte = []byte{'\n'}
+
 func printNL(e *Env, a []uint64) (uint64, error) {
-	io.WriteString(e.Out, "\n")
-	return 0, nil
+	_, err := e.Out.Write(nlByte)
+	return 0, err
 }
 
 func doMalloc(e *Env, a []uint64) (uint64, error) {
@@ -207,9 +251,13 @@ func doMemcpy(e *Env, a []uint64) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
-	// Copy via an intermediate buffer so overlapping ranges behave like
-	// memmove; workloads are not exercising UB.
-	tmp := append([]byte(nil), src...)
+	// Copy via the env's persistent bounce buffer so overlapping ranges
+	// behave like memmove without allocating per call.
+	if uint64(cap(e.memBuf)) < n {
+		e.memBuf = make([]byte, n)
+	}
+	tmp := e.memBuf[:n]
+	copy(tmp, src)
 	return 0, e.Mem.WriteBytes(arg(a, 0), tmp)
 }
 
@@ -230,7 +278,7 @@ func doMemset(e *Env, a []uint64) (uint64, error) {
 }
 
 func doStrlen(e *Env, a []uint64) (uint64, error) {
-	s, err := e.Mem.CString(arg(a, 0))
+	s, err := e.Mem.CBytes(arg(a, 0))
 	if err != nil {
 		return 0, err
 	}
@@ -238,18 +286,18 @@ func doStrlen(e *Env, a []uint64) (uint64, error) {
 }
 
 func doStrcmp(e *Env, a []uint64) (uint64, error) {
-	s1, err := e.Mem.CString(arg(a, 0))
+	s1, err := e.Mem.CBytes(arg(a, 0))
 	if err != nil {
 		return 0, err
 	}
-	s2, err := e.Mem.CString(arg(a, 1))
+	s2, err := e.Mem.CBytes(arg(a, 1))
 	if err != nil {
 		return 0, err
 	}
-	switch {
-	case s1 < s2:
+	switch c := bytes.Compare(s1, s2); {
+	case c < 0:
 		return uint64(^uint64(0)), nil // -1
-	case s1 > s2:
+	case c > 0:
 		return 1, nil
 	}
 	return 0, nil
