@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent race-llee race-codegen race-prof race-tier2 race-cache tier1 bench bench-compare bench-smoke fmt-check
+.PHONY: all build vet test race race-concurrent race-llee race-codegen race-prof race-tier2 race-cache race-serve tier1 bench bench-compare bench-smoke fmt-check
 
 all: tier1
 
@@ -61,6 +61,15 @@ race-cache:
 race-tier2:
 	$(GO) test -race -count=1 -run 'Tier2|RegallocDiff' ./internal/codegen/... ./internal/llee/...
 
+# race-serve exercises the multi-tenant execution service under the
+# race detector: admission control (shedding, tenant rate limits,
+# tenant gas budgets), the sync/async job paths, graceful drain, and
+# the gas meter's exhaustion determinism through Session.Run and across
+# the HTTP boundary.
+race-serve:
+	$(GO) test -race -count=1 ./internal/serve/...
+	$(GO) test -race -count=1 -run Gas ./internal/llee/... ./internal/machine/...
+
 # Regenerate the paper's Table 2 with registry-sourced telemetry,
 # archived under bench/ with the run date. Measures the tier-2
 # (profile-warm) configuration; pass BENCH_FLAGS= to drop it.
@@ -84,10 +93,12 @@ bench-compare:
 # plus the observability smoke: a workload under -trace-out and the
 # sampling profiler whose emitted trace must be valid Perfetto-loadable
 # JSON with a complete span, and a trapping program whose crash report
-# must render.
+# must render. The serve smoke drives a short loadgen burst against an
+# in-process server: non-zero completions, zero 5xx.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Table2|ParallelTranslate|SpeculativeColdStart|CacheCodec' -benchtime 1x ./...
 	$(GO) test -run TestTraceSmoke .
+	$(GO) test -count=1 -run TestLoadGenSmoke ./internal/serve/
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

@@ -10,6 +10,7 @@
 package llva
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -254,23 +255,25 @@ func BenchmarkLLEEColdVsWarm(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
 		var transNS int64
 		for i := 0; i < b.N; i++ {
-			mg, err := llee.NewManager(m, target.VX86, io.Discard)
+			sys := llee.NewSystem()
+			sess, err := sys.NewSession(m, target.VX86, io.Discard)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := mg.Run("main"); err != nil {
+			if _, err := sess.Run(context.Background(), "main"); err != nil {
 				b.Fatal(err)
 			}
-			if mg.Stats.Translations == 0 {
+			if sess.Stats().Translations == 0 {
 				b.Fatal("cold run did not translate")
 			}
-			transNS = mg.Stats.TranslateNS
+			transNS = sess.Stats().TranslateNS
 		}
 		b.ReportMetric(float64(transNS), "translate-ns")
 	})
 	b.Run("warm", func(b *testing.B) {
 		st := llee.NewMemStorage()
-		seed, err := llee.NewManager(m, target.VX86, io.Discard, llee.WithStorage(st))
+		seedSys := llee.NewSystem(llee.WithStorage(st))
+		seed, err := seedSys.NewSession(m, target.VX86, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -279,14 +282,15 @@ func BenchmarkLLEEColdVsWarm(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			mg, err := llee.NewManager(m, target.VX86, io.Discard, llee.WithStorage(st))
+			sys := llee.NewSystem(llee.WithStorage(st))
+			sess, err := sys.NewSession(m, target.VX86, io.Discard)
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := mg.Run("main"); err != nil {
+			if _, err := sess.Run(context.Background(), "main"); err != nil {
 				b.Fatal(err)
 			}
-			if !mg.Stats.CacheHit {
+			if !sess.CacheHit() {
 				b.Fatal("warm run missed the cache")
 			}
 		}
@@ -436,16 +440,17 @@ entry:
 `
 	m := mustParse(b, src)
 	for i := 0; i < b.N; i++ {
-		mg, err := llee.NewManager(m, target.VX86, io.Discard)
+		sys := llee.NewSystem()
+		sess, err := sys.NewSession(m, target.VX86, io.Discard)
 		if err != nil {
 			b.Fatal(err)
 		}
-		v, err := mg.Run("main")
+		res, err := sess.Run(context.Background(), "main")
 		if err != nil {
 			b.Fatal(err)
 		}
-		if int32(v) != 3 {
-			b.Fatalf("SMC result %d, want 3", int32(v))
+		if int32(res.Value) != 3 {
+			b.Fatalf("SMC result %d, want 3", int32(res.Value))
 		}
 	}
 }
@@ -557,18 +562,21 @@ func BenchmarkSpeculativeColdStart(b *testing.B) {
 		b.Run(mode.name, func(b *testing.B) {
 			var stall int64
 			for i := 0; i < b.N; i++ {
-				mg, err := llee.NewManager(m, target.VX86, io.Discard,
-					llee.WithSpeculation(mode.on), llee.WithTranslateWorkers(4))
+				sys := llee.NewSystem(llee.WithSpeculation(mode.on), llee.WithTranslateWorkers(4))
+				sess, err := sys.NewSession(m, target.VX86, io.Discard)
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, err := mg.Run("main"); err != nil {
+				if _, err := sess.Run(context.Background(), "main"); err != nil {
 					b.Fatal(err)
 				}
-				if mg.Stats.Translations == 0 {
+				if sess.Stats().Translations == 0 {
 					b.Fatal("cold run did not translate")
 				}
-				stall = mg.Stats.TranslateNS
+				stall = sess.Stats().TranslateNS
+				if err := sys.Close(); err != nil {
+					b.Fatal(err)
+				}
 			}
 			b.ReportMetric(float64(stall), "demand-stall-ns")
 		})

@@ -145,8 +145,8 @@ type TelemetryRow struct {
 func measureTelemetry(m *core.Module, workers int, tier2 bool) (*TelemetryRow, error) {
 	reg := telemetry.New()
 	st := llee.NewMemStorage()
-	runOne := func(opts []llee.Option, sessOpts []llee.Option, runs int) error {
-		sys := llee.NewSystem(append([]llee.Option{
+	runOne := func(opts []llee.SystemOption, sessOpts []llee.SessionOption, runs int) error {
+		sys := llee.NewSystem(append([]llee.SystemOption{
 			llee.WithStorage(st), llee.WithTelemetry(reg),
 			llee.WithTranslateWorkers(workers)}, opts...)...)
 		sess, err := sys.NewSession(m, target.VX86, io.Discard, sessOpts...)
@@ -181,7 +181,7 @@ func measureTelemetry(m *core.Module, workers int, tier2 bool) (*TelemetryRow, e
 	} else {
 		// Cold: tier-1 JIT under the sampling profiler; the profile is
 		// persisted, the translations are written back.
-		if err := runOne(nil, []llee.Option{llee.WithProfiler(prof.NewProfiler(profRate))}, 1); err != nil {
+		if err := runOne(nil, []llee.SessionOption{llee.WithProfiler(prof.NewProfiler(profRate))}, 1); err != nil {
 			return nil, err
 		}
 		// Profile-warm, code-cold: the native cache is gone (evicted) but
@@ -190,12 +190,12 @@ func measureTelemetry(m *core.Module, workers int, tier2 bool) (*TelemetryRow, e
 		if err := st.Delete("native:" + m.Name + ":" + target.VX86.Name); err != nil {
 			return nil, err
 		}
-		if err := runOne([]llee.Option{llee.WithTier2(true)}, nil, 2); err != nil {
+		if err := runOne([]llee.SystemOption{llee.WithTier2(true)}, nil, 2); err != nil {
 			return nil, err
 		}
 		// Fully warm: both the tier-1 and the profile-stamped tier-2 cache
 		// decode from storage; nothing is translated.
-		if err := runOne([]llee.Option{llee.WithTier2(true)}, nil, 1); err != nil {
+		if err := runOne([]llee.SystemOption{llee.WithTier2(true)}, nil, 1); err != nil {
 			return nil, err
 		}
 	}

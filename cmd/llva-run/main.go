@@ -106,6 +106,7 @@ func main() {
 	speculate := flag.Bool("speculate", true, "speculatively JIT-translate static callees on background workers")
 	tier2 := flag.Bool("tier2", false, "profile-guided tier-2 translation: re-translate hot functions with superblocks and inlining when a stored guest profile exists (needs -cache; store one with -prof-store)")
 	timeout := flag.Duration("timeout", 0, "abort execution after this long on the wall clock (0: no limit)")
+	gas := flag.Uint64("gas", 0, "per-run gas budget in simulated cycles; exhaustion stops the run at a block boundary (0: unmetered)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: llva-run [-target T] [-cache DIR] [-interp] prog.bc")
@@ -203,17 +204,20 @@ func main() {
 		fatal(fmt.Errorf("unknown target %q", *tgt))
 	}
 
-	opts := []llee.Option{
+	sysOpts := []llee.SystemOption{
 		llee.WithTelemetry(reg),
 		llee.WithTranslateWorkers(*workers),
 		llee.WithSpeculation(*speculate),
 		llee.WithTracer(tracer),
-		llee.WithTenant(*tenant),
-		llee.WithFlightRecorder(*flightEvents),
 		llee.WithTier2(*tier2),
 	}
+	sessOpts := []llee.SessionOption{
+		llee.WithTenant(*tenant),
+		llee.WithFlightRecorder(*flightEvents),
+		llee.WithGas(*gas),
+	}
 	if prober != nil {
-		opts = append(opts, llee.WithProfiler(prober))
+		sessOpts = append(sessOpts, llee.WithProfiler(prober))
 	}
 	if *cacheDir != "" {
 		st, err := llee.NewDirStorage(*cacheDir)
@@ -222,11 +226,11 @@ func main() {
 		}
 		st.SetMaxBytes(*cacheMax)
 		st.SetTelemetry(reg)
-		opts = append(opts, llee.WithStorage(st))
+		sysOpts = append(sysOpts, llee.WithStorage(st))
 	} else if *cacheMax != 0 {
 		fatal(fmt.Errorf("-cache-max-bytes requires -cache"))
 	}
-	sys := llee.NewSystem(opts...)
+	sys := llee.NewSystem(sysOpts...)
 	// Close flushes pending cache write-back (including speculative
 	// translations) on every exit path.
 	exitHooks = append(exitHooks, func() {
@@ -234,7 +238,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "llva-run: close:", err)
 		}
 	})
-	sess, err := sys.NewSession(m, d, os.Stdout, opts...)
+	sess, err := sys.NewSession(m, d, os.Stdout, sessOpts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -283,6 +287,11 @@ func main() {
 		case errors.Is(err, llee.ErrCanceled):
 			fmt.Fprintln(os.Stderr, "llva-run:", err)
 			exit(130)
+		case errors.Is(err, llee.ErrOutOfGas):
+			// Exit 120: the -gas budget ran out (distinct from 130 so
+			// scripts can tell a cancel from an exhaustion).
+			fmt.Fprintln(os.Stderr, "llva-run:", err)
+			exit(120)
 		default:
 			// An unhandled trap with the flight recorder on renders the
 			// full post-mortem: registers, virtual backtrace, disassembly

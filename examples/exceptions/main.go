@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -109,16 +110,17 @@ func main() {
 	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
 		fmt.Printf("\n=== %s (native, via LLEE) ===\n", d.Name)
 		var mout strings.Builder
-		mg, err := llee.NewManager(m, d, &mout)
+		sys := llee.NewSystem()
+		sess, err := sys.NewSession(m, d, &mout)
 		if err != nil {
 			log.Fatal(err)
 		}
-		v, err := mg.Run("main")
+		res, err := sess.Run(context.Background(), "main")
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(mout.String())
-		fmt.Printf("exit status %d\n", int(int32(v)))
+		fmt.Printf("exit status %d\n", int(int32(res.Value)))
 	}
 
 	// Demonstrate that the ENABLED form of the same division traps.

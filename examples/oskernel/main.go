@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -152,14 +153,18 @@ int main() { print_str("app output"); print_nl(); return 0; }
 	}
 	for run := 1; run <= 2; run++ {
 		var o strings.Builder
-		mg, err := llee.NewManager(prog, target.VSPARC, &o, llee.WithStorage(dir))
+		sys := llee.NewSystem(llee.WithStorage(dir))
+		sess, err := sys.NewSession(prog, target.VSPARC, &o)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := mg.Run("main"); err != nil {
+		if _, err := sess.Run(context.Background(), "main"); err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.Close(); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("run %d: cacheHit=%v translated=%d output=%q\n",
-			run, mg.Stats.CacheHit, mg.Stats.Translations, o.String())
+			run, sess.CacheHit(), sess.Stats().Translations, o.String())
 	}
 }

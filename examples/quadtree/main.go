@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -98,11 +99,12 @@ func main() {
 
 	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
 		var out strings.Builder
-		mg, err := llee.NewManager(m, d, &out)
+		sys := llee.NewSystem()
+		sess, err := sys.NewSession(m, d, &out)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := mg.Run("main"); err != nil {
+		if _, err := sess.Run(context.Background(), "main"); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("=== %s === %s", d.Name, out.String())

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -89,16 +90,17 @@ func main() {
 	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
 		fmt.Printf("\n=== %s: invalidation + retranslation ===\n", d.Name)
 		var mout strings.Builder
-		mg, err := llee.NewManager(m, d, &mout)
+		sys := llee.NewSystem()
+		sess, err := sys.NewSession(m, d, &mout)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := mg.Run("main"); err != nil {
+		if _, err := sess.Run(context.Background(), "main"); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Print(mout.String())
 		fmt.Printf("functions translated: %d (kernel translated twice), invalidations: %d\n",
-			mg.Stats.Translations, mg.Stats.Invalidations)
+			sess.Stats().Translations, sess.Stats().Invalidations)
 	}
 	fmt.Println("\nboth versions ran: 0 8 16 (generic ×8) then 24 32 40 (tuned <<3)")
 }

@@ -15,6 +15,7 @@ import (
 // and pipeline layers:
 //
 //	ErrCanceled   the run's context was canceled or its deadline passed
+//	ErrOutOfGas   the run exhausted its WithGas cycle budget
 //	ErrTranslate  the translator rejected a function (JIT or offline)
 //	ErrBadModule  the module, target, or requested entry is unusable
 //	ErrExit       the program called exit() — an outcome, not a failure
@@ -28,6 +29,11 @@ var (
 	// boundary because its context was done. The chain also matches the
 	// context's own error (context.Canceled or context.DeadlineExceeded).
 	ErrCanceled = machine.ErrCanceled
+	// ErrOutOfGas is machine.ErrOutOfGas: Session.Run stopped at a block
+	// boundary because its WithGas cycle budget was exhausted. Use
+	// errors.As with *machine.GasError to read the exact cycles consumed
+	// and the budget the run started with.
+	ErrOutOfGas = machine.ErrOutOfGas
 	// ErrTranslate is pipeline.ErrTranslate: a demand, speculative, or
 	// offline translation failed.
 	ErrTranslate = pipeline.ErrTranslate

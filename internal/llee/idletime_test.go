@@ -1,6 +1,7 @@
 package llee
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -34,29 +35,34 @@ func TestIdleTimePGO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sys1 := NewSystem(WithStorage(st))
 	var out1 strings.Builder
-	mg1, err := NewManager(m1, target.VSPARC, &out1, WithStorage(st))
+	sess1, err := sys1.NewSession(m1, target.VSPARC, &out1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg1.Run("main"); err != nil {
+	if _, err := sess1.Run(context.Background(), "main"); err != nil {
 		t.Fatal(err)
 	}
-	if err := mg1.GatherProfile("main"); err != nil {
+	if err := sess1.GatherProfile("main"); err != nil {
 		t.Fatal(err)
 	}
-	baseCycles := mg1.Machine().Stats.Cycles
+	baseCycles := sess1.Machine().Stats.Cycles
+	if err := sys1.Close(); err != nil {
+		t.Fatal(err)
+	}
 
 	// Idle time: reoptimize with the stored profile.
 	m2, err := minic.Compile("hot.c", hotProg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mg2, err := NewManager(m2, target.VSPARC, &strings.Builder{}, WithStorage(st))
+	sys2 := NewSystem(WithStorage(st))
+	sess2, err := sys2.NewSession(m2, target.VSPARC, &strings.Builder{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := mg2.IdleTimeOptimize()
+	stats, err := sess2.IdleTimeOptimize()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,24 +76,25 @@ func TestIdleTimePGO(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sys3 := NewSystem(WithStorage(st))
 	var out3 strings.Builder
-	mg3, err := NewManager(m3, target.VSPARC, &out3, WithStorage(st))
+	sess3, err := sys3.NewSession(m3, target.VSPARC, &out3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg3.Run("main"); err != nil {
+	if _, err := sess3.Run(context.Background(), "main"); err != nil {
 		t.Fatal(err)
 	}
-	if !mg3.Stats.CacheHit {
+	if !sess3.CacheHit() {
 		t.Error("post-idle-time run missed the cache")
 	}
-	if mg3.Stats.Translations != 0 {
-		t.Errorf("post-idle-time run translated %d functions online", mg3.Stats.Translations)
+	if sess3.Stats().Translations != 0 {
+		t.Errorf("post-idle-time run translated %d functions online", sess3.Stats().Translations)
 	}
 	if out3.String() != out1.String() {
 		t.Errorf("optimized output differs: %q vs %q", out3.String(), out1.String())
 	}
-	optCycles := mg3.Machine().Stats.Cycles
+	optCycles := sess3.Machine().Stats.Cycles
 	if optCycles > baseCycles+baseCycles/50 {
 		t.Errorf("idle-time optimization regressed cycles: %d -> %d", baseCycles, optCycles)
 	}
@@ -102,11 +109,12 @@ func TestIdleTimeWithoutProfile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mg, err := NewManager(m, target.VX86, &strings.Builder{}, WithStorage(st))
+	sys := NewSystem(WithStorage(st))
+	sess, err := sys.NewSession(m, target.VX86, &strings.Builder{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	stats, err := mg.IdleTimeOptimize()
+	stats, err := sess.IdleTimeOptimize()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,14 +123,15 @@ func TestIdleTimeWithoutProfile(t *testing.T) {
 	}
 	// And the translation landed in the cache.
 	m2, _ := minic.Compile("hot.c", hotProg)
-	mg2, err := NewManager(m2, target.VX86, &strings.Builder{}, WithStorage(st))
+	sys2 := NewSystem(WithStorage(st))
+	sess2, err := sys2.NewSession(m2, target.VX86, &strings.Builder{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg2.Run("main"); err != nil {
+	if _, err := sess2.Run(context.Background(), "main"); err != nil {
 		t.Fatal(err)
 	}
-	if !mg2.Stats.CacheHit {
+	if !sess2.CacheHit() {
 		t.Error("offline translation did not populate the cache")
 	}
 }

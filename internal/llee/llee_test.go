@@ -1,6 +1,7 @@
 package llee
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -39,19 +40,20 @@ func TestRunWithoutStorage(t *testing.T) {
 	// "they are strictly optional and the system will operate correctly
 	// in their absence").
 	m := compileTest(t)
+	sys := NewSystem()
 	var out strings.Builder
-	mg, err := NewManager(m, target.VX86, &out)
+	sess, err := sys.NewSession(m, target.VX86, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg.Run("main"); err != nil {
+	if _, err := sess.Run(context.Background(), "main"); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	if out.String() != "328350\n" {
 		t.Errorf("output = %q", out.String())
 	}
-	if mg.Stats.CacheHit || mg.Stats.Translations == 0 {
-		t.Errorf("expected online JIT translation: %+v", mg.Stats)
+	if sess.CacheHit() || sess.Stats().Translations == 0 {
+		t.Errorf("expected online JIT translation: %+v", sess.Stats())
 	}
 }
 
@@ -59,55 +61,64 @@ func TestColdThenWarmCache(t *testing.T) {
 	m := compileTest(t)
 	st := NewMemStorage()
 
-	// Cold run: JIT, write-back.
+	// Cold run: JIT, write-back (Close flushes speculative leftovers).
+	sys1 := NewSystem(WithStorage(st))
 	var out1 strings.Builder
-	mg1, err := NewManager(m, target.VSPARC, &out1, WithStorage(st))
+	sess1, err := sys1.NewSession(m, target.VSPARC, &out1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg1.Run("main"); err != nil {
+	if _, err := sess1.Run(context.Background(), "main"); err != nil {
 		t.Fatalf("cold run: %v\n%s", err, out1.String())
 	}
-	if mg1.Stats.CacheHit {
+	if sess1.CacheHit() {
 		t.Error("cold run claimed a cache hit")
 	}
-	if mg1.Stats.Translations == 0 {
+	if sess1.Stats().Translations == 0 {
 		t.Error("cold run translated nothing")
+	}
+	if err := sys1.Close(); err != nil {
+		t.Fatal(err)
 	}
 
 	// Warm run: loads the cached translation, no JIT at all.
 	m2 := compileTest(t)
+	sys2 := NewSystem(WithStorage(st))
 	var out2 strings.Builder
-	mg2, err := NewManager(m2, target.VSPARC, &out2, WithStorage(st))
+	sess2, err := sys2.NewSession(m2, target.VSPARC, &out2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg2.Run("main"); err != nil {
+	if _, err := sess2.Run(context.Background(), "main"); err != nil {
 		t.Fatalf("warm run: %v\n%s", err, out2.String())
 	}
-	if !mg2.Stats.CacheHit {
+	if !sess2.CacheHit() {
 		t.Error("warm run missed the cache")
 	}
-	if mg2.Stats.Translations != 0 {
-		t.Errorf("warm run translated %d functions, want 0", mg2.Stats.Translations)
+	if sess2.Stats().Translations != 0 {
+		t.Errorf("warm run translated %d functions, want 0", sess2.Stats().Translations)
 	}
 	if out1.String() != out2.String() {
 		t.Errorf("outputs differ: %q vs %q", out1.String(), out2.String())
 	}
-	if mg2.Machine().Stats.JITRequests != 0 {
-		t.Errorf("warm run issued %d JIT requests", mg2.Machine().Stats.JITRequests)
+	if sess2.Machine().Stats.JITRequests != 0 {
+		t.Errorf("warm run issued %d JIT requests", sess2.Machine().Stats.JITRequests)
 	}
 }
 
 func TestStaleCacheInvalidatedByStamp(t *testing.T) {
 	m := compileTest(t)
 	st := NewMemStorage()
+	sys := NewSystem(WithStorage(st))
 	var out strings.Builder
-	mg, err := NewManager(m, target.VX86, &out, WithStorage(st))
+	sess, err := sys.NewSession(m, target.VX86, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg.Run("main"); err != nil {
+	if _, err := sess.Run(context.Background(), "main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
 		t.Fatal(err)
 	}
 
@@ -117,15 +128,16 @@ func TestStaleCacheInvalidatedByStamp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	sys2 := NewSystem(WithStorage(st))
 	var out2 strings.Builder
-	mg2, err := NewManager(m2, target.VX86, &out2, WithStorage(st))
+	sess2, err := sys2.NewSession(m2, target.VX86, &out2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg2.Run("main"); err != nil {
+	if _, err := sess2.Run(context.Background(), "main"); err != nil {
 		t.Fatal(err)
 	}
-	if mg2.Stats.CacheHit {
+	if sess2.CacheHit() {
 		t.Error("stale cached translation was used despite stamp mismatch")
 	}
 	if out2.String() != "285\n" {
@@ -136,13 +148,14 @@ func TestStaleCacheInvalidatedByStamp(t *testing.T) {
 func TestOfflineTranslation(t *testing.T) {
 	m := compileTest(t)
 	st := NewMemStorage()
+	sys := NewSystem(WithStorage(st))
 	var out strings.Builder
-	mg, err := NewManager(m, target.VX86, &out, WithStorage(st))
+	sess, err := sys.NewSession(m, target.VX86, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Idle-time offline translation, no execution.
-	if err := mg.TranslateOffline(); err != nil {
+	if err := sess.TranslateOffline(); err != nil {
 		t.Fatal(err)
 	}
 	if out.Len() != 0 {
@@ -150,15 +163,16 @@ func TestOfflineTranslation(t *testing.T) {
 	}
 	// Subsequent execution hits the cache.
 	m2 := compileTest(t)
+	sys2 := NewSystem(WithStorage(st))
 	var out2 strings.Builder
-	mg2, err := NewManager(m2, target.VX86, &out2, WithStorage(st))
+	sess2, err := sys2.NewSession(m2, target.VX86, &out2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg2.Run("main"); err != nil {
+	if _, err := sess2.Run(context.Background(), "main"); err != nil {
 		t.Fatal(err)
 	}
-	if !mg2.Stats.CacheHit {
+	if !sess2.CacheHit() {
 		t.Error("offline-translated program was retranslated online")
 	}
 }
@@ -232,19 +246,20 @@ func TestSMCOnMachine(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+		sys := NewSystem()
 		var out strings.Builder
-		mg, err := NewManager(m, d, &out)
+		sess, err := sys.NewSession(m, d, &out)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := mg.Run("main"); err != nil {
+		if _, err := sess.Run(context.Background(), "main"); err != nil {
 			t.Fatalf("%s: %v\n%s", d.Name, err, out.String())
 		}
 		if out.String() != "6\n500\n" {
 			t.Errorf("%s: output = %q, want %q", d.Name, out.String(), "6\n500\n")
 		}
-		if mg.Stats.Invalidations != 1 {
-			t.Errorf("%s: invalidations = %d, want 1", d.Name, mg.Stats.Invalidations)
+		if sess.Stats().Invalidations != 1 {
+			t.Errorf("%s: invalidations = %d, want 1", d.Name, sess.Stats().Invalidations)
 		}
 	}
 }

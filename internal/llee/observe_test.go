@@ -197,7 +197,7 @@ func TestProfilerOffIsBitIdentical(t *testing.T) {
 	run := func(p *prof.Profiler) Result {
 		sys := NewSystem()
 		defer sys.Close()
-		opts := []Option{}
+		opts := []SessionOption{}
 		if p != nil {
 			opts = append(opts, WithProfiler(p))
 		}

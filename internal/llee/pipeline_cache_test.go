@@ -1,6 +1,7 @@
 package llee
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
@@ -50,21 +51,22 @@ func TestCorruptCacheFallsBackToJIT(t *testing.T) {
 	if err := st.Write(key, stamp, []byte("\x00not a cache blob")); err != nil {
 		t.Fatal(err)
 	}
+	sys := NewSystem(WithStorage(st), WithTelemetry(reg))
 	var out strings.Builder
-	mg, err := NewManager(m, target.VX86, &out, WithStorage(st), WithTelemetry(reg))
+	sess, err := sys.NewSession(m, target.VX86, &out)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg.Run("main"); err != nil {
+	if _, err := sess.Run(context.Background(), "main"); err != nil {
 		t.Fatalf("run with corrupt cache: %v", err)
 	}
 	if out.String() != "328350\n" {
 		t.Errorf("output = %q", out.String())
 	}
-	if mg.Stats.CacheHit {
+	if sess.CacheHit() {
 		t.Error("corrupt entry counted as a cache hit")
 	}
-	if mg.Stats.Translations == 0 {
+	if sess.Stats().Translations == 0 {
 		t.Error("corrupt cache did not fall back to JIT")
 	}
 	if got := reg.CounterValue(MetricCacheCorrupt); got != 1 {
@@ -75,15 +77,19 @@ func TestCorruptCacheFallsBackToJIT(t *testing.T) {
 	}
 	// The run's write-back must have replaced the garbage with a valid
 	// blob: the next run is a clean warm hit.
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sys2 := NewSystem(WithStorage(st))
 	var out2 strings.Builder
-	mg2, err := NewManager(compileTest(t), target.VX86, &out2, WithStorage(st))
+	sess2, err := sys2.NewSession(compileTest(t), target.VX86, &out2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg2.Run("main"); err != nil {
+	if _, err := sess2.Run(context.Background(), "main"); err != nil {
 		t.Fatalf("warm run after corruption recovery: %v", err)
 	}
-	if !mg2.Stats.CacheHit {
+	if !sess2.CacheHit() {
 		t.Error("recovered cache entry missed")
 	}
 	if out2.String() != out.String() {
@@ -176,14 +182,17 @@ func TestConcurrentSpeculativeRun(t *testing.T) {
 	}
 	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
 		reg := telemetry.New()
+		sys := NewSystem(WithTelemetry(reg), WithTranslateWorkers(4), WithSpeculation(true))
 		var out strings.Builder
-		mg, err := NewManager(m, d, &out,
-			WithTelemetry(reg), WithTranslateWorkers(4), WithSpeculation(true))
+		sess, err := sys.NewSession(m, d, &out)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := mg.Run("main"); err != nil {
+		if _, err := sess.Run(context.Background(), "main"); err != nil {
 			t.Fatalf("%s: %v\n%s", d.Name, err, out.String())
+		}
+		if err := sys.Close(); err != nil {
+			t.Fatal(err)
 		}
 		if out.String() != "39\n" { // leaf(10)=31, mid=41, top=39
 			t.Errorf("%s: output = %q, want %q", d.Name, out.String(), "39\n")
@@ -210,30 +219,34 @@ func TestSpeculativeAndSequentialRunsAgree(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := NewMemStorage()
+	sysS := NewSystem(WithStorage(st), WithTranslateWorkers(4), WithSpeculation(true))
 	var outSpec strings.Builder
-	mgS, err := NewManager(m, target.VX86, &outSpec,
-		WithStorage(st), WithTranslateWorkers(4), WithSpeculation(true))
+	sessS, err := sysS.NewSession(m, target.VX86, &outSpec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mgS.Run("main"); err != nil {
+	if _, err := sessS.Run(context.Background(), "main"); err != nil {
 		t.Fatal(err)
 	}
+	if err := sysS.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sysQ := NewSystem(WithStorage(st), WithSpeculation(false))
 	var outSeq strings.Builder
-	mgQ, err := NewManager(m, target.VX86, &outSeq, WithStorage(st), WithSpeculation(false))
+	sessQ, err := sysQ.NewSession(m, target.VX86, &outSeq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mgQ.Run("main"); err != nil {
+	if _, err := sessQ.Run(context.Background(), "main"); err != nil {
 		t.Fatal(err)
 	}
 	if outSpec.String() != outSeq.String() {
 		t.Errorf("outputs differ: %q vs %q", outSpec.String(), outSeq.String())
 	}
-	if !mgQ.Stats.CacheHit {
+	if !sessQ.CacheHit() {
 		t.Error("speculative run's write-back was not a usable warm cache")
 	}
-	if mgQ.Stats.Translations != 0 {
-		t.Errorf("warm sequential run translated %d functions, want 0", mgQ.Stats.Translations)
+	if sessQ.Stats().Translations != 0 {
+		t.Errorf("warm sequential run translated %d functions, want 0", sessQ.Stats().Translations)
 	}
 }

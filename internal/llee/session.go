@@ -87,12 +87,14 @@ type Stats struct {
 }
 
 // NewSession prepares an execution of module m on target d, writing
-// program output to out. Only session-scoped options (WithMemSize) are
-// consulted; system-scoped ones were fixed by NewSystem. The first
+// program output to out. Session-scoped settings (WithMemSize, WithGas,
+// WithTenant, WithProfiler, WithFlightRecorder) are SessionOptions;
+// system-scoped policy was fixed by NewSystem — the two option types
+// make passing one at the wrong scope a compile error. The first
 // session of a module pays for cache validation and profile seeding;
 // later sessions of the same module reuse that work.
-func (sys *System) NewSession(m *core.Module, d *target.Desc, out io.Writer, opts ...Option) (*Session, error) {
-	cfg := config{}
+func (sys *System) NewSession(m *core.Module, d *target.Desc, out io.Writer, opts ...SessionOption) (*Session, error) {
+	cfg := sessionConfig{}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -133,6 +135,9 @@ func (sys *System) NewSession(m *core.Module, d *target.Desc, out io.Writer, opt
 		profiler: cfg.profiler,
 	}
 	mc.SetTelemetry(sys.tele)
+	if cfg.gas != 0 {
+		mc.SetGas(cfg.gas)
+	}
 	if cfg.profiler != nil {
 		mc.SetProfiler(cfg.profiler)
 	}
@@ -247,6 +252,9 @@ func (s *Session) Run(ctx context.Context, entry string, args ...uint64) (Result
 	if errors.Is(err, ErrCanceled) {
 		s.sys.tracer.Instant(int(s.id), 0, "guest", "cancel:"+entry, s.spanArgs())
 	}
+	// The run is charged to its tenant however it ended: canceled,
+	// trapped, and out-of-gas runs consumed real simulated time.
+	s.sys.accountRun(s.tenant, res.Cycles)
 	endWB := s.sys.tracer.Begin(int(s.id), 0, "llee", "cache.writeback", s.spanArgs())
 	werr := s.ms.writeBack()
 	endWB()
@@ -285,6 +293,10 @@ func mapRunError(err error) error {
 	if errors.As(err, &ce) {
 		return fmt.Errorf("llee: %w", err)
 	}
+	var ge *machine.GasError
+	if errors.As(err, &ge) {
+		return fmt.Errorf("llee: %w", err)
+	}
 	return err
 }
 
@@ -302,6 +314,14 @@ func (s *Session) Stats() Stats {
 		Invalidations: int(t.CounterValue(MetricInvalidations)),
 	}
 }
+
+// SetGas replaces the session's per-run gas budget (0: unmetered) for
+// subsequent Runs; a serving layer reusing one session across requests
+// re-arms it per request. Must not race a Run in progress.
+func (s *Session) SetGas(budget uint64) { s.mc.SetGas(budget) }
+
+// Gas returns the configured per-run gas budget (0: unmetered).
+func (s *Session) Gas() uint64 { return s.mc.Gas() }
 
 // Machine exposes the underlying simulated processor (for statistics).
 func (s *Session) Machine() *machine.Machine { return s.mc }

@@ -394,13 +394,14 @@ func TestDirStorageAtomicWrite(t *testing.T) {
 // TestSessionRunUncancellableMatchesManager: a background-context run
 // must be cycle-identical to the legacy Manager path (the cancellation
 // poll is free when the context cannot be canceled).
-func TestSessionRunUncancellableMatchesManager(t *testing.T) {
+func TestSessionRunUncancellableDeterministic(t *testing.T) {
 	m1 := compileTest(t)
-	mg, err := NewManager(m1, target.VX86, io.Discard)
+	sysRef := NewSystem()
+	ref, err := sysRef.NewSession(m1, target.VX86, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg.Run("main"); err != nil {
+	if _, err := ref.Run(context.Background(), "main"); err != nil {
 		t.Fatal(err)
 	}
 	m2 := compileTest(t)
@@ -413,8 +414,8 @@ func TestSessionRunUncancellableMatchesManager(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mc := mg.Machine(); res.Cycles != mc.Stats.Cycles || res.Instrs != mc.Stats.Instrs {
-		t.Errorf("session run (%d cycles, %d instrs) != manager run (%d cycles, %d instrs)",
+	if mc := ref.Machine(); res.Cycles != mc.Stats.Cycles || res.Instrs != mc.Stats.Instrs {
+		t.Errorf("run cost diverged between sessions: (%d cycles, %d instrs) vs (%d cycles, %d instrs)",
 			res.Cycles, res.Instrs, mc.Stats.Cycles, mc.Stats.Instrs)
 	}
 }

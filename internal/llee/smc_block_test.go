@@ -1,6 +1,7 @@
 package llee
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -48,14 +49,16 @@ entry:
 	}
 	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
 		reg := telemetry.New()
-		mg, err := NewManager(m, d, io.Discard, WithTelemetry(reg))
+		sys := NewSystem(WithTelemetry(reg))
+		sess, err := sys.NewSession(m, d, io.Discard)
 		if err != nil {
 			t.Fatal(err)
 		}
-		v, err := mg.Run("main")
+		res, err := sess.Run(context.Background(), "main")
 		if err != nil {
 			t.Fatalf("%s: %v", d.Name, err)
 		}
+		v := res.Value
 		// v1(1)=2 before the replace, v1(1)→v2(1)=3 after: 5.
 		if int32(v) != 5 {
 			t.Errorf("%s: main = %d, want 5 (stale code executed after smc.replace?)",

@@ -38,27 +38,50 @@ type System struct {
 	// trace, and the correlation key across run/translate spans.
 	sessionSeq atomic.Uint64
 
+	// tenants accumulates per-tenant usage (tenant.go): every Run of a
+	// WithTenant session accrues its cycles here, the unit of account
+	// the serving layer's aggregate gas budgets draw against.
+	tenantMu sync.Mutex
+	tenants  map[string]*TenantUsage
+
 	mu     sync.Mutex
 	mods   map[string]*moduleState // stamp + ":" + target name
 	closed bool
 }
 
-// Option configures a System (storage, telemetry, worker pool,
-// speculation) or a Session (memory size); options outside a call's
-// scope are ignored by it, so one option list can serve both.
-type Option func(*config)
+// Options come in two types, one per scope, so the compiler rejects a
+// session setting passed to NewSystem (and vice versa) instead of the
+// old shared-config design silently accepting and ignoring it:
+//
+//	SystemOption   process-wide policy, fixed at NewSystem — storage,
+//	               telemetry registry, tracer, worker pool, speculation,
+//	               tier-2
+//	SessionOption  per-run state, fixed at System.NewSession — memory
+//	               size, gas budget, tenant label, profiler, flight
+//	               recorder
+//
+// System.NewSession(m, d, out, ...SessionOption) is the one blessed
+// session constructor.
+type SystemOption func(*systemConfig)
 
-type config struct {
+// SessionOption configures one Session at System.NewSession.
+type SessionOption func(*sessionConfig)
+
+type systemConfig struct {
 	storage          Storage
-	memSize          uint64
 	tele             *telemetry.Registry
 	tracer           *prof.Tracer
-	profiler         *prof.Profiler
-	tenant           string
-	flightRecorder   int
 	translateWorkers int
 	speculate        bool
 	tier2            bool
+}
+
+type sessionConfig struct {
+	memSize        uint64
+	gas            uint64
+	tenant         string
+	profiler       *prof.Profiler
+	flightRecorder int
 }
 
 // tier2MinShare is the exclusive-sample share above which a function is
@@ -68,24 +91,36 @@ const tier2MinShare = 0.02
 // WithStorage registers the OS storage API implementation. Without it
 // the system always translates online, exactly like DAISY and Crusoe
 // (paper, Section 4.1).
-func WithStorage(s Storage) Option { return func(c *config) { c.storage = s } }
+func WithStorage(s Storage) SystemOption { return func(c *systemConfig) { c.storage = s } }
 
 // WithMemSize sets a session's simulated address-space size.
-func WithMemSize(n uint64) Option { return func(c *config) { c.memSize = n } }
+func WithMemSize(n uint64) SessionOption { return func(c *sessionConfig) { c.memSize = n } }
+
+// WithGas sets a session's per-run gas budget in simulated cycles (0:
+// unmetered). Each Run starts a fresh allowance; a run that exhausts it
+// stops at the next block boundary with an error matching ErrOutOfGas
+// whose *machine.GasError carries the exact cycles consumed. The meter
+// reads the deterministic virtual clock, never wall time, so the same
+// program with the same budget stops at the same cycle on every run.
+func WithGas(budget uint64) SessionOption { return func(c *sessionConfig) { c.gas = budget } }
 
 // WithTelemetry aggregates the system's metrics and events into an
 // existing registry (for multi-run tools such as llva-bench). Without
 // it every system gets a private registry.
-func WithTelemetry(reg *telemetry.Registry) Option { return func(c *config) { c.tele = reg } }
+func WithTelemetry(reg *telemetry.Registry) SystemOption {
+	return func(c *systemConfig) { c.tele = reg }
+}
 
 // WithTranslateWorkers sets the translation worker-pool size used by
 // offline translation and speculative JIT (0 or unset: GOMAXPROCS).
-func WithTranslateWorkers(n int) Option { return func(c *config) { c.translateWorkers = n } }
+func WithTranslateWorkers(n int) SystemOption {
+	return func(c *systemConfig) { c.translateWorkers = n }
+}
 
 // WithSpeculation toggles speculative background JIT: when a function
 // is translated on demand, its static callees are queued for
 // ahead-of-time translation on background workers (default on).
-func WithSpeculation(on bool) Option { return func(c *config) { c.speculate = on } }
+func WithSpeculation(on bool) SystemOption { return func(c *systemConfig) { c.speculate = on } }
 
 // WithTier2 toggles profile-guided tier-2 translation (default off,
 // system-scoped; requires the storage API). When a stamp-valid guest
@@ -94,37 +129,39 @@ func WithSpeculation(on bool) Option { return func(c *config) { c.speculate = on
 // starts, and in the background — hot-swapped at block boundaries while
 // tier-1 code keeps running — on online starts. Tier-2 code is cached
 // under a profile-stamped key, so later starts skip straight to it.
-func WithTier2(on bool) Option { return func(c *config) { c.tier2 = on } }
+func WithTier2(on bool) SystemOption { return func(c *systemConfig) { c.tier2 = on } }
 
 // WithTracer attaches a span tracer to the system: the session
 // lifecycle (load, translate, install, run, cancel, write-back) and
 // the pipeline workers record begin/end spans carrying session and
 // tenant IDs, exportable as Chrome trace_event JSON (Perfetto).
-func WithTracer(t *prof.Tracer) Option { return func(c *config) { c.tracer = t } }
+func WithTracer(t *prof.Tracer) SystemOption { return func(c *systemConfig) { c.tracer = t } }
 
 // WithProfiler attaches a guest-level sampling profiler to a session's
-// machine (session-scoped; one profiler may be shared by many
-// sessions — it aggregates under its own lock). Sampling is
-// deterministic: simulated instruction and cycle counts are
-// bit-identical with the profiler on or off.
-func WithProfiler(p *prof.Profiler) Option { return func(c *config) { c.profiler = p } }
+// machine (one profiler may be shared by many sessions — it aggregates
+// under its own lock). Sampling is deterministic: simulated instruction
+// and cycle counts are bit-identical with the profiler on or off.
+func WithProfiler(p *prof.Profiler) SessionOption {
+	return func(c *sessionConfig) { c.profiler = p }
+}
 
-// WithTenant labels a session with a tenant ID, carried on its trace
-// spans (session-scoped).
-func WithTenant(id string) Option { return func(c *config) { c.tenant = id } }
+// WithTenant labels a session with a tenant ID: carried on its trace
+// spans, and every Run's cycles accrue to the tenant's usage
+// (System.TenantUsage, llee.tenant.* telemetry).
+func WithTenant(id string) SessionOption { return func(c *sessionConfig) { c.tenant = id } }
 
 // WithFlightRecorder arms a session machine's trap-time flight
 // recorder: an unhandled trap snapshots registers, the virtual
 // backtrace, a disassembly window around the faulting PC, and the last
-// events telemetry events into Session.LastCrash (session-scoped;
-// zero steady-state cost).
-func WithFlightRecorder(events int) Option {
-	return func(c *config) { c.flightRecorder = events }
+// events telemetry events into Session.LastCrash (zero steady-state
+// cost).
+func WithFlightRecorder(events int) SessionOption {
+	return func(c *sessionConfig) { c.flightRecorder = events }
 }
 
 // NewSystem creates a process-wide execution-manager instance.
-func NewSystem(opts ...Option) *System {
-	cfg := config{speculate: true}
+func NewSystem(opts ...SystemOption) *System {
+	cfg := systemConfig{speculate: true}
 	for _, o := range opts {
 		o(&cfg)
 	}

@@ -24,6 +24,11 @@ const (
 	MetricTraceCrossProc = "llee.trace.cross_procedure"
 	MetricTraceCoverage  = "llee.trace.coverage_pct"
 	MetricTraceRelaid    = "llee.trace.relaid_functions"
+
+	// Per-tenant usage, labeled {tenant=...} via telemetry.Key
+	// (tenant.go): completed runs and simulated cycles consumed.
+	MetricTenantRuns   = "llee.tenant.runs"
+	MetricTenantCycles = "llee.tenant.cycles"
 )
 
 // recordTranslate accounts one translation batch (n functions, ns total).

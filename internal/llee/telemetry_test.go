@@ -1,6 +1,7 @@
 package llee
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -23,17 +24,18 @@ func TestProfilePersistenceRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	mg1, err := NewManager(m1, target.VSPARC, &strings.Builder{}, WithStorage(st))
+	sys1 := NewSystem(WithStorage(st))
+	sess1, err := sys1.NewSession(m1, target.VSPARC, &strings.Builder{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := mg1.GatherProfile("main"); err != nil {
+	if err := sess1.GatherProfile("main"); err != nil {
 		t.Fatal(err)
 	}
-	if got := mg1.Telemetry().CounterValue(MetricProfileStores); got != 1 {
+	if got := sys1.Telemetry().CounterValue(MetricProfileStores); got != 1 {
 		t.Errorf("profile stores = %d, want 1", got)
 	}
-	if evs := mg1.Telemetry().Events().Find(telemetry.EvProfileStored); len(evs) != 1 {
+	if evs := sys1.Telemetry().Events().Find(telemetry.EvProfileStored); len(evs) != 1 {
 		t.Errorf("ProfileStored events = %d, want 1", len(evs))
 	}
 
@@ -46,23 +48,24 @@ func TestProfilePersistenceRoundTrip(t *testing.T) {
 	}
 	var out2 strings.Builder
 	reg := telemetry.New()
-	mg2, err := NewManager(m2, target.VSPARC, &out2, WithStorage(st), WithTelemetry(reg))
+	sys2 := NewSystem(WithStorage(st), WithTelemetry(reg))
+	sess2, err := sys2.NewSession(m2, target.VSPARC, &out2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if mg2.Telemetry() != reg {
+	if sys2.Telemetry() != reg {
 		t.Fatal("WithTelemetry registry not adopted")
 	}
-	if _, err := mg2.Run("main"); err != nil {
+	if _, err := sess2.Run(context.Background(), "main"); err != nil {
 		t.Fatal(err)
 	}
-	if !mg2.ProfileSeeded() {
+	if !sess2.ProfileSeeded() {
 		t.Error("persisted profile was not reloaded")
 	}
 	if evs := reg.Events().Find(telemetry.EvProfileLoaded); len(evs) != 1 {
 		t.Errorf("ProfileLoaded events = %d, want 1", len(evs))
 	}
-	if ts := mg2.TraceCacheStats(); ts.Traces == 0 || ts.BlocksCovered == 0 {
+	if ts := sess2.TraceCacheStats(); ts.Traces == 0 || ts.BlocksCovered == 0 {
 		t.Errorf("trace cache not seeded: %+v", ts)
 	}
 	if evs := reg.Events().Find(telemetry.EvTraceFormed); len(evs) != 1 {
@@ -76,8 +79,11 @@ func TestProfilePersistenceRoundTrip(t *testing.T) {
 	if got := reg.CounterValue(MetricCacheMisses); got != 1 {
 		t.Errorf("cache misses = %d, want 1", got)
 	}
-	if mg2.Stats.Translations == 0 {
+	if sess2.Stats().Translations == 0 {
 		t.Error("JIT path did not translate (expected online translation)")
+	}
+	if err := sys2.Close(); err != nil {
+		t.Fatal(err)
 	}
 
 	// Session 3: warm start — cache hit, profile still seeds the trace
@@ -87,17 +93,18 @@ func TestProfilePersistenceRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out3 strings.Builder
-	mg3, err := NewManager(m3, target.VSPARC, &out3, WithStorage(st))
+	sys3 := NewSystem(WithStorage(st))
+	sess3, err := sys3.NewSession(m3, target.VSPARC, &out3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg3.Run("main"); err != nil {
+	if _, err := sess3.Run(context.Background(), "main"); err != nil {
 		t.Fatal(err)
 	}
-	if !mg3.Stats.CacheHit {
+	if !sess3.CacheHit() {
 		t.Error("warm run missed the native cache")
 	}
-	if !mg3.ProfileSeeded() || mg3.TraceCacheStats().Traces == 0 {
+	if !sess3.ProfileSeeded() || sess3.TraceCacheStats().Traces == 0 {
 		t.Error("warm run did not reseed the trace cache from storage")
 	}
 	if out3.String() != out2.String() {
@@ -114,24 +121,26 @@ func TestStatsMirrorsTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := NewMemStorage()
-	mg, err := NewManager(m, target.VX86, &strings.Builder{}, WithStorage(st))
+	sys := NewSystem(WithStorage(st))
+	sess, err := sys.NewSession(m, target.VX86, &strings.Builder{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mg.Run("main"); err != nil {
+	if _, err := sess.Run(context.Background(), "main"); err != nil {
 		t.Fatal(err)
 	}
-	reg := mg.Telemetry()
-	if got := int(reg.CounterValue(MetricTranslations)); got != mg.Stats.Translations {
-		t.Errorf("translations: registry %d vs Stats %d", got, mg.Stats.Translations)
+	reg := sys.Telemetry()
+	st2 := sess.Stats()
+	if got := int(reg.CounterValue(MetricTranslations)); got != st2.Translations {
+		t.Errorf("translations: registry %d vs Stats %d", got, st2.Translations)
 	}
-	if sum := reg.Histogram(MetricTranslateNS).Sum(); sum != mg.Stats.TranslateNS {
-		t.Errorf("translate ns: registry %d vs Stats %d", sum, mg.Stats.TranslateNS)
+	if sum := reg.Histogram(MetricTranslateNS).Sum(); sum != st2.TranslateNS {
+		t.Errorf("translate ns: registry %d vs Stats %d", sum, st2.TranslateNS)
 	}
-	if got := int(reg.CounterValue(MetricCacheMisses)); got != mg.Stats.CacheMisses {
-		t.Errorf("cache misses: registry %d vs Stats %d", got, mg.Stats.CacheMisses)
+	if got := int(reg.CounterValue(MetricCacheMisses)); got != st2.CacheMisses {
+		t.Errorf("cache misses: registry %d vs Stats %d", got, st2.CacheMisses)
 	}
-	mcStats := mg.Machine().Stats
+	mcStats := sess.Machine().Stats
 	if got := reg.CounterValue("machine.instrs"); got != mcStats.Instrs {
 		t.Errorf("machine.instrs: registry %d vs machine %d", got, mcStats.Instrs)
 	}

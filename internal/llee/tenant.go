@@ -1,0 +1,62 @@
+package llee
+
+import "llva/internal/telemetry"
+
+// Per-tenant usage accounting: WithTenant labels a session with its
+// owning tenant, and every Run accrues the run's simulated cycles (the
+// gas unit) and a run count to that tenant — whether or not the run was
+// gas-metered, and regardless of how it ended (an out-of-gas or trapped
+// run consumed real simulated time). The serving layer's aggregate
+// tenant budgets draw against these totals; the same numbers are
+// exported as labeled llee.tenant.* counters for operators.
+
+// TenantUsage is the accumulated consumption of one tenant across all
+// of its sessions on one System.
+type TenantUsage struct {
+	Runs   uint64 // completed Session.Run calls (any outcome)
+	Cycles uint64 // simulated cycles consumed by those runs
+}
+
+// accountRun accrues one finished run to its tenant (no-op for the
+// empty tenant).
+func (sys *System) accountRun(tenant string, cycles uint64) {
+	if tenant == "" {
+		return
+	}
+	sys.tenantMu.Lock()
+	if sys.tenants == nil {
+		sys.tenants = make(map[string]*TenantUsage)
+	}
+	u := sys.tenants[tenant]
+	if u == nil {
+		u = &TenantUsage{}
+		sys.tenants[tenant] = u
+	}
+	u.Runs++
+	u.Cycles += cycles
+	sys.tenantMu.Unlock()
+	sys.tele.Counter(telemetry.Key(MetricTenantRuns, "tenant", tenant)).Inc()
+	sys.tele.Counter(telemetry.Key(MetricTenantCycles, "tenant", tenant)).Add(cycles)
+}
+
+// TenantUsage returns a snapshot of one tenant's accumulated usage
+// (zero value when the tenant has never run).
+func (sys *System) TenantUsage(tenant string) TenantUsage {
+	sys.tenantMu.Lock()
+	defer sys.tenantMu.Unlock()
+	if u := sys.tenants[tenant]; u != nil {
+		return *u
+	}
+	return TenantUsage{}
+}
+
+// TenantUsages returns a snapshot of every tenant's accumulated usage.
+func (sys *System) TenantUsages() map[string]TenantUsage {
+	sys.tenantMu.Lock()
+	defer sys.tenantMu.Unlock()
+	out := make(map[string]TenantUsage, len(sys.tenants))
+	for id, u := range sys.tenants {
+		out[id] = *u
+	}
+	return out
+}

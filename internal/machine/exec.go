@@ -180,6 +180,7 @@ func (mc *Machine) RunContext(ctx context.Context, entry string, args ...uint64)
 		mc.profNext = mc.Stats.Instrs + mc.prof.Rate()
 	}
 
+	mc.armGas()
 	mc.runCtx = ctx
 	err := mc.loop()
 	mc.runCtx = nil
@@ -230,6 +231,15 @@ func (mc *Machine) loop() error {
 		}
 		if mc.Stats.Instrs >= max {
 			return fmt.Errorf("machine: instruction limit exceeded (%d)", max)
+		}
+		// Gas is metered on the virtual clock at block boundaries: the
+		// block that crossed the budget ran to completion, then the run
+		// stops here, before another block starts. Unmetered runs have
+		// gasStop at the clock's maximum, so this is one always-false
+		// compare. A run that halts on exactly its budget succeeds: the
+		// halt check above wins the boundary.
+		if mc.Stats.Cycles >= mc.gasStop {
+			return &GasError{PC: mc.pc, Budget: mc.gasBudget, Used: mc.Stats.Cycles - mc.gasStart}
 		}
 		if b, err = mc.runBlock(b); err != nil {
 			return err

@@ -1,0 +1,152 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/mem"
+	"llva/internal/minic"
+	"llva/internal/rt"
+	"llva/internal/target"
+)
+
+// gasProg loops long enough to cross many block boundaries, so a
+// mid-run budget always has a boundary to fire at.
+const gasProg = `
+long work(long n) {
+	long acc = 0;
+	long i;
+	for (i = 0; i < n; i++) acc += i * 3 + (acc >> 3);
+	return acc;
+}
+int main() {
+	print_int(work(5000)); print_nl();
+	return 0;
+}`
+
+func newGasMachine(t *testing.T, d *target.Desc, m *core.Module) (*Machine, *strings.Builder) {
+	t.Helper()
+	tr, err := codegen.New(d, m)
+	if err != nil {
+		t.Fatalf("codegen.New: %v", err)
+	}
+	obj, err := tr.TranslateModule()
+	if err != nil {
+		t.Fatalf("translate: %v", err)
+	}
+	var out strings.Builder
+	mc, err := New(d, m, rt.NewEnv(mem.New(0, true), &out))
+	if err != nil {
+		t.Fatalf("machine.New: %v", err)
+	}
+	if err := mc.LoadObject(obj); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	return mc, &out
+}
+
+// TestGasMetering covers the budget semantics on both targets: a budget
+// of the run's exact cycle count completes (the halt boundary wins), a
+// partial budget stops with a *GasError whose Used/PC are deterministic
+// across fresh runs, and metering never perturbs the virtual clock.
+func TestGasMetering(t *testing.T) {
+	m, err := minic.Compile("gas.c", gasProg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+		t.Run(d.Name, func(t *testing.T) {
+			// Reference: unmetered run fixes the clock and output.
+			ref, refOut := newGasMachine(t, d, m)
+			if _, err := ref.Run("main"); err != nil {
+				if _, isExit := err.(*rt.ExitError); !isExit {
+					t.Fatalf("unmetered run: %v", err)
+				}
+			}
+			total := ref.Stats.Cycles
+			if total == 0 {
+				t.Fatal("reference run retired zero cycles")
+			}
+
+			// Exact budget: the run halts on precisely its allowance.
+			mc, out := newGasMachine(t, d, m)
+			mc.SetGas(total)
+			if _, err := mc.Run("main"); err != nil {
+				if _, isExit := err.(*rt.ExitError); !isExit {
+					t.Fatalf("budget==total should complete, got %v", err)
+				}
+			}
+			if mc.Stats.Cycles != total {
+				t.Fatalf("metered clock diverged: %d != %d", mc.Stats.Cycles, total)
+			}
+			if out.String() != refOut.String() {
+				t.Fatalf("metered output diverged: %q != %q", out.String(), refOut.String())
+			}
+
+			// Huge budget: always-armed meter, still bit-identical.
+			mc, _ = newGasMachine(t, d, m)
+			mc.SetGas(1 << 62)
+			if _, err := mc.Run("main"); err != nil {
+				if _, isExit := err.(*rt.ExitError); !isExit {
+					t.Fatalf("huge budget run: %v", err)
+				}
+			}
+			if mc.Stats.Cycles != total {
+				t.Fatalf("huge-budget clock diverged: %d != %d", mc.Stats.Cycles, total)
+			}
+
+			// Partial budgets exhaust, and do so deterministically:
+			// same budget, fresh machine ⇒ same Used, same PC.
+			for _, budget := range []uint64{1, total / 4, total / 2} {
+				var first *GasError
+				for run := 0; run < 2; run++ {
+					mc, _ := newGasMachine(t, d, m)
+					mc.SetGas(budget)
+					_, err := mc.Run("main")
+					var ge *GasError
+					if !errors.As(err, &ge) {
+						t.Fatalf("budget %d run %d: want *GasError, got %v", budget, run, err)
+					}
+					if !errors.Is(err, ErrOutOfGas) {
+						t.Fatalf("budget %d: errors.Is(ErrOutOfGas) false", budget)
+					}
+					if ge.Used < budget {
+						t.Fatalf("budget %d: stopped early at %d cycles", budget, ge.Used)
+					}
+					if ge.Used >= total {
+						t.Fatalf("budget %d: ran to completion (%d >= %d)", budget, ge.Used, total)
+					}
+					if ge.Budget != budget {
+						t.Fatalf("budget %d: error reports budget %d", budget, ge.Budget)
+					}
+					if got := mc.GasUsed(); got != ge.Used {
+						t.Fatalf("budget %d: GasUsed()=%d, error says %d", budget, got, ge.Used)
+					}
+					if run == 0 {
+						first = ge
+					} else if ge.Used != first.Used || ge.PC != first.PC {
+						t.Fatalf("budget %d nondeterministic: run0={used %d pc %#x} run1={used %d pc %#x}",
+							budget, first.Used, first.PC, ge.Used, ge.PC)
+					}
+				}
+			}
+
+			// SetGas(0) disarms: a machine that exhausted once can be
+			// reused unmetered.
+			mc, _ = newGasMachine(t, d, m)
+			mc.SetGas(1)
+			if _, err := mc.Run("main"); !errors.Is(err, ErrOutOfGas) {
+				t.Fatalf("want out of gas, got %v", err)
+			}
+			mc.SetGas(0)
+			if _, err := mc.Run("main"); err != nil {
+				if _, isExit := err.(*rt.ExitError); !isExit {
+					t.Fatalf("disarmed rerun: %v", err)
+				}
+			}
+		})
+	}
+}

@@ -121,6 +121,13 @@ type Machine struct {
 	// MaxInstrs bounds execution (0 = 2 billion).
 	MaxInstrs uint64
 
+	// Gas metering (gas.go): gasBudget is the per-run cycle allowance
+	// set by SetGas (0: unmetered); gasStart/gasStop are the armed run's
+	// virtual-clock window, checked once per block by loop().
+	gasBudget uint64
+	gasStart  uint64
+	gasStop   uint64
+
 	// runCtx is the active RunContext's context, polled at block
 	// boundaries by loop(); nil outside a run.
 	runCtx context.Context

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadGenConfig drives a burst of concurrent sessions against a
+// running server. Each session loops synchronous runs of Module until
+// the shared Total counter is spent (or Duration elapses, when set).
+type LoadGenConfig struct {
+	Base     string        // server base URL
+	Module   string        // registered module name
+	Entry    string        // entry symbol (default "main")
+	Sessions int           // concurrent client sessions
+	Total    int           // total runs to attempt (0: duration-bound)
+	Duration time.Duration // stop after this long (0: total-bound)
+	Gas      uint64        // per-run gas budget forwarded to the server
+	Tenant   string        // tenant label on every request
+}
+
+// LoadGenReport aggregates a load-generation burst.
+type LoadGenReport struct {
+	Sessions       int     `json:"sessions"`
+	Attempted      int64   `json:"attempted"`
+	Completed      int64   `json:"completed"`
+	OutOfGas       int64   `json:"out_of_gas"`
+	Shed           int64   `json:"shed"`
+	RateLimited    int64   `json:"rate_limited"`
+	Canceled       int64   `json:"canceled"`
+	Errors5xx      int64   `json:"errors_5xx"`
+	OtherErrors    int64   `json:"other_errors"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SessionsPerSec float64 `json:"sessions_per_sec"` // completed runs / wall
+	P50LatencyNS   int64   `json:"p50_latency_ns"`
+	P99LatencyNS   int64   `json:"p99_latency_ns"`
+	MaxLatencyNS   int64   `json:"max_latency_ns"`
+}
+
+// RunLoadGen executes the burst and aggregates per-run outcomes.
+// Refusals (shed, rate-limited) are counted, not retried: the report
+// shows how the server held up, not how patient the clients were.
+func RunLoadGen(ctx context.Context, cfg LoadGenConfig) (LoadGenReport, error) {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 1
+	}
+	if cfg.Total <= 0 && cfg.Duration <= 0 {
+		return LoadGenReport{}, errors.New("loadgen: need Total or Duration")
+	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+	}
+	client := NewClient(cfg.Base)
+	req := RunRequest{Module: cfg.Module, Entry: cfg.Entry, Gas: cfg.Gas, Tenant: cfg.Tenant}
+
+	var (
+		remaining atomic.Int64
+		attempted atomic.Int64
+		completed atomic.Int64
+		outOfGas  atomic.Int64
+		shed      atomic.Int64
+		rateLtd   atomic.Int64
+		canceled  atomic.Int64
+		err5xx    atomic.Int64
+		otherErr  atomic.Int64
+
+		latMu     sync.Mutex
+		latencies []int64
+	)
+	if cfg.Total > 0 {
+		remaining.Store(int64(cfg.Total))
+	} else {
+		remaining.Store(1 << 62) // duration-bound: effectively unlimited
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil && remaining.Add(-1) >= 0 {
+				attempted.Add(1)
+				t0 := time.Now()
+				_, err := client.Run(ctx, req)
+				lat := time.Since(t0).Nanoseconds()
+				switch {
+				case err == nil:
+					completed.Add(1)
+					latMu.Lock()
+					latencies = append(latencies, lat)
+					latMu.Unlock()
+				default:
+					var re *RemoteError
+					switch {
+					case errors.As(err, &re) && re.Code == CodeOutOfGas:
+						outOfGas.Add(1)
+					case errors.As(err, &re) && re.Code == CodeShed:
+						shed.Add(1)
+					case errors.As(err, &re) && re.Code == CodeRateLimited:
+						rateLtd.Add(1)
+					case errors.As(err, &re) && re.Status/100 == 5:
+						err5xx.Add(1)
+					case ctx.Err() != nil:
+						canceled.Add(1)
+					default:
+						otherErr.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	rep := LoadGenReport{
+		Sessions:    cfg.Sessions,
+		Attempted:   attempted.Load(),
+		Completed:   completed.Load(),
+		OutOfGas:    outOfGas.Load(),
+		Shed:        shed.Load(),
+		RateLimited: rateLtd.Load(),
+		Canceled:    canceled.Load(),
+		Errors5xx:   err5xx.Load(),
+		OtherErrors: otherErr.Load(),
+		WallSeconds: wall.Seconds(),
+	}
+	if wall > 0 {
+		rep.SessionsPerSec = float64(rep.Completed) / wall.Seconds()
+	}
+	if len(latencies) > 0 {
+		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+		rep.P50LatencyNS = latencies[len(latencies)*50/100]
+		rep.P99LatencyNS = latencies[len(latencies)*99/100]
+		rep.MaxLatencyNS = latencies[len(latencies)-1]
+	}
+	return rep, nil
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// tenantLimiter is a lazily-refilled token bucket per tenant: Rate
+// tokens per second accrue up to Burst, each admitted request spends
+// one. The zero rate disables limiting. Refill happens on access, so an
+// idle tenant costs nothing.
+type tenantLimiter struct {
+	rate  float64 // tokens per second (0: unlimited)
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	now     func() time.Time // test hook
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantLimiter(rate float64, burst int) *tenantLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tenantLimiter{
+		rate:    rate,
+		burst:   float64(burst),
+		buckets: make(map[string]*bucket),
+		now:     time.Now,
+	}
+}
+
+// allow spends one token from the tenant's bucket. The second result is
+// the back-off hint in whole seconds (≥1) when refused.
+func (l *tenantLimiter) allow(tenant string) (bool, int) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b := l.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[tenant] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := int((1 - b.tokens) / l.rate)
+	if wait < 1 {
+		wait = 1
+	}
+	return false, wait
+}

@@ -1,0 +1,531 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"llva/internal/asm"
+	"llva/internal/core"
+	"llva/internal/llee"
+	"llva/internal/machine"
+	"llva/internal/minic"
+	"llva/internal/obj"
+	"llva/internal/passes"
+	"llva/internal/rt"
+	"llva/internal/target"
+	"llva/internal/telemetry"
+)
+
+// Config sizes a Server. System and Target are required; zero values
+// elsewhere pick the documented defaults.
+type Config struct {
+	System *llee.System
+	Target *target.Desc
+
+	Workers int // concurrent executing sessions (default: GOMAXPROCS)
+	Queue   int // admitted-but-not-started capacity (default: 4×Workers)
+
+	MemSize    uint64 // per-session simulated address space (0: llee default)
+	DefaultGas uint64 // budget when the request omits gas (0: unmetered)
+	MaxGas     uint64 // hard cap on requested gas (0: uncapped)
+
+	TenantRate  float64 // admitted requests/sec per tenant (0: unlimited)
+	TenantBurst int     // token-bucket burst (default 1)
+	TenantGas   uint64  // aggregate cycle budget per tenant (0: unlimited)
+
+	MaxOutput int // per-run captured output bytes (default 64 KiB)
+}
+
+// Server executes runs of registered modules on a bounded worker pool
+// of llee Sessions sharing one System. Admission control happens before
+// anything executes: draining, unknown module, tenant rate limit,
+// tenant gas budget, and a full queue each refuse the request with a
+// typed wire error — a shed request never starts executing.
+type Server struct {
+	cfg     Config
+	tele    *telemetry.Registry
+	limiter *tenantLimiter
+
+	modMu sync.RWMutex
+	mods  map[string]*moduleEntry
+
+	jobMu  sync.Mutex
+	jobs   map[string]*job
+	jobSeq atomic.Uint64
+
+	queue    chan *job
+	qMu      sync.RWMutex
+	qClosed  bool
+	draining atomic.Bool
+	wg       sync.WaitGroup
+}
+
+type moduleEntry struct {
+	mod   *core.Module
+	stamp string
+}
+
+// job states.
+const (
+	stateQueued  = "queued"
+	stateRunning = "running"
+	stateDone    = "done"
+	stateFailed  = "failed"
+)
+
+type job struct {
+	id       string
+	req      RunRequest
+	mod      *moduleEntry
+	gas      uint64
+	ctx      context.Context
+	cancel   context.CancelFunc
+	admitted time.Time
+
+	mu     sync.Mutex
+	state  string
+	result *RunResponse
+	errB   *errorBody
+	status int
+	done   chan struct{}
+}
+
+func (j *job) setState(s string) {
+	j.mu.Lock()
+	j.state = s
+	j.mu.Unlock()
+}
+
+func (j *job) finish(status int, res *RunResponse, eb *errorBody) {
+	j.mu.Lock()
+	if eb != nil {
+		j.state = stateFailed
+	} else {
+		j.state = stateDone
+	}
+	j.status = status
+	j.result = res
+	j.errB = eb
+	j.mu.Unlock()
+	j.cancel()
+	close(j.done)
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.System == nil || cfg.Target == nil {
+		return nil, errors.New("serve: Config.System and Config.Target are required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 4 * cfg.Workers
+	}
+	if cfg.MaxOutput <= 0 {
+		cfg.MaxOutput = 64 << 10
+	}
+	s := &Server{
+		cfg:     cfg,
+		tele:    cfg.System.Telemetry(),
+		limiter: newTenantLimiter(cfg.TenantRate, cfg.TenantBurst),
+		mods:    make(map[string]*moduleEntry),
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, cfg.Queue),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Load compiles and registers a module under req.Name (replacing any
+// previous registration of that name).
+func (s *Server) Load(req LoadRequest) (LoadResponse, error) {
+	if req.Name == "" || req.Source == "" {
+		return LoadResponse{}, fmt.Errorf("%w: name and source are required", llee.ErrBadModule)
+	}
+	var m *core.Module
+	var err error
+	switch req.Lang {
+	case "", "c":
+		m, err = minic.Compile(req.Name+".c", req.Source)
+		if err == nil {
+			_, err = passes.Optimize(m)
+		}
+	case "llva":
+		m, err = asm.Parse(req.Name, req.Source)
+	default:
+		return LoadResponse{}, fmt.Errorf("%w: unknown lang %q", llee.ErrBadModule, req.Lang)
+	}
+	if err != nil {
+		return LoadResponse{}, fmt.Errorf("%w: %v", llee.ErrBadModule, err)
+	}
+	m.Name = req.Name
+	if err := core.Verify(m); err != nil {
+		return LoadResponse{}, fmt.Errorf("%w: %v", llee.ErrBadModule, err)
+	}
+	enc, err := obj.Encode(m)
+	if err != nil {
+		return LoadResponse{}, fmt.Errorf("%w: %v", llee.ErrBadModule, err)
+	}
+	ent := &moduleEntry{mod: m, stamp: llee.Stamp(enc)}
+	s.modMu.Lock()
+	s.mods[req.Name] = ent
+	s.modMu.Unlock()
+	return LoadResponse{Name: req.Name, Stamp: ent.stamp}, nil
+}
+
+// admit runs the full admission pipeline. On refusal it returns a
+// status+errorBody and the job is never created; on admission the job
+// is queued and owned by the worker pool.
+func (s *Server) admit(ctx context.Context, req RunRequest) (*job, int, *errorBody) {
+	s.tele.Counter(MetricRequests).Inc()
+	if s.draining.Load() {
+		return nil, http.StatusServiceUnavailable,
+			&errorBody{Code: CodeDraining, Message: "server is draining", RetryAfter: 10}
+	}
+	s.modMu.RLock()
+	mod := s.mods[req.Module]
+	s.modMu.RUnlock()
+	if mod == nil {
+		return nil, http.StatusNotFound,
+			&errorBody{Code: CodeNotFound, Message: "unknown module " + req.Module}
+	}
+	if ok, wait := s.limiter.allow(req.Tenant); !ok {
+		s.tele.Counter(MetricRateLimited).Inc()
+		return nil, http.StatusTooManyRequests,
+			&errorBody{Code: CodeRateLimited, Message: "tenant over request rate", RetryAfter: wait}
+	}
+	if s.cfg.TenantGas > 0 && req.Tenant != "" {
+		if used := s.cfg.System.TenantUsage(req.Tenant).Cycles; used >= s.cfg.TenantGas {
+			s.tele.Counter(MetricGasDenied).Inc()
+			return nil, http.StatusTooManyRequests, &errorBody{
+				Code:    CodeGasBudget,
+				Message: fmt.Sprintf("tenant gas budget exhausted: %d of %d cycles used", used, s.cfg.TenantGas),
+			}
+		}
+	}
+	gas := req.Gas
+	if gas == 0 {
+		gas = s.cfg.DefaultGas
+	}
+	if s.cfg.MaxGas > 0 && (gas == 0 || gas > s.cfg.MaxGas) {
+		gas = s.cfg.MaxGas
+	}
+	if req.Entry == "" {
+		req.Entry = "main"
+	}
+	j := &job{
+		id:       "j" + strconv.FormatUint(s.jobSeq.Add(1), 36),
+		req:      req,
+		mod:      mod,
+		gas:      gas,
+		state:    stateQueued,
+		admitted: time.Now(),
+		done:     make(chan struct{}),
+	}
+	j.ctx, j.cancel = context.WithCancel(ctx)
+	// Non-blocking enqueue is the load-shedding decision: a full queue
+	// means the pool is saturated and the request is refused NOW, before
+	// any execution state exists.
+	s.qMu.RLock()
+	if s.qClosed {
+		s.qMu.RUnlock()
+		return nil, http.StatusServiceUnavailable,
+			&errorBody{Code: CodeDraining, Message: "server is draining", RetryAfter: 10}
+	}
+	select {
+	case s.queue <- j:
+		s.qMu.RUnlock()
+	default:
+		s.qMu.RUnlock()
+		s.tele.Counter(MetricShed).Inc()
+		return nil, http.StatusTooManyRequests,
+			&errorBody{Code: CodeShed, Message: "worker pool saturated", RetryAfter: 1}
+	}
+	s.tele.Counter(MetricAccepted).Inc()
+	s.tele.Gauge(MetricQueueDepth).Add(1)
+	s.jobMu.Lock()
+	s.jobs[j.id] = j
+	s.jobMu.Unlock()
+	return j, 0, nil
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one admitted job on this worker's goroutine.
+func (s *Server) runJob(j *job) {
+	s.tele.Gauge(MetricQueueDepth).Add(-1)
+	if j.ctx.Err() != nil {
+		// Canceled while queued: it never starts.
+		s.tele.Counter(MetricCanceled).Inc()
+		j.finish(http.StatusRequestTimeout, nil,
+			&errorBody{Code: CodeCanceled, Message: "canceled before execution started"})
+		return
+	}
+	s.tele.Counter(MetricStarted).Inc()
+	s.tele.Gauge(MetricActive).Add(1)
+	defer s.tele.Gauge(MetricActive).Add(-1)
+	j.setState(stateRunning)
+
+	var out bytes.Buffer
+	sessOpts := []llee.SessionOption{llee.WithGas(j.gas), llee.WithTenant(j.req.Tenant)}
+	if s.cfg.MemSize != 0 {
+		sessOpts = append(sessOpts, llee.WithMemSize(s.cfg.MemSize))
+	}
+	sess, err := s.cfg.System.NewSession(j.mod.mod, s.cfg.Target,
+		newLimitWriter(&out, s.cfg.MaxOutput), sessOpts...)
+	if err != nil {
+		s.tele.Counter(MetricErrors).Inc()
+		status, eb := classifyError(err, nil)
+		j.finish(status, nil, eb)
+		return
+	}
+	res, err := sess.Run(j.ctx, j.req.Entry, j.req.Args...)
+	latency := time.Since(j.admitted)
+	s.tele.Histogram(MetricLatencyNS).Observe(latency.Nanoseconds())
+	var ee *rt.ExitError
+	if errors.As(err, &ee) {
+		// exit() is an outcome: the exit code is the value.
+		res.Value = uint64(uint32(int32(ee.Code)))
+		err = nil
+	}
+	if err != nil {
+		status, eb := classifyError(err, s.tele)
+		j.finish(status, nil, eb)
+		return
+	}
+	s.tele.Counter(MetricCompleted).Inc()
+	j.finish(http.StatusOK, &RunResponse{
+		Value:    res.Value,
+		Output:   out.String(),
+		Instrs:   res.Instrs,
+		Cycles:   res.Cycles,
+		WallNS:   res.Wall.Nanoseconds(),
+		CacheHit: sess.CacheHit(),
+	}, nil)
+}
+
+// classifyError maps a run failure into the wire taxonomy (and bumps
+// the outcome counter when tele is non-nil).
+func classifyError(err error, tele *telemetry.Registry) (int, *errorBody) {
+	var ge *machine.GasError
+	if errors.As(err, &ge) {
+		if tele != nil {
+			tele.Counter(MetricOutOfGas).Inc()
+		}
+		return http.StatusPaymentRequired, &errorBody{
+			Code: CodeOutOfGas, Message: err.Error(),
+			CyclesUsed: ge.Used, GasBudget: ge.Budget,
+		}
+	}
+	var te *llee.ErrTrap
+	if errors.As(err, &te) {
+		if tele != nil {
+			tele.Counter(MetricErrors).Inc()
+		}
+		return http.StatusUnprocessableEntity, &errorBody{Code: CodeTrap, Message: err.Error()}
+	}
+	if errors.Is(err, llee.ErrCanceled) || errors.Is(err, context.Canceled) {
+		if tele != nil {
+			tele.Counter(MetricCanceled).Inc()
+		}
+		return http.StatusRequestTimeout, &errorBody{Code: CodeCanceled, Message: err.Error()}
+	}
+	if errors.Is(err, llee.ErrBadModule) {
+		if tele != nil {
+			tele.Counter(MetricErrors).Inc()
+		}
+		return http.StatusBadRequest, &errorBody{Code: CodeBadModule, Message: err.Error()}
+	}
+	if tele != nil {
+		tele.Counter(MetricErrors).Inc()
+	}
+	return http.StatusInternalServerError, &errorBody{Code: CodeInternal, Message: err.Error()}
+}
+
+// Drain stops admission (new requests get 503 draining), lets queued
+// and running jobs finish, and stops the workers. If ctx expires first,
+// the remaining runs are canceled at their next block boundary and
+// Drain returns ctx.Err after the workers exit.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.qMu.Lock()
+	if !s.qClosed {
+		s.qClosed = true
+		close(s.queue)
+	}
+	s.qMu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.jobMu.Lock()
+		for _, j := range s.jobs {
+			j.cancel()
+		}
+		s.jobMu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Register installs the /api/v1 endpoints on mux.
+func (s *Server) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/api/v1/load", s.handleLoad)
+	mux.HandleFunc("/api/v1/run", s.handleRun)
+	mux.HandleFunc("/api/v1/submit", s.handleSubmit)
+	mux.HandleFunc("/api/v1/status", s.handleStatus)
+	mux.HandleFunc("/api/v1/cancel", s.handleCancel)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, eb *errorBody) {
+	if eb.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(eb.RetryAfter))
+	}
+	writeJSON(w, status, struct {
+		Error *errorBody `json:"error"`
+	}{eb})
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req LoadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, &errorBody{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable,
+			&errorBody{Code: CodeDraining, Message: "server is draining", RetryAfter: 10})
+		return
+	}
+	resp, err := s.Load(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, &errorBody{Code: CodeBadModule, Message: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleRun is the synchronous path: admit, wait for the worker to
+// finish the job, relay the outcome. The job's context is the request's
+// — a client hanging up cancels its run at the next block boundary.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, &errorBody{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	j, status, eb := s.admit(r.Context(), req)
+	if eb != nil {
+		writeError(w, status, eb)
+		return
+	}
+	<-j.done
+	s.dropJob(j.id)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.errB != nil {
+		writeError(w, j.status, j.errB)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.result)
+}
+
+// handleSubmit is the asynchronous path: admit and return the job ID.
+// The job runs under its own context, canceled only via /cancel.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, &errorBody{Code: CodeBadRequest, Message: err.Error()})
+		return
+	}
+	j, status, eb := s.admit(context.Background(), req)
+	if eb != nil {
+		writeError(w, status, eb)
+		return
+	}
+	writeJSON(w, http.StatusOK, SubmitResponse{Job: j.id})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("job")
+	s.jobMu.Lock()
+	j := s.jobs[id]
+	s.jobMu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, &errorBody{Code: CodeNotFound, Message: "unknown job " + id})
+		return
+	}
+	j.mu.Lock()
+	resp := StatusResponse{Job: j.id, State: j.state, Result: j.result, Error: j.errB}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("job")
+	s.jobMu.Lock()
+	j := s.jobs[id]
+	s.jobMu.Unlock()
+	if j == nil {
+		writeError(w, http.StatusNotFound, &errorBody{Code: CodeNotFound, Message: "unknown job " + id})
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+// dropJob removes a finished sync job from the table (async jobs stay
+// queryable until the server exits).
+func (s *Server) dropJob(id string) {
+	s.jobMu.Lock()
+	delete(s.jobs, id)
+	s.jobMu.Unlock()
+}
+
+// limitWriter caps captured program output so a guest cannot balloon
+// the daemon's memory; excess bytes are counted but dropped.
+type limitWriter struct {
+	w     *bytes.Buffer
+	limit int
+}
+
+func newLimitWriter(w *bytes.Buffer, limit int) *limitWriter {
+	return &limitWriter{w: w, limit: limit}
+}
+
+func (lw *limitWriter) Write(p []byte) (int, error) {
+	if room := lw.limit - lw.w.Len(); room > 0 {
+		if len(p) > room {
+			lw.w.Write(p[:room])
+		} else {
+			lw.w.Write(p)
+		}
+	}
+	return len(p), nil
+}

@@ -1,0 +1,19 @@
+package serve
+
+// Metric families recorded by the serving layer, all under serve.* in
+// the shared telemetry registry (exported at /metrics by llva-serve).
+const (
+	MetricRequests    = "serve.requests"     // every run/submit that reached admission
+	MetricAccepted    = "serve.accepted"     // admitted into the queue
+	MetricStarted     = "serve.started"      // picked up by a worker (execution began)
+	MetricCompleted   = "serve.completed"    // finished successfully
+	MetricShed        = "serve.shed"         // refused: worker pool saturated
+	MetricRateLimited = "serve.rate_limited" // refused: tenant over request rate
+	MetricGasDenied   = "serve.gas_denied"   // refused: tenant aggregate gas budget spent
+	MetricOutOfGas    = "serve.out_of_gas"   // runs stopped by their per-run gas budget
+	MetricErrors      = "serve.errors"       // runs that failed (trap, bad module, internal)
+	MetricCanceled    = "serve.canceled"     // runs canceled by the client or drain
+	MetricActive      = "serve.active"       // gauge: runs executing right now
+	MetricQueueDepth  = "serve.queue_depth"  // gauge: admitted, not yet started
+	MetricLatencyNS   = "serve.latency_ns"   // histogram: admission -> completion
+)
