@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race race-concurrent race-llee race-codegen race-prof race-tier2 race-cache race-serve tier1 bench bench-compare bench-smoke fmt-check
+.PHONY: all build vet test race race-concurrent race-llee race-codegen race-prof race-tier2 race-cache race-serve race-pool tier1 bench bench-compare bench-smoke serve-bench serve-bench-compare fmt-check
 
 all: tier1
 
@@ -70,6 +70,15 @@ race-serve:
 	$(GO) test -race -count=1 ./internal/serve/...
 	$(GO) test -race -count=1 -run Gas ./internal/llee/... ./internal/machine/...
 
+# race-pool exercises the session-pool hot path under the race
+# detector: dirty-page seal/reset at the mem and machine layers, the
+# fresh-vs-reset bit-identity differential over the workload suite, the
+# adversarial cross-tenant secret scans (llee host-side and serve
+# end-to-end), and pool disqualification (online states, SMC redirects).
+race-pool:
+	$(GO) test -race -count=1 -short -run 'Reset|Seal|Dirty|Pool|Reuse|Isolation' \
+		./internal/mem/... ./internal/machine/... ./internal/llee/... ./internal/serve/...
+
 # Regenerate the paper's Table 2 with registry-sourced telemetry,
 # archived under bench/ with the run date. Measures the tier-2
 # (profile-warm) configuration; pass BENCH_FLAGS= to drop it.
@@ -99,6 +108,19 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'Table2|ParallelTranslate|SpeculativeColdStart|CacheCodec' -benchtime 1x ./...
 	$(GO) test -run TestTraceSmoke .
 	$(GO) test -count=1 -run TestLoadGenSmoke ./internal/serve/
+
+# serve-bench runs the full loadgen burst (the PR 9 configuration:
+# 10k concurrent sessions, 50k runs, 10M gas) against a freshly started
+# llva-serve and archives the report; serve-bench-compare re-runs it and
+# fails loudly (exit 2) when sessions/sec drops below
+# SERVE_RATIO x the committed baseline.
+SERVE_BASELINE ?= bench/BENCH_2026-08-07_servepool.json
+SERVE_RATIO ?= 0.75
+serve-bench:
+	JSON_OUT=bench/BENCH_$$(date +%Y-%m-%d)_servepool.json scripts/serve_bench.sh
+
+serve-bench-compare:
+	COMPARE=$(SERVE_BASELINE) RATIO=$(SERVE_RATIO) scripts/serve_bench.sh
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

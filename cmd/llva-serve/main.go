@@ -6,7 +6,7 @@
 // Usage:
 //
 //	llva-serve [-addr HOST:PORT] [-target T] [-cache DIR] [-workers N]
-//	           [-queue N] [-mem BYTES] [-gas-default N] [-gas-max N]
+//	           [-queue N] [-pool N] [-mem BYTES] [-gas-default N] [-gas-max N]
 //	           [-tenant-rate R] [-tenant-burst N] [-tenant-gas N]
 //	           [-drain-timeout D]
 //
@@ -50,6 +50,7 @@ func main() {
 	cacheMax := flag.Int64("cache-max-bytes", 0, "evict least-recently-used cache entries beyond this many unique bytes (0: unlimited; needs -cache)")
 	workers := flag.Int("workers", 0, "concurrent executing sessions (0: one per CPU)")
 	queue := flag.Int("queue", 0, "admitted-but-not-started capacity before shedding (0: 4x workers)")
+	pool := flag.Int("pool", 0, "pooled reusable sessions kept per module (0: one per worker, negative: disable pooling)")
 	memSize := flag.Uint64("mem", 8<<20, "per-session simulated address space in bytes")
 	gasDefault := flag.Uint64("gas-default", 0, "gas budget for requests that omit one (0: unmetered)")
 	gasMax := flag.Uint64("gas-max", 0, "hard cap on per-run gas budgets (0: uncapped)")
@@ -96,16 +97,17 @@ func main() {
 	sys := llee.NewSystem(sysOpts...)
 
 	srv, err := serve.New(serve.Config{
-		System:      sys,
-		Target:      d,
-		Workers:     *workers,
-		Queue:       *queue,
-		MemSize:     *memSize,
-		DefaultGas:  *gasDefault,
-		MaxGas:      *gasMax,
-		TenantRate:  *tenantRate,
-		TenantBurst: *tenantBurst,
-		TenantGas:   *tenantGas,
+		System:       sys,
+		Target:       d,
+		Workers:      *workers,
+		Queue:        *queue,
+		PoolSessions: *pool,
+		MemSize:      *memSize,
+		DefaultGas:   *gasDefault,
+		MaxGas:       *gasMax,
+		TenantRate:   *tenantRate,
+		TenantBurst:  *tenantBurst,
+		TenantGas:    *tenantGas,
 	})
 	if err != nil {
 		fatal(err)

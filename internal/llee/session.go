@@ -51,6 +51,11 @@ type Session struct {
 	// llva.storage.register (exposed to trap handlers/tools).
 	storageAPIAddr uint64
 	cacheHit       bool
+	// reusable is set when the session was created WithReuse on an
+	// offline module state and its machine was sealed: Reset can then
+	// restore it to a state bit-identical to a fresh session's. An SMC
+	// redirect acquired at run time disqualifies it (Resettable).
+	reusable bool
 
 	// Tier-up hot-swap state: pending holds tier-2 code delivered by
 	// background workers (any goroutine, guarded by pendMu) until the
@@ -146,7 +151,13 @@ func (sys *System) NewSession(m *core.Module, d *target.Desc, out io.Writer, opt
 	}
 	mc.OnJIT = s.onJIT
 	mc.OnIntrinsic = s.onIntrinsic
-	if ms.online {
+	// Preload can flip the state offline concurrently with session
+	// creation: snapshot the mode and its object under the state lock so
+	// a session is wholly online or wholly offline, never a mix.
+	ms.mu.Lock()
+	online, nobj := ms.online, ms.nobj
+	ms.mu.Unlock()
+	if online {
 		// Online translation: every call goes through a stub so SMC
 		// invalidation can take effect between invocations.
 		mc.CallsViaStubs(true)
@@ -163,24 +174,70 @@ func (sys *System) NewSession(m *core.Module, d *target.Desc, out io.Writer, opt
 			ms.subscribe(s)
 		}
 	} else {
-		nobj := ms.nobj
 		if len(ms.loaded2) > 0 {
 			// Offline mode binds direct calls at install, so tier-2 code
 			// must be merged in before loading, not swapped in after.
-			nobj = &codegen.NativeObject{TargetName: nobj.TargetName, Module: nobj.Module}
-			for _, nf := range ms.nobj.Funcs {
+			merged := &codegen.NativeObject{TargetName: nobj.TargetName, Module: nobj.Module}
+			for _, nf := range nobj.Funcs {
 				if nf2 := ms.loaded2[nf.Name]; nf2 != nil {
 					nf = nf2
 				}
-				nobj.Add(nf)
+				merged.Add(nf)
 			}
+			nobj = merged
 		}
 		if err := mc.LoadObject(nobj); err != nil {
 			return nil, err
 		}
 		s.cacheHit = true
+		if cfg.reuse && cfg.profiler == nil {
+			// All code is installed and immutable from here: seal the
+			// pristine state so Reset restores exactly this machine.
+			if err := mc.Seal(); err != nil {
+				return nil, err
+			}
+			s.reusable = true
+		}
 	}
 	return s, nil
+}
+
+// ErrNotReusable reports a Reset on a session that cannot be reused: it
+// was not created WithReuse on an offline module state, or it acquired
+// an SMC redirect at run time.
+var ErrNotReusable = errors.New("llee: session is not reusable")
+
+// Resettable reports whether Reset would succeed: the session was
+// sealed for reuse and no run self-modified its code. A serving layer
+// checks this before pooling a finished session; false means discard.
+func (s *Session) Resettable() bool {
+	return s.reusable && len(s.redirect) == 0
+}
+
+// Reset returns a finished reusable session to its pristine state so
+// its next Run is bit-identical — value, instruction and cycle counts,
+// and output — to a fresh session's, at a cost proportional to the
+// memory the previous run dirtied rather than to total memory size.
+// Guest memory, registers, privilege, the deterministic RNG and the
+// runtime statistics all roll back; installed native code, the
+// predecoded block cache and the data-image prototype's work are kept.
+// The session is re-armed for out/gas/tenant (a pool hands one session
+// to many tenants — nothing of the prior tenant's run survives to be
+// observed). Fails with ErrNotReusable when Resettable is false.
+func (s *Session) Reset(out io.Writer, gas uint64, tenant string) error {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if !s.Resettable() {
+		return ErrNotReusable
+	}
+	dirty := s.mc.Reset()
+	s.env.Reset(out)
+	s.mc.SetGas(gas)
+	s.tenant = tenant
+	s.storageAPIAddr = 0
+	s.sys.tele.Counter(MetricSessionResets).Inc()
+	s.sys.tele.Histogram(MetricResetDirtyPages).Observe(int64(dirty))
+	return nil
 }
 
 // enqueueSwap queues one tier-2 translation for installation and pokes

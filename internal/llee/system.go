@@ -82,6 +82,7 @@ type sessionConfig struct {
 	tenant         string
 	profiler       *prof.Profiler
 	flightRecorder int
+	reuse          bool
 }
 
 // tier2MinShare is the exclusive-sample share above which a function is
@@ -145,6 +146,15 @@ func WithProfiler(p *prof.Profiler) SessionOption {
 	return func(c *sessionConfig) { c.profiler = p }
 }
 
+// WithReuse marks the session a candidate for pooled reuse: an offline
+// (fully pre-translated) session seals its machine after setup so
+// Session.Reset can later return it to a bit-identical pristine state
+// instead of the caller discarding it. Online sessions and sessions
+// with a profiler attached never become reusable — Resettable reports
+// the outcome. Default off: plain sessions skip the seal snapshot and
+// the per-store dirty-tracking branch.
+func WithReuse(on bool) SessionOption { return func(c *sessionConfig) { c.reuse = on } }
+
 // WithTenant labels a session with a tenant ID: carried on its trace
 // spans, and every Run's cycles accrue to the tenant's usage
 // (System.TenantUsage, llee.tenant.* telemetry).
@@ -202,6 +212,58 @@ func (sys *System) Translate(m *core.Module, d *target.Desc) (*codegen.NativeObj
 		return nil, err
 	}
 	return ms.translateModule()
+}
+
+// Preload makes module m's state on target d offline before any session
+// runs: the whole module is translated eagerly on the worker pool (and
+// persisted when the storage API is registered), so every subsequent
+// NewSession installs direct-call native code up front instead of
+// JITting online. This is what makes sessions poolable — only offline
+// sessions, whose installed code is immutable, can be sealed for reuse
+// (WithReuse). Without Preload, the first session of a fresh module
+// creates its state online and it stays online for the System's
+// lifetime. Idempotent and safe under concurrency; sessions created
+// before the flip stay online and remain correct.
+func (sys *System) Preload(m *core.Module, d *target.Desc) error {
+	ms, err := sys.state(m, d)
+	if err != nil {
+		return err
+	}
+	return ms.ensureOffline()
+}
+
+// ensureOffline flips an online module state to offline by translating
+// the whole module now. The flip publishes nobj/loaded under ms.mu —
+// NewSession snapshots them under the same lock — and persists the
+// translation so the next process starts warm.
+func (ms *moduleState) ensureOffline() error {
+	ms.preMu.Lock()
+	defer ms.preMu.Unlock()
+	ms.mu.Lock()
+	online := ms.online
+	ms.mu.Unlock()
+	if !online {
+		return nil
+	}
+	nobj, err := ms.translateModule()
+	if err != nil {
+		return err
+	}
+	loaded := make(map[string]*codegen.NativeFunc, len(nobj.Funcs))
+	for _, nf := range nobj.Funcs {
+		loaded[nf.Name] = nf
+	}
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ms.sys.storage != nil {
+		if err := ms.writeCache(nobj.Funcs); err != nil {
+			return err
+		}
+	}
+	ms.nobj = nobj
+	ms.loaded = loaded
+	ms.online = false
+	return nil
 }
 
 // Close flushes every module's pending write-back and stops background
@@ -279,6 +341,10 @@ type moduleState struct {
 	// (or translated eagerly on a warm tier-1 start); written once in
 	// initTier2, read-only after.
 	loaded2 map[string]*codegen.NativeFunc
+
+	// preMu serializes Preload's eager whole-module translation so
+	// concurrent Preloads of one module do the work once.
+	preMu sync.Mutex
 
 	mu      sync.Mutex
 	flushed int // settled translations persisted by the last write-back

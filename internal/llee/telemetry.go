@@ -29,6 +29,11 @@ const (
 	// (tenant.go): completed runs and simulated cycles consumed.
 	MetricTenantRuns   = "llee.tenant.runs"
 	MetricTenantCycles = "llee.tenant.cycles"
+
+	// Session reuse (Session.Reset): resets performed, and how many
+	// dirty pages each reset had to restore.
+	MetricSessionResets   = "llee.session.resets"
+	MetricResetDirtyPages = "llee.session.reset_dirty_pages"
 )
 
 // recordTranslate accounts one translation batch (n functions, ns total).

@@ -1,0 +1,51 @@
+package machine
+
+import (
+	"fmt"
+
+	"llva/internal/mem"
+)
+
+// Seal snapshots the machine's post-setup state as the pristine image a
+// later Reset returns to. Call it after all code is installed (offline
+// mode: LoadObject + data fixups) and before the first run: the sealed
+// segment covers the static data image and every installed code byte,
+// and arming memory's dirty-page tracking from here makes Reset cost
+// proportional to what each run actually touches. A machine that keeps
+// installing code after Seal (online JIT, tier-up hot-swap) must not be
+// reset — the execution manager never seals those.
+func (mc *Machine) Seal() error {
+	base := mc.dataImage.Base
+	view, err := mc.mem.Bytes(base, mc.codeEnd-base)
+	if err != nil {
+		return fmt.Errorf("machine: seal: %w", err)
+	}
+	mc.mem.Seal(mem.Segment{Base: base, Bytes: view})
+	return nil
+}
+
+// Reset returns a sealed machine to its pristine pre-first-run state so
+// the next Run is bit-identical to a fresh machine's: memory restored
+// via dirty-page tracking, the register file, flags, shadow stacks and
+// privilege level cleared, and the execution counters zeroed (flushed
+// to telemetry first, so no deltas are lost). Everything immutable and
+// expensive stays: installed code, the predecoded block cache and its
+// arenas, symbol bindings, stubs and the extern table. It returns the
+// number of dirty pages restored. Must not be called mid-run.
+func (mc *Machine) Reset() int {
+	mc.flushTelemetry()
+	n := mc.mem.Reset()
+	mc.regs = [unifiedRegs]uint64{}
+	mc.pc = 0
+	mc.flagEQ, mc.flagLT = false, false
+	mc.pendCycles = 0
+	mc.invokeStack = mc.invokeStack[:0]
+	mc.callStack = mc.callStack[:0]
+	mc.privileged = true
+	mc.lastCrash = nil
+	mc.profNext = 0
+	mc.swapPend.Store(false)
+	mc.Stats = ExecStats{}
+	mc.teleFlushed = ExecStats{}
+	return n
+}

@@ -1,0 +1,157 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"llva/internal/codegen"
+	"llva/internal/core"
+	"llva/internal/mem"
+	"llva/internal/minic"
+	"llva/internal/rt"
+	"llva/internal/target"
+)
+
+// statefulProg carries every kind of run-visible state a reset must
+// erase: a mutated global, heap allocations, and printed output. A
+// second run without Reset observes g=1 and returns a different value;
+// after Reset it must be bit-identical to the first.
+const statefulProg = `
+int g = 0;
+int main() {
+	int i, acc = 0;
+	int *p = malloc(400);
+	for (i = 0; i < 100; i++) p[i] = i * i;
+	for (i = 0; i < 100; i++) acc += p[i];
+	g = g + 1;
+	print_int(g); print_nl();
+	return acc + g;
+}
+`
+
+func loadMiniC(t *testing.T, src string, d *target.Desc) (*Machine, *rt.Env, *strings.Builder) {
+	t.Helper()
+	m, err := minic.Compile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Verify(m); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := codegen.New(d, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := tr.TranslateModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	env := rt.NewEnv(mem.New(0, true), &out)
+	mc, err := New(d, m, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mc.LoadObject(obj); err != nil {
+		t.Fatal(err)
+	}
+	return mc, env, &out
+}
+
+// TestMachineResetBitIdentical seals a machine after setup, runs it,
+// resets, and reruns: value, output, and the full ExecStats must match
+// the first run exactly — the reset session is indistinguishable from a
+// fresh one down to the cycle count.
+func TestMachineResetBitIdentical(t *testing.T) {
+	for _, d := range []*target.Desc{target.VX86, target.VSPARC} {
+		t.Run(d.Name, func(t *testing.T) {
+			mc, env, out := loadMiniC(t, statefulProg, d)
+			if err := mc.Seal(); err != nil {
+				t.Fatal(err)
+			}
+			v1, err := mc.Run("main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			stats1, out1 := mc.Stats, out.String()
+			if out1 != "1\n" {
+				t.Fatalf("first run output = %q, want \"1\\n\"", out1)
+			}
+
+			// Sanity: without Reset the mutated global is visible.
+			out.Reset()
+			v2, err := mc.Run("main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v2 == v1 || out.String() != "2\n" {
+				t.Fatalf("state did not persist across plain reruns: v=%d out=%q", v2, out.String())
+			}
+
+			if n := mc.Reset(); n == 0 {
+				t.Fatal("Reset restored no pages after two runs")
+			}
+			out.Reset()
+			env.Reset(out)
+			v3, err := mc.Run("main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v3 != v1 {
+				t.Errorf("value after reset = %d, want %d", v3, v1)
+			}
+			if out.String() != out1 {
+				t.Errorf("output after reset = %q, want %q", out.String(), out1)
+			}
+			s := mc.Stats
+			if s.Instrs != stats1.Instrs || s.Cycles != stats1.Cycles ||
+				s.Branches != stats1.Branches || s.BranchesTaken != stats1.BranchesTaken ||
+				s.ExternCalls != stats1.ExternCalls || s.Traps != stats1.Traps {
+				t.Errorf("run-visible stats after reset = %+v, want %+v", s, stats1)
+			}
+			// The predecoded block cache survives Reset by design (code is
+			// immutable): the reset run refills nothing.
+			if s.ICacheFills != 0 || s.BlockBuilds != 0 {
+				t.Errorf("reset run rebuilt code caches: fills=%d builds=%d", s.ICacheFills, s.BlockBuilds)
+			}
+		})
+	}
+}
+
+// TestMachineResetErroredRun: a trap unwinds at a block boundary and
+// leaves the machine consistent, so Reset must still restore a clean,
+// bit-identical machine.
+func TestMachineResetErroredRun(t *testing.T) {
+	src := `
+int g = 0;
+int main() {
+	int *p = 0;
+	g = 7;
+	return *p;
+}
+`
+	mc, env, out := loadMiniC(t, src, target.VX86)
+	if err := mc.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mc.Run("main"); err == nil {
+		t.Fatal("null deref did not trap")
+	}
+	mc.Reset()
+	out.Reset()
+	env.Reset(out)
+	// The global write from the trapped run must be gone: rerun traps at
+	// the same point with the same pre-trap state.
+	if _, err := mc.Run("main"); err == nil {
+		t.Fatal("rerun did not trap")
+	}
+	stats1 := mc.Stats
+	mc.Reset()
+	env.Reset(out)
+	if _, err := mc.Run("main"); err == nil {
+		t.Fatal("third run did not trap")
+	}
+	if mc.Stats != stats1 {
+		t.Errorf("stats diverge across resets of a trapping run: %+v vs %+v", mc.Stats, stats1)
+	}
+}

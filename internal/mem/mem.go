@@ -31,7 +31,18 @@ const (
 	NullGuard = 0x1000
 	// DefaultSize is the default address-space size (64 MiB).
 	DefaultSize = 64 << 20
+	// PageShift/PageSize set the dirty-tracking granularity (Seal/Reset):
+	// one bit per 4 KiB page.
+	PageShift = 12
+	PageSize  = 1 << PageShift
 )
+
+// Segment is a pristine byte range captured by Seal and re-applied over
+// dirty pages by Reset (the static data + code image of a machine).
+type Segment struct {
+	Base  uint64
+	Bytes []byte
+}
 
 // Memory is a flat address space with a bump-pointer heap and free lists.
 type Memory struct {
@@ -47,6 +58,22 @@ type Memory struct {
 	free map[int][]uint64
 	// sizes of live heap blocks, for free()
 	blockSize map[uint64]uint64
+
+	// Dirty-page tracking, armed by Seal: every mutation marks its pages
+	// in the dirty bitmap (and, first time per page, the dirty list), so
+	// Reset restores pristine state touching only what the run wrote.
+	// Untracked memories (the default) pay one branch per mutation.
+	track     bool
+	dirty     []uint64 // bitmap, one bit per page
+	dirtyList []uint32 // pages marked since the last Reset, unordered
+
+	// State captured by Seal and re-applied by Reset.
+	sealed        []Segment
+	sealHeapStart uint64
+	sealBrk       uint64
+	sealSP        uint64
+	sealBlocks    map[uint64]uint64 // nil when no heap blocks were live at Seal
+	sealFree      map[int][]uint64  // nil when all free lists were empty at Seal
 }
 
 // New creates a memory of the given size (0 means DefaultSize) with the
@@ -149,6 +176,9 @@ func (m *Memory) Store(addr uint64, size int, v uint64) error {
 	if err := m.check(addr, size, "store"); err != nil {
 		return err
 	}
+	if m.track {
+		m.markDirty(addr, uint64(size))
+	}
 	b := m.data[addr : addr+uint64(size)]
 	switch size {
 	case 1:
@@ -197,10 +227,15 @@ func (m *Memory) StoreFloat(addr uint64, size int, v float64) error {
 	return m.Store(addr, 8, math.Float64bits(v))
 }
 
-// Bytes returns a direct view of n bytes at addr for bulk access.
+// Bytes returns a direct view of n bytes at addr for bulk access. The
+// view is writable, so under dirty tracking the whole range is
+// conservatively marked dirty.
 func (m *Memory) Bytes(addr, n uint64) ([]byte, error) {
 	if err := m.check(addr, int(n), "load"); err != nil {
 		return nil, err
+	}
+	if m.track {
+		m.markDirty(addr, n)
 	}
 	return m.data[addr : addr+n], nil
 }
@@ -209,6 +244,9 @@ func (m *Memory) Bytes(addr, n uint64) ([]byte, error) {
 func (m *Memory) WriteBytes(addr uint64, b []byte) error {
 	if err := m.check(addr, len(b), "store"); err != nil {
 		return err
+	}
+	if m.track {
+		m.markDirty(addr, uint64(len(b)))
 	}
 	copy(m.data[addr:], b)
 	return nil
@@ -280,6 +318,9 @@ func (m *Memory) Alloc(n uint64) (uint64, error) {
 			addr := lst[len(lst)-1]
 			m.free[c] = lst[:len(lst)-1]
 			sz := classSize(c)
+			if m.track {
+				m.markDirty(addr, sz)
+			}
 			clear(m.data[addr : addr+sz])
 			m.blockSize[addr] = sz
 			return addr, nil
@@ -296,6 +337,113 @@ func (m *Memory) Alloc(n uint64) (uint64, error) {
 	m.blockSize[addr] = n
 	return addr, nil
 }
+
+// markDirty records that [addr, addr+n) was (or may have been) written.
+// Page-granular and idempotent; the common case — a small store inside
+// an already-dirty page — is one shift, one mask test.
+func (m *Memory) markDirty(addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	for p := uint32(addr >> PageShift); p <= uint32((addr+n-1)>>PageShift); p++ {
+		if w, b := p>>6, uint64(1)<<(p&63); m.dirty[w]&b == 0 {
+			m.dirty[w] |= b
+			m.dirtyList = append(m.dirtyList, p)
+		}
+	}
+}
+
+// Seal snapshots the current memory as the pristine state Reset returns
+// to, and arms dirty-page tracking. segs name the byte ranges whose
+// content must be restored (static data and installed code); everything
+// outside them is zero at seal time by construction — sealing happens
+// after image load and code install, before the first run — so Reset
+// only has to zero dirty pages and re-copy the segments over them.
+// Allocator state (heap break, SP, free lists) is captured too.
+func (m *Memory) Seal(segs ...Segment) {
+	m.sealed = m.sealed[:0]
+	for _, s := range segs {
+		m.sealed = append(m.sealed, Segment{Base: s.Base, Bytes: append([]byte(nil), s.Bytes...)})
+	}
+	m.sealHeapStart = m.heapStart
+	m.sealBrk = m.brk
+	m.sealSP = m.sp
+	m.sealBlocks = nil
+	if len(m.blockSize) > 0 {
+		m.sealBlocks = make(map[uint64]uint64, len(m.blockSize))
+		for a, sz := range m.blockSize {
+			m.sealBlocks[a] = sz
+		}
+	}
+	m.sealFree = nil
+	for c, lst := range m.free {
+		if len(lst) == 0 {
+			continue
+		}
+		if m.sealFree == nil {
+			m.sealFree = make(map[int][]uint64)
+		}
+		m.sealFree[c] = append([]uint64(nil), lst...)
+	}
+	pages := (len(m.data) + PageSize - 1) / PageSize
+	if len(m.dirty) == 0 {
+		m.dirty = make([]uint64, (pages+63)/64)
+	}
+	clear(m.dirty)
+	m.dirtyList = m.dirtyList[:0]
+	m.track = true
+}
+
+// Sealed reports whether Seal has armed dirty-page tracking.
+func (m *Memory) Sealed() bool { return m.track }
+
+// Reset restores the memory to its sealed pristine state, touching only
+// dirty pages: each is zeroed, then any sealed segment bytes overlapping
+// it are re-copied. Allocator state rolls back to the Seal snapshot. It
+// returns the number of dirty pages restored — the unit reset cost
+// scales with. Reset on an unsealed memory is a no-op.
+func (m *Memory) Reset() int {
+	if !m.track {
+		return 0
+	}
+	n := len(m.dirtyList)
+	for _, p := range m.dirtyList {
+		lo := uint64(p) << PageShift
+		hi := lo + PageSize
+		if hi > uint64(len(m.data)) {
+			hi = uint64(len(m.data))
+		}
+		clear(m.data[lo:hi])
+		for _, s := range m.sealed {
+			sLo, sHi := s.Base, s.Base+uint64(len(s.Bytes))
+			if sHi <= lo || sLo >= hi {
+				continue
+			}
+			cLo, cHi := max(lo, sLo), min(hi, sHi)
+			copy(m.data[cLo:cHi], s.Bytes[cLo-sLo:cHi-sLo])
+		}
+		m.dirty[p>>6] &^= 1 << (p & 63)
+	}
+	m.dirtyList = m.dirtyList[:0]
+	m.heapStart = m.sealHeapStart
+	m.brk = m.sealBrk
+	m.sp = m.sealSP
+	clear(m.blockSize)
+	for a, sz := range m.sealBlocks {
+		m.blockSize[a] = sz
+	}
+	for c, lst := range m.free {
+		m.free[c] = lst[:0]
+	}
+	for c, lst := range m.sealFree {
+		m.free[c] = append(m.free[c], lst...)
+	}
+	return n
+}
+
+// DirtyPages returns the number of pages written since Seal (or the
+// last Reset); 0 when tracking is off.
+func (m *Memory) DirtyPages() int { return len(m.dirtyList) }
 
 // Free releases a heap block previously returned by Alloc. Freeing null is
 // a no-op; freeing an unknown address faults.

@@ -109,6 +109,21 @@ func NewEnv(m *mem.Memory, out io.Writer) *Env {
 	return e
 }
 
+// Reset re-arms the environment for a fresh run writing to out: the
+// deterministic RNG returns to its seed and the call/alloc statistics
+// zero (pool maps drop to nil, matching a fresh Env's lazy allocation),
+// so a reused environment is indistinguishable from a new one. The
+// Clock binding, registered overrides and the formatting/bounce scratch
+// buffers are kept — they carry no run-visible state.
+func (e *Env) Reset(out io.Writer) {
+	e.Out = out
+	e.rand = 88172645463325252
+	e.Stats.Calls = 0
+	e.Stats.Allocs = 0
+	e.Stats.PoolAllocs = nil
+	e.Stats.PoolBytes = nil
+}
+
 // Register adds or overrides a native function (copy-on-write: the
 // shared default table stays untouched).
 func (e *Env) Register(name string, fn Fn) {

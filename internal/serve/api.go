@@ -70,14 +70,20 @@ type RunRequest struct {
 	Tenant string   `json:"tenant,omitempty"`
 }
 
-// RunResponse is a completed run.
+// RunResponse is a completed run. QueueNS/ExecNS split the server-side
+// latency: time admitted-but-queued vs time executing (session
+// acquisition included), so clients can tell scheduling delay from run
+// cost. Reused reports the run was served by a pooled, reset session.
 type RunResponse struct {
 	Value    uint64 `json:"value"`
 	Output   string `json:"output"`
 	Instrs   uint64 `json:"instrs"`
 	Cycles   uint64 `json:"cycles"`
 	WallNS   int64  `json:"wall_ns"`
+	QueueNS  int64  `json:"queue_ns"`
+	ExecNS   int64  `json:"exec_ns"`
 	CacheHit bool   `json:"cache_hit"`
+	Reused   bool   `json:"reused,omitempty"`
 }
 
 // SubmitResponse acknowledges an async submission.

@@ -2,11 +2,15 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"llva/internal/telemetry"
 )
 
 // LoadGenConfig drives a burst of concurrent sessions against a
@@ -23,7 +27,12 @@ type LoadGenConfig struct {
 	Tenant   string        // tenant label on every request
 }
 
-// LoadGenReport aggregates a load-generation burst.
+// LoadGenReport aggregates a load-generation burst. Total latency is
+// client-observed (request out to response in); the queue/exec splits
+// are the server-reported halves of it, so scheduling delay and
+// execution cost are separately attributable. SessionReuse/SessionCold
+// are the server's pool counters over the burst (deltas read from
+// /metrics; zero when the endpoint is not mounted).
 type LoadGenReport struct {
 	Sessions       int     `json:"sessions"`
 	Attempted      int64   `json:"attempted"`
@@ -39,6 +48,42 @@ type LoadGenReport struct {
 	P50LatencyNS   int64   `json:"p50_latency_ns"`
 	P99LatencyNS   int64   `json:"p99_latency_ns"`
 	MaxLatencyNS   int64   `json:"max_latency_ns"`
+	QueueP50NS     int64   `json:"queue_p50_ns"`
+	QueueP99NS     int64   `json:"queue_p99_ns"`
+	ExecP50NS      int64   `json:"exec_p50_ns"`
+	ExecP99NS      int64   `json:"exec_p99_ns"`
+	SessionReuse   int64   `json:"session_reuse"`
+	SessionCold    int64   `json:"session_cold"`
+}
+
+// poolCounters reads the server's session-pool counters from /metrics.
+// Best-effort: a server without the metrics endpoint (tests mounting
+// only /api/v1) reports zeros.
+func poolCounters(ctx context.Context, base string) (reuse, cold int64, ok bool) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return 0, 0, false
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, false
+	}
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, 0, false
+	}
+	return int64(snap.Counters[MetricSessionReuse]), int64(snap.Counters[MetricSessionCold]), true
+}
+
+func percentile(sorted []int64, p int) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[len(sorted)*p/100]
 }
 
 // RunLoadGen executes the burst and aggregates per-run outcomes.
@@ -51,6 +96,7 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig) (LoadGenReport, error) {
 	if cfg.Total <= 0 && cfg.Duration <= 0 {
 		return LoadGenReport{}, errors.New("loadgen: need Total or Duration")
 	}
+	reuse0, cold0, _ := poolCounters(ctx, cfg.Base)
 	if cfg.Duration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
@@ -72,6 +118,8 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig) (LoadGenReport, error) {
 
 		latMu     sync.Mutex
 		latencies []int64
+		queueLat  []int64
+		execLat   []int64
 	)
 	if cfg.Total > 0 {
 		remaining.Store(int64(cfg.Total))
@@ -88,13 +136,15 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig) (LoadGenReport, error) {
 			for ctx.Err() == nil && remaining.Add(-1) >= 0 {
 				attempted.Add(1)
 				t0 := time.Now()
-				_, err := client.Run(ctx, req)
+				resp, err := client.Run(ctx, req)
 				lat := time.Since(t0).Nanoseconds()
 				switch {
 				case err == nil:
 					completed.Add(1)
 					latMu.Lock()
 					latencies = append(latencies, lat)
+					queueLat = append(queueLat, resp.QueueNS)
+					execLat = append(execLat, resp.ExecNS)
 					latMu.Unlock()
 				default:
 					var re *RemoteError
@@ -136,9 +186,20 @@ func RunLoadGen(ctx context.Context, cfg LoadGenConfig) (LoadGenReport, error) {
 	}
 	if len(latencies) > 0 {
 		sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
-		rep.P50LatencyNS = latencies[len(latencies)*50/100]
-		rep.P99LatencyNS = latencies[len(latencies)*99/100]
+		sort.Slice(queueLat, func(a, b int) bool { return queueLat[a] < queueLat[b] })
+		sort.Slice(execLat, func(a, b int) bool { return execLat[a] < execLat[b] })
+		rep.P50LatencyNS = percentile(latencies, 50)
+		rep.P99LatencyNS = percentile(latencies, 99)
 		rep.MaxLatencyNS = latencies[len(latencies)-1]
+		rep.QueueP50NS = percentile(queueLat, 50)
+		rep.QueueP99NS = percentile(queueLat, 99)
+		rep.ExecP50NS = percentile(execLat, 50)
+		rep.ExecP99NS = percentile(execLat, 99)
+	}
+	// Pool counters are cumulative per process: report the burst's delta.
+	if reuse1, cold1, ok := poolCounters(context.WithoutCancel(ctx), cfg.Base); ok {
+		rep.SessionReuse = reuse1 - reuse0
+		rep.SessionCold = cold1 - cold0
 	}
 	return rep, nil
 }

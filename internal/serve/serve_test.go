@@ -387,6 +387,16 @@ func TestLoadGenSmoke(t *testing.T) {
 	if rep.Completed > 0 && rep.P50LatencyNS == 0 {
 		t.Fatalf("missing latency percentiles: %+v", rep)
 	}
+	// The server-reported split must be populated too; exec includes the
+	// run itself so its p50 is never zero.
+	if rep.Completed > 0 && rep.ExecP50NS == 0 {
+		t.Fatalf("missing queue/exec latency split: %+v", rep)
+	}
+	// This harness mounts only /api/v1 — the pool-counter fetch must
+	// degrade to zeros, not fail the burst.
+	if rep.SessionReuse != 0 || rep.SessionCold != 0 {
+		t.Fatalf("pool counters nonzero without /metrics: %+v", rep)
+	}
 	if got := sys.Telemetry().CounterValue(MetricCompleted); got != uint64(rep.Completed) {
 		t.Fatalf("serve.completed %d != report completed %d", got, rep.Completed)
 	}

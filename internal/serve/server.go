@@ -43,6 +43,14 @@ type Config struct {
 	TenantGas   uint64  // aggregate cycle budget per tenant (0: unlimited)
 
 	MaxOutput int // per-run captured output bytes (default 64 KiB)
+
+	// PoolSessions caps the reusable sessions kept per module (default:
+	// Workers; negative disables pooling). Target and MemSize are fixed
+	// per server, so (module state, target, memsize) keying collapses to
+	// the module's content stamp. Only sessions llee reports Resettable
+	// — offline-translated, no SMC redirect, no profiler — are pooled;
+	// anything else is discarded after its run, never reset.
+	PoolSessions int
 }
 
 // Server executes runs of registered modules on a bounded worker pool
@@ -67,6 +75,13 @@ type Server struct {
 	qClosed  bool
 	draining atomic.Bool
 	wg       sync.WaitGroup
+
+	// pool holds finished reusable sessions keyed by module stamp, each
+	// list capped at poolCap. Workers pop, Reset, run, and push back;
+	// a replaced module's orphaned stamp is dropped wholesale.
+	poolMu  sync.Mutex
+	pool    map[string][]*llee.Session
+	poolCap int
 }
 
 type moduleEntry struct {
@@ -134,6 +149,13 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxOutput <= 0 {
 		cfg.MaxOutput = 64 << 10
 	}
+	poolCap := cfg.PoolSessions
+	switch {
+	case poolCap < 0:
+		poolCap = 0
+	case poolCap == 0:
+		poolCap = cfg.Workers
+	}
 	s := &Server{
 		cfg:     cfg,
 		tele:    cfg.System.Telemetry(),
@@ -141,6 +163,8 @@ func New(cfg Config) (*Server, error) {
 		mods:    make(map[string]*moduleEntry),
 		jobs:    make(map[string]*job),
 		queue:   make(chan *job, cfg.Queue),
+		pool:    make(map[string][]*llee.Session),
+		poolCap: poolCap,
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -180,9 +204,33 @@ func (s *Server) Load(req LoadRequest) (LoadResponse, error) {
 		return LoadResponse{}, fmt.Errorf("%w: %v", llee.ErrBadModule, err)
 	}
 	ent := &moduleEntry{mod: m, stamp: llee.Stamp(enc)}
+	// Translate the whole module now, before it is runnable: the module
+	// state goes offline, so every session of it installs direct-call
+	// native code at setup — the precondition for pooled reuse. Paying
+	// translation once at load is the paper's offline economics; without
+	// this, the first request would create the state online and every
+	// session would stay unpoolable for the System's lifetime.
+	if err := s.cfg.System.Preload(ent.mod, s.cfg.Target); err != nil {
+		return LoadResponse{}, err
+	}
 	s.modMu.Lock()
+	old := s.mods[req.Name]
 	s.mods[req.Name] = ent
+	orphaned := old != nil && old.stamp != ent.stamp
+	if orphaned {
+		for _, e := range s.mods {
+			if e.stamp == old.stamp {
+				orphaned = false
+				break
+			}
+		}
+	}
 	s.modMu.Unlock()
+	if orphaned {
+		s.poolMu.Lock()
+		delete(s.pool, old.stamp)
+		s.poolMu.Unlock()
+	}
 	return LoadResponse{Name: req.Name, Stamp: ent.stamp}, nil
 }
 
@@ -262,15 +310,79 @@ func (s *Server) admit(ctx context.Context, req RunRequest) (*job, int, *errorBo
 	return j, 0, nil
 }
 
+// workerState is one worker's reusable per-job scratch: the output
+// buffer, the limit writer wrapping it, and the session-option slice.
+// A worker runs one job at a time, so none of it needs pooling or
+// locking — the steady state allocates neither buffer nor slice.
+type workerState struct {
+	out  bytes.Buffer
+	lw   limitWriter
+	opts []llee.SessionOption
+}
+
 func (s *Server) worker() {
 	defer s.wg.Done()
+	w := &workerState{}
 	for j := range s.queue {
-		s.runJob(j)
+		s.runJob(w, j)
 	}
 }
 
+// poolGet pops a reusable session for the module stamp, or nil.
+func (s *Server) poolGet(stamp string) *llee.Session {
+	if s.poolCap == 0 {
+		return nil
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	lst := s.pool[stamp]
+	if len(lst) == 0 {
+		return nil
+	}
+	sess := lst[len(lst)-1]
+	lst[len(lst)-1] = nil
+	s.pool[stamp] = lst[:len(lst)-1]
+	return sess
+}
+
+// poolPut returns a finished session to the pool if it is still
+// resettable (an SMC redirect or online mode disqualifies it — such
+// sessions are evicted, never reset) and the module's list has room.
+func (s *Server) poolPut(stamp string, sess *llee.Session) {
+	if s.poolCap == 0 || !sess.Resettable() {
+		return
+	}
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	if lst := s.pool[stamp]; len(lst) < s.poolCap {
+		s.pool[stamp] = append(lst, sess)
+	}
+}
+
+// sessionFor acquires the job's session: a pooled one reset to pristine
+// state (re-armed with this job's output writer, gas and tenant) when
+// available, else a cold build sealed for later reuse.
+func (s *Server) sessionFor(w *workerState, j *job) (*llee.Session, bool, error) {
+	if sess := s.poolGet(j.mod.stamp); sess != nil {
+		if err := sess.Reset(&w.lw, j.gas, j.req.Tenant); err == nil {
+			s.tele.Counter(MetricSessionReuse).Inc()
+			return sess, true, nil
+		}
+		// Reset refused (poolPut filters, so this is belt-and-braces):
+		// drop the session and build cold.
+	}
+	s.tele.Counter(MetricSessionCold).Inc()
+	w.opts = append(w.opts[:0],
+		llee.WithGas(j.gas), llee.WithTenant(j.req.Tenant), llee.WithReuse(s.poolCap > 0))
+	if s.cfg.MemSize != 0 {
+		w.opts = append(w.opts, llee.WithMemSize(s.cfg.MemSize))
+	}
+	sess, err := s.cfg.System.NewSession(j.mod.mod, s.cfg.Target, &w.lw, w.opts...)
+	return sess, false, err
+}
+
 // runJob executes one admitted job on this worker's goroutine.
-func (s *Server) runJob(j *job) {
+func (s *Server) runJob(w *workerState, j *job) {
 	s.tele.Gauge(MetricQueueDepth).Add(-1)
 	if j.ctx.Err() != nil {
 		// Canceled while queued: it never starts.
@@ -283,23 +395,23 @@ func (s *Server) runJob(j *job) {
 	s.tele.Gauge(MetricActive).Add(1)
 	defer s.tele.Gauge(MetricActive).Add(-1)
 	j.setState(stateRunning)
+	started := time.Now()
+	queueNS := started.Sub(j.admitted).Nanoseconds()
+	s.tele.Histogram(MetricQueueNS).Observe(queueNS)
 
-	var out bytes.Buffer
-	sessOpts := []llee.SessionOption{llee.WithGas(j.gas), llee.WithTenant(j.req.Tenant)}
-	if s.cfg.MemSize != 0 {
-		sessOpts = append(sessOpts, llee.WithMemSize(s.cfg.MemSize))
-	}
-	sess, err := s.cfg.System.NewSession(j.mod.mod, s.cfg.Target,
-		newLimitWriter(&out, s.cfg.MaxOutput), sessOpts...)
+	w.out.Reset()
+	w.lw = limitWriter{w: &w.out, limit: s.cfg.MaxOutput}
+	sess, reused, err := s.sessionFor(w, j)
 	if err != nil {
+		s.tele.Histogram(MetricExecNS).Observe(time.Since(started).Nanoseconds())
 		s.tele.Counter(MetricErrors).Inc()
 		status, eb := classifyError(err, nil)
 		j.finish(status, nil, eb)
 		return
 	}
 	res, err := sess.Run(j.ctx, j.req.Entry, j.req.Args...)
-	latency := time.Since(j.admitted)
-	s.tele.Histogram(MetricLatencyNS).Observe(latency.Nanoseconds())
+	execNS := time.Since(started).Nanoseconds()
+	s.tele.Histogram(MetricExecNS).Observe(execNS)
 	var ee *rt.ExitError
 	if errors.As(err, &ee) {
 		// exit() is an outcome: the exit code is the value.
@@ -309,17 +421,24 @@ func (s *Server) runJob(j *job) {
 	if err != nil {
 		status, eb := classifyError(err, s.tele)
 		j.finish(status, nil, eb)
+		// Errored runs left the machine consistent (traps, gas and
+		// cancels unwind at block boundaries): the session pools fine.
+		s.poolPut(j.mod.stamp, sess)
 		return
 	}
 	s.tele.Counter(MetricCompleted).Inc()
 	j.finish(http.StatusOK, &RunResponse{
 		Value:    res.Value,
-		Output:   out.String(),
+		Output:   w.out.String(),
 		Instrs:   res.Instrs,
 		Cycles:   res.Cycles,
 		WallNS:   res.Wall.Nanoseconds(),
+		QueueNS:  queueNS,
+		ExecNS:   execNS,
 		CacheHit: sess.CacheHit(),
+		Reused:   reused,
 	}, nil)
+	s.poolPut(j.mod.stamp, sess)
 }
 
 // classifyError maps a run failure into the wire taxonomy (and bumps
@@ -513,10 +632,6 @@ func (s *Server) dropJob(id string) {
 type limitWriter struct {
 	w     *bytes.Buffer
 	limit int
-}
-
-func newLimitWriter(w *bytes.Buffer, limit int) *limitWriter {
-	return &limitWriter{w: w, limit: limit}
 }
 
 func (lw *limitWriter) Write(p []byte) (int, error) {

@@ -15,5 +15,16 @@ const (
 	MetricCanceled    = "serve.canceled"     // runs canceled by the client or drain
 	MetricActive      = "serve.active"       // gauge: runs executing right now
 	MetricQueueDepth  = "serve.queue_depth"  // gauge: admitted, not yet started
-	MetricLatencyNS   = "serve.latency_ns"   // histogram: admission -> completion
+
+	// The former serve.latency_ns histogram is split so scheduling wins
+	// are distinguishable from execution wins: queue_ns is admission ->
+	// worker pickup, exec_ns is pickup -> completion (session acquisition
+	// or reset included — that is the cost pooling amortizes).
+	MetricQueueNS = "serve.queue_ns" // histogram: admission -> worker pickup
+	MetricExecNS  = "serve.exec_ns"  // histogram: worker pickup -> completion
+
+	// Session-pool outcomes: reuse is a pooled session reset and rerun,
+	// cold a full NewSession (first touch, pool empty, or unpoolable).
+	MetricSessionReuse = "serve.session_reuse" // runs served by a pooled session
+	MetricSessionCold  = "serve.session_cold"  // runs that built a session from scratch
 )
